@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. Label partition on/off for the initial ``SLen`` construction.
+2. EH-Tree-based elimination analysis versus no analysis at all (the cost
+   UA-GPNM adds on top of a plain batched amendment).
+3. SLen storage backends: sparse dict rows, dense numpy export, Hybrid
+   (ELL+COO) compression.
+4. Incremental SLen maintenance versus full recomputation after a batch
+   of updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elimination.detector import detect_all
+from repro.elimination.eh_tree import EHTree
+from repro.matching.affected import affected_set_from_delta
+from repro.matching.candidates import candidate_set
+from repro.matching.gpnm import gpnm_query
+from repro.partition.partitioned_spl import build_slen_partitioned
+from repro.spl.hybrid import HybridMatrix
+from repro.spl.incremental import update_slen
+from repro.spl.matrix import SLenMatrix
+from repro.workloads.datasets import load_dataset
+from repro.workloads.generators import DEFAULT_LABEL_ORDER
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+DATASET = "DBLP"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset(DATASET, scale="quick")
+
+
+@pytest.fixture(scope="module")
+def pattern(data):
+    labels = tuple(label for label in DEFAULT_LABEL_ORDER if label in data.labels())
+    return generate_pattern(
+        PatternSpec(
+            num_nodes=8, num_edges=8, labels=labels, min_bound=2, max_bound=3,
+            star_probability=0.0, respect_label_order=True, seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def slen(data):
+    return SLenMatrix.from_graph(data)
+
+
+class TestPartitionAblation:
+    def test_build_slen_plain(self, benchmark, data):
+        result = benchmark.pedantic(SLenMatrix.from_graph, args=(data,), rounds=2, iterations=1)
+        assert result.number_of_nodes == data.number_of_nodes
+
+    def test_build_slen_partitioned(self, benchmark, data):
+        result = benchmark.pedantic(build_slen_partitioned, args=(data,), rounds=2, iterations=1)
+        assert result == SLenMatrix.from_graph(data)
+
+
+class TestEliminationAblation:
+    def test_detect_and_build_eh_tree(self, benchmark, data, pattern, slen):
+        iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
+        batch = generate_update_batch(
+            data, pattern, UpdateWorkloadSpec(num_pattern_updates=8, num_data_updates=40, seed=9)
+        )
+        working = data.copy()
+        working_slen = slen.copy()
+        candidates = [
+            candidate_set(update, pattern, data, slen, iquery)
+            for update in batch.pattern_updates()
+        ]
+        affected = []
+        for update in batch.data_updates():
+            update.apply(working)
+            affected.append(
+                affected_set_from_delta(update, update_slen(working_slen, working, update))
+            )
+
+        def analyse():
+            analysis = detect_all(candidates, affected, working_slen)
+            return EHTree.build(analysis, list(batch))
+
+        tree = benchmark(analyse)
+        assert tree.number_of_updates == len(batch)
+
+
+class TestStorageBackendAblation:
+    def test_dict_backend_lookups(self, benchmark, slen):
+        nodes = sorted(slen.nodes(), key=repr)[:50]
+        benchmark(lambda: [slen.distance(a, b) for a in nodes for b in nodes])
+
+    def test_hybrid_backend_lookups(self, benchmark, slen):
+        hybrid = HybridMatrix(slen)
+        nodes = sorted(slen.nodes(), key=repr)[:50]
+        benchmark(lambda: [hybrid.distance(a, b) for a in nodes for b in nodes])
+        assert hybrid.compression_ratio > 0
+
+    def test_dense_backend_export(self, benchmark, slen):
+        dense, order = benchmark.pedantic(slen.to_dense, rounds=2, iterations=1)
+        assert dense.shape == (len(order), len(order))
+
+
+class TestIncrementalMaintenanceAblation:
+    def test_incremental_maintenance(self, benchmark, data, pattern, slen):
+        batch = generate_update_batch(
+            data, pattern, UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=30, seed=13)
+        )
+
+        def maintain():
+            working = data.copy()
+            working_slen = slen.copy()
+            for update in batch.data_updates():
+                update.apply(working)
+                update_slen(working_slen, working, update)
+            return working_slen
+
+        benchmark.pedantic(maintain, rounds=2, iterations=1)
+
+    def test_full_recompute(self, benchmark, data, pattern):
+        batch = generate_update_batch(
+            data, pattern, UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=30, seed=13)
+        )
+        working = data.copy()
+        for update in batch.data_updates():
+            update.apply(working)
+        benchmark.pedantic(SLenMatrix.from_graph, args=(working,), rounds=2, iterations=1)

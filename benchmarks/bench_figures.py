@@ -1,0 +1,49 @@
+"""Benchmarks regenerating Figures 5-9 (query time vs ΔG per dataset).
+
+For every dataset (one per paper figure) the benchmark times one
+subsequent query per method on the prepared mid-size workload, and prints
+the full per-ΔG series assembled from the shared grid records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import EHGPNM, IncGPNM, UAGPNM
+from repro.experiments.figures import FIGURE_OF_DATASET, crossover_free, figure_series
+from repro.experiments.report import render_figure
+
+METHODS = {
+    "UA-GPNM": lambda pattern, data, **kw: UAGPNM(pattern, data, use_partition=True, **kw),
+    "UA-GPNM-NoPar": lambda pattern, data, **kw: UAGPNM(pattern, data, use_partition=False, **kw),
+    "EH-GPNM": EHGPNM,
+    "INC-GPNM": IncGPNM,
+}
+
+DATASET_PARAMS = list(FIGURE_OF_DATASET.items())
+
+
+@pytest.mark.parametrize("dataset,figure", DATASET_PARAMS, ids=[d for d, _ in DATASET_PARAMS])
+@pytest.mark.parametrize("method", list(METHODS))
+def test_figure_subsequent_query(benchmark, dataset_cell_inputs, grid_records, dataset, figure, method):
+    """One subsequent query of `method` on `dataset` (the figure's data point)."""
+    data, pattern, slen, iquery, batch = dataset_cell_inputs[dataset]
+
+    def run_once():
+        engine = METHODS[method](
+            pattern, data, precomputed_slen=slen, precomputed_relation=iquery
+        )
+        return engine.subsequent_query(batch)
+
+    outcome = benchmark.pedantic(run_once, rounds=1, iterations=1, warmup_rounds=0)
+    assert outcome.result is not None
+
+
+@pytest.mark.parametrize("dataset,figure", DATASET_PARAMS, ids=[d for d, _ in DATASET_PARAMS])
+def test_figure_series_shape(grid_records, dataset, figure):
+    """Print the figure's series and check the paper's ordering holds."""
+    print()
+    print(render_figure(grid_records, dataset))
+    series = figure_series(grid_records, dataset)
+    assert series, f"no records for {dataset}"
+    assert crossover_free(series, "UA-GPNM", "INC-GPNM")

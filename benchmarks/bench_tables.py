@@ -1,0 +1,55 @@
+"""Benchmarks regenerating Tables XI, XII, XIII and XIV.
+
+Each benchmark aggregates the shared grid records into the corresponding
+table and prints it next to the paper's reported numbers.  The aggregation
+itself is what is timed (the grid run is shared session state); the
+printed output is the reproduction artefact recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    render_table_xi,
+    render_table_xii,
+    render_table_xiii,
+    render_table_xiv,
+)
+from repro.experiments.tables import table_xi, table_xii, table_xiii, table_xiv
+
+
+def test_table_xi_average_time_per_dataset(benchmark, grid_records):
+    """Table XI: average query processing time per dataset."""
+    result = benchmark(table_xi, grid_records)
+    print()
+    print(render_table_xi(grid_records))
+    assert set(result) >= {"email-EU-core", "LiveJournal", "Average"}
+
+
+def test_table_xii_reduction_per_dataset(benchmark, grid_records):
+    """Table XII: UA-GPNM's query-time reduction per dataset."""
+    result = benchmark(table_xii, grid_records)
+    print()
+    print(render_table_xii(grid_records))
+    assert "INC-GPNM" in result["Average"]
+
+
+def test_table_xiii_average_time_per_delta_scale(benchmark, grid_records):
+    """Table XIII: average query processing time per ΔG scale."""
+    result = benchmark(table_xiii, grid_records)
+    print()
+    print(render_table_xiii(grid_records))
+    assert len(result) == 3
+
+
+def test_table_xiv_reduction_per_delta_scale(benchmark, grid_records):
+    """Table XIV: UA-GPNM's query-time reduction per ΔG scale."""
+    result = benchmark(table_xiv, grid_records)
+    print()
+    print(render_table_xiv(grid_records))
+    assert all("INC-GPNM" in row for row in result.values())
+
+
+def test_reproduced_method_ordering(grid_records):
+    """The headline shape: UA-GPNM <= EH-GPNM <= INC-GPNM on average."""
+    averages = table_xi(grid_records)["Average"]
+    assert averages["UA-GPNM"] <= averages["EH-GPNM"] <= averages["INC-GPNM"]

@@ -1,0 +1,71 @@
+"""Shared state for the benchmark harness.
+
+The per-table and per-figure benchmarks all consume the same measurement
+records, so the (comparatively expensive) experiment grid is executed
+once per benchmark session and cached in a session-scoped fixture.  The
+grid is the ``quick`` preset trimmed to one pattern size so that the
+whole benchmark run finishes in a couple of minutes; run
+``ua-gpnm all --preset full`` for the complete sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.matching.gpnm import gpnm_query
+from repro.spl.matrix import SLenMatrix
+from repro.workloads.datasets import dataset_names, load_dataset
+from repro.workloads.generators import DEFAULT_LABEL_ORDER
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+#: Grid used by the table/figure benchmarks.
+BENCH_CONFIG = ExperimentConfig(
+    datasets=tuple(dataset_names()),
+    pattern_sizes=((8, 8),),
+    delta_scales=((6, 20), (8, 40), (10, 60)),
+    repetitions=1,
+)
+
+
+@pytest.fixture(scope="session")
+def grid_records():
+    """Measurement records of the benchmark grid (computed once per session)."""
+    return run_experiment(BENCH_CONFIG, verify_against_oracle=False)
+
+
+@pytest.fixture(scope="session")
+def dataset_cell_inputs():
+    """Per-dataset prepared inputs for the figure benchmarks.
+
+    Returns ``{dataset: (data, pattern, slen, iquery, batch)}`` with the
+    mid-size ΔG scale, so each figure benchmark can time one subsequent
+    query per method without re-doing the setup.
+    """
+    inputs = {}
+    for name in dataset_names():
+        data = load_dataset(name, scale="quick")
+        labels = tuple(label for label in DEFAULT_LABEL_ORDER if label in data.labels())
+        pattern = generate_pattern(
+            PatternSpec(
+                num_nodes=8,
+                num_edges=8,
+                labels=labels,
+                min_bound=2,
+                max_bound=3,
+                star_probability=0.0,
+                respect_label_order=True,
+                seed=2028,
+            )
+        )
+        slen = SLenMatrix.from_graph(data, horizon=4)
+        iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
+        batch = generate_update_batch(
+            data,
+            pattern,
+            UpdateWorkloadSpec(num_pattern_updates=8, num_data_updates=40, seed=77),
+        )
+        inputs[name] = (data, pattern, slen, iquery, batch)
+    return inputs

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` works in offline environments where the
+``wheel`` package (needed by PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

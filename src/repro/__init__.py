@@ -1,0 +1,93 @@
+"""repro — a reproduction of "Updates-Aware Graph Pattern based Node Matching".
+
+The package implements the paper's contribution (UA-GPNM) together with
+every substrate it depends on: a directed labelled graph model, bounded
+graph simulation, all-pairs shortest path length maintenance, label-based
+graph partitioning, elimination-relationship detection, the EH-Tree
+index, the compared baselines (INC-GPNM, EH-GPNM, UA-GPNM-NoPar, a
+from-scratch oracle), synthetic workloads standing in for the five SNAP
+datasets, and the experiment harness that regenerates every table and
+figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import paper_example, UAGPNM
+>>> data = paper_example.figure1_data_graph()
+>>> pattern = paper_example.figure1_pattern_graph()
+>>> engine = UAGPNM(pattern, data)
+>>> sorted(engine.initial_result.matches("SE"))
+['SE1', 'SE2']
+>>> result = engine.subsequent_query(paper_example.example2_updates())
+>>> result.stats.refinement_passes
+1
+"""
+
+from repro import paper_example
+from repro.algorithms import (
+    BatchGPNM,
+    EHGPNM,
+    GPNMAlgorithm,
+    IncGPNM,
+    QueryStats,
+    SubsequentResult,
+    UAGPNM,
+)
+from repro.elimination import EHTree, EliminationRelation, EliminationType
+from repro.graph import (
+    DataGraph,
+    EdgeDeletion,
+    EdgeInsertion,
+    GraphKind,
+    NodeDeletion,
+    NodeInsertion,
+    PatternGraph,
+    STAR,
+    Update,
+    UpdateBatch,
+    UpdateKind,
+)
+from repro.matching import MatchResult, bounded_simulation, gpnm_query
+from repro.partition import LabelPartition, build_slen_partitioned
+from repro.spl import INF, SLenMatrix, update_slen
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "paper_example",
+    # graphs and updates
+    "DataGraph",
+    "PatternGraph",
+    "STAR",
+    "GraphKind",
+    "UpdateKind",
+    "Update",
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "NodeInsertion",
+    "NodeDeletion",
+    "UpdateBatch",
+    # shortest paths
+    "INF",
+    "SLenMatrix",
+    "update_slen",
+    # partition
+    "LabelPartition",
+    "build_slen_partitioned",
+    # matching
+    "MatchResult",
+    "gpnm_query",
+    "bounded_simulation",
+    # elimination
+    "EliminationType",
+    "EliminationRelation",
+    "EHTree",
+    # algorithms
+    "GPNMAlgorithm",
+    "QueryStats",
+    "SubsequentResult",
+    "BatchGPNM",
+    "IncGPNM",
+    "EHGPNM",
+    "UAGPNM",
+]

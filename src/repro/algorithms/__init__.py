@@ -1,0 +1,36 @@
+"""The GPNM algorithms compared in the paper's evaluation (Section VII-A).
+
+* :class:`~repro.algorithms.scratch.BatchGPNM` — recompute everything from
+  scratch; the correctness oracle;
+* :class:`~repro.algorithms.inc_gpnm.IncGPNM` — INC-GPNM [13]: one
+  incremental GPNM procedure per update;
+* :class:`~repro.algorithms.eh_gpnm.EHGPNM` — EH-GPNM [14]: elimination
+  relationships among *data* updates only;
+* :class:`~repro.algorithms.ua_gpnm.UAGPNM` — this paper's UA-GPNM, with
+  all three elimination types, the EH-Tree and (optionally) the label
+  partition.  ``UAGPNM(use_partition=False)`` is the UA-GPNM-NoPar
+  baseline.
+
+All four share the same state model: construct with a pattern and a data
+graph (the initial query ``IQuery`` is computed immediately), then call
+:meth:`~repro.algorithms.base.GPNMAlgorithm.subsequent_query` with an
+update batch to obtain ``SQuery`` plus per-query statistics.
+"""
+
+from repro.algorithms.base import GPNMAlgorithm, QueryStats, SubsequentResult
+from repro.algorithms.eh_gpnm import EHGPNM
+from repro.algorithms.inc_gpnm import IncGPNM
+from repro.algorithms.scratch import BatchGPNM
+from repro.algorithms.ua_gpnm import UAGPNM, make_ua_gpnm, make_ua_gpnm_nopar
+
+__all__ = [
+    "GPNMAlgorithm",
+    "QueryStats",
+    "SubsequentResult",
+    "BatchGPNM",
+    "IncGPNM",
+    "EHGPNM",
+    "UAGPNM",
+    "make_ua_gpnm",
+    "make_ua_gpnm_nopar",
+]

@@ -1,0 +1,221 @@
+"""Shared machinery of the four GPNM algorithms.
+
+Every algorithm owns private copies of the pattern graph, the data graph,
+the ``SLen`` matrix and the current (non-collapsed) matching relation.
+The constructor answers the *initial query* (``IQuery``); each call to
+:meth:`GPNMAlgorithm.subsequent_query` applies one update batch, produces
+the *subsequent query* result (``SQuery``) and advances the internal
+state so that batches can be chained, mirroring the paper's
+initial-query-then-subsequent-query protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.elimination.eh_tree import EHTree
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import Update, UpdateBatch
+from repro.matching.affected import AffectedSet, affected_set_from_delta
+from repro.matching.amend import amend_match
+from repro.matching.bgs import bounded_simulation
+from repro.matching.candidates import CandidateSet, candidate_set
+from repro.matching.gpnm import MatchResult
+from repro.partition.label_partition import LabelPartition
+from repro.partition.partitioned_spl import build_slen_partitioned
+from repro.spl.incremental import update_slen
+from repro.spl.matrix import SLenMatrix
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one subsequent query.
+
+    Attributes
+    ----------
+    elapsed_seconds:
+        Wall-clock time of the whole ``subsequent_query`` call.
+    updates_processed:
+        Number of updates in the batch.
+    refinement_passes:
+        How many incremental GPNM (amendment) passes were run — the
+        quantity the elimination machinery reduces.
+    slen_updates:
+        How many data updates required ``SLen`` maintenance.
+    recomputed_rows:
+        How many whole BFS rows were recomputed during maintenance.
+    eliminated_updates:
+        ``|Ue|`` — updates subsumed by the EH-Tree (zero for algorithms
+        that do not build one).
+    elimination_relations:
+        Total elimination relationships detected.
+    """
+
+    elapsed_seconds: float = 0.0
+    updates_processed: int = 0
+    refinement_passes: int = 0
+    slen_updates: int = 0
+    recomputed_rows: int = 0
+    eliminated_updates: int = 0
+    elimination_relations: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict copy (used by the experiment reports)."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "updates_processed": self.updates_processed,
+            "refinement_passes": self.refinement_passes,
+            "slen_updates": self.slen_updates,
+            "recomputed_rows": self.recomputed_rows,
+            "eliminated_updates": self.eliminated_updates,
+            "elimination_relations": self.elimination_relations,
+        }
+
+
+@dataclass
+class SubsequentResult:
+    """The answer to one subsequent query."""
+
+    result: MatchResult
+    stats: QueryStats
+    eh_tree: Optional[EHTree] = None
+
+
+class GPNMAlgorithm(abc.ABC):
+    """Base class for the four compared GPNM methods.
+
+    Parameters
+    ----------
+    pattern / data:
+        The initial pattern and data graphs; private copies are taken.
+    use_partition:
+        Whether the label-based partition accelerates ``SLen``
+        construction and maintenance (Section V).
+    enforce_totality:
+        Whether returned :class:`MatchResult` objects collapse to empty
+        when some pattern node has no match (the paper's GPNM semantics).
+    """
+
+    #: Human-readable name used in experiment reports.
+    name: str = "base"
+
+    def __init__(
+        self,
+        pattern: PatternGraph,
+        data: DataGraph,
+        use_partition: bool = False,
+        enforce_totality: bool = True,
+        precomputed_slen: Optional[SLenMatrix] = None,
+        precomputed_relation: Optional[MatchResult] = None,
+    ) -> None:
+        self._pattern = pattern.copy()
+        self._data = data.copy()
+        self._use_partition = use_partition
+        self._enforce_totality = enforce_totality
+        if precomputed_slen is not None:
+            # The experiment harness shares one initial-query state across
+            # the compared methods so that only the subsequent query is
+            # re-measured; the matrix is copied because it will be mutated.
+            self._slen = precomputed_slen.copy()
+        elif use_partition:
+            partition = LabelPartition.from_graph(self._data)
+            self._slen = build_slen_partitioned(self._data, partition)
+        else:
+            self._slen = SLenMatrix.from_graph(self._data)
+        if precomputed_relation is not None:
+            self._relation = MatchResult(precomputed_relation.as_dict(), enforce_totality=False)
+        else:
+            relation = bounded_simulation(self._pattern, self._data, self._slen)
+            self._relation = MatchResult(relation, enforce_totality=False)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def initial_result(self) -> MatchResult:
+        """``IQuery`` — the matching result of the current internal state."""
+        return MatchResult(self._relation.as_dict(), enforce_totality=self._enforce_totality)
+
+    @property
+    def pattern(self) -> PatternGraph:
+        """A copy of the algorithm's current pattern graph."""
+        return self._pattern.copy()
+
+    @property
+    def data(self) -> DataGraph:
+        """A copy of the algorithm's current data graph."""
+        return self._data.copy()
+
+    @property
+    def slen(self) -> SLenMatrix:
+        """A copy of the maintained shortest path length matrix."""
+        return self._slen.copy()
+
+    @property
+    def uses_partition(self) -> bool:
+        """Whether the label partition is in use."""
+        return self._use_partition
+
+    def subsequent_query(self, updates: Iterable[Update]) -> SubsequentResult:
+        """Apply ``updates`` and answer the subsequent GPNM query."""
+        batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
+        stats = QueryStats(updates_processed=len(batch))
+        started = time.perf_counter()
+        relation, eh_tree = self._process_batch(batch, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        self._relation = relation
+        return SubsequentResult(
+            result=MatchResult(relation.as_dict(), enforce_totality=self._enforce_totality),
+            stats=stats,
+            eh_tree=eh_tree,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _process_batch(
+        self, batch: UpdateBatch, stats: QueryStats
+    ) -> tuple[MatchResult, Optional[EHTree]]:
+        """Apply the batch, update internal state and return the new relation."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _apply_data_update(self, update: Update, stats: QueryStats) -> AffectedSet:
+        """Apply a data update to the graph and maintain ``SLen``."""
+        update.apply(self._data)
+        delta = update_slen(self._slen, self._data, update)
+        stats.slen_updates += 1
+        stats.recomputed_rows += len(delta.recomputed_sources)
+        return affected_set_from_delta(update, delta)
+
+    def _apply_pattern_update(self, update: Update, stats: QueryStats) -> CandidateSet:
+        """Compute the candidate set of a pattern update, then apply it."""
+        candidates = candidate_set(
+            update, self._pattern, self._data, self._slen, self._relation
+        )
+        update.apply(self._pattern)
+        return candidates
+
+    def _amend(self, updates: Iterable[Update], stats: QueryStats) -> None:
+        """Run one incremental amendment pass over ``updates``."""
+        self._relation = amend_match(
+            self._relation,
+            self._pattern,
+            self._data,
+            self._slen,
+            updates,
+            enforce_totality=False,
+        )
+        stats.refinement_passes += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(pattern_nodes={self._pattern.number_of_nodes}, "
+            f"data_nodes={self._data.number_of_nodes}, partition={self._use_partition})"
+        )

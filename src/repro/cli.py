@@ -1,0 +1,117 @@
+"""Command line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Run the quick grid and print Table XI / XII::
+
+    ua-gpnm table-xi
+    ua-gpnm table-xii
+
+Regenerate Figure 6 (DBLP) on the quick grid::
+
+    ua-gpnm figure --dataset DBLP
+
+Run everything (slow) and verify each method against the oracle::
+
+    ua-gpnm all --preset full --verify
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig, full_config, quick_config, tiny_config
+from repro.experiments.report import (
+    render_figure,
+    render_table_xi,
+    render_table_xii,
+    render_table_xiii,
+    render_table_xiv,
+)
+from repro.experiments.runner import run_experiment
+from repro.workloads.datasets import dataset_names
+
+
+def _config_for(preset: str) -> ExperimentConfig:
+    presets = {"tiny": tiny_config, "quick": quick_config, "full": full_config}
+    try:
+        return presets[preset]()
+    except KeyError:
+        raise SystemExit(f"unknown preset {preset!r}; expected one of {sorted(presets)}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ua-gpnm",
+        description="Reproduce the UA-GPNM evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=("tiny", "quick", "full"),
+        help="experiment grid preset (default: quick)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every method's result against the from-scratch oracle",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in ("table-xi", "table-xii", "table-xiii", "table-xiv", "all"):
+        subparsers.add_parser(name, help=f"print {name.replace('-', ' ')}")
+    figure = subparsers.add_parser("figure", help="print one of Figures 5-9")
+    figure.add_argument(
+        "--dataset",
+        default="email-EU-core",
+        choices=dataset_names(),
+        help="dataset / figure to regenerate",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``ua-gpnm`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    config = _config_for(args.preset)
+
+    def progress(message: str) -> None:
+        print(f"[run] {message}", file=sys.stderr)
+
+    records = run_experiment(config, verify_against_oracle=args.verify, progress=progress)
+    if args.verify:
+        mismatches = [record for record in records if record.matches_oracle is False]
+        if mismatches:
+            print(f"WARNING: {len(mismatches)} method results differ from the oracle", file=sys.stderr)
+        else:
+            print("verification: every method matches the from-scratch oracle", file=sys.stderr)
+
+    if args.command == "table-xi":
+        print(render_table_xi(records))
+    elif args.command == "table-xii":
+        print(render_table_xii(records))
+    elif args.command == "table-xiii":
+        print(render_table_xiii(records))
+    elif args.command == "table-xiv":
+        print(render_table_xiv(records))
+    elif args.command == "figure":
+        print(render_figure(records, args.dataset))
+    elif args.command == "all":
+        print(render_table_xi(records))
+        print()
+        print(render_table_xii(records))
+        print()
+        print(render_table_xiii(records))
+        print()
+        print(render_table_xiv(records))
+        for dataset in config.datasets:
+            print()
+            print(render_figure(records, dataset))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

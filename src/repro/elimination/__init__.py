@@ -1,0 +1,33 @@
+"""Elimination relationships between updates and the EH-Tree index (Section IV).
+
+* :mod:`repro.elimination.relations` — the three relationship types
+  (single-graph in ``GP``, single-graph in ``GD``, cross-graph) as data
+  records;
+* :mod:`repro.elimination.detector` — DER-I, DER-II and DER-III
+  (Algorithms 1–3), which compute candidate / affected sets and decide
+  which updates eliminate which;
+* :mod:`repro.elimination.eh_tree` — the Elimination Hierarchy Tree that
+  indexes the detected relationships and yields the set of updates that
+  still require an incremental GPNM pass.
+"""
+
+from repro.elimination.detector import (
+    EliminationAnalysis,
+    detect_all,
+    detect_type_i,
+    detect_type_ii,
+    detect_type_iii,
+)
+from repro.elimination.eh_tree import EHTree
+from repro.elimination.relations import EliminationRelation, EliminationType
+
+__all__ = [
+    "EliminationType",
+    "EliminationRelation",
+    "detect_type_i",
+    "detect_type_ii",
+    "detect_type_iii",
+    "detect_all",
+    "EliminationAnalysis",
+    "EHTree",
+]

@@ -1,0 +1,187 @@
+"""Detection of elimination relationships (DER-I, DER-II, DER-III).
+
+The detectors operate on the per-update candidate sets
+(:class:`~repro.matching.candidates.CandidateSet`) and affected sets
+(:class:`~repro.matching.affected.AffectedSet`) and implement the
+coverage checks of Algorithms 1–3:
+
+* **DER-I** (:func:`detect_type_i`): two pattern updates of the same
+  direction (both insertions or both deletions) where one's candidate set
+  contains the other's;
+* **DER-II** (:func:`detect_type_ii`): two data updates where one's
+  affected-node set contains the other's;
+* **DER-III** (:func:`detect_type_iii`): a data update whose affected set
+  covers a pattern edge insertion's candidate set *and* whose updated
+  shortest path lengths already satisfy the inserted bound for every
+  candidate pair — the updates cancel out (Example 9).
+
+:func:`detect_all` bundles the three passes and returns an
+:class:`EliminationAnalysis`, from which the EH-Tree is built.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.graph.updates import EdgeInsertion, GraphKind, Update
+from repro.matching.affected import AffectedSet
+from repro.matching.candidates import CandidateSet
+from repro.elimination.relations import EliminationRelation, EliminationType
+from repro.spl.matrix import SLenMatrix
+
+
+def detect_type_i(candidate_sets: Sequence[CandidateSet]) -> list[EliminationRelation]:
+    """DER-I: pattern update ``UPa`` eliminates ``UPb`` when its candidates cover ``UPb``'s.
+
+    Only updates of the same direction are compared (Algorithm 1 treats
+    the insertion and deletion branches separately).  When two updates
+    have identical candidate sets, the earlier one in the sequence is the
+    eliminator, so the relation stays antisymmetric.
+    """
+    relations: list[EliminationRelation] = []
+    for a_index, set_a in enumerate(candidate_sets):
+        for b_index, set_b in enumerate(candidate_sets):
+            if a_index == b_index:
+                continue
+            if set_a.update.is_insertion != set_b.update.is_insertion:
+                continue
+            if not set_a.covers(set_b):
+                continue
+            if set_a.all_nodes == set_b.all_nodes and a_index > b_index:
+                continue
+            relations.append(
+                EliminationRelation(set_a.update, set_b.update, EliminationType.SINGLE_PATTERN)
+            )
+    return relations
+
+
+def detect_type_ii(affected_sets: Sequence[AffectedSet]) -> list[EliminationRelation]:
+    """DER-II: data update ``UDa`` eliminates ``UDb`` when its affected nodes cover ``UDb``'s."""
+    relations: list[EliminationRelation] = []
+    for a_index, set_a in enumerate(affected_sets):
+        for b_index, set_b in enumerate(affected_sets):
+            if a_index == b_index:
+                continue
+            if not set_a.covers(set_b):
+                continue
+            if set_a.nodes == set_b.nodes and a_index > b_index:
+                continue
+            relations.append(
+                EliminationRelation(set_a.update, set_b.update, EliminationType.SINGLE_DATA)
+            )
+    return relations
+
+
+def detect_type_iii(
+    candidate_sets: Sequence[CandidateSet],
+    affected_sets: Sequence[AffectedSet],
+    slen_new: SLenMatrix,
+) -> list[EliminationRelation]:
+    """DER-III: a data update and a pattern edge insertion cancel each other.
+
+    For a pattern edge insertion ``UPi`` with bound ``b`` and candidate
+    set ``Can_N(UPi)``, and a data update ``UDj`` whose affected nodes
+    cover ``Can_N(UPi)``: if under the *updated* matrix every candidate
+    source still reaches some matched target within ``b`` and every
+    candidate target is still reached by some matched source within ``b``
+    (Example 9's ``AFF(PM2, TE2) = (∞, 2)`` check), the pattern insertion
+    removes nothing, so the two updates eliminate each other.  The data
+    update is recorded as the eliminator (see Example 10).
+    """
+    relations: list[EliminationRelation] = []
+    for candidate in candidate_sets:
+        update = candidate.update
+        if not isinstance(update, EdgeInsertion) or update.graph is not GraphKind.PATTERN:
+            continue
+        if candidate.bound is None or not candidate.all_nodes:
+            continue
+        for affected in affected_sets:
+            if affected.is_empty:
+                continue
+            if not affected.nodes >= candidate.all_nodes:
+                continue
+            sources_ok = all(
+                any(
+                    _distance(slen_new, vi, vj) <= candidate.bound
+                    for vj in candidate.target_pool
+                )
+                for vi in candidate.source_candidates
+            )
+            targets_ok = all(
+                any(
+                    _distance(slen_new, vi, vj) <= candidate.bound
+                    for vi in candidate.source_pool
+                )
+                for vj in candidate.target_candidates
+            )
+            if sources_ok and targets_ok:
+                relations.append(
+                    EliminationRelation(
+                        affected.update, candidate.update, EliminationType.CROSS_GRAPH
+                    )
+                )
+    return relations
+
+
+def _distance(slen: SLenMatrix, source, target) -> float:
+    """Distance lookup tolerating nodes removed by the update batch."""
+    if source not in slen.nodes() or target not in slen.nodes():
+        return float("inf")
+    return slen.distance(source, target)
+
+
+@dataclass
+class EliminationAnalysis:
+    """The output of a full DER run over one update batch.
+
+    Attributes
+    ----------
+    candidate_sets / affected_sets:
+        The per-update sets the detection was based on.
+    relations:
+        Every detected elimination relationship (all three types).
+    """
+
+    candidate_sets: list[CandidateSet] = field(default_factory=list)
+    affected_sets: list[AffectedSet] = field(default_factory=list)
+    relations: list[EliminationRelation] = field(default_factory=list)
+
+    def relations_of_type(self, kind: EliminationType) -> list[EliminationRelation]:
+        """The subset of relationships of one type."""
+        return [relation for relation in self.relations if relation.type is kind]
+
+    def eliminated_updates(self) -> set[Update]:
+        """Updates that appear on the eliminated side of some relationship."""
+        return {relation.eliminated for relation in self.relations}
+
+    def eliminators_of(self, update: Update) -> list[Update]:
+        """Every update that eliminates ``update``."""
+        return [
+            relation.eliminator
+            for relation in self.relations
+            if relation.eliminated == update
+        ]
+
+    @property
+    def number_of_eliminated(self) -> int:
+        """``|Ue|`` — how many updates are eliminated by at least one other."""
+        return len(self.eliminated_updates())
+
+
+def detect_all(
+    candidate_sets: Sequence[CandidateSet],
+    affected_sets: Sequence[AffectedSet],
+    slen_new: SLenMatrix,
+) -> EliminationAnalysis:
+    """Run DER-I, DER-II and DER-III and bundle the results."""
+    relations = (
+        detect_type_i(candidate_sets)
+        + detect_type_ii(affected_sets)
+        + detect_type_iii(candidate_sets, affected_sets, slen_new)
+    )
+    return EliminationAnalysis(
+        candidate_sets=list(candidate_sets),
+        affected_sets=list(affected_sets),
+        relations=relations,
+    )

@@ -1,0 +1,62 @@
+"""Elimination relationship records (Section IV-A).
+
+Three relationship types exist between updates:
+
+* **Type I** — single-graph, pattern side: ``UPa ⊒ UPb`` when the
+  candidate nodes of ``UPa`` cover those of ``UPb``;
+* **Type II** — single-graph, data side: ``UDa ⊵ UDb`` when the affected
+  nodes of ``UDa`` cover those of ``UDb``;
+* **Type III** — cross-graph: ``UDi ⇔ UPj`` when the two updates leave the
+  matching result unchanged (verified through the updated ``SLen``).
+
+A relationship is stored as an ordered ``(eliminator, eliminated)`` pair;
+Type III is symmetric, so detectors emit it with the data update as the
+eliminator to match the paper's EH-Tree construction (Example 10 sets the
+pattern update as the child of the data update).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.graph.updates import Update
+
+
+class EliminationType(enum.Enum):
+    """The three elimination relationship types of Section IV-A."""
+
+    SINGLE_PATTERN = "type_i"
+    SINGLE_DATA = "type_ii"
+    CROSS_GRAPH = "type_iii"
+
+
+@dataclass(frozen=True)
+class EliminationRelation:
+    """One detected elimination relationship.
+
+    Attributes
+    ----------
+    eliminator:
+        The update whose candidate / affected set covers the other's.
+    eliminated:
+        The update made redundant.
+    type:
+        Which of the three relationship types this is.
+    """
+
+    eliminator: Update
+    eliminated: Update
+    type: EliminationType
+
+    def involves(self, update: Update) -> bool:
+        """``True`` when ``update`` is either side of the relationship."""
+        return update == self.eliminator or update == self.eliminated
+
+    def __str__(self) -> str:
+        symbol = {
+            EliminationType.SINGLE_PATTERN: "⊒",
+            EliminationType.SINGLE_DATA: "⊵",
+            EliminationType.CROSS_GRAPH: "⇔",
+        }[self.type]
+        return f"{self.eliminator} {symbol} {self.eliminated}"

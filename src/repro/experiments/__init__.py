@@ -1,0 +1,56 @@
+"""Experiment harness reproducing the paper's evaluation (Section VII).
+
+* :mod:`repro.experiments.config` — the experiment grid (datasets,
+  pattern sizes, ΔG scales, methods) with quick / full presets;
+* :mod:`repro.experiments.runner` — runs the grid and collects one
+  :class:`~repro.experiments.runner.MeasurementRecord` per cell;
+* :mod:`repro.experiments.tables` — Tables XI, XII, XIII and XIV;
+* :mod:`repro.experiments.figures` — the query-time-vs-ΔG series of
+  Figures 5–9;
+* :mod:`repro.experiments.report` — plain-text rendering, including the
+  paper's reference numbers for side-by-side comparison.
+"""
+
+from repro.experiments.config import (
+    METHOD_ORDER,
+    ExperimentConfig,
+    full_config,
+    quick_config,
+    tiny_config,
+)
+from repro.experiments.runner import MeasurementRecord, run_cell, run_experiment
+from repro.experiments.tables import (
+    table_xi,
+    table_xii,
+    table_xiii,
+    table_xiv,
+)
+from repro.experiments.figures import figure_series
+from repro.experiments.report import (
+    render_figure,
+    render_table_xi,
+    render_table_xii,
+    render_table_xiii,
+    render_table_xiv,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "METHOD_ORDER",
+    "tiny_config",
+    "quick_config",
+    "full_config",
+    "MeasurementRecord",
+    "run_cell",
+    "run_experiment",
+    "table_xi",
+    "table_xii",
+    "table_xiii",
+    "table_xiv",
+    "figure_series",
+    "render_table_xi",
+    "render_table_xii",
+    "render_table_xiii",
+    "render_table_xiv",
+    "render_figure",
+]

@@ -1,0 +1,69 @@
+"""Series reproducing Figures 5–9: query time vs. ΔG per pattern size.
+
+Each of the paper's Figures 5–9 is one dataset; within a figure there is
+one panel per pattern size, and within a panel one curve per method over
+the ΔG axis.  :func:`figure_series` produces exactly that nesting from
+the measurement records; :func:`repro.experiments.report.render_figure`
+prints it as aligned text so the benches can be compared with the paper's
+plotted values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.experiments.runner import MeasurementRecord
+from repro.experiments.tables import _average
+
+#: Which paper figure corresponds to which dataset.
+FIGURE_OF_DATASET: dict[str, str] = {
+    "email-EU-core": "Figure 5",
+    "DBLP": "Figure 6",
+    "Amazon": "Figure 7",
+    "Youtube": "Figure 8",
+    "LiveJournal": "Figure 9",
+}
+
+FigureSeries = dict[tuple[int, int], dict[str, dict[tuple[int, int], float]]]
+
+
+def figure_series(records: Sequence[MeasurementRecord], dataset: str) -> FigureSeries:
+    """Build the per-pattern-size, per-method, per-ΔG series for ``dataset``.
+
+    Returns ``{pattern_size: {method: {delta_scale: avg seconds}}}``.
+    """
+    grouped: dict[tuple[int, int], dict[str, dict[tuple[int, int], list[float]]]] = defaultdict(
+        lambda: defaultdict(lambda: defaultdict(list))
+    )
+    for record in records:
+        if record.dataset != dataset:
+            continue
+        grouped[record.pattern_size][record.method][record.delta_scale].append(
+            record.elapsed_seconds
+        )
+    series: FigureSeries = {}
+    for pattern_size in sorted(grouped):
+        series[pattern_size] = {}
+        for method, by_scale in grouped[pattern_size].items():
+            series[pattern_size][method] = {
+                scale: _average(times) for scale, times in sorted(by_scale.items())
+            }
+    return series
+
+
+def crossover_free(series: FigureSeries, faster: str, slower: str) -> bool:
+    """``True`` when ``faster`` is never slower than ``slower`` anywhere in the figure.
+
+    Used by the experiment reports to state whether the paper's ordering
+    (UA-GPNM < UA-GPNM-NoPar < EH-GPNM < INC-GPNM) holds across the whole
+    figure, which is the reproduction's success criterion.
+    """
+    for methods in series.values():
+        fast_curve = methods.get(faster, {})
+        slow_curve = methods.get(slower, {})
+        for scale, fast_value in fast_curve.items():
+            slow_value = slow_curve.get(scale)
+            if slow_value is not None and fast_value > slow_value:
+                return False
+    return True

@@ -1,0 +1,122 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The renderers print the measured values next to the paper's reported
+numbers (where available) so EXPERIMENTS.md and the benchmark output can
+show, at a glance, whether the *shape* of each result — the ordering of
+the four methods and the growth along the ΔG axis — is reproduced.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.figures import FIGURE_OF_DATASET, figure_series
+from repro.experiments.runner import MeasurementRecord
+from repro.experiments.tables import (
+    PAPER_TABLE_XI,
+    PAPER_TABLE_XII,
+    PAPER_TABLE_XIII,
+    PAPER_TABLE_XIV,
+    method_columns,
+    table_xi,
+    table_xii,
+    table_xiii,
+    table_xiv,
+)
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def _render_grid(title: str, rows: dict, unit: str, paper: dict | None = None) -> str:
+    """Render ``{row_label: {method: value}}`` as an aligned text table."""
+    methods = method_columns(rows)
+    header = ["row"] + methods
+    lines = [title, ""]
+    body: list[list[str]] = []
+    for label, row in rows.items():
+        cells = [str(label)]
+        for method in methods:
+            value = row.get(method)
+            cells.append(f"{value:.3f}{unit}" if value is not None else "-")
+        body.append(cells)
+        if paper and str(label) in paper or (paper and label in paper):
+            reference = paper.get(label, paper.get(str(label), {}))
+            ref_cells = ["  (paper)"]
+            for method in methods:
+                ref_value = reference.get(method)
+                ref_cells.append(f"{ref_value:.2f}{unit}" if ref_value is not None else "-")
+            body.append(ref_cells)
+    widths = [max(len(header[i]), *(len(row[i]) for row in body)) for i in range(len(header))]
+    lines.append(_format_row(header, widths))
+    lines.append(_format_row(["-" * width for width in widths], widths))
+    for row in body:
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def render_table_xi(records: Sequence[MeasurementRecord], include_paper: bool = True) -> str:
+    """Table XI: average query processing time per dataset."""
+    return _render_grid(
+        "Table XI — average query processing time per dataset (seconds)",
+        table_xi(records),
+        unit="s",
+        paper=PAPER_TABLE_XI if include_paper else None,
+    )
+
+
+def render_table_xii(records: Sequence[MeasurementRecord], include_paper: bool = True) -> str:
+    """Table XII: percentage reduction of UA-GPNM per dataset."""
+    return _render_grid(
+        "Table XII — query-time reduction of UA-GPNM vs the baselines (%)",
+        table_xii(records),
+        unit="%",
+        paper=PAPER_TABLE_XII if include_paper else None,
+    )
+
+
+def render_table_xiii(records: Sequence[MeasurementRecord], include_paper: bool = True) -> str:
+    """Table XIII: average query processing time per ΔG scale."""
+    rows = {str(scale): row for scale, row in table_xiii(records).items()}
+    return _render_grid(
+        "Table XIII — average query processing time per ΔG scale (seconds)",
+        rows,
+        unit="s",
+        paper=PAPER_TABLE_XIII if include_paper else None,
+    )
+
+
+def render_table_xiv(records: Sequence[MeasurementRecord], include_paper: bool = True) -> str:
+    """Table XIV: percentage reduction of UA-GPNM per ΔG scale."""
+    rows = {str(scale): row for scale, row in table_xiv(records).items()}
+    return _render_grid(
+        "Table XIV — query-time reduction of UA-GPNM per ΔG scale (%)",
+        rows,
+        unit="%",
+        paper=PAPER_TABLE_XIV if include_paper else None,
+    )
+
+
+def render_figure(records: Sequence[MeasurementRecord], dataset: str) -> str:
+    """Figures 5–9: query time vs. ΔG, one panel per pattern size."""
+    series = figure_series(records, dataset)
+    figure_name = FIGURE_OF_DATASET.get(dataset, "Figure")
+    lines = [f"{figure_name} — average query processing time in {dataset} (seconds)"]
+    for pattern_size, methods in series.items():
+        lines.append("")
+        lines.append(f"  pattern size = {pattern_size}")
+        scales = sorted({scale for curve in methods.values() for scale in curve})
+        header = ["method"] + [str(scale) for scale in scales]
+        body = []
+        for method, curve in methods.items():
+            body.append(
+                [method] + [f"{curve.get(scale, float('nan')):.3f}" for scale in scales]
+            )
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) for i in range(len(header))
+        ]
+        lines.append("  " + _format_row(header, widths))
+        for row in body:
+            lines.append("  " + _format_row(row, widths))
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Aggregations reproducing Tables XI–XIV of the paper.
+
+* **Table XI** — average query processing time per dataset, per method;
+* **Table XII** — per-dataset percentage reduction of UA-GPNM against the
+  three baselines;
+* **Table XIII** — average query processing time per ΔG scale, per method;
+* **Table XIV** — per-ΔG-scale percentage reduction of UA-GPNM.
+
+All four are plain aggregations over the per-cell
+:class:`~repro.experiments.runner.MeasurementRecord` list, so the same
+records can feed every table (and the Figures 5–9 series).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.experiments.config import METHOD_ORDER
+from repro.experiments.runner import MeasurementRecord
+
+#: Paper-reported values of Table XI (seconds), for side-by-side reports.
+PAPER_TABLE_XI: dict[str, dict[str, float]] = {
+    "email-EU-core": {"UA-GPNM": 3.31, "UA-GPNM-NoPar": 3.98, "EH-GPNM": 5.25, "INC-GPNM": 8.27},
+    "DBLP": {"UA-GPNM": 210.34, "UA-GPNM-NoPar": 262.71, "EH-GPNM": 322.38, "INC-GPNM": 501.25},
+    "Amazon": {"UA-GPNM": 225.48, "UA-GPNM-NoPar": 278.37, "EH-GPNM": 346.15, "INC-GPNM": 536.85},
+    "Youtube": {"UA-GPNM": 497.70, "UA-GPNM-NoPar": 602.41, "EH-GPNM": 753.03, "INC-GPNM": 1185.23},
+    "LiveJournal": {"UA-GPNM": 1567.48, "UA-GPNM-NoPar": 1911.56, "EH-GPNM": 2449.19, "INC-GPNM": 3765.27},
+}
+
+#: Paper-reported values of Table XII (percentage reductions of UA-GPNM).
+PAPER_TABLE_XII: dict[str, dict[str, float]] = {
+    "email-EU-core": {"INC-GPNM": 59.98, "EH-GPNM": 36.95, "UA-GPNM-NoPar": 16.83},
+    "DBLP": {"INC-GPNM": 58.04, "EH-GPNM": 34.75, "UA-GPNM-NoPar": 19.77},
+    "Amazon": {"INC-GPNM": 58.00, "EH-GPNM": 34.86, "UA-GPNM-NoPar": 18.99},
+    "Youtube": {"INC-GPNM": 58.60, "EH-GPNM": 33.91, "UA-GPNM-NoPar": 14.91},
+    "LiveJournal": {"INC-GPNM": 58.37, "EH-GPNM": 36.01, "UA-GPNM-NoPar": 18.00},
+}
+
+#: Paper-reported values of Table XIII (seconds) keyed by ΔG scale label.
+PAPER_TABLE_XIII: dict[str, dict[str, float]] = {
+    "(6, 200)": {"UA-GPNM": 371.64, "UA-GPNM-NoPar": 423.46, "EH-GPNM": 503.03, "INC-GPNM": 712.67},
+    "(7, 400)": {"UA-GPNM": 439.23, "UA-GPNM-NoPar": 513.71, "EH-GPNM": 643.29, "INC-GPNM": 956.63},
+    "(8, 600)": {"UA-GPNM": 510.02, "UA-GPNM-NoPar": 606.03, "EH-GPNM": 774.87, "INC-GPNM": 1182.12},
+    "(9, 800)": {"UA-GPNM": 571.69, "UA-GPNM-NoPar": 700.35, "EH-GPNM": 907.19, "INC-GPNM": 1417.40},
+    "(10, 1000)": {"UA-GPNM": 636.42, "UA-GPNM-NoPar": 786.02, "EH-GPNM": 1038.96, "INC-GPNM": 1625.27},
+}
+
+#: Paper-reported values of Table XIV (percentage reductions of UA-GPNM).
+PAPER_TABLE_XIV: dict[str, dict[str, float]] = {
+    "(6, 200)": {"INC-GPNM": 47.85, "EH-GPNM": 26.12, "UA-GPNM-NoPar": 12.24},
+    "(7, 400)": {"INC-GPNM": 54.09, "EH-GPNM": 31.72, "UA-GPNM-NoPar": 14.50},
+    "(8, 600)": {"INC-GPNM": 56.86, "EH-GPNM": 34.18, "UA-GPNM-NoPar": 15.84},
+    "(9, 800)": {"INC-GPNM": 59.67, "EH-GPNM": 36.98, "UA-GPNM-NoPar": 18.37},
+    "(10, 1000)": {"INC-GPNM": 60.84, "EH-GPNM": 38.74, "UA-GPNM-NoPar": 19.03},
+}
+
+
+def _average(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def average_times_by(
+    records: Sequence[MeasurementRecord], key: str
+) -> dict[object, dict[str, float]]:
+    """Average elapsed time grouped by ``key`` (a record attribute) and method."""
+    grouped: dict[object, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))
+    for record in records:
+        grouped[getattr(record, key)][record.method].append(record.elapsed_seconds)
+    return {
+        group: {method: _average(times) for method, times in methods.items()}
+        for group, methods in grouped.items()
+    }
+
+
+def table_xi(records: Sequence[MeasurementRecord]) -> dict[str, dict[str, float]]:
+    """Average query processing time per dataset (Table XI), plus an ``Average`` row."""
+    per_dataset = average_times_by(records, "dataset")
+    table = {dataset: dict(row) for dataset, row in per_dataset.items()}
+    methods = {method for row in table.values() for method in row}
+    table["Average"] = {
+        method: _average(row[method] for row in per_dataset.values() if method in row)
+        for method in methods
+    }
+    return table
+
+
+def reduction_percentages(row: dict[str, float]) -> dict[str, float]:
+    """Percentage reduction of UA-GPNM relative to every other method in ``row``."""
+    base = row.get("UA-GPNM")
+    if base is None:
+        return {}
+    reductions = {}
+    for method, value in row.items():
+        if method == "UA-GPNM" or value <= 0:
+            continue
+        reductions[method] = 100.0 * (value - base) / value
+    return reductions
+
+
+def table_xii(records: Sequence[MeasurementRecord]) -> dict[str, dict[str, float]]:
+    """Per-dataset percentage reduction of UA-GPNM (Table XII), plus ``Average``."""
+    return {
+        dataset: reduction_percentages(row)
+        for dataset, row in table_xi(records).items()
+    }
+
+
+def table_xiii(records: Sequence[MeasurementRecord]) -> dict[tuple[int, int], dict[str, float]]:
+    """Average query processing time per ΔG scale (Table XIII)."""
+    return {
+        scale: dict(row)
+        for scale, row in sorted(average_times_by(records, "delta_scale").items())
+    }
+
+
+def table_xiv(records: Sequence[MeasurementRecord]) -> dict[tuple[int, int], dict[str, float]]:
+    """Per-ΔG-scale percentage reduction of UA-GPNM (Table XIV)."""
+    return {scale: reduction_percentages(row) for scale, row in table_xiii(records).items()}
+
+
+def method_columns(rows: dict[object, dict[str, float]]) -> list[str]:
+    """The method columns present in ``rows``, in the paper's order."""
+    present = {method for row in rows.values() for method in row}
+    return [method for method in METHOD_ORDER if method in present] + sorted(
+        present - set(METHOD_ORDER)
+    )

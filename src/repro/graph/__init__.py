@@ -1,0 +1,55 @@
+"""Graph substrate: data graphs, pattern graphs and the update model.
+
+This package provides the two graph classes the paper operates on
+(:class:`~repro.graph.digraph.DataGraph` and
+:class:`~repro.graph.pattern.PatternGraph`), the update vocabulary of
+Section III-C (edge/node insertions and deletions on either graph), and
+simple text/JSON IO helpers.
+"""
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    GraphError,
+    InvalidBoundError,
+    MissingEdgeError,
+    MissingNodeError,
+)
+from repro.graph.pattern import STAR, PatternGraph
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    GraphKind,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+    UpdateBatch,
+    UpdateKind,
+    apply_update,
+    apply_updates,
+    invert_update,
+)
+
+__all__ = [
+    "DataGraph",
+    "PatternGraph",
+    "STAR",
+    "GraphError",
+    "MissingNodeError",
+    "MissingEdgeError",
+    "DuplicateNodeError",
+    "DuplicateEdgeError",
+    "InvalidBoundError",
+    "GraphKind",
+    "UpdateKind",
+    "Update",
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "NodeInsertion",
+    "NodeDeletion",
+    "UpdateBatch",
+    "apply_update",
+    "apply_updates",
+    "invert_update",
+]

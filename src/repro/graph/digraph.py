@@ -1,0 +1,270 @@
+"""Directed, label-attributed data graph (the paper's ``GD``).
+
+A :class:`DataGraph` is the graph being queried.  Per Section III-A each
+node carries a set of labels (``fa``); in the paper's examples a single
+job-title label per node is used, so the API treats the *first* label as
+the primary one while still supporting multi-label nodes.
+
+The implementation is a plain adjacency structure (dict of sets), with a
+secondary label index so that ``nodes_with_label`` is O(1) per label.  It
+deliberately avoids any third-party graph library: the shortest-path and
+matching layers built on top only rely on this class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.graph.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    MissingEdgeError,
+    MissingNodeError,
+)
+
+NodeId = Hashable
+
+
+class DataGraph:
+    """A mutable directed graph whose nodes carry one or more labels.
+
+    Parameters
+    ----------
+    nodes:
+        Optional mapping ``node -> label`` or ``node -> iterable of labels``
+        used to seed the graph.
+    edges:
+        Optional iterable of ``(source, target)`` pairs; referenced nodes
+        must already appear in ``nodes``.
+
+    Examples
+    --------
+    >>> g = DataGraph()
+    >>> g.add_node("PM1", "PM")
+    >>> g.add_node("SE1", "SE")
+    >>> g.add_edge("PM1", "SE1")
+    >>> g.has_edge("PM1", "SE1")
+    True
+    >>> sorted(g.nodes_with_label("SE"))
+    ['SE1']
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels", "_label_index", "_num_edges")
+
+    def __init__(
+        self,
+        nodes: Optional[Mapping[NodeId, object]] = None,
+        edges: Optional[Iterable[tuple[NodeId, NodeId]]] = None,
+    ) -> None:
+        self._succ: dict[NodeId, set[NodeId]] = {}
+        self._pred: dict[NodeId, set[NodeId]] = {}
+        self._labels: dict[NodeId, tuple[str, ...]] = {}
+        self._label_index: dict[str, set[NodeId]] = {}
+        self._num_edges = 0
+        if nodes:
+            for node, label in nodes.items():
+                if isinstance(label, str):
+                    self.add_node(node, label)
+                else:
+                    self.add_node(node, *label)
+        if edges:
+            for source, target in edges:
+                self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Node API
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, *labels: str) -> None:
+        """Insert ``node`` carrying ``labels`` (at least one is required)."""
+        if node in self._succ:
+            raise DuplicateNodeError(node)
+        if not labels:
+            raise ValueError("a data-graph node needs at least one label")
+        self._succ[node] = set()
+        self._pred[node] = set()
+        self._labels[node] = tuple(labels)
+        for label in labels:
+            self._label_index.setdefault(label, set()).add(node)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and every edge incident to it."""
+        if node not in self._succ:
+            raise MissingNodeError(node)
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            self.remove_edge(source, node)
+        for label in self._labels[node]:
+            bucket = self._label_index[label]
+            bucket.discard(node)
+            if not bucket:
+                del self._label_index[label]
+        del self._succ[node]
+        del self._pred[node]
+        del self._labels[node]
+
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        return node in self._succ
+
+    def labels_of(self, node: NodeId) -> tuple[str, ...]:
+        """Return the label tuple ``fa(node)``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def primary_label(self, node: NodeId) -> str:
+        """Return the first (primary) label of ``node``."""
+        return self.labels_of(node)[0]
+
+    def has_label(self, node: NodeId, label: str) -> bool:
+        """Return ``True`` if ``label`` is one of ``node``'s labels."""
+        return label in self.labels_of(node)
+
+    def nodes_with_label(self, label: str) -> frozenset[NodeId]:
+        """Return the set of nodes carrying ``label`` (possibly empty)."""
+        return frozenset(self._label_index.get(label, frozenset()))
+
+    def labels(self) -> frozenset[str]:
+        """Return every label present in the graph."""
+        return frozenset(self._label_index)
+
+    # ------------------------------------------------------------------
+    # Edge API
+    # ------------------------------------------------------------------
+    def add_edge(self, source: NodeId, target: NodeId) -> None:
+        """Insert the directed edge ``source -> target``."""
+        if source not in self._succ:
+            raise MissingNodeError(source)
+        if target not in self._succ:
+            raise MissingNodeError(target)
+        if target in self._succ[source]:
+            raise DuplicateEdgeError(source, target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._num_edges += 1
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove the directed edge ``source -> target``."""
+        if source not in self._succ or target not in self._succ[source]:
+            raise MissingEdgeError(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._num_edges -= 1
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Return ``True`` if the edge ``source -> target`` exists."""
+        return source in self._succ and target in self._succ[source]
+
+    # ------------------------------------------------------------------
+    # Traversal / inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Iterate over ``(source, target)`` pairs."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def successors(self, node: NodeId) -> frozenset[NodeId]:
+        """Return the out-neighbours of ``node``."""
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def predecessors(self, node: NodeId) -> frozenset[NodeId]:
+        """Return the in-neighbours of ``node``."""
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def successors_view(self, node: NodeId) -> set[NodeId]:
+        """Return the *internal* out-neighbour set of ``node`` without copying.
+
+        Callers must treat the result as read-only; this exists for hot
+        traversal loops (BFS, incremental maintenance) where the frozenset
+        copy of :meth:`successors` would dominate the runtime.
+        """
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def predecessors_view(self, node: NodeId) -> set[NodeId]:
+        """Return the *internal* in-neighbour set of ``node`` without copying.
+
+        Same read-only contract as :meth:`successors_view`.
+        """
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def out_degree(self, node: NodeId) -> int:
+        """Return the number of out-edges of ``node``."""
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def in_degree(self, node: NodeId) -> int:
+        """Return the number of in-edges of ``node``."""
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    @property
+    def number_of_nodes(self) -> int:
+        """``|VD|``."""
+        return len(self._succ)
+
+    @property
+    def number_of_edges(self) -> int:
+        """``|ED|``."""
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # Copy / equality / debug
+    # ------------------------------------------------------------------
+    def copy(self) -> "DataGraph":
+        """Return a deep copy (labels are immutable and shared)."""
+        clone = DataGraph()
+        clone._succ = {node: set(targets) for node, targets in self._succ.items()}
+        clone._pred = {node: set(sources) for node, sources in self._pred.items()}
+        clone._labels = dict(self._labels)
+        clone._label_index = {
+            label: set(nodes) for label, nodes in self._label_index.items()
+        }
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataGraph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._succ == other._succ
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("DataGraph is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"DataGraph(nodes={self.number_of_nodes}, "
+            f"edges={self.number_of_edges}, labels={len(self._label_index)})"
+        )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the graph substrate.
+
+All graph-level failures raise a subclass of :class:`GraphError` so that
+callers can catch one family of exceptions at API boundaries while tests
+can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for every error raised by :mod:`repro.graph`."""
+
+
+class MissingNodeError(GraphError, KeyError):
+    """An operation referenced a node that is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class MissingEdgeError(GraphError, KeyError):
+    """An operation referenced an edge that is not present in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node was inserted twice."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is already in the graph")
+        self.node = node
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge was inserted twice."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is already in the graph")
+        self.source = source
+        self.target = target
+
+
+class InvalidBoundError(GraphError, ValueError):
+    """A pattern edge bound is neither a positive integer nor ``"*"``."""
+
+    def __init__(self, bound: object) -> None:
+        super().__init__(
+            f"pattern edge bound must be a positive integer or '*', got {bound!r}"
+        )
+        self.bound = bound
+
+
+class UpdateError(GraphError, ValueError):
+    """An update could not be applied to its target graph."""

@@ -1,0 +1,183 @@
+"""Plain-text and JSON IO for data graphs and pattern graphs.
+
+Formats
+-------
+* **Edge list + label file** — the format the SNAP datasets ship in.
+  ``load_edge_list`` reads ``source target`` lines; labels come from a
+  separate ``node label`` file or from a labelling function (the synthetic
+  dataset generators use the latter).
+* **JSON** — a single self-describing document, convenient for examples
+  and for persisting generated workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.graph.digraph import DataGraph, NodeId
+from repro.graph.pattern import STAR, PatternGraph
+
+
+# ----------------------------------------------------------------------
+# Edge-list format
+# ----------------------------------------------------------------------
+def load_edge_list(
+    path: Union[str, Path],
+    labeller: Optional[Callable[[str], str]] = None,
+    label_path: Optional[Union[str, Path]] = None,
+    comment: str = "#",
+) -> DataGraph:
+    """Load a data graph from a whitespace-separated edge list.
+
+    Parameters
+    ----------
+    path:
+        File with one ``source target`` pair per line.
+    labeller:
+        Function mapping a node identifier to its label.  Defaults to a
+        constant ``"N"`` label when neither ``labeller`` nor
+        ``label_path`` is given.
+    label_path:
+        Optional file with one ``node label`` pair per line; takes
+        precedence over ``labeller`` for the nodes it mentions.
+    comment:
+        Lines starting with this prefix are skipped.
+    """
+    labels: dict[str, str] = {}
+    if label_path is not None:
+        with open(label_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith(comment):
+                    continue
+                node, label = line.split(None, 1)
+                labels[node] = label.strip()
+
+    def label_for(node: str) -> str:
+        if node in labels:
+            return labels[node]
+        if labeller is not None:
+            return labeller(node)
+        return "N"
+
+    graph = DataGraph()
+    edges: list[tuple[str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            source, target = line.split()[:2]
+            for node in (source, target):
+                if not graph.has_node(node):
+                    graph.add_node(node, label_for(node))
+            edges.append((source, target))
+    for source, target in edges:
+        if not graph.has_edge(source, target):
+            graph.add_edge(source, target)
+    return graph
+
+
+def dump_edge_list(
+    graph: DataGraph,
+    path: Union[str, Path],
+    label_path: Optional[Union[str, Path]] = None,
+) -> None:
+    """Write ``graph`` as an edge list (and optionally a label file)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# source target\n")
+        for source, target in sorted(graph.edges(), key=repr):
+            handle.write(f"{source} {target}\n")
+    if label_path is not None:
+        with open(label_path, "w", encoding="utf-8") as handle:
+            handle.write("# node label\n")
+            for node in sorted(graph.nodes(), key=repr):
+                handle.write(f"{node} {graph.primary_label(node)}\n")
+
+
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
+def data_graph_to_dict(graph: DataGraph) -> dict:
+    """Return a JSON-serialisable description of a data graph."""
+    return {
+        "kind": "data_graph",
+        "nodes": [
+            {"id": node, "labels": list(graph.labels_of(node))} for node in graph.nodes()
+        ],
+        "edges": [[source, target] for source, target in graph.edges()],
+    }
+
+
+def data_graph_from_dict(payload: dict) -> DataGraph:
+    """Rebuild a data graph from :func:`data_graph_to_dict` output."""
+    if payload.get("kind") != "data_graph":
+        raise ValueError("payload does not describe a data graph")
+    graph = DataGraph()
+    for entry in payload["nodes"]:
+        graph.add_node(_freeze_id(entry["id"]), *entry["labels"])
+    for source, target in payload["edges"]:
+        graph.add_edge(_freeze_id(source), _freeze_id(target))
+    return graph
+
+
+def pattern_graph_to_dict(pattern: PatternGraph) -> dict:
+    """Return a JSON-serialisable description of a pattern graph."""
+    return {
+        "kind": "pattern_graph",
+        "nodes": [
+            {"id": node, "label": pattern.label_of(node)} for node in pattern.nodes()
+        ],
+        "edges": [
+            [source, target, "*" if bound is STAR else bound]
+            for source, target, bound in pattern.edges()
+        ],
+    }
+
+
+def pattern_graph_from_dict(payload: dict) -> PatternGraph:
+    """Rebuild a pattern graph from :func:`pattern_graph_to_dict` output."""
+    if payload.get("kind") != "pattern_graph":
+        raise ValueError("payload does not describe a pattern graph")
+    pattern = PatternGraph()
+    for entry in payload["nodes"]:
+        pattern.add_node(_freeze_id(entry["id"]), entry["label"])
+    for source, target, bound in payload["edges"]:
+        pattern.add_edge(_freeze_id(source), _freeze_id(target), bound)
+    return pattern
+
+
+def save_json(
+    obj: Union[DataGraph, PatternGraph], path: Union[str, Path]
+) -> None:
+    """Persist either graph type to a JSON file."""
+    if isinstance(obj, DataGraph):
+        payload = data_graph_to_dict(obj)
+    elif isinstance(obj, PatternGraph):
+        payload = pattern_graph_to_dict(obj)
+    else:
+        raise TypeError(f"cannot serialise {type(obj).__name__}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+def load_json(path: Union[str, Path]) -> Union[DataGraph, PatternGraph]:
+    """Load either graph type from a JSON file produced by :func:`save_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    kind = payload.get("kind")
+    if kind == "data_graph":
+        return data_graph_from_dict(payload)
+    if kind == "pattern_graph":
+        return pattern_graph_from_dict(payload)
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def _freeze_id(raw: object) -> NodeId:
+    """JSON keys/ids come back as lists for tuple ids; re-freeze them."""
+    if isinstance(raw, list):
+        return tuple(_freeze_id(item) for item in raw)
+    return raw

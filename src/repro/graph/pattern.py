@@ -1,0 +1,227 @@
+"""Pattern graph (the paper's ``GP``) with bounded edges.
+
+Each pattern node carries exactly one label (``fv``); each directed edge
+carries a *bounded path length* (``fe``) that is either a positive integer
+``k`` — the match of the edge may be any path of length at most ``k`` in
+the data graph — or the wildcard ``"*"`` meaning "any finite path".
+
+Internally the wildcard is stored as the module constant :data:`STAR`; the
+public API accepts the string ``"*"`` as well.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional, Union
+
+from repro.graph.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    InvalidBoundError,
+    MissingEdgeError,
+    MissingNodeError,
+)
+
+NodeId = Hashable
+
+#: Sentinel used to represent the ``"*"`` (unbounded) edge constraint.
+STAR: float = math.inf
+
+Bound = Union[int, float, str]
+
+
+def normalise_bound(bound: Bound) -> float | int:
+    """Validate and normalise a pattern-edge bound.
+
+    Returns either a positive ``int`` or :data:`STAR`.
+    Raises :class:`~repro.graph.errors.InvalidBoundError` otherwise.
+    """
+    if bound == "*" or bound is STAR or bound == math.inf:
+        return STAR
+    if isinstance(bound, bool):
+        raise InvalidBoundError(bound)
+    if isinstance(bound, int) and bound >= 1:
+        return bound
+    raise InvalidBoundError(bound)
+
+
+class PatternGraph:
+    """A small directed pattern graph with labelled nodes and bounded edges.
+
+    Examples
+    --------
+    >>> p = PatternGraph()
+    >>> p.add_node("PM", "PM")
+    >>> p.add_node("SE", "SE")
+    >>> p.add_edge("PM", "SE", 3)
+    >>> p.bound("PM", "SE")
+    3
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels", "_bounds")
+
+    def __init__(
+        self,
+        nodes: Optional[Mapping[NodeId, str]] = None,
+        edges: Optional[Iterable[tuple[NodeId, NodeId, Bound]]] = None,
+    ) -> None:
+        self._succ: dict[NodeId, set[NodeId]] = {}
+        self._pred: dict[NodeId, set[NodeId]] = {}
+        self._labels: dict[NodeId, str] = {}
+        self._bounds: dict[tuple[NodeId, NodeId], float | int] = {}
+        if nodes:
+            for node, label in nodes.items():
+                self.add_node(node, label)
+        if edges:
+            for source, target, bound in edges:
+                self.add_edge(source, target, bound)
+
+    # ------------------------------------------------------------------
+    # Node API
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, label: str) -> None:
+        """Insert a pattern node with label ``fv(node) = label``."""
+        if node in self._succ:
+            raise DuplicateNodeError(node)
+        if not isinstance(label, str) or not label:
+            raise ValueError(f"pattern node label must be a non-empty string, got {label!r}")
+        self._succ[node] = set()
+        self._pred[node] = set()
+        self._labels[node] = label
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all its incident edges."""
+        if node not in self._succ:
+            raise MissingNodeError(node)
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            self.remove_edge(source, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._labels[node]
+
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is in the pattern."""
+        return node in self._succ
+
+    def label_of(self, node: NodeId) -> str:
+        """Return ``fv(node)``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    # ------------------------------------------------------------------
+    # Edge API
+    # ------------------------------------------------------------------
+    def add_edge(self, source: NodeId, target: NodeId, bound: Bound) -> None:
+        """Insert edge ``source -> target`` with bounded path length ``bound``."""
+        if source not in self._succ:
+            raise MissingNodeError(source)
+        if target not in self._succ:
+            raise MissingNodeError(target)
+        if target in self._succ[source]:
+            raise DuplicateEdgeError(source, target)
+        value = normalise_bound(bound)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._bounds[(source, target)] = value
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove edge ``source -> target``."""
+        if (source, target) not in self._bounds:
+            raise MissingEdgeError(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        del self._bounds[(source, target)]
+
+    def set_bound(self, source: NodeId, target: NodeId, bound: Bound) -> None:
+        """Replace the bound of an existing edge."""
+        if (source, target) not in self._bounds:
+            raise MissingEdgeError(source, target)
+        self._bounds[(source, target)] = normalise_bound(bound)
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Return ``True`` if the edge exists."""
+        return (source, target) in self._bounds
+
+    def bound(self, source: NodeId, target: NodeId) -> float | int:
+        """Return ``fe(source, target)`` (an int or :data:`STAR`)."""
+        try:
+            return self._bounds[(source, target)]
+        except KeyError:
+            raise MissingEdgeError(source, target) from None
+
+    # ------------------------------------------------------------------
+    # Traversal / inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over pattern node identifiers."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId, float | int]]:
+        """Iterate over ``(source, target, bound)`` triples."""
+        for (source, target), bound in self._bounds.items():
+            yield (source, target, bound)
+
+    def successors(self, node: NodeId) -> frozenset[NodeId]:
+        """Return the out-neighbours of ``node``."""
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def predecessors(self, node: NodeId) -> frozenset[NodeId]:
+        """Return the in-neighbours of ``node``."""
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def labels(self) -> frozenset[str]:
+        """Return the set of labels used by the pattern."""
+        return frozenset(self._labels.values())
+
+    @property
+    def number_of_nodes(self) -> int:
+        """``|VP|``."""
+        return len(self._succ)
+
+    @property
+    def number_of_edges(self) -> int:
+        """``|EP|``."""
+        return len(self._bounds)
+
+    # ------------------------------------------------------------------
+    # Copy / equality / debug
+    # ------------------------------------------------------------------
+    def copy(self) -> "PatternGraph":
+        """Return a deep copy of the pattern."""
+        clone = PatternGraph()
+        clone._succ = {node: set(targets) for node, targets in self._succ.items()}
+        clone._pred = {node: set(sources) for node, sources in self._pred.items()}
+        clone._labels = dict(self._labels)
+        clone._bounds = dict(self._bounds)
+        return clone
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternGraph):
+            return NotImplemented
+        return self._labels == other._labels and self._bounds == other._bounds
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("PatternGraph is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternGraph(nodes={self.number_of_nodes}, "
+            f"edges={self.number_of_edges})"
+        )

@@ -1,0 +1,382 @@
+"""Update model for pattern and data graphs (Section III-C).
+
+The paper's update vocabulary is
+
+* ``ΔG+_DE`` / ``ΔG-_DE`` — edge insertions / deletions in the data graph,
+* ``ΔG+_DN`` / ``ΔG-_DN`` — node insertions / deletions in the data graph,
+* ``ΔG+_PE`` / ``ΔG-_PE`` — edge insertions / deletions in the pattern graph,
+* ``ΔG+_PN`` / ``ΔG-_PN`` — node insertions / deletions in the pattern graph.
+
+Every update is a small frozen dataclass that knows how to apply itself to
+its target graph and how to produce its inverse.  A :class:`UpdateBatch`
+groups the updates occurring between two queries (the paper's ``ΔG``) and
+offers the filtered views (pattern vs. data, insertions vs. deletions)
+that the elimination detectors need.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import UpdateError
+from repro.graph.pattern import Bound, PatternGraph, normalise_bound
+
+NodeId = Hashable
+
+
+class GraphKind(enum.Enum):
+    """Which graph an update targets."""
+
+    DATA = "data"
+    PATTERN = "pattern"
+
+
+class UpdateKind(enum.Enum):
+    """The structural effect of an update."""
+
+    EDGE_INSERT = "edge_insert"
+    EDGE_DELETE = "edge_delete"
+    NODE_INSERT = "node_insert"
+    NODE_DELETE = "node_delete"
+
+
+@dataclass(frozen=True)
+class Update:
+    """Base class for all updates; use the concrete subclasses."""
+
+    graph: GraphKind
+
+    @property
+    def kind(self) -> UpdateKind:
+        """The :class:`UpdateKind` of this update."""
+        raise NotImplementedError
+
+    @property
+    def is_insertion(self) -> bool:
+        """``True`` for edge/node insertions."""
+        return self.kind in (UpdateKind.EDGE_INSERT, UpdateKind.NODE_INSERT)
+
+    @property
+    def is_deletion(self) -> bool:
+        """``True`` for edge/node deletions."""
+        return not self.is_insertion
+
+    @property
+    def is_edge_update(self) -> bool:
+        """``True`` for edge insertions/deletions."""
+        return self.kind in (UpdateKind.EDGE_INSERT, UpdateKind.EDGE_DELETE)
+
+    def apply(self, target: Union[DataGraph, PatternGraph]) -> None:
+        """Apply this update in place to ``target``."""
+        raise NotImplementedError
+
+    def inverse(self) -> "Update":
+        """Return the update that undoes this one."""
+        raise NotImplementedError
+
+
+def _check_target(update: Update, target: Union[DataGraph, PatternGraph]) -> None:
+    expects_pattern = update.graph is GraphKind.PATTERN
+    if expects_pattern and not isinstance(target, PatternGraph):
+        raise UpdateError(f"{update!r} targets the pattern graph, got {type(target).__name__}")
+    if not expects_pattern and not isinstance(target, DataGraph):
+        raise UpdateError(f"{update!r} targets the data graph, got {type(target).__name__}")
+
+
+@dataclass(frozen=True)
+class EdgeInsertion(Update):
+    """Insert edge ``source -> target``; ``bound`` is required for pattern edges."""
+
+    source: NodeId = None
+    target: NodeId = None
+    bound: Optional[Bound] = None
+
+    def __post_init__(self) -> None:
+        if self.graph is GraphKind.PATTERN:
+            if self.bound is None:
+                raise UpdateError("pattern-edge insertions require a bound")
+            object.__setattr__(self, "bound", normalise_bound(self.bound))
+        elif self.bound is not None:
+            raise UpdateError("data-edge insertions do not take a bound")
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.EDGE_INSERT
+
+    def apply(self, target: Union[DataGraph, PatternGraph]) -> None:
+        _check_target(self, target)
+        if isinstance(target, PatternGraph):
+            target.add_edge(self.source, self.target, self.bound)
+        else:
+            target.add_edge(self.source, self.target)
+
+    def inverse(self) -> "EdgeDeletion":
+        return EdgeDeletion(self.graph, self.source, self.target, self.bound)
+
+
+@dataclass(frozen=True)
+class EdgeDeletion(Update):
+    """Delete edge ``source -> target``.
+
+    ``bound`` records the bound the edge carried (pattern edges only) so the
+    deletion can be inverted; it is optional when applying.
+    """
+
+    source: NodeId = None
+    target: NodeId = None
+    bound: Optional[Bound] = None
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.EDGE_DELETE
+
+    def apply(self, target: Union[DataGraph, PatternGraph]) -> None:
+        _check_target(self, target)
+        target.remove_edge(self.source, self.target)
+
+    def inverse(self) -> EdgeInsertion:
+        if self.graph is GraphKind.PATTERN and self.bound is None:
+            raise UpdateError(
+                "cannot invert a pattern-edge deletion without knowing its bound"
+            )
+        return EdgeInsertion(self.graph, self.source, self.target, self.bound)
+
+
+@dataclass(frozen=True)
+class NodeInsertion(Update):
+    """Insert a node; ``labels`` carries ``fa``/``fv`` for the new node.
+
+    ``edges`` optionally lists incident edges inserted together with the
+    node (the common shape of a "new user joins and connects" update).
+    Each entry is ``(source, target)`` for the data graph or
+    ``(source, target, bound)`` for the pattern graph.
+    """
+
+    node: NodeId = None
+    labels: tuple[str, ...] = ()
+    edges: tuple[tuple, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if isinstance(self.labels, str):
+            object.__setattr__(self, "labels", (self.labels,))
+        else:
+            object.__setattr__(self, "labels", tuple(self.labels))
+        if not self.labels:
+            raise UpdateError("node insertions require at least one label")
+        object.__setattr__(self, "edges", tuple(tuple(edge) for edge in self.edges))
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.NODE_INSERT
+
+    def apply(self, target: Union[DataGraph, PatternGraph]) -> None:
+        _check_target(self, target)
+        if isinstance(target, PatternGraph):
+            target.add_node(self.node, self.labels[0])
+            for source, dest, bound in self.edges:
+                target.add_edge(source, dest, bound)
+        else:
+            target.add_node(self.node, *self.labels)
+            for source, dest in self.edges:
+                target.add_edge(source, dest)
+
+    def inverse(self) -> "NodeDeletion":
+        return NodeDeletion(self.graph, self.node, self.labels, self.edges)
+
+
+@dataclass(frozen=True)
+class NodeDeletion(Update):
+    """Delete a node (and implicitly all its incident edges).
+
+    ``labels`` and ``edges`` record what the node looked like so the
+    deletion can be inverted; they are optional when applying.
+    """
+
+    node: NodeId = None
+    labels: tuple[str, ...] = ()
+    edges: tuple[tuple, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if isinstance(self.labels, str):
+            object.__setattr__(self, "labels", (self.labels,))
+        else:
+            object.__setattr__(self, "labels", tuple(self.labels))
+        object.__setattr__(self, "edges", tuple(tuple(edge) for edge in self.edges))
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.NODE_DELETE
+
+    def apply(self, target: Union[DataGraph, PatternGraph]) -> None:
+        _check_target(self, target)
+        target.remove_node(self.node)
+
+    def inverse(self) -> NodeInsertion:
+        if not self.labels:
+            raise UpdateError(
+                "cannot invert a node deletion without knowing the node's labels"
+            )
+        return NodeInsertion(self.graph, self.node, self.labels, self.edges)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors mirroring the paper's ΔG notation
+# ----------------------------------------------------------------------
+def insert_data_edge(source: NodeId, target: NodeId) -> EdgeInsertion:
+    """An update in ``ΔG+_DE``."""
+    return EdgeInsertion(GraphKind.DATA, source, target)
+
+
+def delete_data_edge(source: NodeId, target: NodeId) -> EdgeDeletion:
+    """An update in ``ΔG-_DE``."""
+    return EdgeDeletion(GraphKind.DATA, source, target)
+
+
+def insert_pattern_edge(source: NodeId, target: NodeId, bound: Bound) -> EdgeInsertion:
+    """An update in ``ΔG+_PE``."""
+    return EdgeInsertion(GraphKind.PATTERN, source, target, bound)
+
+
+def delete_pattern_edge(
+    source: NodeId, target: NodeId, bound: Optional[Bound] = None
+) -> EdgeDeletion:
+    """An update in ``ΔG-_PE``."""
+    return EdgeDeletion(GraphKind.PATTERN, source, target, bound)
+
+
+def insert_data_node(
+    node: NodeId, labels: Union[str, Iterable[str]], edges: Iterable[tuple] = ()
+) -> NodeInsertion:
+    """An update in ``ΔG+_DN``."""
+    return NodeInsertion(GraphKind.DATA, node, labels, tuple(edges))
+
+
+def delete_data_node(
+    node: NodeId, labels: Union[str, Iterable[str]] = (), edges: Iterable[tuple] = ()
+) -> NodeDeletion:
+    """An update in ``ΔG-_DN``."""
+    return NodeDeletion(GraphKind.DATA, node, labels, tuple(edges))
+
+
+def insert_pattern_node(
+    node: NodeId, label: str, edges: Iterable[tuple] = ()
+) -> NodeInsertion:
+    """An update in ``ΔG+_PN``."""
+    return NodeInsertion(GraphKind.PATTERN, node, label, tuple(edges))
+
+
+def delete_pattern_node(
+    node: NodeId, label: str = "", edges: Iterable[tuple] = ()
+) -> NodeDeletion:
+    """An update in ``ΔG-_PN``."""
+    labels = (label,) if label else ()
+    return NodeDeletion(GraphKind.PATTERN, node, labels, tuple(edges))
+
+
+# ----------------------------------------------------------------------
+# Application helpers and batches
+# ----------------------------------------------------------------------
+def apply_update(update: Update, target: Union[DataGraph, PatternGraph]) -> None:
+    """Apply ``update`` to ``target`` in place."""
+    update.apply(target)
+
+
+def apply_updates(
+    updates: Iterable[Update],
+    data_graph: Optional[DataGraph] = None,
+    pattern_graph: Optional[PatternGraph] = None,
+) -> None:
+    """Apply a sequence of updates, routing each to the right graph."""
+    for update in updates:
+        if update.graph is GraphKind.DATA:
+            if data_graph is None:
+                raise UpdateError(f"{update!r} targets the data graph but none was given")
+            update.apply(data_graph)
+        else:
+            if pattern_graph is None:
+                raise UpdateError(f"{update!r} targets the pattern graph but none was given")
+            update.apply(pattern_graph)
+
+
+def invert_update(update: Update) -> Update:
+    """Return the inverse of ``update``."""
+    return update.inverse()
+
+
+class UpdateBatch(Sequence[Update]):
+    """The updates ``ΔG = (ΔGP, ΔGD)`` arriving between two queries.
+
+    The batch preserves arrival order (needed by INC-GPNM, which processes
+    updates one at a time) and exposes the filtered views used throughout
+    the elimination machinery.
+    """
+
+    def __init__(self, updates: Iterable[Update] = ()) -> None:
+        self._updates: list[Update] = list(updates)
+
+    def append(self, update: Update) -> None:
+        """Add one update at the end of the batch."""
+        if not isinstance(update, Update):
+            raise TypeError(f"expected an Update, got {type(update).__name__}")
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        """Add several updates, preserving order."""
+        for update in updates:
+            self.append(update)
+
+    # Sequence protocol -------------------------------------------------
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return UpdateBatch(self._updates[index])
+        return self._updates[index]
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, UpdateBatch):
+            return self._updates == other._updates
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateBatch(pattern={len(self.pattern_updates())}, "
+            f"data={len(self.data_updates())})"
+        )
+
+    # Filtered views -----------------------------------------------------
+    def pattern_updates(self) -> list[Update]:
+        """``ΔGP`` — the updates targeting the pattern graph."""
+        return [u for u in self._updates if u.graph is GraphKind.PATTERN]
+
+    def data_updates(self) -> list[Update]:
+        """``ΔGD`` — the updates targeting the data graph."""
+        return [u for u in self._updates if u.graph is GraphKind.DATA]
+
+    def insertions(self) -> list[Update]:
+        """All insertions, across both graphs."""
+        return [u for u in self._updates if u.is_insertion]
+
+    def deletions(self) -> list[Update]:
+        """All deletions, across both graphs."""
+        return [u for u in self._updates if u.is_deletion]
+
+    def of_kind(self, graph: GraphKind, kind: UpdateKind) -> list[Update]:
+        """Updates matching both a target graph and an update kind."""
+        return [u for u in self._updates if u.graph is graph and u.kind is kind]
+
+    def apply_all(
+        self,
+        data_graph: Optional[DataGraph] = None,
+        pattern_graph: Optional[PatternGraph] = None,
+    ) -> None:
+        """Apply the whole batch in arrival order."""
+        apply_updates(self._updates, data_graph, pattern_graph)

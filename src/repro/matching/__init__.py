@@ -1,0 +1,36 @@
+"""Graph pattern based node matching (GPNM) via bounded graph simulation.
+
+* :mod:`repro.matching.bgs` — the maximum bounded-graph-simulation
+  relation ``M(GP, GD)`` (Section III-A) computed by fixpoint refinement;
+* :mod:`repro.matching.gpnm` — the node-matching result type and the
+  initial / from-scratch queries;
+* :mod:`repro.matching.candidates` — candidate nodes ``Can_N(UPi)`` for
+  pattern updates (DER-I, Section IV-B);
+* :mod:`repro.matching.affected` — affected nodes ``Aff_N(UDi)`` for data
+  updates (DER-II);
+* :mod:`repro.matching.amend` — the incremental amendment pass shared by
+  INC-GPNM, EH-GPNM and UA-GPNM.
+"""
+
+from repro.matching.affected import AffectedSet, affected_set_from_delta
+from repro.matching.amend import amend_match, growable_pattern_nodes
+from repro.matching.bgs import bounded_simulation, label_candidates, simulation_fixpoint
+from repro.matching.candidates import CandidateSet, candidate_set
+from repro.matching.gpnm import MatchResult, gpnm_query
+from repro.matching.topk import RankedMatch, top_k_matches
+
+__all__ = [
+    "RankedMatch",
+    "top_k_matches",
+    "MatchResult",
+    "gpnm_query",
+    "bounded_simulation",
+    "label_candidates",
+    "simulation_fixpoint",
+    "CandidateSet",
+    "candidate_set",
+    "AffectedSet",
+    "affected_set_from_delta",
+    "amend_match",
+    "growable_pattern_nodes",
+]

@@ -1,0 +1,63 @@
+"""Affected nodes ``Aff_N(UDi)`` for data-graph updates (DER-II).
+
+A data update affects a node when some shortest path length from or to
+that node changes.  The incremental ``SLen`` maintenance already computes
+exactly this information (:class:`~repro.spl.incremental.SLenDelta`);
+this module wraps it in the :class:`AffectedSet` record that elimination
+detection and the EH-Tree operate on, keeping the same "does one update's
+set cover another's" interface as :class:`~repro.matching.candidates.CandidateSet`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.graph.updates import Update
+from repro.spl.incremental import SLenDelta
+
+NodeId = Hashable
+Pair = tuple[NodeId, NodeId]
+Change = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class AffectedSet:
+    """``Aff_N(UDi)`` plus the underlying ``AFF`` pair changes.
+
+    Attributes
+    ----------
+    update:
+        The data-graph update the set belongs to.
+    nodes:
+        ``Aff_N`` — nodes whose pairwise shortest path length changed (or
+        that were structurally inserted / removed).
+    changed_pairs:
+        ``AFF[ui, vj] = [a, b]`` — the ordered pairs whose distance moved
+        from ``a`` to ``b``.
+    """
+
+    update: Update
+    nodes: frozenset[NodeId] = frozenset()
+    changed_pairs: dict[Pair, Change] = field(default_factory=dict)
+
+    def covers(self, other: "AffectedSet") -> bool:
+        """``True`` when this update's affected nodes cover ``other``'s (⊇)."""
+        return self.nodes >= other.nodes
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the update changed no shortest path length."""
+        return not self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def affected_set_from_delta(update: Update, delta: SLenDelta) -> AffectedSet:
+    """Build an :class:`AffectedSet` from the ``SLen`` maintenance delta."""
+    return AffectedSet(
+        update=update,
+        nodes=delta.affected_nodes,
+        changed_pairs=dict(delta.changed_pairs),
+    )

@@ -1,0 +1,139 @@
+"""The incremental GPNM amendment pass shared by all incremental algorithms.
+
+Instead of recomputing the matching result from scratch after updates,
+the incremental procedure of [13] (and of this paper's Step 3) *amends*
+the previous result: it seeds the bounded-simulation fixpoint with an
+over-approximation of the new maximum relation and refines it using the
+already-maintained ``SLen`` matrix.  Because the maximum simulation is
+the greatest fixpoint, refinement from any over-approximation converges
+to the exact result — so one amendment pass over a batch of updates is
+exactly as correct as one pass per update; what differs is the work done,
+which is what the experiments measure.
+
+The over-approximation is built as follows:
+
+* pattern nodes deleted by the batch are dropped, newly inserted pattern
+  nodes start from their label candidates;
+* pattern nodes that may *gain* matches because of the batch — computed
+  by :func:`growable_pattern_nodes` — restart from their label
+  candidates;
+* every other pattern node starts from its previous match set (pruned of
+  data nodes that no longer exist or no longer carry the right label).
+
+A pattern node may gain matches when a *relaxing* update touches it
+(pattern edge/node deletion, data edge/node insertion) or when one of its
+out-neighbours in the pattern may gain matches (the cascade travels
+against pattern edges, because the constraint on ``u`` quantifies over
+the matches of its successors ``u'``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Optional
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    GraphKind,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+)
+from repro.matching.bgs import simulation_fixpoint
+from repro.matching.gpnm import MatchResult
+from repro.spl.matrix import SLenMatrix
+
+NodeId = Hashable
+
+
+def growable_pattern_nodes(
+    pattern_after: PatternGraph, updates: Iterable[Update]
+) -> frozenset[NodeId]:
+    """Pattern nodes whose match sets may grow because of ``updates``.
+
+    ``pattern_after`` is the pattern graph with the batch already applied
+    (the cascade is computed over its structure).  The result is closed
+    under reverse reachability along pattern edges: if ``u'`` may grow and
+    ``(u, u')`` is a pattern edge, ``u`` may grow as well.
+    """
+    seeds: set[NodeId] = set()
+    any_data_relaxation = False
+    for update in updates:
+        if update.graph is GraphKind.DATA:
+            if update.is_insertion:
+                any_data_relaxation = True
+            continue
+        if isinstance(update, EdgeDeletion):
+            seeds.add(update.source)
+            seeds.add(update.target)
+        elif isinstance(update, NodeDeletion):
+            # The deleted node's former neighbours lose a constraint; the
+            # node itself is gone, so only neighbours seed the cascade.
+            # Neighbour information is unavailable from the post-update
+            # pattern, so conservatively seed every remaining node.
+            seeds.update(pattern_after.nodes())
+        elif isinstance(update, NodeInsertion):
+            if pattern_after.has_node(update.node):
+                seeds.add(update.node)
+        elif isinstance(update, EdgeInsertion):
+            # A new pattern edge only restricts; no growth seed.
+            continue
+    if any_data_relaxation:
+        # Shorter distances can admit new matches for any pattern node
+        # carrying an edge constraint, so seed everything.
+        seeds.update(pattern_after.nodes())
+    # Close under reverse reachability along pattern edges.
+    seeds = {node for node in seeds if pattern_after.has_node(node)}
+    frontier = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for predecessor in pattern_after.predecessors(node):
+            if predecessor not in seeds:
+                seeds.add(predecessor)
+                frontier.append(predecessor)
+    return frozenset(seeds)
+
+
+def amend_match(
+    previous: MatchResult,
+    pattern_after: PatternGraph,
+    data_after: DataGraph,
+    slen: SLenMatrix,
+    updates: Iterable[Update],
+    grow_nodes: Optional[frozenset[NodeId]] = None,
+    enforce_totality: bool = True,
+) -> MatchResult:
+    """Run one incremental amendment pass and return the new match result.
+
+    Parameters
+    ----------
+    previous:
+        The matching result before the updates in this pass.
+    pattern_after / data_after:
+        The graphs with the pass's updates already applied.
+    slen:
+        The maintained shortest path length matrix of ``data_after``.
+    updates:
+        The updates handled by this pass (used to decide which pattern
+        nodes may gain matches).
+    grow_nodes:
+        Precomputed :func:`growable_pattern_nodes` result, if the caller
+        already has it.
+    """
+    updates = list(updates)
+    if grow_nodes is None:
+        grow_nodes = growable_pattern_nodes(pattern_after, updates)
+    candidates: dict[NodeId, set[NodeId]] = {}
+    for u in pattern_after.nodes():
+        label = pattern_after.label_of(u)
+        label_nodes = data_after.nodes_with_label(label)
+        if u in grow_nodes or u not in previous:
+            candidates[u] = set(label_nodes)
+        else:
+            # Shrink-only start: prune stale data nodes, never add.
+            candidates[u] = {v for v in previous.matches(u) if v in label_nodes}
+    relation = simulation_fixpoint(pattern_after, slen, candidates)
+    return MatchResult(relation, enforce_totality=enforce_totality)

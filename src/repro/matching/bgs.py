@@ -1,0 +1,117 @@
+"""Bounded Graph Simulation (BGS) as defined in Section III-A.
+
+A data graph ``GD`` matches a pattern ``GP`` when there is a binary
+relation ``M ⊆ VP × VD`` such that every pattern node has at least one
+match, matched data nodes carry the pattern node's label, and for every
+pattern edge ``(u, u')`` with bound ``k`` each match ``v`` of ``u`` can
+reach some match ``v'`` of ``u'`` within ``k`` hops (any finite number of
+hops for ``"*"``).
+
+As with ordinary graph simulation there is a unique *maximum* such
+relation, computable by fixpoint refinement: start from the label-based
+candidate sets and repeatedly discard data nodes violating some edge
+constraint until nothing changes.  Starting the refinement from any
+over-approximation of the maximum relation yields the same fixpoint,
+which is what the incremental algorithms exploit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from typing import Optional
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import STAR, PatternGraph
+from repro.spl.matrix import SLenMatrix
+
+NodeId = Hashable
+Candidates = dict[NodeId, set[NodeId]]
+
+
+def label_candidates(pattern: PatternGraph, data: DataGraph) -> Candidates:
+    """Initial candidate sets: data nodes whose labels include the pattern label."""
+    return {
+        u: set(data.nodes_with_label(pattern.label_of(u)))
+        for u in pattern.nodes()
+    }
+
+
+def edge_constraint_holds(
+    slen: SLenMatrix, source_match: NodeId, target_matches: set[NodeId], bound: float | int
+) -> bool:
+    """``True`` when ``source_match`` reaches some node of ``target_matches`` within ``bound``."""
+    if not target_matches:
+        return False
+    row = slen.row_view(source_match)
+    if len(row) <= len(target_matches):
+        if bound is STAR:
+            return any(target in target_matches for target in row)
+        return any(
+            target in target_matches for target, dist in row.items() if dist <= bound
+        )
+    if bound is STAR:
+        return any(target in row for target in target_matches)
+    return any(row.get(target, _TOO_FAR) <= bound for target in target_matches)
+
+
+_TOO_FAR = float("inf")
+
+
+def simulation_fixpoint(
+    pattern: PatternGraph,
+    slen: SLenMatrix,
+    candidates: Mapping[NodeId, set[NodeId]],
+) -> dict[NodeId, frozenset[NodeId]]:
+    """Refine ``candidates`` to the maximum bounded simulation relation.
+
+    ``candidates`` must be an over-approximation of the maximum relation
+    restricted to label-consistent nodes (the caller is responsible for
+    label consistency).  The input mapping is not mutated.
+
+    Returns the refined relation as ``{pattern node: frozenset of data nodes}``.
+    """
+    match: dict[NodeId, set[NodeId]] = {u: set(candidates.get(u, set())) for u in pattern.nodes()}
+    # Worklist of pattern edges to (re-)check.  When match[u'] shrinks, every
+    # in-edge (u, u') of u' must be re-checked.
+    edges = list(pattern.edges())
+    pending = set(range(len(edges)))
+    in_edges_of: dict[NodeId, list[int]] = {u: [] for u in pattern.nodes()}
+    for position, (_source, target, _bound) in enumerate(edges):
+        in_edges_of[target].append(position)
+    while pending:
+        position = pending.pop()
+        source_pattern, target_pattern, bound = edges[position]
+        source_matches = match[source_pattern]
+        target_matches = match[target_pattern]
+        violating = [
+            v
+            for v in source_matches
+            if not edge_constraint_holds(slen, v, target_matches, bound)
+        ]
+        if not violating:
+            continue
+        source_matches.difference_update(violating)
+        for affected_edge in in_edges_of[source_pattern]:
+            pending.add(affected_edge)
+        # The edge we just processed may need re-checking too if its own
+        # source set changed other edges' validity; edges out of the source
+        # are unaffected by shrinking the source set, so nothing else to do.
+    return {u: frozenset(nodes) for u, nodes in match.items()}
+
+
+def bounded_simulation(
+    pattern: PatternGraph,
+    data: DataGraph,
+    slen: Optional[SLenMatrix] = None,
+) -> dict[NodeId, frozenset[NodeId]]:
+    """Compute the maximum BGS relation ``M(GP, GD)`` from scratch.
+
+    Parameters
+    ----------
+    slen:
+        Optional precomputed all-pairs matrix; computed from ``data`` when
+        omitted (the expensive part of a from-scratch query).
+    """
+    if slen is None:
+        slen = SLenMatrix.from_graph(data)
+    return simulation_fixpoint(pattern, slen, label_candidates(pattern, data))

@@ -1,0 +1,245 @@
+"""Candidate nodes ``Can_N(UPi)`` for pattern-graph updates (DER-I).
+
+For every update ``UPi`` in the pattern graph, the candidate set collects
+the data nodes that might have to be *removed from* (``Can_RN``) or
+*added to* (``Can_AN``) the current matching result.  Following the
+paper's worked Example 7, the check is existential per endpoint:
+
+* inserting a pattern edge ``(u, u')`` with bound ``b`` makes a currently
+  matched ``vi ∈ IQuery[u]`` a removal candidate when *no* matched
+  ``vj ∈ IQuery[u']`` lies within ``b`` hops of it, and a matched
+  ``vj ∈ IQuery[u']`` a removal candidate when no matched ``vi`` reaches
+  it within ``b`` hops (in Example 7 this yields exactly ``{PM2, TE2}``
+  for ``UP1`` and ``{TE2}`` for ``UP2``);
+* deleting a pattern edge can only add matches: label-consistent nodes
+  that are currently unmatched *and* violate the old bound were
+  potentially excluded by it, so they become addition candidates;
+* inserting a pattern node adds its label-consistent data nodes as
+  addition candidates and its neighbours' current matches as removal
+  candidates (the new edges constrain them);
+* deleting a pattern node releases the constraints it imposed on its
+  neighbours, whose unmatched label-consistent nodes become addition
+  candidates.
+
+For pattern-edge insertions the set also keeps the matched pools of both
+endpoints, which DER-III needs to verify cross-graph elimination (the
+``AFF(PM2, TE2) = (∞, 2)`` check of Example 9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import UpdateError
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    GraphKind,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+)
+from repro.matching.gpnm import MatchResult
+from repro.spl.matrix import SLenMatrix
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """``Can_N(UPi)`` split into its addition / removal halves.
+
+    Attributes
+    ----------
+    update:
+        The pattern update this set belongs to.
+    add_nodes / remove_nodes:
+        ``Can_AN`` / ``Can_RN`` of Section IV-A.
+    source_candidates / target_candidates:
+        For edge updates, the per-endpoint halves of the candidate set.
+    source_pool / target_pool:
+        For edge insertions, the matched data nodes of the pattern edge's
+        endpoints at detection time; used by the DER-III verification.
+    bound:
+        The bound of the pattern edge involved, when applicable.
+    """
+
+    update: Update
+    add_nodes: frozenset[NodeId] = frozenset()
+    remove_nodes: frozenset[NodeId] = frozenset()
+    source_candidates: frozenset[NodeId] = frozenset()
+    target_candidates: frozenset[NodeId] = frozenset()
+    source_pool: frozenset[NodeId] = frozenset()
+    target_pool: frozenset[NodeId] = frozenset()
+    bound: float | int | None = None
+
+    @property
+    def all_nodes(self) -> frozenset[NodeId]:
+        """``Can_N`` — union of addition and removal candidates."""
+        return self.add_nodes | self.remove_nodes
+
+    def covers(self, other: "CandidateSet") -> bool:
+        """``True`` when this update's candidates cover ``other``'s (⊇)."""
+        return self.all_nodes >= other.all_nodes
+
+    def __len__(self) -> int:
+        return len(self.all_nodes)
+
+
+def candidate_set(
+    update: Update,
+    pattern: PatternGraph,
+    data: DataGraph,
+    slen: SLenMatrix,
+    iquery: MatchResult,
+) -> CandidateSet:
+    """Compute ``Can_N`` for one pattern update.
+
+    Parameters
+    ----------
+    update:
+        A pattern-graph update (``ΔGP``); data-graph updates are rejected.
+    pattern:
+        The pattern graph *before* the update is applied.
+    data:
+        The current data graph.
+    slen:
+        The current shortest path length matrix of ``data``.
+    iquery:
+        The matching result the candidates are relative to.
+    """
+    if update.graph is not GraphKind.PATTERN:
+        raise UpdateError(f"candidate sets are defined for pattern updates, got {update!r}")
+    if isinstance(update, EdgeInsertion):
+        return _edge_insertion_candidates(update, slen, iquery)
+    if isinstance(update, EdgeDeletion):
+        return _edge_deletion_candidates(update, pattern, data, slen, iquery)
+    if isinstance(update, NodeInsertion):
+        return _node_insertion_candidates(update, data, iquery)
+    if isinstance(update, NodeDeletion):
+        return _node_deletion_candidates(update, pattern, data, iquery)
+    raise UpdateError(f"unsupported update type {type(update).__name__}")
+
+
+def _satisfied_and_reached(
+    slen: SLenMatrix,
+    sources: frozenset[NodeId],
+    targets: frozenset[NodeId],
+    bound: float | int,
+) -> tuple[set[NodeId], set[NodeId]]:
+    """Evaluate the bounded-reachability check for a pool of endpoint pairs.
+
+    Returns ``(satisfied_sources, reached_targets)``: the sources that reach
+    at least one node of ``targets`` within ``bound`` and the targets reached
+    by at least one source.  A single scan of each source's (sparse) distance
+    row answers both questions at once.
+    """
+    satisfied: set[NodeId] = set()
+    reached: set[NodeId] = set()
+    known = slen.nodes()
+    for vi in sources:
+        if vi not in known:
+            continue
+        hit = False
+        for target, dist in slen.row_view(vi).items():
+            if dist <= bound and target in targets:
+                reached.add(target)
+                hit = True
+        if hit:
+            satisfied.add(vi)
+    return satisfied, reached
+
+
+def _edge_insertion_candidates(
+    update: EdgeInsertion,
+    slen: SLenMatrix,
+    iquery: MatchResult,
+) -> CandidateSet:
+    """Inserted pattern edge: matched endpoints violating the new bound may be removed."""
+    bound = update.bound
+    source_pool = iquery.matches(update.source)
+    target_pool = iquery.matches(update.target)
+    satisfied, reached = _satisfied_and_reached(slen, source_pool, target_pool, bound)
+    source_candidates = frozenset(source_pool - satisfied)
+    target_candidates = frozenset(target_pool - reached)
+    return CandidateSet(
+        update=update,
+        remove_nodes=source_candidates | target_candidates,
+        source_candidates=source_candidates,
+        target_candidates=target_candidates,
+        source_pool=frozenset(source_pool),
+        target_pool=frozenset(target_pool),
+        bound=bound,
+    )
+
+
+def _edge_deletion_candidates(
+    update: EdgeDeletion,
+    pattern: PatternGraph,
+    data: DataGraph,
+    slen: SLenMatrix,
+    iquery: MatchResult,
+) -> CandidateSet:
+    """Deleted pattern edge: unmatched label-consistent nodes blocked by the
+    old bound may now be added."""
+    bound = update.bound if update.bound is not None else pattern.bound(update.source, update.target)
+    source_label = pattern.label_of(update.source)
+    target_label = pattern.label_of(update.target)
+    source_pool = iquery.matches(update.source)
+    target_pool = iquery.matches(update.target)
+    unmatched_sources = frozenset(data.nodes_with_label(source_label)) - source_pool
+    unmatched_targets = frozenset(data.nodes_with_label(target_label)) - target_pool
+    satisfied, _ = _satisfied_and_reached(slen, unmatched_sources, target_pool, bound)
+    _, reached = _satisfied_and_reached(slen, source_pool, unmatched_targets, bound)
+    source_candidates = frozenset(unmatched_sources - satisfied)
+    target_candidates = frozenset(unmatched_targets - reached)
+    return CandidateSet(
+        update=update,
+        add_nodes=source_candidates | target_candidates,
+        source_candidates=source_candidates,
+        target_candidates=target_candidates,
+        source_pool=frozenset(source_pool),
+        target_pool=frozenset(target_pool),
+        bound=bound,
+    )
+
+
+def _node_insertion_candidates(
+    update: NodeInsertion,
+    data: DataGraph,
+    iquery: MatchResult,
+) -> CandidateSet:
+    """Inserted pattern node: its label candidates may be added; neighbours' matches may shrink."""
+    label = update.labels[0]
+    additions = frozenset(data.nodes_with_label(label))
+    removal: set[NodeId] = set()
+    for edge in update.edges:
+        edge_source, edge_target = edge[0], edge[1]
+        other = edge_target if edge_source == update.node else edge_source
+        removal |= set(iquery.matches(other))
+    return CandidateSet(
+        update=update,
+        add_nodes=additions,
+        remove_nodes=frozenset(removal),
+    )
+
+
+def _node_deletion_candidates(
+    update: NodeDeletion,
+    pattern: PatternGraph,
+    data: DataGraph,
+    iquery: MatchResult,
+) -> CandidateSet:
+    """Deleted pattern node: neighbours lose a constraint, so their
+    label-consistent unmatched nodes may be added."""
+    if not pattern.has_node(update.node):
+        raise UpdateError(f"pattern node {update.node!r} does not exist")
+    neighbours = pattern.successors(update.node) | pattern.predecessors(update.node)
+    additions: set[NodeId] = set()
+    for neighbour in neighbours:
+        label = pattern.label_of(neighbour)
+        additions |= set(data.nodes_with_label(label)) - set(iquery.matches(neighbour))
+    return CandidateSet(update=update, add_nodes=frozenset(additions))

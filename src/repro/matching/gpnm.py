@@ -1,0 +1,125 @@
+"""GPNM result type and the from-scratch GPNM query (Section III-B).
+
+GPNM asks, for every node ``pi`` of the pattern, for the set ``N_pi`` of
+data nodes that participate in the maximum bounded simulation ``M(GP,
+GD)``.  Per the paper's definition, when the data graph has *no* match of
+the pattern (some pattern node has no match), every ``N_pi`` is empty.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+from typing import Optional
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.matching.bgs import bounded_simulation
+from repro.spl.matrix import SLenMatrix
+
+NodeId = Hashable
+
+
+class MatchResult(Mapping[NodeId, frozenset[NodeId]]):
+    """The node-matching result of a GPNM query.
+
+    Maps every pattern node to the (frozen) set of its matching data
+    nodes.  The paper's totality rule is applied at construction time
+    unless ``enforce_totality=False``: if any pattern node has no match,
+    the whole result collapses to empty sets.
+    """
+
+    __slots__ = ("_matches", "_total")
+
+    def __init__(
+        self,
+        matches: Mapping[NodeId, frozenset[NodeId]],
+        enforce_totality: bool = True,
+    ) -> None:
+        raw = {u: frozenset(nodes) for u, nodes in matches.items()}
+        self._total = all(raw.values()) if raw else True
+        if enforce_totality and not self._total:
+            raw = {u: frozenset() for u in raw}
+        self._matches = raw
+
+    # Mapping protocol ---------------------------------------------------
+    def __getitem__(self, pattern_node: NodeId) -> frozenset[NodeId]:
+        return self._matches[pattern_node]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._matches)
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    # Convenience --------------------------------------------------------
+    @property
+    def is_total(self) -> bool:
+        """``True`` when every pattern node had at least one match."""
+        return self._total
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when no pattern node has any match."""
+        return all(not nodes for nodes in self._matches.values())
+
+    def matches(self, pattern_node: NodeId) -> frozenset[NodeId]:
+        """``N_pi`` for ``pattern_node`` (empty when unknown)."""
+        return self._matches.get(pattern_node, frozenset())
+
+    def matched_data_nodes(self) -> frozenset[NodeId]:
+        """Union of all matched data nodes."""
+        nodes: set[NodeId] = set()
+        for matched in self._matches.values():
+            nodes |= matched
+        return frozenset(nodes)
+
+    def as_dict(self) -> dict[NodeId, frozenset[NodeId]]:
+        """Plain-dict copy of the result."""
+        return dict(self._matches)
+
+    def diff(self, other: "MatchResult") -> dict[NodeId, tuple[frozenset, frozenset]]:
+        """Per-pattern-node ``(added, removed)`` sets relative to ``self``.
+
+        ``added`` are data nodes in ``other`` but not in ``self``;
+        ``removed`` the opposite.  Pattern nodes present in only one of
+        the results are reported as fully added / removed.
+        """
+        report: dict[NodeId, tuple[frozenset, frozenset]] = {}
+        for pattern_node in set(self._matches) | set(other._matches):
+            mine = self.matches(pattern_node)
+            theirs = other.matches(pattern_node)
+            added = theirs - mine
+            removed = mine - theirs
+            if added or removed:
+                report[pattern_node] = (added, removed)
+        return report
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MatchResult):
+            return self._matches == other._matches
+        if isinstance(other, Mapping):
+            return self._matches == {u: frozenset(v) for u, v in other.items()}
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("MatchResult is a mapping; convert to items() to hash")
+
+    def __repr__(self) -> str:
+        sizes = {u: len(v) for u, v in self._matches.items()}
+        return f"MatchResult({sizes})"
+
+
+def gpnm_query(
+    pattern: PatternGraph,
+    data: DataGraph,
+    slen: Optional[SLenMatrix] = None,
+    enforce_totality: bool = True,
+) -> MatchResult:
+    """Answer a GPNM query from scratch.
+
+    This is the paper's baseline query (and the oracle used to validate
+    every incremental algorithm): compute ``SLen`` if not supplied, run
+    the BGS fixpoint, wrap the relation in a :class:`MatchResult`.
+    """
+    relation = bounded_simulation(pattern, data, slen)
+    return MatchResult(relation, enforce_totality=enforce_totality)

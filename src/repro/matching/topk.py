@@ -1,0 +1,171 @@
+"""Top-k matching node selection (the paper's future-work item).
+
+Section VIII lists "a new approach to selecting the top-k matching nodes"
+as future work.  This module provides a straightforward realisation on
+top of the GPNM result: matched data nodes are ranked per pattern node by
+how *tightly* they satisfy the pattern's constraints, so downstream
+applications (group finding, expert recommendation) can present the best
+few candidates instead of the whole match set.
+
+The score of a matched node ``v`` for pattern node ``u`` combines
+
+* **slack** — for every pattern edge ``(u, u')`` with bound ``b``, the
+  normalised margin ``(b - d(v, nearest match of u')) / b``; tighter
+  connections score higher (wildcard edges contribute a fixed margin when
+  satisfied);
+* **coverage** — the fraction of ``u``'s pattern edges (in either
+  direction) for which ``v`` has a finite-distance counterpart;
+* **degree prior** — a small tie-breaking bonus for well-connected nodes,
+  mirroring the "experts are central" heuristic of the paper's motivating
+  applications.
+
+Scores are in ``[0, 1]`` (up to the small degree bonus) and deterministic,
+so rankings are stable across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import STAR, PatternGraph
+from repro.matching.gpnm import MatchResult
+from repro.spl.matrix import INF, SLenMatrix
+
+NodeId = Hashable
+
+#: Weighting of the three score components (slack, coverage, degree prior).
+_SLACK_WEIGHT = 0.6
+_COVERAGE_WEIGHT = 0.35
+_DEGREE_WEIGHT = 0.05
+
+
+@dataclass(frozen=True)
+class RankedMatch:
+    """One matched data node together with its relevance score."""
+
+    pattern_node: NodeId
+    data_node: NodeId
+    score: float
+
+    def __lt__(self, other: "RankedMatch") -> bool:  # pragma: no cover - trivial
+        return self.score < other.score
+
+
+def score_match(
+    pattern_node: NodeId,
+    data_node: NodeId,
+    pattern: PatternGraph,
+    data: DataGraph,
+    slen: SLenMatrix,
+    result: MatchResult,
+) -> float:
+    """Relevance score of ``data_node`` as a match of ``pattern_node``."""
+    out_edges = [
+        (target, pattern.bound(pattern_node, target))
+        for target in pattern.successors(pattern_node)
+    ]
+    in_edges = [
+        (source, pattern.bound(source, pattern_node))
+        for source in pattern.predecessors(pattern_node)
+    ]
+    slacks: list[float] = []
+    covered = 0
+    total = len(out_edges) + len(in_edges)
+    for other, bound in out_edges:
+        margin = _best_margin(data_node, result.matches(other), bound, slen, outgoing=True)
+        if margin is not None:
+            covered += 1
+            slacks.append(margin)
+    for other, bound in in_edges:
+        margin = _best_margin(data_node, result.matches(other), bound, slen, outgoing=False)
+        if margin is not None:
+            covered += 1
+            slacks.append(margin)
+    slack_score = sum(slacks) / len(slacks) if slacks else 0.0
+    coverage_score = covered / total if total else 1.0
+    degree = data.out_degree(data_node) + data.in_degree(data_node)
+    degree_score = 1.0 - 1.0 / (1.0 + math.log1p(degree))
+    return (
+        _SLACK_WEIGHT * slack_score
+        + _COVERAGE_WEIGHT * coverage_score
+        + _DEGREE_WEIGHT * degree_score
+    )
+
+
+def _best_margin(
+    data_node: NodeId,
+    counterparts: frozenset[NodeId],
+    bound: float | int,
+    slen: SLenMatrix,
+    outgoing: bool,
+) -> float | None:
+    """Best normalised slack towards any counterpart, or ``None`` if unreachable."""
+    if not counterparts or data_node not in slen.nodes():
+        return None
+    best = INF
+    for counterpart in counterparts:
+        if counterpart not in slen.nodes():
+            continue
+        distance = (
+            slen.distance(data_node, counterpart)
+            if outgoing
+            else slen.distance(counterpart, data_node)
+        )
+        if distance < best:
+            best = distance
+    if best == INF:
+        return None
+    if bound is STAR:
+        # Satisfied wildcard edges get a fixed, middling margin.
+        return 0.5
+    if best > bound:
+        return None
+    return (bound - best + 1) / (bound + 1)
+
+
+def top_k_matches(
+    result: MatchResult,
+    pattern: PatternGraph,
+    data: DataGraph,
+    slen: SLenMatrix,
+    k: int,
+    pattern_node: NodeId | None = None,
+) -> dict[NodeId, list[RankedMatch]]:
+    """Return the ``k`` best-scoring matches per pattern node.
+
+    Parameters
+    ----------
+    result:
+        A GPNM matching result (initial or subsequent query).
+    pattern / data / slen:
+        The graphs and distance index the result was computed against.
+    k:
+        How many matches to keep per pattern node (must be positive).
+    pattern_node:
+        Restrict the ranking to a single pattern node when given.
+
+    Returns
+    -------
+    dict
+        ``{pattern node: [RankedMatch, ...]}`` sorted by descending score,
+        ties broken by the data node's representation for determinism.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    targets = [pattern_node] if pattern_node is not None else list(result)
+    rankings: dict[NodeId, list[RankedMatch]] = {}
+    for u in targets:
+        scored = [
+            RankedMatch(
+                pattern_node=u,
+                data_node=v,
+                score=score_match(u, v, pattern, data, slen, result),
+            )
+            for v in result.matches(u)
+        ]
+        scored.sort(key=lambda match: (-match.score, repr(match.data_node)))
+        rankings[u] = scored[:k]
+    return rankings

@@ -1,0 +1,168 @@
+"""The paper's running example (Figures 1, 2 and 4, Tables I and III–IX).
+
+The data graph's edge set is reconstructed from the shortest path length
+matrix of Table III (every pair at distance 1 is an edge); the
+reconstruction reproduces Table III exactly, which the test suite checks.
+The pattern graph follows Example 1: a PM must reach an SE and an S
+within 3 hops, and an SE must reach a TE within 4 hops.
+
+Note: Table I of the paper lists only ``PM1`` as the match of ``PM``, but
+Example 5 and Example 7 both treat ``PM2`` as matched as well (UP1 makes
+``PM2`` a removal candidate, which requires it to be in ``IQuery``).  The
+expected result returned by :func:`table1_expected` therefore includes
+``PM2``, consistent with the examples and with bounded graph simulation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import (
+    UpdateBatch,
+    insert_data_edge,
+    insert_pattern_edge,
+)
+
+#: Edges of the Figure 1(a) / 2(a) data graph, reconstructed from Table III.
+FIGURE1_EDGES: tuple[tuple[str, str], ...] = (
+    ("PM1", "SE2"),
+    ("PM1", "DB1"),
+    ("PM2", "SE1"),
+    ("SE1", "PM2"),
+    ("SE1", "SE2"),
+    ("SE1", "S1"),
+    ("SE2", "TE1"),
+    ("SE2", "DB1"),
+    ("S1", "DB1"),
+    ("TE1", "SE2"),
+    ("TE2", "S1"),
+    ("DB1", "SE1"),
+)
+
+#: Node labels of the Figure 1(a) data graph.
+FIGURE1_LABELS: dict[str, str] = {
+    "PM1": "PM",
+    "PM2": "PM",
+    "SE1": "SE",
+    "SE2": "SE",
+    "S1": "S",
+    "TE1": "TE",
+    "TE2": "TE",
+    "DB1": "DB",
+}
+
+
+def figure1_data_graph() -> DataGraph:
+    """The data graph ``GD`` of Figure 1(a) / Figure 2(a)."""
+    return DataGraph(nodes=FIGURE1_LABELS, edges=FIGURE1_EDGES)
+
+
+def figure1_pattern_graph() -> PatternGraph:
+    """The pattern graph ``GP`` of Figure 1(b) / Figure 2(c).
+
+    Edges: ``PM -SE`` within 3 hops, ``PM - S`` within 3 hops and
+    ``SE - TE`` within 4 hops (Example 1).
+    """
+    pattern = PatternGraph()
+    for label in ("PM", "SE", "TE", "S"):
+        pattern.add_node(label, label)
+    pattern.add_edge("PM", "SE", 3)
+    pattern.add_edge("PM", "S", 3)
+    pattern.add_edge("SE", "TE", 4)
+    return pattern
+
+
+def table1_expected() -> dict[str, frozenset[str]]:
+    """The IQuery node-matching result (Table I, corrected per Example 5)."""
+    return {
+        "PM": frozenset({"PM1", "PM2"}),
+        "SE": frozenset({"SE1", "SE2"}),
+        "S": frozenset({"S1"}),
+        "TE": frozenset({"TE1", "TE2"}),
+    }
+
+
+def table3_slen_expected() -> dict[tuple[str, str], float]:
+    """The finite entries of the SLen matrix of Table III."""
+    rows = {
+        "PM1": {"PM2": 3, "SE1": 2, "SE2": 1, "S1": 3, "TE1": 2, "DB1": 1},
+        "PM2": {"SE1": 1, "SE2": 2, "S1": 2, "TE1": 3, "DB1": 3},
+        "SE1": {"PM2": 1, "SE2": 1, "S1": 1, "TE1": 2, "DB1": 2},
+        "SE2": {"PM2": 3, "SE1": 2, "S1": 3, "TE1": 1, "DB1": 1},
+        "S1": {"PM2": 3, "SE1": 2, "SE2": 3, "TE1": 4, "DB1": 1},
+        "TE1": {"PM2": 4, "SE1": 3, "SE2": 1, "S1": 4, "DB1": 2},
+        "TE2": {"PM2": 4, "SE1": 3, "SE2": 4, "S1": 1, "TE1": 5, "DB1": 2},
+        "DB1": {"PM2": 2, "SE1": 1, "SE2": 2, "S1": 2, "TE1": 3},
+    }
+    expected: dict[tuple[str, str], float] = {}
+    for source in FIGURE1_LABELS:
+        expected[(source, source)] = 0
+        for target, distance in rows.get(source, {}).items():
+            expected[(source, target)] = distance
+    return expected
+
+
+def example2_updates() -> UpdateBatch:
+    """The four updates of Example 2 / Figure 2 (UD1, UD2, UP1, UP2).
+
+    Data updates first, then pattern updates, matching the processing
+    order of every algorithm in :mod:`repro.algorithms`.
+    """
+    ud1 = insert_data_edge("SE1", "TE2")
+    ud2 = insert_data_edge("DB1", "S1")
+    up1 = insert_pattern_edge("PM", "TE", 2)
+    up2 = insert_pattern_edge("S", "TE", 4)
+    return UpdateBatch([ud1, ud2, up1, up2])
+
+
+def example2_update_names() -> dict[str, object]:
+    """The Example 2 updates keyed by their paper names (UD1, UD2, UP1, UP2)."""
+    batch = example2_updates()
+    return {"UD1": batch[0], "UD2": batch[1], "UP1": batch[2], "UP2": batch[3]}
+
+
+def figure4_data_graph() -> DataGraph:
+    """The Figure 4(a) data graph used by the partition examples (14 and 15)."""
+    labels = {
+        "SE1": "SE",
+        "SE2": "SE",
+        "SE3": "SE",
+        "SE4": "SE",
+        "TE1": "TE",
+        "TE2": "TE",
+        "TE3": "TE",
+        "PM1": "PM",
+    }
+    edges = (
+        ("SE1", "SE2"),
+        ("SE2", "SE3"),
+        ("SE3", "SE4"),
+        ("SE1", "PM1"),
+        ("PM1", "SE4"),
+        ("SE2", "TE1"),
+        ("TE1", "TE2"),
+        ("TE2", "TE3"),
+    )
+    return DataGraph(nodes=labels, edges=edges)
+
+
+def table8_expected() -> dict[tuple[str, str], float]:
+    """Intra-partition shortest path lengths of ``P_SE`` (Table VIII)."""
+    inf = float("inf")
+    return {
+        ("SE1", "SE1"): 0, ("SE1", "SE2"): 1, ("SE1", "SE3"): 2, ("SE1", "SE4"): 2,
+        ("SE2", "SE1"): inf, ("SE2", "SE2"): 0, ("SE2", "SE3"): 1, ("SE2", "SE4"): 2,
+        ("SE3", "SE1"): inf, ("SE3", "SE2"): inf, ("SE3", "SE3"): 0, ("SE3", "SE4"): 1,
+        ("SE4", "SE1"): inf, ("SE4", "SE2"): inf, ("SE4", "SE3"): inf, ("SE4", "SE4"): 0,
+    }
+
+
+def table9_expected() -> dict[tuple[str, str], float]:
+    """Cross-partition shortest path lengths from ``P_SE`` to ``P_TE`` (Table IX)."""
+    inf = float("inf")
+    return {
+        ("SE1", "TE1"): 2, ("SE1", "TE2"): 3, ("SE1", "TE3"): 4,
+        ("SE2", "TE1"): 1, ("SE2", "TE2"): 2, ("SE2", "TE3"): 3,
+        ("SE3", "TE1"): inf, ("SE3", "TE2"): inf, ("SE3", "TE3"): inf,
+        ("SE4", "TE1"): inf, ("SE4", "TE2"): inf, ("SE4", "TE3"): inf,
+    }

@@ -1,0 +1,40 @@
+"""Label-based graph partition (Section V).
+
+The paper partitions the data graph by node label (people with the same
+role tend to connect to each other), records the cross-partition edges in
+the partition of their source node, and defines *inner* / *outer bridge
+nodes* (Definitions 1 and 2).  On top of the partition it computes the
+``SLen`` matrix partition-by-partition (Algorithms 4 and 5), which is the
+difference between UA-GPNM and UA-GPNM-NoPar.
+
+This package provides:
+
+* :class:`~repro.partition.label_partition.LabelPartition` — the partition
+  itself, with bridge-node bookkeeping and a quotient graph over
+  partitions;
+* :func:`~repro.partition.partitioned_spl.build_slen_partitioned` — an
+  exact partition-aware all-pairs construction (condensation of the
+  quotient graph, intra-partition BFS, cross-partition composition through
+  bridge edges);
+* :func:`~repro.partition.partitioned_spl.paper_subprocess_1` /
+  :func:`~repro.partition.partitioned_spl.paper_subprocess_2` — literal
+  transcriptions of Algorithms 4 and 5, used to reproduce the worked
+  Examples 14 and 15 (Tables VIII and IX).
+"""
+
+from repro.partition.label_partition import LabelPartition, Partition
+from repro.partition.partitioned_spl import (
+    build_slen_partitioned,
+    paper_subprocess_1,
+    paper_subprocess_2,
+    partitioned_recompute_rows,
+)
+
+__all__ = [
+    "LabelPartition",
+    "Partition",
+    "build_slen_partitioned",
+    "partitioned_recompute_rows",
+    "paper_subprocess_1",
+    "paper_subprocess_2",
+]

@@ -1,0 +1,30 @@
+"""Shortest-path-length substrate.
+
+The GPNM machinery is built on all-pairs shortest path *lengths* over the
+data graph (the paper's ``SLen`` matrix).  This package provides:
+
+* :mod:`repro.spl.sssp` — single-source BFS (unweighted) and Dijkstra
+  (weighted extension) traversals;
+* :mod:`repro.spl.matrix` — the :class:`SLenMatrix` all-pairs structure;
+* :mod:`repro.spl.incremental` — maintenance of ``SLen`` under the update
+  vocabulary of Section III-C, producing the affected-pair sets (``AFF``)
+  that drive elimination detection;
+* :mod:`repro.spl.hybrid` — the ELL+COO "Hybrid format" compression of the
+  sparse matrix discussed in the Section IV-B remark.
+"""
+
+from repro.spl.incremental import SLenDelta, update_slen
+from repro.spl.matrix import INF, SLenMatrix
+from repro.spl.sssp import bfs_lengths, bfs_lengths_within, dijkstra_lengths
+from repro.spl.hybrid import HybridMatrix
+
+__all__ = [
+    "INF",
+    "SLenMatrix",
+    "SLenDelta",
+    "update_slen",
+    "bfs_lengths",
+    "bfs_lengths_within",
+    "dijkstra_lengths",
+    "HybridMatrix",
+]

@@ -1,0 +1,300 @@
+"""Incremental maintenance of the ``SLen`` matrix under graph updates.
+
+Every data-graph update UDi changes a (usually small) set of shortest
+path lengths.  The functions here apply a single update to an existing
+:class:`~repro.spl.matrix.SLenMatrix` and return an :class:`SLenDelta`
+recording exactly which pairs changed — the ``AFF[ui, vj] = [a, b]``
+entries of Table II — and therefore which nodes are *affected*
+(``Aff_N(UDi)``, Section IV-A Type II).
+
+The contract for every function is:
+
+* the data graph passed in is the **post-update** graph (the caller
+  applies the structural change first);
+* the matrix passed in reflects the **pre-update** graph and is mutated
+  in place to reflect the post-update graph;
+* the returned delta describes the difference between the two states.
+
+Edge insertions use the classic relaxation
+``d'(x, y) = min(d(x, y), d(x, u) + 1 + d(v, y))``, exact for a single
+inserted edge.  Deletions follow the affected-area approach of
+Ramalingam & Reps [35] that the paper's complexity analysis is based on:
+for every source the set of *affected targets* (pairs whose only shortest
+paths used the deleted edge or node) is identified first, and a small
+Dijkstra restricted to those targets recomputes their distances, seeded
+from the unaffected frontier whose distances are known to be unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import UpdateError
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    GraphKind,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+)
+from repro.spl.matrix import INF, SLenMatrix
+
+NodeId = Hashable
+Pair = tuple[NodeId, NodeId]
+Change = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class SLenDelta:
+    """The effect of one data-graph update on the ``SLen`` matrix.
+
+    Attributes
+    ----------
+    changed_pairs:
+        ``{(u, v): (old_distance, new_distance)}`` for every ordered pair
+        whose shortest path length changed.
+    recomputed_sources:
+        Sources whose distances had to be partially recomputed (deletions
+        only); a measure of the work performed.
+    structural_nodes:
+        Nodes added to / removed from the matrix universe by the update.
+    """
+
+    changed_pairs: dict[Pair, Change] = field(default_factory=dict)
+    recomputed_sources: frozenset[NodeId] = frozenset()
+    structural_nodes: frozenset[NodeId] = frozenset()
+
+    @property
+    def affected_nodes(self) -> frozenset[NodeId]:
+        """``Aff_N`` — every node appearing in a changed pair, plus nodes
+        structurally added or removed by the update."""
+        nodes: set[NodeId] = set(self.structural_nodes)
+        for source, target in self.changed_pairs:
+            nodes.add(source)
+            nodes.add(target)
+        return frozenset(nodes)
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the update changed no shortest path length."""
+        return not self.changed_pairs and not self.structural_nodes
+
+    def __len__(self) -> int:
+        return len(self.changed_pairs)
+
+
+def update_slen(slen: SLenMatrix, graph_after: DataGraph, update: Update) -> SLenDelta:
+    """Apply a single data-graph ``update`` to ``slen`` in place.
+
+    ``graph_after`` must already include the structural change.
+    """
+    if update.graph is not GraphKind.DATA:
+        raise UpdateError(f"SLen maintenance only applies to data-graph updates, got {update!r}")
+    if isinstance(update, EdgeInsertion):
+        return insert_edge(slen, graph_after, update.source, update.target)
+    if isinstance(update, EdgeDeletion):
+        return delete_edge(slen, graph_after, update.source, update.target)
+    if isinstance(update, NodeInsertion):
+        return insert_node(slen, graph_after, update.node, update.edges)
+    if isinstance(update, NodeDeletion):
+        return delete_node(slen, graph_after, update.node)
+    raise UpdateError(f"unsupported update type {type(update).__name__}")
+
+
+def insert_edge(
+    slen: SLenMatrix, graph_after: DataGraph, source: NodeId, target: NodeId
+) -> SLenDelta:
+    """Maintain ``slen`` after inserting the data edge ``source -> target``."""
+    if not graph_after.has_edge(source, target):
+        raise UpdateError(
+            f"graph does not contain edge ({source!r}, {target!r}); apply the update first"
+        )
+    changed: dict[Pair, Change] = {}
+    # Every node that reaches `source` may now reach everything `target` reaches.
+    sources_into = dict(slen.column(source))
+    sources_into[source] = 0
+    targets_out = dict(slen.row_view(target))
+    horizon = slen.horizon
+    for x, dist_to_source in sources_into.items():
+        row_x = slen.row_view(x)
+        base = dist_to_source + 1
+        for y, dist_from_target in targets_out.items():
+            if x == y:
+                continue
+            candidate = base + dist_from_target
+            if candidate > horizon:
+                continue
+            current = row_x.get(y, INF)
+            if candidate < current:
+                slen.set_distance(x, y, candidate)
+                changed[(x, y)] = (current, candidate)
+    return SLenDelta(changed_pairs=changed)
+
+
+def delete_edge(
+    slen: SLenMatrix, graph_after: DataGraph, source: NodeId, target: NodeId
+) -> SLenDelta:
+    """Maintain ``slen`` after deleting the data edge ``source -> target``."""
+    if graph_after.has_edge(source, target):
+        raise UpdateError(
+            f"graph still contains edge ({source!r}, {target!r}); apply the update first"
+        )
+    # A pair (x, y) can only get worse if *every* old shortest path used the
+    # deleted edge, which requires d(x, y) == d(x, source) + 1 + d(target, y).
+    column_source = slen.column(source)
+    column_source[source] = 0
+    row_target = dict(slen.row_view(target))
+    changed: dict[Pair, Change] = {}
+    recomputed: set[NodeId] = set()
+    for x, dist_to_source in column_source.items():
+        row_x = slen.row_view(x)
+        base = dist_to_source + 1
+        affected = {
+            y
+            for y, dist_from_target in row_target.items()
+            if x != y and row_x.get(y) == base + dist_from_target
+        }
+        if not affected:
+            continue
+        recomputed.add(x)
+        new_values = _settle_affected(slen, graph_after, x, affected)
+        for y in affected:
+            old = row_x.get(y, INF)
+            new = new_values.get(y, INF)
+            if new > slen.horizon:
+                new = INF
+            if new != old:
+                slen.set_distance(x, y, new)
+                changed[(x, y)] = (old, new)
+    return SLenDelta(changed_pairs=changed, recomputed_sources=frozenset(recomputed))
+
+
+def insert_node(
+    slen: SLenMatrix, graph_after: DataGraph, node: NodeId, edges: tuple = ()
+) -> SLenDelta:
+    """Maintain ``slen`` after inserting ``node`` (plus optional incident edges)."""
+    if not graph_after.has_node(node):
+        raise UpdateError(f"graph does not contain node {node!r}; apply the update first")
+    slen.add_node(node)
+    changed: dict[Pair, Change] = {}
+    recomputed: set[NodeId] = set()
+    for edge in edges:
+        edge_source, edge_target = edge[0], edge[1]
+        delta = insert_edge(slen, graph_after, edge_source, edge_target)
+        _merge_changes(changed, delta.changed_pairs)
+        recomputed |= delta.recomputed_sources
+    return SLenDelta(
+        changed_pairs=changed,
+        recomputed_sources=frozenset(recomputed),
+        structural_nodes=frozenset({node}),
+    )
+
+
+def delete_node(slen: SLenMatrix, graph_after: DataGraph, node: NodeId) -> SLenDelta:
+    """Maintain ``slen`` after deleting ``node`` and its incident edges."""
+    if graph_after.has_node(node):
+        raise UpdateError(f"graph still contains node {node!r}; apply the update first")
+    if node not in slen.nodes():
+        raise UpdateError(f"node {node!r} is not in the SLen matrix")
+    changed: dict[Pair, Change] = {}
+    # Pairs that involved the removed node become undefined; record them as
+    # transitions to INF so Aff_N still covers the removed node.
+    old_row = slen.row(node)
+    old_column = slen.column(node)
+    for target, dist in old_row.items():
+        if target != node:
+            changed[(node, target)] = (dist, INF)
+    for origin, dist in old_column.items():
+        if origin != node:
+            changed[(origin, node)] = (dist, INF)
+    slen.remove_node(node)
+    remaining = slen.nodes()
+    recomputed: set[NodeId] = set()
+    for x, dist_to_node in old_column.items():
+        if x == node:
+            continue
+        row_x = slen.row_view(x)
+        affected = {
+            y
+            for y, dist_from_node in old_row.items()
+            if y != node
+            and y != x
+            and y in remaining
+            and row_x.get(y) == dist_to_node + dist_from_node
+        }
+        if not affected:
+            continue
+        recomputed.add(x)
+        new_values = _settle_affected(slen, graph_after, x, affected)
+        for y in affected:
+            old = row_x.get(y, INF)
+            new = new_values.get(y, INF)
+            if new > slen.horizon:
+                new = INF
+            if new != old:
+                slen.set_distance(x, y, new)
+                changed[(x, y)] = (old, new)
+    return SLenDelta(
+        changed_pairs=changed,
+        recomputed_sources=frozenset(recomputed),
+        structural_nodes=frozenset({node}),
+    )
+
+
+def _settle_affected(
+    slen: SLenMatrix, graph_after: DataGraph, source: NodeId, affected: set[NodeId]
+) -> dict[NodeId, int]:
+    """Recompute ``d(source, y)`` for every ``y`` in ``affected``.
+
+    Distances of nodes outside ``affected`` are unchanged by the deletion,
+    so every affected node is seeded with the best distance achievable
+    through an unaffected in-neighbour and the remaining slack is resolved
+    by a small Dijkstra over the affected set only (Ramalingam-Reps).
+    Nodes that end up unreachable are simply absent from the result.
+    """
+    source_row = slen.row_view(source) if source in slen.nodes() else {}
+    tentative: dict[NodeId, float] = {}
+    for y in affected:
+        best = INF
+        for w in graph_after.predecessors_view(y):
+            if w in affected:
+                continue
+            if w == source:
+                upstream = 0
+            else:
+                upstream = source_row.get(w)
+                if upstream is None:
+                    continue
+            if upstream + 1 < best:
+                best = upstream + 1
+        if best < INF:
+            tentative[y] = best
+    settled: dict[NodeId, int] = {}
+    heap: list[tuple[float, str, NodeId]] = [
+        (dist, repr(y), y) for y, dist in tentative.items()
+    ]
+    heapq.heapify(heap)
+    while heap:
+        dist, _, y = heapq.heappop(heap)
+        if y in settled or dist > tentative.get(y, INF):
+            continue
+        settled[y] = int(dist)
+        for z in graph_after.successors_view(y):
+            if z in affected and z not in settled and dist + 1 < tentative.get(z, INF):
+                tentative[z] = dist + 1
+                heapq.heappush(heap, (dist + 1, repr(z), z))
+    return settled
+
+
+def _merge_changes(accumulated: dict[Pair, Change], fresh: dict[Pair, Change]) -> None:
+    """Merge ``fresh`` changes into ``accumulated`` keeping the earliest 'old' value."""
+    for pair, (old, new) in fresh.items():
+        if pair in accumulated:
+            original_old = accumulated[pair][0]
+            accumulated[pair] = (original_old, new)
+        else:
+            accumulated[pair] = (old, new)

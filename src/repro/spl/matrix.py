@@ -1,0 +1,291 @@
+"""The all-pairs shortest path length matrix ``SLen`` (Table II).
+
+``SLen(u, v)`` is the length of the shortest directed path from ``u`` to
+``v`` in the data graph, or :data:`INF` when ``v`` is unreachable from
+``u``.  The matrix is stored *sparsely* — only finite entries are kept —
+mirroring the paper's observation that social graphs produce many
+infinite entries (nodes with no out- or in-degree), which motivates its
+Hybrid-format compression remark.
+
+The class supports the operations every layer above needs:
+
+* construction from a :class:`~repro.graph.digraph.DataGraph` via
+  all-pairs BFS,
+* point queries and row views,
+* row recomputation for a subset of sources (the incremental maintenance
+  in :mod:`repro.spl.incremental` relies on this),
+* structural edits when nodes are inserted into / removed from the graph,
+* dense export to :mod:`numpy` for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import MissingNodeError
+from repro.spl.sssp import bfs_lengths, bfs_lengths_within
+
+NodeId = Hashable
+
+#: Distance value used for unreachable pairs.
+INF: float = math.inf
+
+
+class SLenMatrix:
+    """Sparse all-pairs shortest path length matrix over a fixed node set.
+
+    The node set is explicit (not inferred from the finite entries) so
+    that fully disconnected nodes still appear in :meth:`nodes`.
+
+    Examples
+    --------
+    >>> g = DataGraph({"a": "X", "b": "X", "c": "X"}, [("a", "b"), ("b", "c")])
+    >>> slen = SLenMatrix.from_graph(g)
+    >>> slen.distance("a", "c")
+    2
+    >>> slen.distance("c", "a")
+    inf
+    """
+
+    __slots__ = ("_nodes", "_rows", "_horizon")
+
+    def __init__(self, nodes: Iterable[NodeId] = (), horizon: float = INF) -> None:
+        if horizon != INF and horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        self._nodes: set[NodeId] = set(nodes)
+        self._rows: dict[NodeId, dict[NodeId, int]] = {node: {node: 0} for node in self._nodes}
+        self._horizon: float = horizon
+
+    @property
+    def horizon(self) -> float:
+        """Largest distance the matrix stores.
+
+        Defaults to :data:`INF` (full all-pairs matrix).  A finite horizon
+        turns the matrix into a *bounded* distance index: entries larger
+        than the horizon are simply absent and read back as :data:`INF`.
+        Bounded matrices are sufficient — and much cheaper to maintain —
+        whenever every pattern bound is at most the horizon and no pattern
+        edge uses the ``"*"`` wildcard; the experiment harness relies on
+        this (DESIGN.md, substitution table).
+        """
+        return self._horizon
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DataGraph, horizon: float = INF) -> "SLenMatrix":
+        """Build the matrix by running a BFS from every node of ``graph``."""
+        matrix = cls(graph.nodes(), horizon=horizon)
+        if horizon == INF:
+            for source in graph.nodes():
+                matrix._rows[source] = bfs_lengths(graph, source)
+        else:
+            for source in graph.nodes():
+                matrix._rows[source] = bfs_lengths_within(graph, source, int(horizon))
+        return matrix
+
+    @classmethod
+    def from_rows(
+        cls, nodes: Iterable[NodeId], rows: Mapping[NodeId, Mapping[NodeId, int]]
+    ) -> "SLenMatrix":
+        """Build a matrix from precomputed BFS rows (used by the partition layer)."""
+        matrix = cls(nodes)
+        for source, row in rows.items():
+            if source not in matrix._nodes:
+                raise MissingNodeError(source)
+            matrix._rows[source] = {target: int(dist) for target, dist in row.items()}
+            matrix._rows[source][source] = 0
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: NodeId, target: NodeId) -> float | int:
+        """Return ``SLen(source, target)`` (:data:`INF` if unreachable)."""
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        if target not in self._nodes:
+            raise MissingNodeError(target)
+        return self._rows[source].get(target, INF)
+
+    def row(self, source: NodeId) -> dict[NodeId, int]:
+        """Return a copy of the finite entries of the row of ``source``."""
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        return dict(self._rows[source])
+
+    def row_view(self, source: NodeId) -> Mapping[NodeId, int]:
+        """Return the *internal* row mapping of ``source`` without copying.
+
+        Callers must treat the returned mapping as read-only; it exists so
+        that hot loops (the simulation fixpoint) can scan finite entries
+        without allocating a copy per lookup.
+        """
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        return self._rows[source]
+
+    def column(self, target: NodeId) -> dict[NodeId, int]:
+        """Return ``{source: distance}`` for all sources reaching ``target``."""
+        if target not in self._nodes:
+            raise MissingNodeError(target)
+        return {
+            source: row[target]
+            for source, row in self._rows.items()
+            if target in row
+        }
+
+    def reachable_from(self, source: NodeId) -> frozenset[NodeId]:
+        """Nodes at finite distance from ``source`` (including itself)."""
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        return frozenset(self._rows[source])
+
+    def within(self, source: NodeId, bound: float | int) -> frozenset[NodeId]:
+        """Nodes ``v`` with ``SLen(source, v) <= bound``."""
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        return frozenset(
+            target for target, dist in self._rows[source].items() if dist <= bound
+        )
+
+    def nodes(self) -> frozenset[NodeId]:
+        """The node universe of the matrix."""
+        return frozenset(self._nodes)
+
+    def finite_entries(self) -> Iterator[tuple[NodeId, NodeId, int]]:
+        """Iterate over ``(source, target, distance)`` for finite entries."""
+        for source, row in self._rows.items():
+            for target, dist in row.items():
+                yield (source, target, dist)
+
+    @property
+    def number_of_nodes(self) -> int:
+        """``|VD|`` as seen by the matrix."""
+        return len(self._nodes)
+
+    @property
+    def number_of_finite_entries(self) -> int:
+        """Count of finite (stored) entries."""
+        return sum(len(row) for row in self._rows.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_distance(self, source: NodeId, target: NodeId, value: float | int) -> None:
+        """Set one entry; :data:`INF` (or a value beyond the horizon) removes it."""
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        if target not in self._nodes:
+            raise MissingNodeError(target)
+        if value == INF or value > self._horizon:
+            self._rows[source].pop(target, None)
+        else:
+            self._rows[source][target] = int(value)
+
+    def set_row(self, source: NodeId, row: Mapping[NodeId, int]) -> None:
+        """Replace the whole row of ``source`` with ``row`` (finite entries only)."""
+        if source not in self._nodes:
+            raise MissingNodeError(source)
+        new_row = {
+            target: int(dist)
+            for target, dist in row.items()
+            if dist <= self._horizon
+        }
+        new_row[source] = 0
+        self._rows[source] = new_row
+
+    def add_node(self, node: NodeId) -> None:
+        """Add a new isolated node to the matrix universe."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rows[node] = {node: 0}
+
+    def remove_node(self, node: NodeId) -> None:
+        """Drop ``node`` from the universe, removing its row and column."""
+        if node not in self._nodes:
+            raise MissingNodeError(node)
+        self._nodes.discard(node)
+        del self._rows[node]
+        for row in self._rows.values():
+            row.pop(node, None)
+
+    def recompute_rows(self, graph: DataGraph, sources: Iterable[NodeId]) -> set[NodeId]:
+        """Recompute the rows of ``sources`` from ``graph`` via BFS.
+
+        Returns the set of sources whose row actually changed.
+        """
+        changed: set[NodeId] = set()
+        for source in sources:
+            if source not in self._nodes:
+                raise MissingNodeError(source)
+            new_row = bfs_lengths(graph, source)
+            if new_row != self._rows[source]:
+                self._rows[source] = new_row
+                changed.add(source)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Copy / comparison / export
+    # ------------------------------------------------------------------
+    def copy(self) -> "SLenMatrix":
+        """Return a deep copy of the matrix (preserving the horizon)."""
+        clone = SLenMatrix(horizon=self._horizon)
+        clone._nodes = set(self._nodes)
+        clone._rows = {source: dict(row) for source, row in self._rows.items()}
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SLenMatrix):
+            return NotImplemented
+        return self._nodes == other._nodes and self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("SLenMatrix is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"SLenMatrix(nodes={self.number_of_nodes}, "
+            f"finite_entries={self.number_of_finite_entries})"
+        )
+
+    def differences(self, other: "SLenMatrix") -> dict[tuple[NodeId, NodeId], tuple]:
+        """Return ``{(u, v): (self_distance, other_distance)}`` for differing pairs.
+
+        Only pairs present in both universes are compared; this is the
+        ``AFF[ui, vj] = [a, b]`` structure of Table II.
+        """
+        shared = self._nodes & other._nodes
+        changes: dict[tuple[NodeId, NodeId], tuple] = {}
+        for source in shared:
+            mine = self._rows[source]
+            theirs = other._rows[source]
+            for target in shared:
+                a = mine.get(target, INF)
+                b = theirs.get(target, INF)
+                if a != b:
+                    changes[(source, target)] = (a, b)
+        return changes
+
+    def to_dense(self, order: Optional[list[NodeId]] = None) -> tuple[np.ndarray, list[NodeId]]:
+        """Export to a dense ``numpy`` array (``inf`` for unreachable pairs).
+
+        Returns the array together with the node ordering of its axes.
+        """
+        ordering = list(order) if order is not None else sorted(self._nodes, key=repr)
+        if set(ordering) != self._nodes:
+            raise ValueError("order must be a permutation of the matrix's node set")
+        index = {node: position for position, node in enumerate(ordering)}
+        dense = np.full((len(ordering), len(ordering)), INF, dtype=float)
+        for source, row in self._rows.items():
+            i = index[source]
+            for target, dist in row.items():
+                dense[i, index[target]] = dist
+        return dense, ordering

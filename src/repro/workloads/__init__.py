@@ -1,0 +1,35 @@
+"""Workload substrate: synthetic datasets, pattern and update generators.
+
+The paper evaluates on five SNAP social graphs (email-EU-core, DBLP,
+Amazon, Youtube, LiveJournal), patterns produced by the *socnetv*
+generator, and update streams that insert and delete nodes and edges in
+both graphs.  None of the raw datasets can be downloaded in this
+environment, so :mod:`repro.workloads.datasets` ships deterministic
+synthetic stand-ins whose relative sizes, label structure and density
+follow the originals at a documented scale-down factor (see DESIGN.md and
+EXPERIMENTS.md).  The generators are deterministic given a seed, so every
+experiment is reproducible.
+"""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+__all__ = [
+    "SocialGraphSpec",
+    "generate_social_graph",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "PatternSpec",
+    "generate_pattern",
+    "UpdateWorkloadSpec",
+    "generate_update_batch",
+]

@@ -1,0 +1,105 @@
+"""Synthetic stand-ins for the paper's five SNAP datasets (Table X).
+
+The raw SNAP graphs (email-EU-core, DBLP, Amazon, Youtube, LiveJournal)
+cannot be downloaded in this offline environment and, at up to 34M edges,
+would be far beyond what a pure-Python all-pairs shortest-path pipeline
+can process anyway.  Each dataset therefore maps to a deterministic
+synthetic graph whose *relative* size ordering and density follow the
+original at a documented scale-down factor.  Two scales ship with the
+library:
+
+* ``"quick"`` — sizes chosen so the whole experiment grid runs in minutes
+  on a laptop; used by the tests and the default benchmark harness;
+* ``"full"`` — roughly 4× larger, used when more fidelity is wanted.
+
+The original node / edge counts are retained in the spec so reports can
+show the scale factor next to every measured number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DataGraph
+from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset stand-in: paper-reported sizes plus synthetic-spec sizes."""
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    quick: SocialGraphSpec
+    full: SocialGraphSpec
+
+    def spec_for(self, scale: str) -> SocialGraphSpec:
+        """Return the generator spec for ``scale`` (``"quick"`` or ``"full"``)."""
+        if scale == "quick":
+            return self.quick
+        if scale == "full":
+            return self.full
+        raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'full'")
+
+    def scale_factor(self, scale: str = "quick") -> float:
+        """Edge-count scale-down factor of the synthetic stand-in."""
+        return self.paper_edges / self.spec_for(scale).num_edges
+
+
+def _spec(name: str, nodes: int, edges: int, seed: int) -> SocialGraphSpec:
+    return SocialGraphSpec(name=name, num_nodes=nodes, num_edges=edges, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "email-EU-core": DatasetSpec(
+        name="email-EU-core",
+        paper_nodes=1_005,
+        paper_edges=25_571,
+        quick=_spec("email-EU-core", 110, 700, seed=11),
+        full=_spec("email-EU-core", 420, 2_800, seed=11),
+    ),
+    "DBLP": DatasetSpec(
+        name="DBLP",
+        paper_nodes=317_080,
+        paper_edges=1_049_866,
+        quick=_spec("DBLP", 220, 1_000, seed=23),
+        full=_spec("DBLP", 900, 4_200, seed=23),
+    ),
+    "Amazon": DatasetSpec(
+        name="Amazon",
+        paper_nodes=334_863,
+        paper_edges=925_872,
+        quick=_spec("Amazon", 240, 950, seed=37),
+        full=_spec("Amazon", 950, 3_900, seed=37),
+    ),
+    "Youtube": DatasetSpec(
+        name="Youtube",
+        paper_nodes=1_134_890,
+        paper_edges=2_987_624,
+        quick=_spec("Youtube", 300, 1_400, seed=41),
+        full=_spec("Youtube", 1_200, 5_600, seed=41),
+    ),
+    "LiveJournal": DatasetSpec(
+        name="LiveJournal",
+        paper_nodes=3_997_962,
+        paper_edges=34_681_189,
+        quick=_spec("LiveJournal", 380, 1_900, seed=53),
+        full=_spec("LiveJournal", 1_500, 7_800, seed=53),
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """The five dataset names in the paper's (size) order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, scale: str = "quick") -> DataGraph:
+    """Generate the synthetic stand-in for dataset ``name`` at ``scale``."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    return generate_social_graph(spec.spec_for(scale))

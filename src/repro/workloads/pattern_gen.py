@@ -1,0 +1,125 @@
+"""Random pattern-graph generation (the paper's socnetv substitute).
+
+Section VII-A generates patterns with three parameters: number of nodes,
+number of edges, and the bounded path length on each edge (a small
+integer, here 1–3, with an occasional ``"*"``).  Patterns are weakly
+connected — a random spanning arborescence is laid down first and extra
+edges are then added — because disconnected pattern components would make
+the GPNM query trivially separable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.graph.pattern import PatternGraph
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """Parameters of one generated pattern graph.
+
+    When ``respect_label_order`` is on, pattern edges are oriented from a
+    node whose label appears earlier in ``labels`` towards a node whose
+    label appears later.  Running the generator against the tier-ordered
+    label list of :data:`repro.workloads.generators.DEFAULT_LABEL_ORDER`
+    then produces patterns aligned with the dominant edge direction of the
+    synthetic social graphs, which keeps the initial query non-trivial.
+    """
+
+    num_nodes: int
+    num_edges: int
+    labels: tuple[str, ...]
+    min_bound: int = 1
+    max_bound: int = 3
+    star_probability: float = 0.05
+    respect_label_order: bool = False
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a pattern needs at least two nodes")
+        if self.num_edges < self.num_nodes - 1:
+            raise ValueError("a connected pattern needs at least num_nodes - 1 edges")
+        if not self.labels:
+            raise ValueError("at least one label is required")
+        if not 1 <= self.min_bound <= self.max_bound:
+            raise ValueError("bounds must satisfy 1 <= min_bound <= max_bound")
+        if not 0.0 <= self.star_probability <= 1.0:
+            raise ValueError("star_probability must be in [0, 1]")
+
+
+def generate_pattern(spec: PatternSpec) -> PatternGraph:
+    """Generate a weakly connected pattern graph from ``spec``."""
+    rng = random.Random(spec.seed)
+    pattern = PatternGraph()
+    node_ids = [f"p{i}" for i in range(spec.num_nodes)]
+
+    # Prefer distinct labels while there are enough of them, then reuse.
+    label_pool = list(spec.labels)
+    if not spec.respect_label_order:
+        rng.shuffle(label_pool)
+    label_rank = {label: position for position, label in enumerate(spec.labels)}
+    for position, node in enumerate(node_ids):
+        if position < len(label_pool):
+            label = label_pool[position]
+        else:
+            label = rng.choice(spec.labels)
+        pattern.add_node(node, label)
+
+    def random_bound() -> int | str:
+        if rng.random() < spec.star_probability:
+            return "*"
+        return rng.randint(spec.min_bound, spec.max_bound)
+
+    def orient(first: str, second: str) -> tuple[str, str]:
+        """Pick the edge direction, following the label order when asked to."""
+        if spec.respect_label_order:
+            first_rank = label_rank.get(pattern.label_of(first), 0)
+            second_rank = label_rank.get(pattern.label_of(second), 0)
+            if first_rank > second_rank:
+                return (second, first)
+            if first_rank < second_rank:
+                return (first, second)
+        return (first, second) if rng.random() < 0.5 else (second, first)
+
+    # Spanning structure: attach each node (after the first) to a random
+    # earlier node, which guarantees weak connectivity.
+    edges_added: set[tuple[str, str]] = set()
+    for position in range(1, spec.num_nodes):
+        node = node_ids[position]
+        anchor = node_ids[rng.randrange(position)]
+        source, target = orient(anchor, node)
+        pattern.add_edge(source, target, random_bound())
+        edges_added.add((source, target))
+
+    # Extra edges up to the requested count.
+    max_attempts = spec.num_edges * 50
+    attempts = 0
+    while pattern.number_of_edges < spec.num_edges and attempts < max_attempts:
+        attempts += 1
+        first, second = rng.sample(node_ids, 2)
+        source, target = orient(first, second)
+        if (source, target) in edges_added or pattern.has_edge(source, target):
+            continue
+        pattern.add_edge(source, target, random_bound())
+        edges_added.add((source, target))
+    return pattern
+
+
+def pattern_for_dataset(
+    data_labels: Sequence[str],
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 1,
+) -> PatternGraph:
+    """Convenience wrapper: generate a pattern using a dataset's label set."""
+    spec = PatternSpec(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        labels=tuple(data_labels),
+        seed=seed,
+    )
+    return generate_pattern(spec)

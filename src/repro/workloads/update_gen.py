@@ -1,0 +1,229 @@
+"""Update-stream generation (the paper's ΔGP / ΔGD protocol, Section VII-A).
+
+For the data graph the paper removes ``mG`` edges and ``mG`` nodes and
+inserts ``nG`` new edges and ``nG`` new nodes per experiment; for the
+pattern graph it removes and inserts between 1 and 5 nodes and edges.
+:func:`generate_update_batch` reproduces that mix for arbitrary total
+counts: the requested number of data (pattern) updates is split roughly
+evenly over the four update kinds, and the emitted batch is ordered so it
+is always applicable — insertions first, then edge deletions, then node
+deletions, with conflicts (deleting an edge of a node that is itself
+deleted, inserting a duplicate edge, …) avoided at generation time.
+
+The batch lists data updates before pattern updates, matching the order
+in which every algorithm in :mod:`repro.algorithms` processes them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import (
+    GraphKind,
+    UpdateBatch,
+    delete_data_edge,
+    delete_data_node,
+    delete_pattern_edge,
+    delete_pattern_node,
+    insert_data_edge,
+    insert_data_node,
+    insert_pattern_edge,
+    insert_pattern_node,
+)
+
+
+@dataclass(frozen=True)
+class UpdateWorkloadSpec:
+    """Parameters of one generated update batch.
+
+    Attributes
+    ----------
+    num_pattern_updates / num_data_updates:
+        Total update counts for each graph (the two components of the
+        paper's ΔG scale, e.g. ``(6, 200)``).
+    max_bound:
+        Largest bound used on inserted pattern edges.
+    new_node_degree:
+        How many edges each inserted data node brings with it.
+    seed:
+        Seed of the deterministic RNG.
+    """
+
+    num_pattern_updates: int
+    num_data_updates: int
+    max_bound: int = 3
+    new_node_degree: int = 2
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.num_pattern_updates < 0 or self.num_data_updates < 0:
+            raise ValueError("update counts must be non-negative")
+        if self.max_bound < 1:
+            raise ValueError("max_bound must be at least 1")
+        if self.new_node_degree < 0:
+            raise ValueError("new_node_degree must be non-negative")
+
+
+def generate_update_batch(
+    data: DataGraph, pattern: PatternGraph, spec: UpdateWorkloadSpec
+) -> UpdateBatch:
+    """Generate an applicable update batch for ``data`` and ``pattern``."""
+    rng = random.Random(spec.seed)
+    batch = UpdateBatch()
+    batch.extend(_data_updates(data, spec, rng))
+    batch.extend(_pattern_updates(pattern, data, spec, rng))
+    return batch
+
+
+# ----------------------------------------------------------------------
+# Data-graph updates
+# ----------------------------------------------------------------------
+def _data_updates(data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random) -> list:
+    total = spec.num_data_updates
+    if total == 0:
+        return []
+    node_inserts, edge_inserts, edge_deletes, node_deletes = _split_four_ways(total)
+
+    existing_nodes = sorted(data.nodes(), key=repr)
+    existing_edges = sorted(data.edges(), key=repr)
+    labels = sorted(data.labels())
+    if not existing_nodes or not labels:
+        return []
+
+    # Choose node deletions first so edge updates can avoid them.
+    deletable = [node for node in existing_nodes if data.out_degree(node) + data.in_degree(node) > 0]
+    rng.shuffle(deletable)
+    nodes_to_delete = deletable[: min(node_deletes, max(0, len(deletable) - 2))]
+    doomed = set(nodes_to_delete)
+
+    updates = []
+
+    # 1. Node insertions, each with a couple of edges to surviving nodes.
+    safe_nodes = [node for node in existing_nodes if node not in doomed]
+    for position in range(node_inserts):
+        label = rng.choice(labels)
+        new_node = f"new:{label}:{spec.seed}:{position}"
+        edges = []
+        if safe_nodes and spec.new_node_degree:
+            neighbours = rng.sample(safe_nodes, min(spec.new_node_degree, len(safe_nodes)))
+            for neighbour in neighbours:
+                if rng.random() < 0.5:
+                    edges.append((new_node, neighbour))
+                else:
+                    edges.append((neighbour, new_node))
+        updates.append(insert_data_node(new_node, label, edges))
+
+    # 2. Edge insertions between surviving existing nodes.
+    inserted_pairs: set[tuple] = set()
+    attempts = 0
+    while len(inserted_pairs) < edge_inserts and attempts < edge_inserts * 50:
+        attempts += 1
+        if len(safe_nodes) < 2:
+            break
+        source, target = rng.sample(safe_nodes, 2)
+        if data.has_edge(source, target) or (source, target) in inserted_pairs:
+            continue
+        inserted_pairs.add((source, target))
+        updates.append(insert_data_edge(source, target))
+
+    # 3. Edge deletions among pre-existing edges not touching doomed nodes.
+    deletable_edges = [
+        (source, target)
+        for source, target in existing_edges
+        if source not in doomed and target not in doomed
+    ]
+    rng.shuffle(deletable_edges)
+    for source, target in deletable_edges[:edge_deletes]:
+        updates.append(delete_data_edge(source, target))
+
+    # 4. Node deletions last.
+    for node in nodes_to_delete:
+        updates.append(delete_data_node(node, data.labels_of(node)))
+    return updates
+
+
+# ----------------------------------------------------------------------
+# Pattern-graph updates
+# ----------------------------------------------------------------------
+def _pattern_updates(
+    pattern: PatternGraph, data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random
+) -> list:
+    total = spec.num_pattern_updates
+    if total == 0:
+        return []
+    node_inserts, edge_inserts, edge_deletes, node_deletes = _split_four_ways(total)
+
+    existing_nodes = sorted(pattern.nodes(), key=repr)
+    existing_edges = sorted(
+        ((source, target) for source, target, _bound in pattern.edges()), key=repr
+    )
+    data_labels = sorted(data.labels()) or ["N"]
+    if not existing_nodes:
+        return []
+
+    # Keep the pattern from collapsing: delete at most a third of its nodes.
+    max_node_deletes = max(0, min(node_deletes, len(existing_nodes) // 3))
+    candidates_for_deletion = list(existing_nodes)
+    rng.shuffle(candidates_for_deletion)
+    nodes_to_delete = candidates_for_deletion[:max_node_deletes]
+    doomed = set(nodes_to_delete)
+    safe_nodes = [node for node in existing_nodes if node not in doomed]
+
+    updates = []
+
+    # 1. Node insertions, each wired to one surviving pattern node.
+    for position in range(node_inserts):
+        label = rng.choice(data_labels)
+        new_node = f"pnew:{spec.seed}:{position}"
+        edges = []
+        if safe_nodes:
+            anchor = rng.choice(safe_nodes)
+            bound = rng.randint(1, spec.max_bound)
+            if rng.random() < 0.5:
+                edges.append((anchor, new_node, bound))
+            else:
+                edges.append((new_node, anchor, bound))
+        updates.append(insert_pattern_node(new_node, label, edges))
+
+    # 2. Edge insertions between surviving pattern nodes.
+    inserted_pairs: set[tuple] = set()
+    attempts = 0
+    while len(inserted_pairs) < edge_inserts and attempts < edge_inserts * 50:
+        attempts += 1
+        if len(safe_nodes) < 2:
+            break
+        source, target = rng.sample(safe_nodes, 2)
+        if pattern.has_edge(source, target) or (source, target) in inserted_pairs:
+            continue
+        inserted_pairs.add((source, target))
+        updates.append(insert_pattern_edge(source, target, rng.randint(1, spec.max_bound)))
+
+    # 3. Edge deletions among pre-existing edges not touching doomed nodes.
+    deletable_edges = [
+        (source, target)
+        for source, target in existing_edges
+        if source not in doomed and target not in doomed
+    ]
+    rng.shuffle(deletable_edges)
+    for source, target in deletable_edges[:edge_deletes]:
+        updates.append(delete_pattern_edge(source, target, pattern.bound(source, target)))
+
+    # 4. Node deletions last.
+    for node in nodes_to_delete:
+        updates.append(delete_pattern_node(node, pattern.label_of(node)))
+    return updates
+
+
+def _split_four_ways(total: int) -> tuple[int, int, int, int]:
+    """Split ``total`` into (node inserts, edge inserts, edge deletes, node deletes)."""
+    base = total // 4
+    remainder = total % 4
+    parts = [base, base, base, base]
+    # Bias the remainder towards edge updates, which dominate real streams.
+    order = (1, 2, 0, 3)
+    for position in range(remainder):
+        parts[order[position]] += 1
+    return parts[0], parts[1], parts[2], parts[3]

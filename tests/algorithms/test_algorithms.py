@@ -1,0 +1,174 @@
+"""The four GPNM algorithms: paper example, oracle equivalence, statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper_example
+from repro.algorithms import BatchGPNM, EHGPNM, IncGPNM, UAGPNM
+from repro.algorithms.ua_gpnm import make_ua_gpnm, make_ua_gpnm_nopar
+from repro.graph.updates import UpdateBatch
+from repro.matching.gpnm import gpnm_query
+from repro.spl.matrix import SLenMatrix
+from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+from tests.conftest import make_random_graph, make_random_pattern
+
+ALL_METHODS = (UAGPNM, IncGPNM, EHGPNM, BatchGPNM)
+
+
+class TestPaperExample:
+    @pytest.mark.parametrize("algorithm_class", ALL_METHODS)
+    def test_iquery_matches_table1(self, figure1_data, figure1_pattern, algorithm_class):
+        engine = algorithm_class(figure1_pattern, figure1_data)
+        assert engine.initial_result == paper_example.table1_expected()
+
+    @pytest.mark.parametrize("algorithm_class", ALL_METHODS)
+    def test_example2_squery_unchanged(self, figure1_data, figure1_pattern, algorithm_class):
+        # Example 2's four updates eliminate each other, so SQuery == IQuery.
+        engine = algorithm_class(figure1_pattern, figure1_data)
+        outcome = engine.subsequent_query(paper_example.example2_updates())
+        assert outcome.result == paper_example.table1_expected()
+
+    def test_ua_gpnm_builds_figure3_tree(self, figure1_data, figure1_pattern):
+        engine = UAGPNM(figure1_pattern, figure1_data)
+        outcome = engine.subsequent_query(paper_example.example2_updates())
+        assert outcome.eh_tree is not None
+        assert outcome.stats.eliminated_updates == 3
+        assert outcome.stats.refinement_passes == 1
+
+    def test_pass_counts_ordering(self, figure1_data, figure1_pattern):
+        batch = paper_example.example2_updates()
+        ua = UAGPNM(figure1_pattern, figure1_data).subsequent_query(batch)
+        eh = EHGPNM(figure1_pattern, figure1_data).subsequent_query(batch)
+        inc = IncGPNM(figure1_pattern, figure1_data).subsequent_query(batch)
+        assert ua.stats.refinement_passes <= eh.stats.refinement_passes <= inc.stats.refinement_passes
+        assert inc.stats.refinement_passes == len(batch)
+
+
+def _squery_all_methods(data, pattern, batch, horizon=float("inf")):
+    slen = SLenMatrix.from_graph(data, horizon=horizon)
+    iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
+    results = {}
+    for algorithm_class in ALL_METHODS:
+        engine = algorithm_class(
+            pattern, data, precomputed_slen=slen, precomputed_relation=iquery
+        )
+        results[algorithm_class.__name__] = engine.subsequent_query(batch).result
+    return results
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_synthetic_workloads(self, seed):
+        data = generate_social_graph(
+            SocialGraphSpec(name="t", num_nodes=60, num_edges=260, seed=seed)
+        )
+        pattern = generate_pattern(
+            PatternSpec(
+                num_nodes=5,
+                num_edges=5,
+                labels=tuple(sorted(data.labels())),
+                min_bound=2,
+                max_bound=3,
+                seed=seed,
+            )
+        )
+        batch = generate_update_batch(
+            data, pattern, UpdateWorkloadSpec(num_pattern_updates=4, num_data_updates=12, seed=seed)
+        )
+        results = _squery_all_methods(data, pattern, batch)
+        oracle = results.pop("BatchGPNM")
+        for name, result in results.items():
+            assert result == oracle, name
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bounded_horizon_workloads(self, seed):
+        data = generate_social_graph(
+            SocialGraphSpec(name="t", num_nodes=50, num_edges=220, seed=seed + 7)
+        )
+        pattern = generate_pattern(
+            PatternSpec(
+                num_nodes=5,
+                num_edges=5,
+                labels=tuple(sorted(data.labels())),
+                min_bound=2,
+                max_bound=3,
+                star_probability=0.0,
+                seed=seed,
+            )
+        )
+        batch = generate_update_batch(
+            data, pattern, UpdateWorkloadSpec(num_pattern_updates=3, num_data_updates=10, seed=seed)
+        )
+        results = _squery_all_methods(data, pattern, batch, horizon=4)
+        oracle = results.pop("BatchGPNM")
+        for name, result in results.items():
+            assert result == oracle, name
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chained_subsequent_queries(self, seed):
+        data = make_random_graph(num_nodes=25, num_edges=80, seed=seed)
+        pattern = make_random_pattern(seed=seed)
+        ua = UAGPNM(pattern, data)
+        oracle = BatchGPNM(pattern, data)
+        for round_number in range(3):
+            batch = generate_update_batch(
+                ua.data,
+                ua.pattern,
+                UpdateWorkloadSpec(num_pattern_updates=2, num_data_updates=6, seed=seed * 10 + round_number),
+            )
+            assert ua.subsequent_query(batch).result == oracle.subsequent_query(batch).result
+
+
+class TestStatsAndState:
+    def test_stats_fields(self, figure1_data, figure1_pattern):
+        outcome = UAGPNM(figure1_pattern, figure1_data).subsequent_query(
+            paper_example.example2_updates()
+        )
+        stats = outcome.stats.as_dict()
+        assert stats["updates_processed"] == 4
+        assert stats["slen_updates"] == 2
+        assert stats["elapsed_seconds"] > 0
+        assert stats["elimination_relations"] >= 2
+
+    def test_factories(self, figure1_data, figure1_pattern):
+        assert make_ua_gpnm(figure1_pattern, figure1_data).uses_partition
+        nopar = make_ua_gpnm_nopar(figure1_pattern, figure1_data)
+        assert not nopar.uses_partition
+        assert nopar.name == "UA-GPNM-NoPar"
+
+    def test_state_advances(self, figure1_data, figure1_pattern):
+        engine = IncGPNM(figure1_pattern, figure1_data)
+        before_nodes = engine.data.number_of_nodes
+        engine.subsequent_query(paper_example.example2_updates())
+        assert engine.data.number_of_edges == figure1_data.number_of_edges + 2
+        assert engine.pattern.number_of_edges == figure1_pattern.number_of_edges + 2
+        assert engine.data.number_of_nodes == before_nodes
+
+    def test_input_graphs_not_mutated(self, figure1_data, figure1_pattern):
+        snapshot = figure1_data.copy()
+        engine = UAGPNM(figure1_pattern, figure1_data)
+        engine.subsequent_query(paper_example.example2_updates())
+        assert figure1_data == snapshot
+
+    def test_empty_batch(self, figure1_data, figure1_pattern):
+        engine = EHGPNM(figure1_pattern, figure1_data)
+        outcome = engine.subsequent_query(UpdateBatch())
+        assert outcome.result == engine.initial_result
+        assert outcome.stats.updates_processed == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_property_all_methods_agree(seed):
+    """Property: every incremental method equals the from-scratch oracle."""
+    data = make_random_graph(num_nodes=20, num_edges=60, seed=seed)
+    pattern = make_random_pattern(num_nodes=4, num_edges=4, seed=seed)
+    batch = generate_update_batch(
+        data, pattern, UpdateWorkloadSpec(num_pattern_updates=3, num_data_updates=8, seed=seed)
+    )
+    results = _squery_all_methods(data, pattern, batch)
+    oracle = results.pop("BatchGPNM")
+    assert all(result == oracle for result in results.values())

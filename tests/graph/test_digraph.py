@@ -1,0 +1,130 @@
+"""Unit tests for the DataGraph substrate."""
+
+import pytest
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    MissingEdgeError,
+    MissingNodeError,
+)
+
+
+@pytest.fixture
+def small() -> DataGraph:
+    g = DataGraph()
+    g.add_node("a", "X")
+    g.add_node("b", "X", "extra")
+    g.add_node("c", "Y")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestNodes:
+    def test_add_and_contains(self, small):
+        assert small.has_node("a")
+        assert "a" in small
+        assert not small.has_node("zzz")
+
+    def test_counts(self, small):
+        assert small.number_of_nodes == 3
+        assert len(small) == 3
+        assert small.number_of_edges == 2
+
+    def test_labels(self, small):
+        assert small.primary_label("a") == "X"
+        assert small.labels_of("b") == ("X", "extra")
+        assert small.has_label("b", "extra")
+        assert not small.has_label("a", "extra")
+        assert small.labels() == {"X", "Y", "extra"}
+
+    def test_label_index(self, small):
+        assert small.nodes_with_label("X") == {"a", "b"}
+        assert small.nodes_with_label("Y") == {"c"}
+        assert small.nodes_with_label("missing") == frozenset()
+
+    def test_duplicate_node_rejected(self, small):
+        with pytest.raises(DuplicateNodeError):
+            small.add_node("a", "X")
+
+    def test_node_requires_label(self):
+        g = DataGraph()
+        with pytest.raises(ValueError):
+            g.add_node("a")
+
+    def test_remove_node_removes_edges_and_labels(self, small):
+        small.remove_node("b")
+        assert not small.has_node("b")
+        assert not small.has_edge("a", "b")
+        assert not small.has_edge("b", "c")
+        assert small.number_of_edges == 0
+        assert "b" not in small.nodes_with_label("X")
+
+    def test_remove_missing_node(self, small):
+        with pytest.raises(MissingNodeError):
+            small.remove_node("zzz")
+
+    def test_label_of_missing_node(self, small):
+        with pytest.raises(MissingNodeError):
+            small.labels_of("zzz")
+
+
+class TestEdges:
+    def test_add_and_query(self, small):
+        assert small.has_edge("a", "b")
+        assert not small.has_edge("b", "a")
+
+    def test_successors_predecessors(self, small):
+        assert small.successors("a") == {"b"}
+        assert small.predecessors("c") == {"b"}
+        assert small.successors_view("b") == {"c"}
+        assert small.predecessors_view("b") == {"a"}
+
+    def test_degrees(self, small):
+        assert small.out_degree("a") == 1
+        assert small.in_degree("a") == 0
+        assert small.in_degree("b") == 1
+
+    def test_duplicate_edge_rejected(self, small):
+        with pytest.raises(DuplicateEdgeError):
+            small.add_edge("a", "b")
+
+    def test_edge_to_missing_node(self, small):
+        with pytest.raises(MissingNodeError):
+            small.add_edge("a", "zzz")
+
+    def test_remove_edge(self, small):
+        small.remove_edge("a", "b")
+        assert not small.has_edge("a", "b")
+        assert small.number_of_edges == 1
+
+    def test_remove_missing_edge(self, small):
+        with pytest.raises(MissingEdgeError):
+            small.remove_edge("c", "a")
+
+    def test_edges_iteration(self, small):
+        assert set(small.edges()) == {("a", "b"), ("b", "c")}
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, small):
+        clone = small.copy()
+        assert clone == small
+        clone.add_node("d", "Z")
+        clone.add_edge("c", "d")
+        assert not small.has_node("d")
+        assert clone != small
+
+    def test_constructor_from_mappings(self):
+        g = DataGraph({"a": "X", "b": ("Y", "Z")}, [("a", "b")])
+        assert g.labels_of("b") == ("Y", "Z")
+        assert g.has_edge("a", "b")
+
+    def test_unhashable(self, small):
+        with pytest.raises(TypeError):
+            hash(small)
+
+    def test_repr_mentions_sizes(self, small):
+        assert "nodes=3" in repr(small)

@@ -1,0 +1,79 @@
+"""Round-trip tests for the graph IO helpers."""
+
+import pytest
+
+from repro.graph.digraph import DataGraph
+from repro.graph.io import (
+    data_graph_from_dict,
+    data_graph_to_dict,
+    dump_edge_list,
+    load_edge_list,
+    load_json,
+    pattern_graph_from_dict,
+    pattern_graph_to_dict,
+    save_json,
+)
+from repro.graph.pattern import PatternGraph
+
+
+@pytest.fixture
+def data() -> DataGraph:
+    return DataGraph({"a": "A", "b": "B", "c": "A"}, [("a", "b"), ("b", "c"), ("c", "a")])
+
+
+@pytest.fixture
+def pattern() -> PatternGraph:
+    return PatternGraph({"A": "A", "B": "B"}, [("A", "B", 2), ("B", "A", "*")])
+
+
+def test_edge_list_roundtrip(tmp_path, data):
+    edge_path = tmp_path / "edges.txt"
+    label_path = tmp_path / "labels.txt"
+    dump_edge_list(data, edge_path, label_path)
+    loaded = load_edge_list(edge_path, label_path=label_path)
+    assert loaded == data
+
+
+def test_edge_list_with_labeller(tmp_path, data):
+    edge_path = tmp_path / "edges.txt"
+    dump_edge_list(data, edge_path)
+    loaded = load_edge_list(edge_path, labeller=lambda node: "L")
+    assert loaded.primary_label("a") == "L"
+    assert set(loaded.edges()) == set(data.edges())
+
+
+def test_edge_list_default_label(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# comment\nx y\ny z\n")
+    loaded = load_edge_list(path)
+    assert loaded.primary_label("x") == "N"
+    assert loaded.number_of_edges == 2
+
+
+def test_data_graph_dict_roundtrip(data):
+    assert data_graph_from_dict(data_graph_to_dict(data)) == data
+
+
+def test_pattern_graph_dict_roundtrip(pattern):
+    assert pattern_graph_from_dict(pattern_graph_to_dict(pattern)) == pattern
+
+
+def test_dict_kind_validation(data, pattern):
+    with pytest.raises(ValueError):
+        data_graph_from_dict(pattern_graph_to_dict(pattern))
+    with pytest.raises(ValueError):
+        pattern_graph_from_dict(data_graph_to_dict(data))
+
+
+def test_json_roundtrip(tmp_path, data, pattern):
+    data_path = tmp_path / "data.json"
+    pattern_path = tmp_path / "pattern.json"
+    save_json(data, data_path)
+    save_json(pattern, pattern_path)
+    assert load_json(data_path) == data
+    assert load_json(pattern_path) == pattern
+
+
+def test_save_json_rejects_other_types(tmp_path):
+    with pytest.raises(TypeError):
+        save_json(42, tmp_path / "x.json")

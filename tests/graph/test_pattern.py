@@ -1,0 +1,108 @@
+"""Unit tests for the PatternGraph substrate."""
+
+import math
+
+import pytest
+
+from repro.graph.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    InvalidBoundError,
+    MissingEdgeError,
+    MissingNodeError,
+)
+from repro.graph.pattern import STAR, PatternGraph, normalise_bound
+
+
+@pytest.fixture
+def pattern() -> PatternGraph:
+    p = PatternGraph()
+    p.add_node("PM", "PM")
+    p.add_node("SE", "SE")
+    p.add_node("TE", "TE")
+    p.add_edge("PM", "SE", 3)
+    p.add_edge("SE", "TE", "*")
+    return p
+
+
+class TestBounds:
+    @pytest.mark.parametrize("bound,expected", [(1, 1), (5, 5), ("*", STAR), (math.inf, STAR)])
+    def test_normalise_valid(self, bound, expected):
+        assert normalise_bound(bound) == expected
+
+    @pytest.mark.parametrize("bound", [0, -1, 2.5, "three", None, True])
+    def test_normalise_invalid(self, bound):
+        with pytest.raises(InvalidBoundError):
+            normalise_bound(bound)
+
+    def test_bound_lookup(self, pattern):
+        assert pattern.bound("PM", "SE") == 3
+        assert pattern.bound("SE", "TE") is STAR
+
+    def test_set_bound(self, pattern):
+        pattern.set_bound("PM", "SE", 5)
+        assert pattern.bound("PM", "SE") == 5
+
+    def test_set_bound_missing_edge(self, pattern):
+        with pytest.raises(MissingEdgeError):
+            pattern.set_bound("TE", "PM", 2)
+
+
+class TestStructure:
+    def test_counts(self, pattern):
+        assert pattern.number_of_nodes == 3
+        assert pattern.number_of_edges == 2
+
+    def test_labels(self, pattern):
+        assert pattern.label_of("PM") == "PM"
+        assert pattern.labels() == {"PM", "SE", "TE"}
+
+    def test_invalid_label(self):
+        p = PatternGraph()
+        with pytest.raises(ValueError):
+            p.add_node("x", "")
+
+    def test_duplicate_node(self, pattern):
+        with pytest.raises(DuplicateNodeError):
+            pattern.add_node("PM", "PM")
+
+    def test_duplicate_edge(self, pattern):
+        with pytest.raises(DuplicateEdgeError):
+            pattern.add_edge("PM", "SE", 1)
+
+    def test_missing_node_edge(self, pattern):
+        with pytest.raises(MissingNodeError):
+            pattern.add_edge("PM", "nope", 1)
+
+    def test_remove_node_cascades(self, pattern):
+        pattern.remove_node("SE")
+        assert not pattern.has_edge("PM", "SE")
+        assert not pattern.has_edge("SE", "TE")
+        assert pattern.number_of_edges == 0
+
+    def test_remove_edge(self, pattern):
+        pattern.remove_edge("PM", "SE")
+        assert not pattern.has_edge("PM", "SE")
+        with pytest.raises(MissingEdgeError):
+            pattern.remove_edge("PM", "SE")
+
+    def test_successors_predecessors(self, pattern):
+        assert pattern.successors("PM") == {"SE"}
+        assert pattern.predecessors("TE") == {"SE"}
+
+    def test_edges_iteration(self, pattern):
+        assert ("PM", "SE", 3) in set(pattern.edges())
+
+    def test_copy_and_equality(self, pattern):
+        clone = pattern.copy()
+        assert clone == pattern
+        clone.set_bound("PM", "SE", 1)
+        assert clone != pattern
+
+    def test_constructor(self):
+        p = PatternGraph({"a": "A", "b": "B"}, [("a", "b", 2)])
+        assert p.bound("a", "b") == 2
+
+    def test_unhashable(self, pattern):
+        with pytest.raises(TypeError):
+            hash(pattern)

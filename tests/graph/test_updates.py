@@ -1,0 +1,159 @@
+"""Unit tests for the update model (ΔGP / ΔGD)."""
+
+import pytest
+
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import UpdateError
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import (
+    EdgeInsertion,
+    GraphKind,
+    UpdateBatch,
+    UpdateKind,
+    apply_updates,
+    delete_data_edge,
+    delete_data_node,
+    delete_pattern_edge,
+    delete_pattern_node,
+    insert_data_edge,
+    insert_data_node,
+    insert_pattern_edge,
+    insert_pattern_node,
+    invert_update,
+)
+
+
+@pytest.fixture
+def data() -> DataGraph:
+    return DataGraph({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+
+
+@pytest.fixture
+def pattern() -> PatternGraph:
+    return PatternGraph({"A": "A", "B": "B"}, [("A", "B", 2)])
+
+
+class TestConstructorsAndFlags:
+    def test_kinds(self):
+        assert insert_data_edge("a", "b").kind is UpdateKind.EDGE_INSERT
+        assert delete_data_edge("a", "b").kind is UpdateKind.EDGE_DELETE
+        assert insert_data_node("x", "A").kind is UpdateKind.NODE_INSERT
+        assert delete_data_node("x", "A").kind is UpdateKind.NODE_DELETE
+
+    def test_graph_kinds(self):
+        assert insert_data_edge("a", "b").graph is GraphKind.DATA
+        assert insert_pattern_edge("A", "B", 1).graph is GraphKind.PATTERN
+
+    def test_insertion_deletion_flags(self):
+        assert insert_data_edge("a", "b").is_insertion
+        assert delete_data_edge("a", "b").is_deletion
+        assert insert_data_edge("a", "b").is_edge_update
+        assert not insert_data_node("x", "A").is_edge_update
+
+    def test_pattern_edge_requires_bound(self):
+        with pytest.raises(UpdateError):
+            EdgeInsertion(GraphKind.PATTERN, "A", "B")
+
+    def test_data_edge_rejects_bound(self):
+        with pytest.raises(UpdateError):
+            EdgeInsertion(GraphKind.DATA, "a", "b", 2)
+
+    def test_node_insert_requires_label(self):
+        with pytest.raises(UpdateError):
+            insert_data_node("x", ())
+
+
+class TestApplication:
+    def test_data_edge_roundtrip(self, data):
+        update = insert_data_edge("a", "c")
+        update.apply(data)
+        assert data.has_edge("a", "c")
+        invert_update(update).apply(data)
+        assert not data.has_edge("a", "c")
+
+    def test_pattern_edge_roundtrip(self, pattern):
+        update = insert_pattern_edge("B", "A", 3)
+        update.apply(pattern)
+        assert pattern.bound("B", "A") == 3
+        invert_update(update).apply(pattern)
+        assert not pattern.has_edge("B", "A")
+
+    def test_data_node_with_edges(self, data):
+        update = insert_data_node("d", "D", [("d", "a"), ("b", "d")])
+        update.apply(data)
+        assert data.has_edge("d", "a")
+        assert data.has_edge("b", "d")
+        invert_update(update).apply(data)
+        assert not data.has_node("d")
+
+    def test_pattern_node_with_edges(self, pattern):
+        update = insert_pattern_node("C", "C", [("B", "C", 2)])
+        update.apply(pattern)
+        assert pattern.bound("B", "C") == 2
+
+    def test_node_deletion_inverse_requires_labels(self):
+        update = delete_data_node("x")
+        with pytest.raises(UpdateError):
+            update.inverse()
+
+    def test_pattern_edge_deletion_inverse_requires_bound(self):
+        update = delete_pattern_edge("A", "B")
+        with pytest.raises(UpdateError):
+            update.inverse()
+
+    def test_wrong_target_graph_rejected(self, data, pattern):
+        with pytest.raises(UpdateError):
+            insert_pattern_edge("A", "B", 1).apply(data)
+        with pytest.raises(UpdateError):
+            insert_data_edge("a", "b").apply(pattern)
+
+    def test_apply_updates_routes_by_graph(self, data, pattern):
+        apply_updates(
+            [insert_data_edge("a", "c"), delete_pattern_edge("A", "B", 2)],
+            data_graph=data,
+            pattern_graph=pattern,
+        )
+        assert data.has_edge("a", "c")
+        assert not pattern.has_edge("A", "B")
+
+    def test_apply_updates_missing_graph(self, data):
+        with pytest.raises(UpdateError):
+            apply_updates([insert_pattern_edge("A", "B", 1)], data_graph=data)
+
+
+class TestUpdateBatch:
+    def test_filters(self):
+        batch = UpdateBatch(
+            [
+                insert_data_edge("a", "b"),
+                delete_data_edge("b", "c"),
+                insert_pattern_edge("A", "B", 1),
+                delete_pattern_node("B", "B"),
+            ]
+        )
+        assert len(batch) == 4
+        assert len(batch.data_updates()) == 2
+        assert len(batch.pattern_updates()) == 2
+        assert len(batch.insertions()) == 2
+        assert len(batch.deletions()) == 2
+        assert batch.of_kind(GraphKind.DATA, UpdateKind.EDGE_INSERT) == [batch[0]]
+
+    def test_sequence_protocol(self):
+        batch = UpdateBatch([insert_data_edge("a", "b")])
+        assert batch[0].source == "a"
+        assert list(batch[:1]) == [batch[0]]
+        assert batch == UpdateBatch([insert_data_edge("a", "b")])
+
+    def test_append_type_checked(self):
+        batch = UpdateBatch()
+        with pytest.raises(TypeError):
+            batch.append("not an update")
+
+    def test_apply_all(self, data, pattern):
+        batch = UpdateBatch([insert_data_edge("c", "a"), insert_pattern_edge("B", "A", 1)])
+        batch.apply_all(data, pattern)
+        assert data.has_edge("c", "a")
+        assert pattern.has_edge("B", "A")
+
+    def test_updates_are_hashable(self):
+        assert len({insert_data_edge("a", "b"), insert_data_edge("a", "b")}) == 1

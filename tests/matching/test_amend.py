@@ -1,0 +1,94 @@
+"""The incremental amendment pass: growth analysis and exactness."""
+
+import pytest
+
+from repro.graph.updates import (
+    UpdateBatch,
+    delete_data_edge,
+    delete_pattern_edge,
+    insert_data_edge,
+    insert_pattern_edge,
+)
+from repro.matching.amend import amend_match, growable_pattern_nodes
+from repro.matching.bgs import bounded_simulation
+from repro.matching.gpnm import MatchResult, gpnm_query
+from repro.spl.incremental import update_slen
+from repro.spl.matrix import SLenMatrix
+from tests.conftest import make_random_graph, make_random_pattern
+
+
+class TestGrowablePatternNodes:
+    def test_pattern_edge_insertion_does_not_grow(self, figure1_pattern):
+        grow = growable_pattern_nodes(figure1_pattern, [insert_pattern_edge("PM", "TE", 2)])
+        assert grow == frozenset()
+
+    def test_pattern_edge_deletion_grows_endpoints_and_ancestors(self, figure1_pattern):
+        pattern = figure1_pattern.copy()
+        deletion = delete_pattern_edge("SE", "TE", 4)
+        deletion.apply(pattern)
+        grow = growable_pattern_nodes(pattern, [deletion])
+        assert "SE" in grow
+        assert "PM" in grow  # PM precedes SE in the pattern, so it may grow too.
+
+    def test_data_insertion_grows_everything(self, figure1_pattern):
+        grow = growable_pattern_nodes(figure1_pattern, [insert_data_edge("a", "b")])
+        assert grow == frozenset(figure1_pattern.nodes())
+
+    def test_data_deletion_grows_nothing(self, figure1_pattern):
+        grow = growable_pattern_nodes(figure1_pattern, [delete_data_edge("a", "b")])
+        assert grow == frozenset()
+
+
+def _amended_equals_scratch(data, pattern, updates):
+    """Apply updates with amend_match and compare with a from-scratch query."""
+    slen = SLenMatrix.from_graph(data)
+    previous = gpnm_query(pattern, data, slen, enforce_totality=False)
+    working_data = data.copy()
+    working_pattern = pattern.copy()
+    batch = UpdateBatch(updates)
+    for update in batch.data_updates():
+        update.apply(working_data)
+        update_slen(slen, working_data, update)
+    for update in batch.pattern_updates():
+        update.apply(working_pattern)
+    amended = amend_match(
+        previous, working_pattern, working_data, slen, batch, enforce_totality=False
+    )
+    scratch = MatchResult(
+        bounded_simulation(working_pattern, working_data), enforce_totality=False
+    )
+    assert amended == scratch
+
+
+class TestExactness:
+    def test_paper_example_batch(self, figure1_data, figure1_pattern):
+        from repro import paper_example
+
+        _amended_equals_scratch(
+            figure1_data, figure1_pattern, list(paper_example.example2_updates())
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_restricting_batches(self, seed):
+        data = make_random_graph(num_nodes=22, num_edges=70, seed=seed)
+        pattern = make_random_pattern(seed=seed)
+        edges = sorted(data.edges(), key=repr)
+        updates = [delete_data_edge(*edges[seed % len(edges)])]
+        for source, target, bound in list(pattern.edges())[:1]:
+            updates.append(insert_pattern_edge(target, source, 1) if not pattern.has_edge(target, source) else delete_pattern_edge(source, target, bound))
+        _amended_equals_scratch(data, pattern, updates)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_relaxing_batches(self, seed):
+        data = make_random_graph(num_nodes=22, num_edges=50, seed=seed + 100)
+        pattern = make_random_pattern(seed=seed + 100)
+        nodes = sorted(data.nodes(), key=repr)
+        updates = []
+        for offset in range(3):
+            source = nodes[(seed + offset) % len(nodes)]
+            target = nodes[(seed + offset * 7 + 1) % len(nodes)]
+            if source != target and not data.has_edge(source, target):
+                updates.append(insert_data_edge(source, target))
+        first_edge = next(iter(pattern.edges()))
+        updates.append(delete_pattern_edge(first_edge[0], first_edge[1], first_edge[2]))
+        _amended_equals_scratch(data, pattern, updates)

@@ -1,0 +1,119 @@
+"""Bounded graph simulation and GPNM queries: Table I plus invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper_example
+from repro.graph.pattern import STAR, PatternGraph
+from repro.matching.bgs import bounded_simulation, label_candidates, simulation_fixpoint
+from repro.matching.gpnm import MatchResult, gpnm_query
+from repro.spl.matrix import SLenMatrix
+from tests.conftest import make_random_graph, make_random_pattern
+
+
+class TestTableI:
+    def test_node_matching_result(self, figure1_data, figure1_pattern):
+        result = gpnm_query(figure1_pattern, figure1_data)
+        assert result.as_dict() == paper_example.table1_expected()
+
+    def test_result_is_total(self, figure1_data, figure1_pattern):
+        assert gpnm_query(figure1_pattern, figure1_data).is_total
+
+
+class TestBGSSemantics:
+    def test_label_candidates(self, figure1_data, figure1_pattern):
+        candidates = label_candidates(figure1_pattern, figure1_data)
+        assert candidates["PM"] == {"PM1", "PM2"}
+        assert candidates["S"] == {"S1"}
+
+    def test_bound_violation_prunes(self, figure1_data):
+        pattern = PatternGraph({"PM": "PM", "TE": "TE"}, [("PM", "TE", 2)])
+        relation = bounded_simulation(pattern, figure1_data)
+        # Only PM1 reaches a TE within 2 hops (TE1); PM2 needs 3.
+        assert relation["PM"] == {"PM1"}
+        assert relation["TE"] == {"TE1", "TE2"}
+
+    def test_star_bound_means_reachability(self, figure1_data):
+        pattern = PatternGraph({"PM": "PM", "TE": "TE"}, [("PM", "TE", "*")])
+        relation = bounded_simulation(pattern, figure1_data)
+        assert relation["PM"] == {"PM1", "PM2"}
+
+    def test_unsatisfiable_pattern_gives_empty_total_result(self, figure1_data):
+        pattern = PatternGraph({"TE": "TE", "PM": "PM"}, [("TE", "PM", 1)])
+        result = gpnm_query(pattern, figure1_data)
+        assert result.is_empty
+        assert not result.is_total
+
+    def test_missing_label_empties_result(self, figure1_data):
+        pattern = PatternGraph({"X": "CEO"}, [])
+        assert gpnm_query(pattern, figure1_data).matches("X") == frozenset()
+
+    def test_fixpoint_from_overapproximation(self, figure1_data, figure1_pattern, figure1_slen):
+        exact = bounded_simulation(figure1_pattern, figure1_data, figure1_slen)
+        inflated = {
+            u: set(figure1_data.nodes_with_label(figure1_pattern.label_of(u)))
+            for u in figure1_pattern.nodes()
+        }
+        assert simulation_fixpoint(figure1_pattern, figure1_slen, inflated) == exact
+
+
+class TestMatchResult:
+    def test_mapping_protocol(self, figure1_data, figure1_pattern):
+        result = gpnm_query(figure1_pattern, figure1_data)
+        assert set(result) == {"PM", "SE", "TE", "S"}
+        assert len(result) == 4
+        assert result["S"] == frozenset({"S1"})
+
+    def test_diff(self):
+        first = MatchResult({"A": frozenset({"x"}), "B": frozenset({"y"})})
+        second = MatchResult({"A": frozenset({"x", "z"}), "B": frozenset()}, enforce_totality=False)
+        diff = first.diff(second)
+        assert diff["A"] == (frozenset({"z"}), frozenset())
+        assert diff["B"] == (frozenset(), frozenset({"y"}))
+
+    def test_totality_collapse(self):
+        collapsed = MatchResult({"A": frozenset({"x"}), "B": frozenset()})
+        assert collapsed["A"] == frozenset()
+        non_collapsed = MatchResult({"A": frozenset({"x"}), "B": frozenset()}, enforce_totality=False)
+        assert non_collapsed["A"] == frozenset({"x"})
+
+    def test_matched_data_nodes(self, figure1_data, figure1_pattern):
+        result = gpnm_query(figure1_pattern, figure1_data)
+        assert result.matched_data_nodes() == {
+            "PM1", "PM2", "SE1", "SE2", "S1", "TE1", "TE2",
+        }
+
+    def test_equality_with_mapping(self, figure1_data, figure1_pattern):
+        result = gpnm_query(figure1_pattern, figure1_data)
+        assert result == paper_example.table1_expected()
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(MatchResult({}))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    graph_seed=st.integers(min_value=0, max_value=500),
+    pattern_seed=st.integers(min_value=0, max_value=500),
+)
+def test_simulation_invariants(graph_seed, pattern_seed):
+    """Property: labels match, every edge constraint holds, and the relation is maximal."""
+    data = make_random_graph(num_nodes=20, num_edges=60, seed=graph_seed)
+    pattern = make_random_pattern(seed=pattern_seed)
+    slen = SLenMatrix.from_graph(data)
+    relation = bounded_simulation(pattern, data, slen)
+    for u, matches in relation.items():
+        for v in matches:
+            assert pattern.label_of(u) in data.labels_of(v)
+    for u, u_prime, bound in pattern.edges():
+        limit = float("inf") if bound is STAR else bound
+        for v in relation[u]:
+            assert any(
+                slen.distance(v, v_prime) <= limit for v_prime in relation[u_prime]
+            ), (u, u_prime, v)
+    # Maximality: adding any label-consistent node back violates some constraint
+    # after refinement (the fixpoint from the inflated start equals the relation).
+    inflated = {u: set(data.nodes_with_label(pattern.label_of(u))) for u in pattern.nodes()}
+    assert simulation_fixpoint(pattern, slen, inflated) == relation

@@ -1,0 +1,105 @@
+"""Candidate sets (Example 7 / Table IV) and affected sets (Example 8 / Table VII)."""
+
+import pytest
+
+from repro import paper_example
+from repro.graph.errors import UpdateError
+from repro.graph.updates import (
+    delete_pattern_edge,
+    delete_pattern_node,
+    insert_data_edge,
+    insert_pattern_edge,
+    insert_pattern_node,
+)
+from repro.matching.affected import affected_set_from_delta
+from repro.matching.candidates import candidate_set
+from repro.matching.gpnm import gpnm_query
+from repro.spl.incremental import update_slen
+
+
+@pytest.fixture
+def iquery(figure1_data, figure1_pattern, figure1_slen):
+    return gpnm_query(figure1_pattern, figure1_data, figure1_slen, enforce_totality=False)
+
+
+class TestExample7:
+    def test_can_rn_up1(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        up1 = insert_pattern_edge("PM", "TE", 2)
+        candidates = candidate_set(up1, figure1_pattern, figure1_data, figure1_slen, iquery)
+        assert candidates.remove_nodes == {"PM2", "TE2"}
+        assert candidates.add_nodes == frozenset()
+        assert candidates.bound == 2
+
+    def test_can_rn_up2(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        up2 = insert_pattern_edge("S", "TE", 4)
+        candidates = candidate_set(up2, figure1_pattern, figure1_data, figure1_slen, iquery)
+        assert candidates.remove_nodes == {"TE2"}
+
+    def test_up1_covers_up2(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        up1 = candidate_set(
+            insert_pattern_edge("PM", "TE", 2), figure1_pattern, figure1_data, figure1_slen, iquery
+        )
+        up2 = candidate_set(
+            insert_pattern_edge("S", "TE", 4), figure1_pattern, figure1_data, figure1_slen, iquery
+        )
+        assert up1.covers(up2)
+        assert not up2.covers(up1)
+        assert len(up1) == 2
+
+
+class TestOtherPatternUpdates:
+    def test_edge_deletion_candidates(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        deletion = delete_pattern_edge("PM", "S", 3)
+        candidates = candidate_set(deletion, figure1_pattern, figure1_data, figure1_slen, iquery)
+        # All PM and S nodes are already matched and satisfy the bound, so
+        # nothing new can be added by removing the constraint.
+        assert candidates.add_nodes == frozenset()
+
+    def test_node_insertion_candidates(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        insertion = insert_pattern_node("DB", "DB", [("PM", "DB", 2)])
+        candidates = candidate_set(insertion, figure1_pattern, figure1_data, figure1_slen, iquery)
+        assert candidates.add_nodes == {"DB1"}
+        assert candidates.remove_nodes == {"PM1", "PM2"}
+
+    def test_node_deletion_candidates(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        deletion = delete_pattern_node("TE", "TE")
+        candidates = candidate_set(deletion, figure1_pattern, figure1_data, figure1_slen, iquery)
+        # SE nodes are all matched already, so nothing becomes addable.
+        assert candidates.add_nodes == frozenset()
+
+    def test_data_update_rejected(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        with pytest.raises(UpdateError):
+            candidate_set(
+                insert_data_edge("SE1", "TE2"),
+                figure1_pattern,
+                figure1_data,
+                figure1_slen,
+                iquery,
+            )
+
+    def test_missing_pattern_node_rejected(self, figure1_data, figure1_pattern, figure1_slen, iquery):
+        with pytest.raises(UpdateError):
+            candidate_set(
+                delete_pattern_node("nope", "X"),
+                figure1_pattern,
+                figure1_data,
+                figure1_slen,
+                iquery,
+            )
+
+
+class TestExample8AffectedSets:
+    def test_affected_sets_and_coverage(self, figure1_data, figure1_slen):
+        ud1 = insert_data_edge("SE1", "TE2")
+        ud2 = insert_data_edge("DB1", "S1")
+        ud1.apply(figure1_data)
+        aff1 = affected_set_from_delta(ud1, update_slen(figure1_slen, figure1_data, ud1))
+        ud2.apply(figure1_data)
+        aff2 = affected_set_from_delta(ud2, update_slen(figure1_slen, figure1_data, ud2))
+        # Table VII: UD1 affects every node, UD2 affects five of them.
+        assert aff1.nodes == set(paper_example.FIGURE1_LABELS)
+        assert aff2.nodes == {"PM1", "SE2", "S1", "TE1", "DB1"}
+        assert aff1.covers(aff2)
+        assert not aff2.covers(aff1)
+        assert not aff1.is_empty
+        assert len(aff2) == 5

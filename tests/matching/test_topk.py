@@ -1,0 +1,81 @@
+"""Tests for the top-k matching-node extension (paper future work)."""
+
+import pytest
+
+from repro.matching.gpnm import gpnm_query
+from repro.matching.topk import RankedMatch, score_match, top_k_matches
+from repro.spl.matrix import SLenMatrix
+from tests.conftest import make_random_graph, make_random_pattern
+
+
+@pytest.fixture
+def state(figure1_data, figure1_pattern, figure1_slen):
+    result = gpnm_query(figure1_pattern, figure1_data, figure1_slen)
+    return figure1_data, figure1_pattern, figure1_slen, result
+
+
+class TestScoring:
+    def test_scores_in_unit_interval(self, state):
+        data, pattern, slen, result = state
+        for u in result:
+            for v in result.matches(u):
+                assert 0.0 <= score_match(u, v, pattern, data, slen, result) <= 1.0
+
+    def test_tighter_match_scores_higher(self, state):
+        data, pattern, slen, result = state
+        # PM1 reaches SE2 at distance 1 and S1 at 3; PM2 reaches SE1 at 1 and S1 at 2,
+        # but PM1 has higher degree; both should be valid, distinct scores.
+        pm1 = score_match("PM", "PM1", pattern, data, slen, result)
+        pm2 = score_match("PM", "PM2", pattern, data, slen, result)
+        assert pm1 != pm2
+
+    def test_deterministic(self, state):
+        data, pattern, slen, result = state
+        first = top_k_matches(result, pattern, data, slen, k=2)
+        second = top_k_matches(result, pattern, data, slen, k=2)
+        assert first == second
+
+
+class TestTopK:
+    def test_k_limits_result_size(self, state):
+        data, pattern, slen, result = state
+        ranked = top_k_matches(result, pattern, data, slen, k=1)
+        assert all(len(matches) <= 1 for matches in ranked.values())
+        assert set(ranked) == set(result)
+
+    def test_all_matches_returned_when_k_large(self, state):
+        data, pattern, slen, result = state
+        ranked = top_k_matches(result, pattern, data, slen, k=10)
+        for u, matches in ranked.items():
+            assert {match.data_node for match in matches} == set(result.matches(u))
+
+    def test_sorted_by_descending_score(self, state):
+        data, pattern, slen, result = state
+        ranked = top_k_matches(result, pattern, data, slen, k=5)
+        for matches in ranked.values():
+            scores = [match.score for match in matches]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_single_pattern_node(self, state):
+        data, pattern, slen, result = state
+        ranked = top_k_matches(result, pattern, data, slen, k=2, pattern_node="SE")
+        assert list(ranked) == ["SE"]
+        assert all(isinstance(match, RankedMatch) for match in ranked["SE"])
+
+    def test_invalid_k(self, state):
+        data, pattern, slen, result = state
+        with pytest.raises(ValueError):
+            top_k_matches(result, pattern, data, slen, k=0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        data = make_random_graph(seed=seed)
+        pattern = make_random_pattern(seed=seed)
+        slen = SLenMatrix.from_graph(data)
+        result = gpnm_query(pattern, data, slen, enforce_totality=False)
+        ranked = top_k_matches(result, pattern, data, slen, k=3)
+        for u, matches in ranked.items():
+            assert len(matches) <= 3
+            for match in matches:
+                assert match.data_node in result.matches(u)
+                assert 0.0 <= match.score <= 1.0

@@ -1,0 +1,85 @@
+"""Tests for the Hybrid (ELL+COO) storage of the SLen matrix."""
+
+import pytest
+
+from repro.spl.hybrid import HybridMatrix
+from repro.spl.matrix import INF, SLenMatrix
+from tests.conftest import make_random_graph
+
+
+@pytest.fixture
+def slen() -> SLenMatrix:
+    return SLenMatrix.from_graph(make_random_graph(seed=7))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [None, 0, 1, 5, 100])
+    def test_distances_preserved(self, slen, k):
+        hybrid = HybridMatrix(slen, k=k)
+        for source in slen.nodes():
+            for target in slen.nodes():
+                assert hybrid.distance(source, target) == slen.distance(source, target)
+
+    def test_to_slen_roundtrip(self, slen):
+        assert HybridMatrix(slen, k=3).to_slen() == slen
+
+    def test_rows_match(self, slen):
+        hybrid = HybridMatrix(slen, k=2)
+        for source in slen.nodes():
+            assert hybrid.row(source) == slen.row(source)
+
+    def test_finite_entries_count(self, slen):
+        hybrid = HybridMatrix(slen)
+        assert sum(1 for _ in hybrid.finite_entries()) == slen.number_of_finite_entries
+
+
+class TestSpaceAccounting:
+    def test_cell_counts(self, slen):
+        hybrid = HybridMatrix(slen, k=1)
+        assert hybrid.k == 1
+        assert hybrid.ell_cells == 2 * len(slen.nodes())
+        assert hybrid.coo_cells == 3 * (slen.number_of_finite_entries - sum(
+            min(1, len(slen.row(node))) for node in slen.nodes()
+        ))
+        assert hybrid.dense_cells == len(slen.nodes()) ** 2
+
+    def test_compression_better_than_dense_on_sparse_matrix(self):
+        # A long path graph has a very sparse reachability structure.
+        from repro.graph.digraph import DataGraph
+
+        graph = DataGraph({f"n{i}": "X" for i in range(60)})
+        for i in range(59):
+            graph.add_edge(f"n{i}", f"n{i+1}")
+        # Bound the horizon so the matrix stays sparse, as the paper's remark assumes.
+        slen = SLenMatrix.from_graph(graph, horizon=3)
+        hybrid = HybridMatrix(slen)
+        assert hybrid.compression_ratio < 1.0
+
+    def test_negative_k_rejected(self, slen):
+        with pytest.raises(ValueError):
+            HybridMatrix(slen, k=-1)
+
+    def test_missing_node(self, slen):
+        from repro.graph.errors import MissingNodeError
+
+        hybrid = HybridMatrix(slen)
+        with pytest.raises(MissingNodeError):
+            hybrid.distance("nope", "nope")
+
+    def test_zero_width_ell_still_answers_lookups(self, slen):
+        hybrid = HybridMatrix(slen, k=0)
+        nodes = sorted(slen.nodes(), key=repr)
+        # With k=0 everything overflows to the COO part but lookups still work.
+        assert hybrid.distance(nodes[0], nodes[0]) == 0
+        unreachable = [
+            (s, t) for s in nodes for t in nodes if slen.distance(s, t) == INF
+        ]
+        if unreachable:
+            source, target = unreachable[0]
+            assert hybrid.distance(source, target) == INF
+
+
+def test_empty_matrix():
+    hybrid = HybridMatrix(SLenMatrix())
+    assert hybrid.compression_ratio == 0.0
+    assert list(hybrid.finite_entries()) == []

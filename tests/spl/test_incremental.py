@@ -1,0 +1,176 @@
+"""Incremental SLen maintenance: paper Tables V/VI plus property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper_example
+from repro.graph.errors import UpdateError
+from repro.graph.updates import (
+    delete_data_edge,
+    delete_data_node,
+    insert_data_edge,
+    insert_data_node,
+    insert_pattern_edge,
+)
+from repro.spl.incremental import update_slen
+from repro.spl.matrix import INF, SLenMatrix
+from tests.conftest import make_random_graph
+
+
+class TestPaperTablesVAndVI:
+    def test_table_v_ud1(self, figure1_data, figure1_slen):
+        update = insert_data_edge("SE1", "TE2")
+        update.apply(figure1_data)
+        delta = update_slen(figure1_slen, figure1_data, update)
+        # Table V: a new TE2 column appears; every other entry is unchanged.
+        expected_te2 = {"PM1": 3, "PM2": 2, "SE1": 1, "SE2": 3, "S1": 3, "TE1": 4, "DB1": 2}
+        for source, distance in expected_te2.items():
+            assert figure1_slen.distance(source, "TE2") == distance
+        assert all(target == "TE2" for _source, target in delta.changed_pairs)
+        assert delta.affected_nodes >= set(expected_te2) | {"TE2"}
+
+    def test_table_vi_ud2(self, figure1_data, figure1_slen):
+        update = insert_data_edge("DB1", "S1")
+        update.apply(figure1_data)
+        delta = update_slen(figure1_slen, figure1_data, update)
+        assert figure1_slen.distance("PM1", "S1") == 2
+        assert figure1_slen.distance("SE2", "S1") == 2
+        assert figure1_slen.distance("TE1", "S1") == 3
+        assert figure1_slen.distance("DB1", "S1") == 1
+        # Table VII: the affected nodes of UD2.
+        assert delta.affected_nodes == {"PM1", "SE2", "S1", "TE1", "DB1"}
+
+    def test_example8_coverage(self, figure1_data, figure1_slen):
+        ud1 = insert_data_edge("SE1", "TE2")
+        ud2 = insert_data_edge("DB1", "S1")
+        ud1.apply(figure1_data)
+        delta1 = update_slen(figure1_slen, figure1_data, ud1)
+        ud2.apply(figure1_data)
+        delta2 = update_slen(figure1_slen, figure1_data, ud2)
+        assert delta1.affected_nodes >= delta2.affected_nodes
+
+
+class TestContracts:
+    def test_insert_requires_applied_graph(self, figure1_data, figure1_slen):
+        with pytest.raises(UpdateError):
+            update_slen(figure1_slen, figure1_data, insert_data_edge("SE1", "TE2"))
+
+    def test_delete_requires_applied_graph(self, figure1_data, figure1_slen):
+        with pytest.raises(UpdateError):
+            update_slen(figure1_slen, figure1_data, delete_data_edge("PM1", "SE2"))
+
+    def test_pattern_update_rejected(self, figure1_data, figure1_slen):
+        with pytest.raises(UpdateError):
+            update_slen(figure1_slen, figure1_data, insert_pattern_edge("PM", "TE", 2))
+
+    def test_delta_len_and_empty(self, figure1_data, figure1_slen):
+        update = insert_data_edge("PM2", "SE2")  # distance already 2 -> only improves some pairs
+        update.apply(figure1_data)
+        delta = update_slen(figure1_slen, figure1_data, update)
+        assert len(delta) == len(delta.changed_pairs)
+        assert delta.is_empty == (not delta.changed_pairs)
+
+
+def _random_update_sequence(graph, count, seed):
+    """Build an applicable random mix of the four data-update kinds."""
+    rng = random.Random(seed)
+    updates = []
+    nodes = sorted(graph.nodes(), key=repr)
+    for position in range(count):
+        roll = rng.random()
+        current_edges = sorted(graph.edges(), key=repr)
+        current_nodes = sorted(graph.nodes(), key=repr)
+        if roll < 0.35:
+            source, target = rng.sample(current_nodes, 2)
+            if graph.has_edge(source, target):
+                continue
+            update = insert_data_edge(source, target)
+        elif roll < 0.6 and current_edges:
+            source, target = rng.choice(current_edges)
+            update = delete_data_edge(source, target)
+        elif roll < 0.8:
+            anchor = rng.choice(current_nodes)
+            update = insert_data_node(f"x{seed}_{position}", "A", [(f"x{seed}_{position}", anchor)])
+        elif len(current_nodes) > 3:
+            update = delete_data_node(rng.choice(current_nodes))
+        else:
+            continue
+        update.apply(graph)
+        updates.append(update)
+    return updates
+
+
+class TestAgainstFullRecompute:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sequence_matches_recompute(self, seed):
+        graph = make_random_graph(num_nodes=24, num_edges=70, seed=seed)
+        slen = SLenMatrix.from_graph(graph)
+        # Generate the sequence against a scratch copy, then replay it on a
+        # fresh copy while maintaining the matrix incrementally.
+        sequence = _random_update_sequence(graph.copy(), 12, seed)
+        working = graph.copy()
+        for update in sequence:
+            update.apply(working)
+            update_slen(slen, working, update)
+        assert slen == SLenMatrix.from_graph(working)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_horizon_matches_truncated_recompute(self, seed):
+        graph = make_random_graph(num_nodes=24, num_edges=70, seed=seed + 50)
+        slen = SLenMatrix.from_graph(graph, horizon=3)
+        working = graph.copy()
+        for update in _random_update_sequence(graph.copy(), 10, seed + 50):
+            update.apply(working)
+            update_slen(slen, working, update)
+        reference = SLenMatrix.from_graph(working, horizon=3)
+        assert slen == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    edge_count=st.integers(min_value=10, max_value=60),
+)
+def test_single_edge_insert_then_delete_roundtrip(seed, edge_count):
+    """Property: inserting then deleting the same edge restores the matrix."""
+    graph = make_random_graph(num_nodes=18, num_edges=edge_count, seed=seed)
+    slen = SLenMatrix.from_graph(graph)
+    original = slen.copy()
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    source, target = rng.sample(nodes, 2)
+    if graph.has_edge(source, target):
+        return
+    insertion = insert_data_edge(source, target)
+    insertion.apply(graph)
+    update_slen(slen, graph, insertion)
+    deletion = delete_data_edge(source, target)
+    deletion.apply(graph)
+    update_slen(slen, graph, deletion)
+    assert slen == original
+    assert slen == SLenMatrix.from_graph(graph)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_affected_nodes_cover_changed_pairs(seed):
+    """Property: Aff_N contains both endpoints of every changed pair."""
+    graph = make_random_graph(num_nodes=16, num_edges=40, seed=seed)
+    slen = SLenMatrix.from_graph(graph)
+    rng = random.Random(seed)
+    edges = sorted(graph.edges(), key=repr)
+    if not edges:
+        return
+    source, target = rng.choice(edges)
+    deletion = delete_data_edge(source, target)
+    deletion.apply(graph)
+    delta = update_slen(slen, graph, deletion)
+    for x, y in delta.changed_pairs:
+        assert x in delta.affected_nodes
+        assert y in delta.affected_nodes
+    for (_x, _y), (old, new) in delta.changed_pairs.items():
+        assert old != new
+        assert old < new or new == INF

@@ -1,0 +1,133 @@
+"""Tests for the SLen all-pairs matrix, including the paper's Table III."""
+
+import pytest
+
+from repro import paper_example
+from repro.graph.errors import MissingNodeError
+from repro.spl.matrix import INF, SLenMatrix
+from tests.conftest import make_random_graph
+
+
+class TestTableIII:
+    def test_matches_paper(self, figure1_data, figure1_slen):
+        expected = paper_example.table3_slen_expected()
+        for source in figure1_data.nodes():
+            for target in figure1_data.nodes():
+                assert figure1_slen.distance(source, target) == expected.get(
+                    (source, target), INF
+                ), (source, target)
+
+
+class TestQueries:
+    def test_row_and_column(self, figure1_slen):
+        assert figure1_slen.row("PM1")["SE2"] == 1
+        assert figure1_slen.column("S1")["TE2"] == 1
+        assert "TE2" not in figure1_slen.row("PM1")
+
+    def test_row_view_is_internal(self, figure1_slen):
+        view = figure1_slen.row_view("PM1")
+        assert view["DB1"] == 1
+
+    def test_within_and_reachable(self, figure1_slen):
+        assert figure1_slen.within("PM1", 1) == {"PM1", "SE2", "DB1"}
+        assert "TE2" not in figure1_slen.reachable_from("PM1")
+
+    def test_missing_node(self, figure1_slen):
+        with pytest.raises(MissingNodeError):
+            figure1_slen.distance("PM1", "nope")
+
+    def test_counts(self, figure1_slen):
+        assert figure1_slen.number_of_nodes == 8
+        assert figure1_slen.number_of_finite_entries == sum(
+            1 for _ in figure1_slen.finite_entries()
+        )
+
+
+class TestMutation:
+    def test_set_distance_and_inf(self, figure1_slen):
+        figure1_slen.set_distance("PM1", "TE2", 7)
+        assert figure1_slen.distance("PM1", "TE2") == 7
+        figure1_slen.set_distance("PM1", "TE2", INF)
+        assert figure1_slen.distance("PM1", "TE2") == INF
+
+    def test_set_row(self, figure1_slen):
+        figure1_slen.set_row("PM1", {"SE1": 9})
+        assert figure1_slen.distance("PM1", "SE1") == 9
+        assert figure1_slen.distance("PM1", "PM1") == 0
+        assert figure1_slen.distance("PM1", "SE2") == INF
+
+    def test_add_remove_node(self, figure1_slen):
+        figure1_slen.add_node("new")
+        assert figure1_slen.distance("new", "new") == 0
+        figure1_slen.remove_node("new")
+        with pytest.raises(MissingNodeError):
+            figure1_slen.distance("new", "new")
+
+    def test_recompute_rows(self, figure1_data, figure1_slen):
+        figure1_data.add_edge("S1", "TE2")
+        changed = figure1_slen.recompute_rows(figure1_data, ["S1", "PM2"])
+        assert "S1" in changed
+        assert figure1_slen.distance("S1", "TE2") == 1
+
+
+class TestCopyCompareExport:
+    def test_copy_independent(self, figure1_slen):
+        clone = figure1_slen.copy()
+        clone.set_distance("PM1", "SE2", 5)
+        assert figure1_slen.distance("PM1", "SE2") == 1
+        assert clone != figure1_slen
+
+    def test_differences(self, figure1_slen):
+        other = figure1_slen.copy()
+        other.set_distance("PM1", "SE2", 5)
+        diff = figure1_slen.differences(other)
+        assert diff == {("PM1", "SE2"): (1, 5)}
+
+    def test_to_dense(self, figure1_slen):
+        dense, order = figure1_slen.to_dense()
+        index = {node: position for position, node in enumerate(order)}
+        assert dense[index["PM1"], index["SE2"]] == 1
+        assert dense[index["PM1"], index["TE2"]] == INF
+
+    def test_to_dense_bad_order(self, figure1_slen):
+        with pytest.raises(ValueError):
+            figure1_slen.to_dense(order=["PM1"])
+
+    def test_from_rows(self, figure1_data, figure1_slen):
+        rows = {node: figure1_slen.row(node) for node in figure1_data.nodes()}
+        rebuilt = SLenMatrix.from_rows(figure1_data.nodes(), rows)
+        assert rebuilt == figure1_slen
+
+    def test_unhashable(self, figure1_slen):
+        with pytest.raises(TypeError):
+            hash(figure1_slen)
+
+
+class TestHorizon:
+    def test_bounded_matches_truncated_full(self):
+        graph = make_random_graph(seed=3)
+        full = SLenMatrix.from_graph(graph)
+        bounded = SLenMatrix.from_graph(graph, horizon=2)
+        assert bounded.horizon == 2
+        for source in graph.nodes():
+            for target in graph.nodes():
+                exact = full.distance(source, target)
+                expected = exact if exact <= 2 else INF
+                assert bounded.distance(source, target) == expected
+
+    def test_set_distance_beyond_horizon_dropped(self):
+        graph = make_random_graph(seed=3)
+        bounded = SLenMatrix.from_graph(graph, horizon=2)
+        source = next(iter(graph.nodes()))
+        other = next(node for node in graph.nodes() if node != source)
+        bounded.set_distance(source, other, 9)
+        assert bounded.distance(source, other) == INF
+
+    def test_copy_preserves_horizon(self):
+        graph = make_random_graph(seed=3)
+        bounded = SLenMatrix.from_graph(graph, horizon=3)
+        assert bounded.copy().horizon == 3
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SLenMatrix(horizon=-1)

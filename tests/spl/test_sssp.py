@@ -1,0 +1,79 @@
+"""Tests for single-source traversals (BFS and Dijkstra)."""
+
+import pytest
+
+from repro.graph.errors import MissingNodeError
+from repro.spl.sssp import bfs_lengths, bfs_lengths_within, dijkstra_lengths
+from tests.conftest import make_random_graph
+
+networkx = pytest.importorskip("networkx")
+
+
+def _to_networkx(graph):
+    nx_graph = networkx.DiGraph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestBFS:
+    def test_simple_chain(self, figure1_data):
+        lengths = bfs_lengths(figure1_data, "PM1")
+        assert lengths["PM1"] == 0
+        assert lengths["SE2"] == 1
+        assert lengths["PM2"] == 3
+        assert "TE2" not in lengths
+
+    def test_reverse(self, figure1_data):
+        lengths = bfs_lengths(figure1_data, "S1", reverse=True)
+        assert lengths["TE2"] == 1
+        assert lengths["PM1"] == 3
+
+    def test_missing_source(self, figure1_data):
+        with pytest.raises(MissingNodeError):
+            bfs_lengths(figure1_data, "nope")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        graph = make_random_graph(seed=seed)
+        nx_graph = _to_networkx(graph)
+        for source in list(graph.nodes())[:5]:
+            expected = networkx.single_source_shortest_path_length(nx_graph, source)
+            assert bfs_lengths(graph, source) == dict(expected)
+
+
+class TestBoundedBFS:
+    def test_truncation(self, figure1_data):
+        within = bfs_lengths_within(figure1_data, "PM1", 2)
+        full = bfs_lengths(figure1_data, "PM1")
+        assert within == {node: dist for node, dist in full.items() if dist <= 2}
+
+    def test_zero_depth(self, figure1_data):
+        assert bfs_lengths_within(figure1_data, "PM1", 0) == {"PM1": 0}
+
+    def test_negative_depth_rejected(self, figure1_data):
+        with pytest.raises(ValueError):
+            bfs_lengths_within(figure1_data, "PM1", -1)
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unit_weights_match_bfs(self, seed):
+        graph = make_random_graph(seed=seed)
+        source = next(iter(graph.nodes()))
+        bfs = bfs_lengths(graph, source)
+        dijkstra = dijkstra_lengths(graph, source)
+        assert {node: int(dist) for node, dist in dijkstra.items()} == bfs
+
+    def test_custom_weights(self, figure1_data):
+        lengths = dijkstra_lengths(figure1_data, "PM1", weight=lambda u, v: 2.0)
+        assert lengths["SE2"] == 2.0
+        assert lengths["PM2"] == 6.0
+
+    def test_negative_weight_rejected(self, figure1_data):
+        with pytest.raises(ValueError):
+            dijkstra_lengths(figure1_data, "PM1", weight=lambda u, v: -1.0)
+
+    def test_missing_source(self, figure1_data):
+        with pytest.raises(MissingNodeError):
+            dijkstra_lengths(figure1_data, "nope")

@@ -1,0 +1,44 @@
+"""End-to-end checks of the paper's worked example (Figures 1-4, Tables I-IX)."""
+
+from repro import paper_example
+from repro.spl.matrix import INF, SLenMatrix
+
+
+def test_figure1_graph_shape():
+    data = paper_example.figure1_data_graph()
+    assert data.number_of_nodes == 8
+    assert data.number_of_edges == len(paper_example.FIGURE1_EDGES)
+    assert data.nodes_with_label("SE") == {"SE1", "SE2"}
+
+
+def test_figure1_pattern_shape():
+    pattern = paper_example.figure1_pattern_graph()
+    assert pattern.number_of_nodes == 4
+    assert pattern.bound("PM", "SE") == 3
+    assert pattern.bound("PM", "S") == 3
+    assert pattern.bound("SE", "TE") == 4
+
+
+def test_table3_is_consistent_with_graph():
+    data = paper_example.figure1_data_graph()
+    slen = SLenMatrix.from_graph(data)
+    expected = paper_example.table3_slen_expected()
+    for source in data.nodes():
+        for target in data.nodes():
+            assert slen.distance(source, target) == expected.get((source, target), INF)
+
+
+def test_example2_update_names():
+    names = paper_example.example2_update_names()
+    assert names["UD1"].source == "SE1" and names["UD1"].target == "TE2"
+    assert names["UP1"].bound == 2
+    assert len(paper_example.example2_updates()) == 4
+
+
+def test_figure4_graph_and_tables():
+    data = paper_example.figure4_data_graph()
+    assert data.number_of_nodes == 8
+    assert set(paper_example.table8_expected()) == {
+        (s, t) for s in ("SE1", "SE2", "SE3", "SE4") for t in ("SE1", "SE2", "SE3", "SE4")
+    }
+    assert all(value >= 0 for value in paper_example.table9_expected().values() if value != INF)

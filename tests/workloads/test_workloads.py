@@ -1,0 +1,164 @@
+"""Workload substrate: graph generator, datasets, pattern and update generators."""
+
+import pytest
+
+from repro.graph.updates import GraphKind
+from repro.workloads.datasets import DATASETS, dataset_names, load_dataset
+from repro.workloads.generators import (
+    DEFAULT_LABEL_ORDER,
+    SocialGraphSpec,
+    generate_social_graph,
+)
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern, pattern_for_dataset
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+
+class TestSocialGraphGenerator:
+    def test_deterministic(self):
+        spec = SocialGraphSpec(name="t", num_nodes=40, num_edges=150, seed=5)
+        assert generate_social_graph(spec) == generate_social_graph(spec)
+
+    def test_sizes(self):
+        graph = generate_social_graph(SocialGraphSpec(name="t", num_nodes=40, num_edges=150, seed=5))
+        assert graph.number_of_nodes == 40
+        assert 100 <= graph.number_of_edges <= 150
+
+    def test_labels_come_from_tiers(self):
+        spec = SocialGraphSpec(name="t", num_nodes=30, num_edges=90, seed=1)
+        graph = generate_social_graph(spec)
+        assert graph.labels() <= set(spec.labels)
+        assert set(spec.labels) == set(DEFAULT_LABEL_ORDER)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1, "num_edges": 5},
+            {"num_nodes": 5, "num_edges": 0},
+            {"num_nodes": 5, "num_edges": 5, "intra_fraction": 0.9, "forward_fraction": 0.9},
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            SocialGraphSpec(name="t", seed=1, **kwargs)
+
+
+class TestDatasets:
+    def test_registry_has_five_paper_datasets(self):
+        assert dataset_names() == ["email-EU-core", "DBLP", "Amazon", "Youtube", "LiveJournal"]
+
+    def test_relative_size_ordering_preserved(self):
+        # The synthetic stand-ins must keep the paper's relative edge-count
+        # ordering (email < Amazon < DBLP < Youtube < LiveJournal).
+        by_paper = sorted(dataset_names(), key=lambda name: DATASETS[name].paper_edges)
+        by_quick = sorted(dataset_names(), key=lambda name: DATASETS[name].quick.num_edges)
+        assert by_paper == by_quick
+
+    def test_scale_factor_positive(self):
+        for spec in DATASETS.values():
+            assert spec.scale_factor("quick") > 1
+            assert spec.scale_factor("full") > 1
+
+    def test_load_dataset(self):
+        graph = load_dataset("email-EU-core")
+        assert graph.number_of_nodes == DATASETS["email-EU-core"].quick.num_nodes
+
+    def test_unknown_dataset_and_scale(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+        with pytest.raises(ValueError):
+            DATASETS["DBLP"].spec_for("huge")
+
+
+class TestPatternGenerator:
+    def test_deterministic_and_connected_size(self):
+        spec = PatternSpec(num_nodes=8, num_edges=10, labels=DEFAULT_LABEL_ORDER, seed=3)
+        pattern = generate_pattern(spec)
+        assert pattern == generate_pattern(spec)
+        assert pattern.number_of_nodes == 8
+        assert pattern.number_of_edges >= 7
+
+    def test_bounds_within_range(self):
+        spec = PatternSpec(
+            num_nodes=6, num_edges=8, labels=DEFAULT_LABEL_ORDER, min_bound=2, max_bound=3,
+            star_probability=0.0, seed=4,
+        )
+        pattern = generate_pattern(spec)
+        assert all(2 <= bound <= 3 for _s, _t, bound in pattern.edges())
+
+    def test_respect_label_order(self):
+        spec = PatternSpec(
+            num_nodes=6, num_edges=8, labels=DEFAULT_LABEL_ORDER, respect_label_order=True, seed=4,
+        )
+        pattern = generate_pattern(spec)
+        rank = {label: position for position, label in enumerate(DEFAULT_LABEL_ORDER)}
+        for source, target, _bound in pattern.edges():
+            assert rank[pattern.label_of(source)] <= rank[pattern.label_of(target)]
+
+    def test_pattern_for_dataset_helper(self):
+        pattern = pattern_for_dataset(DEFAULT_LABEL_ORDER, 6, 6, seed=9)
+        assert pattern.number_of_nodes == 6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1, "num_edges": 1},
+            {"num_nodes": 4, "num_edges": 2},
+            {"num_nodes": 4, "num_edges": 4, "labels": ()},
+            {"num_nodes": 4, "num_edges": 4, "min_bound": 0},
+            {"num_nodes": 4, "num_edges": 4, "star_probability": 2.0},
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        kwargs.setdefault("labels", DEFAULT_LABEL_ORDER)
+        with pytest.raises(ValueError):
+            PatternSpec(seed=1, **kwargs)
+
+
+class TestUpdateGenerator:
+    def _workload(self, seed=11, pattern_updates=6, data_updates=20):
+        data = generate_social_graph(SocialGraphSpec(name="t", num_nodes=50, num_edges=200, seed=seed))
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=6, num_edges=6, labels=DEFAULT_LABEL_ORDER, seed=seed)
+        )
+        batch = generate_update_batch(
+            data,
+            pattern,
+            UpdateWorkloadSpec(
+                num_pattern_updates=pattern_updates, num_data_updates=data_updates, seed=seed
+            ),
+        )
+        return data, pattern, batch
+
+    def test_counts_and_split(self):
+        _data, _pattern, batch = self._workload()
+        assert len(batch.data_updates()) <= 20
+        assert len(batch.data_updates()) >= 16
+        assert len(batch.pattern_updates()) <= 6
+        assert batch.insertions() and batch.deletions()
+
+    def test_batch_is_applicable(self):
+        data, pattern, batch = self._workload()
+        batch.apply_all(data, pattern)  # must not raise
+
+    def test_data_before_pattern(self):
+        _data, _pattern, batch = self._workload()
+        kinds = [update.graph for update in batch]
+        if GraphKind.PATTERN in kinds:
+            first_pattern = kinds.index(GraphKind.PATTERN)
+            assert all(kind is GraphKind.PATTERN for kind in kinds[first_pattern:])
+
+    def test_deterministic(self):
+        _d1, _p1, batch1 = self._workload(seed=42)
+        _d2, _p2, batch2 = self._workload(seed=42)
+        assert batch1 == batch2
+
+    def test_zero_updates(self):
+        data, pattern, _batch = self._workload()
+        empty = generate_update_batch(
+            data, pattern, UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=0, seed=1)
+        )
+        assert len(empty) == 0
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            UpdateWorkloadSpec(num_pattern_updates=-1, num_data_updates=0)
