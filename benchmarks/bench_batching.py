@@ -1,0 +1,135 @@
+"""Benchmark: per-update vs. coalesced ``SLen`` maintenance.
+
+For each batch size in ``BATCH_SIZES`` the script generates one update
+workload on a synthetic social graph and times
+
+* **per-update** — one :func:`repro.spl.incremental.update_slen` call per
+  data update (the INC-GPNM shape), and
+* **coalesced** — :func:`repro.batching.compiler.compile_batch` followed
+  by one :func:`repro.batching.coalesce.coalesce_slen` pass (the
+  ``coalesce_updates`` shape),
+
+verifying after every run that both paths leave the matrix in the exact
+from-scratch state.  Results (median over ``ROUNDS`` runs) are written to
+``BENCH_batching.json`` next to this file.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batching.py
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.batching.coalesce import coalesce_slen
+from repro.batching.compiler import compile_batch
+from repro.spl.incremental import update_slen
+from repro.spl.matrix import SLenMatrix
+from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+BATCH_SIZES = (1, 8, 64, 256)
+ROUNDS = 5
+#: Matches the experiment harness's bounded distance index.
+HORIZON = 4
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+
+
+def build_instance():
+    data = generate_social_graph(
+        SocialGraphSpec(name="bench-batching", num_nodes=320, num_edges=1500, seed=11)
+    )
+    pattern = generate_pattern(
+        PatternSpec(num_nodes=6, num_edges=6, labels=("PM", "SE", "TE"), seed=11)
+    )
+    return data, pattern
+
+
+def workload(data, pattern, batch_size: int):
+    return generate_update_batch(
+        data,
+        pattern,
+        UpdateWorkloadSpec(
+            num_pattern_updates=0, num_data_updates=batch_size, seed=23 + batch_size
+        ),
+    ).data_updates()
+
+
+def time_per_update(data, updates) -> float:
+    graph = data.copy()
+    matrix = SLenMatrix.from_graph(graph, horizon=HORIZON)
+    started = time.perf_counter()
+    for update in updates:
+        update.apply(graph)
+        update_slen(matrix, graph, update)
+    elapsed = time.perf_counter() - started
+    assert matrix == SLenMatrix.from_graph(graph, horizon=HORIZON)
+    return elapsed
+
+
+def time_coalesced(data, updates) -> tuple[float, int]:
+    graph = data.copy()
+    matrix = SLenMatrix.from_graph(graph, horizon=HORIZON)
+    started = time.perf_counter()
+    compiled = compile_batch(updates)
+    surviving = compiled.data_updates()
+    for update in surviving:
+        update.apply(graph)
+    coalesce_slen(matrix, graph, surviving)
+    elapsed = time.perf_counter() - started
+    assert matrix == SLenMatrix.from_graph(graph, horizon=HORIZON)
+    return elapsed, compiled.report.eliminated
+
+
+def main() -> int:
+    data, pattern = build_instance()
+    results = []
+    for batch_size in BATCH_SIZES:
+        updates = workload(data, pattern, batch_size)
+        per_update_times = []
+        coalesced_times = []
+        eliminated = 0
+        for _ in range(ROUNDS):
+            per_update_times.append(time_per_update(data, updates))
+            elapsed, eliminated = time_coalesced(data, updates)
+            coalesced_times.append(elapsed)
+        per_update = statistics.median(per_update_times)
+        coalesced = statistics.median(coalesced_times)
+        row = {
+            "batch_size": batch_size,
+            "applied_updates": len(updates),
+            "compiled_away": eliminated,
+            "per_update_seconds": round(per_update, 6),
+            "coalesced_seconds": round(coalesced, 6),
+            "speedup": round(per_update / coalesced, 3) if coalesced else None,
+        }
+        results.append(row)
+        print(
+            f"batch={batch_size:4d}  per-update={per_update * 1e3:9.2f} ms  "
+            f"coalesced={coalesced * 1e3:9.2f} ms  speedup={row['speedup']}x",
+            file=sys.stderr,
+        )
+    payload = {
+        "benchmark": "per-update vs coalesced SLen maintenance",
+        "graph": {"nodes": data.number_of_nodes, "edges": data.number_of_edges},
+        "horizon": HORIZON,
+        "rounds": ROUNDS,
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}", file=sys.stderr)
+    large = [row for row in results if row["batch_size"] >= 64]
+    if any(row["speedup"] is not None and row["speedup"] < 1.0 for row in large):
+        print("WARNING: coalesced slower than per-update on a large batch", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,9 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
+from repro.batching.coalesce import coalesce_slen
 from repro.elimination.eh_tree import EHTree
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import PatternGraph
@@ -45,7 +46,9 @@ class QueryStats:
         How many incremental GPNM (amendment) passes were run — the
         quantity the elimination machinery reduces.
     slen_updates:
-        How many data updates required ``SLen`` maintenance.
+        How many ``SLen`` maintenance passes were run.  The per-update
+        path counts one per data update; a coalesced pass counts one per
+        batch.
     recomputed_rows:
         How many whole BFS rows were recomputed during maintenance.
     eliminated_updates:
@@ -53,6 +56,12 @@ class QueryStats:
         that do not build one).
     elimination_relations:
         Total elimination relationships detected.
+    coalesced_batches:
+        How many coalesced maintenance passes were run (``coalesce_updates``
+        only).
+    compiled_away_updates:
+        Updates removed by the batch compiler before processing
+        (duplicates, inverse pairs, subsumed edge operations).
     """
 
     elapsed_seconds: float = 0.0
@@ -62,6 +71,8 @@ class QueryStats:
     recomputed_rows: int = 0
     eliminated_updates: int = 0
     elimination_relations: int = 0
+    coalesced_batches: int = 0
+    compiled_away_updates: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict copy (used by the experiment reports)."""
@@ -73,6 +84,8 @@ class QueryStats:
             "recomputed_rows": self.recomputed_rows,
             "eliminated_updates": self.eliminated_updates,
             "elimination_relations": self.elimination_relations,
+            "coalesced_batches": self.coalesced_batches,
+            "compiled_away_updates": self.compiled_away_updates,
         }
 
 
@@ -98,6 +111,12 @@ class GPNMAlgorithm(abc.ABC):
     enforce_totality:
         Whether returned :class:`MatchResult` objects collapse to empty
         when some pattern node has no match (the paper's GPNM semantics).
+    coalesce_updates:
+        When on, each batch is first canonicalised by the update-batch
+        compiler (:mod:`repro.batching.compiler`) and the surviving data
+        updates are maintained with one coalesced ``SLen`` pass
+        (:mod:`repro.batching.coalesce`) instead of one pass per update.
+        Results are identical; the work scales with the *net* delta.
     """
 
     #: Human-readable name used in experiment reports.
@@ -111,11 +130,13 @@ class GPNMAlgorithm(abc.ABC):
         enforce_totality: bool = True,
         precomputed_slen: Optional[SLenMatrix] = None,
         precomputed_relation: Optional[MatchResult] = None,
+        coalesce_updates: bool = False,
     ) -> None:
         self._pattern = pattern.copy()
         self._data = data.copy()
         self._use_partition = use_partition
         self._enforce_totality = enforce_totality
+        self._coalesce_updates = coalesce_updates
         if precomputed_slen is not None:
             # The experiment harness shares one initial-query state across
             # the compared methods so that only the subsequent query is
@@ -160,6 +181,11 @@ class GPNMAlgorithm(abc.ABC):
         """Whether the label partition is in use."""
         return self._use_partition
 
+    @property
+    def coalesces_updates(self) -> bool:
+        """Whether batches are compiled and maintained in one coalesced pass."""
+        return self._coalesce_updates
+
     def subsequent_query(self, updates: Iterable[Update]) -> SubsequentResult:
         """Apply ``updates`` and answer the subsequent GPNM query."""
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
@@ -193,6 +219,39 @@ class GPNMAlgorithm(abc.ABC):
         stats.slen_updates += 1
         stats.recomputed_rows += len(delta.recomputed_sources)
         return affected_set_from_delta(update, delta)
+
+    def _apply_data_updates_coalesced(
+        self, data_updates: Sequence[Update], stats: QueryStats
+    ) -> list[AffectedSet]:
+        """Apply an already-compiled data-update stream in one coalesced pass.
+
+        The updates must be canonical (as produced by
+        :func:`repro.batching.compiler.compile_batch`): all structural
+        changes are applied to the graph first, then ``SLen`` is
+        maintained by a single :func:`~repro.batching.coalesce.coalesce_slen`
+        call.  Returns per-update affected sets built from the pass's
+        attribution deltas, so the elimination machinery keeps working.
+        """
+        if not data_updates:
+            return []
+        try:
+            for update in data_updates:
+                update.apply(self._data)
+            outcome = coalesce_slen(self._slen, self._data, data_updates)
+        except Exception:
+            # Keep failures non-corrupting: the graph may already hold some
+            # of the batch, so resync the matrix to whatever state it
+            # reached before re-raising.  A caller that catches the error
+            # is left with a consistent (graph, SLen) pair.
+            self._slen = SLenMatrix.from_graph(self._data, horizon=self._slen.horizon)
+            raise
+        stats.slen_updates += 1
+        stats.coalesced_batches += 1
+        stats.recomputed_rows += len(outcome.delta.recomputed_sources)
+        return [
+            affected_set_from_delta(update, delta)
+            for update, delta in zip(data_updates, outcome.per_update)
+        ]
 
     def _apply_pattern_update(self, update: Update, stats: QueryStats) -> CandidateSet:
         """Compute the candidate set of a pattern update, then apply it."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
+from repro.batching.compiler import compile_batch
 from repro.elimination.detector import EliminationAnalysis, detect_type_ii
 from repro.elimination.eh_tree import EHTree
 from repro.graph.updates import UpdateBatch
@@ -29,11 +30,20 @@ class EHGPNM(GPNMAlgorithm):
         data_updates = batch.data_updates()
         pattern_updates = batch.pattern_updates()
 
-        # Data side: maintain SLen per update, detect Type II elimination,
-        # then amend once for the whole data batch.
-        affected_sets = [
-            self._apply_data_update(update, stats) for update in data_updates
-        ]
+        # Data side: maintain SLen, detect Type II elimination, then amend
+        # once for the whole data batch.  With ``coalesce_updates`` on the
+        # data stream is first compiled to its net effect and maintained
+        # by one coalesced pass; the pattern side keeps its per-update
+        # procedure, which is what defines EH-GPNM.
+        if self._coalesce_updates and len(data_updates) > 1:
+            compiled = compile_batch(data_updates)
+            stats.compiled_away_updates += compiled.report.eliminated
+            data_updates = compiled.data_updates()
+            affected_sets = self._apply_data_updates_coalesced(data_updates, stats)
+        else:
+            affected_sets = [
+                self._apply_data_update(update, stats) for update in data_updates
+            ]
         relations = detect_type_ii(affected_sets)
         analysis = EliminationAnalysis(
             candidate_sets=[], affected_sets=affected_sets, relations=relations

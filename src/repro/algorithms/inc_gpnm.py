@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
+from repro.batching.compiler import compile_batch
 from repro.elimination.eh_tree import EHTree
 from repro.graph.updates import GraphKind, UpdateBatch
 from repro.matching.gpnm import MatchResult
@@ -27,7 +28,16 @@ class IncGPNM(GPNMAlgorithm):
     def _process_batch(
         self, batch: UpdateBatch, stats: QueryStats
     ) -> tuple[MatchResult, Optional[EHTree]]:
-        for update in batch:
+        # INC-GPNM is per-update by definition, so ``coalesce_updates``
+        # only canonicalises the stream: duplicates, inverse pairs and
+        # subsumed edge operations are compiled away before the per-update
+        # loop; each survivor still gets its own maintenance + amendment.
+        working: UpdateBatch = batch
+        if self._coalesce_updates and len(batch) > 1:
+            compiled = compile_batch(batch)
+            stats.compiled_away_updates += compiled.report.eliminated
+            working = compiled.batch
+        for update in working:
             if update.graph is GraphKind.DATA:
                 self._apply_data_update(update, stats)
             else:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
+from repro.batching.compiler import compile_batch
 from repro.elimination.detector import detect_all
 from repro.elimination.eh_tree import EHTree
 from repro.graph.digraph import DataGraph
@@ -53,8 +54,16 @@ class UAGPNM(GPNMAlgorithm):
     def _process_batch(
         self, batch: UpdateBatch, stats: QueryStats
     ) -> tuple[MatchResult, Optional[EHTree]]:
-        data_updates = batch.data_updates()
-        pattern_updates = batch.pattern_updates()
+        # Step 0 (coalesce_updates only): compile the batch down to its
+        # net effect — duplicates, inverse pairs and subsumed edge
+        # operations never reach the per-update machinery below.
+        working: UpdateBatch = batch
+        if self._coalesce_updates and len(batch) > 1:
+            compiled = compile_batch(batch)
+            stats.compiled_away_updates += compiled.report.eliminated
+            working = compiled.batch
+        data_updates = working.data_updates()
+        pattern_updates = working.pattern_updates()
 
         # Step 1: candidate sets Can_N(UPi) against the pre-batch state
         # (Algorithm 1 / DER-I works on the original SLen; DER-III then
@@ -72,27 +81,36 @@ class UAGPNM(GPNMAlgorithm):
                 candidate_sets.append(CandidateSet(update=update))
 
         # Step 2: apply data updates, maintaining SLen and collecting Aff_N.
-        affected_sets = [
-            self._apply_data_update(update, stats) for update in data_updates
-        ]
+        # With coalescing on, the compiled stream is maintained by a single
+        # multi-source pass instead of one update_slen call per update.
+        if self._coalesce_updates and len(data_updates) > 1:
+            affected_sets = self._apply_data_updates_coalesced(data_updates, stats)
+        else:
+            affected_sets = [
+                self._apply_data_update(update, stats) for update in data_updates
+            ]
 
         # Step 3: apply the pattern updates themselves.
         for update in pattern_updates:
             update.apply(self._pattern)
 
         # Step 4: detect all three elimination relationship types and build
-        # the EH-Tree over the whole batch.
+        # the EH-Tree over the whole (compiled) batch.
         analysis = detect_all(candidate_sets, affected_sets, self._slen)
-        eh_tree = EHTree.build(analysis, list(batch))
+        eh_tree = EHTree.build(analysis, list(working))
         stats.elimination_relations += len(analysis.relations)
         stats.eliminated_updates += eh_tree.number_of_eliminated
 
         # Step 5: a single incremental GPNM pass for the uneliminated
         # updates delivers SQuery.  (The pass is seeded from the whole
         # batch's growth analysis so the result is exact regardless of how
-        # aggressive the elimination was.)
-        if len(batch):
-            self._amend(list(batch), stats)
+        # aggressive the elimination was; with coalescing on it is seeded
+        # from the net delta only, which is what makes the latency scale
+        # with the net batch size.)
+        # (If the whole batch compiled away, the graphs are unchanged and
+        # the previous relation is already the answer.)
+        if len(working):
+            self._amend(list(working), stats)
         return self._relation, eh_tree
 
 

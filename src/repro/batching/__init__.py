@@ -1,0 +1,38 @@
+"""Batch-update compilation and coalesced ``SLen`` maintenance.
+
+UA-GPNM's premise is that the updates arriving between two queries
+should be handled *jointly*.  This package supplies the two pieces that
+make the joint handling cheap:
+
+* :mod:`repro.batching.compiler` — the **update-batch compiler**.  It
+  canonicalises an update stream: exact duplicates are dropped, inverse
+  insert/delete pairs cancel, edge operations subsumed by a node
+  deletion disappear, and the survivors are emitted in a canonical
+  order (node insertions, edge deletions, edge insertions, node
+  deletions) that is always applicable.  A
+  :class:`~repro.batching.compiler.CompilationReport` records what was
+  eliminated.
+* :mod:`repro.batching.coalesce` — **single-pass SLen maintenance**.
+  Instead of one :func:`~repro.spl.incremental.update_slen` call per
+  update, all surviving deletions are folded into one affected-region
+  recompute per source and all surviving insertions into one
+  multi-source relaxation sweep, yielding a single merged
+  :class:`~repro.spl.incremental.SLenDelta` equal to the composition of
+  the per-update deltas.
+
+The algorithms expose the machinery behind a ``coalesce_updates`` flag
+(see :class:`repro.algorithms.base.GPNMAlgorithm`); with it on, the cost
+of a subsequent query scales with the *net* delta of the batch instead
+of the raw update count.
+"""
+
+from repro.batching.compiler import CompilationReport, CompiledBatch, compile_batch
+from repro.batching.coalesce import CoalescedMaintenance, coalesce_slen
+
+__all__ = [
+    "CompilationReport",
+    "CompiledBatch",
+    "compile_batch",
+    "CoalescedMaintenance",
+    "coalesce_slen",
+]

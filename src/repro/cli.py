@@ -14,11 +14,16 @@ Regenerate Figure 6 (DBLP) on the quick grid::
 Run everything (slow) and verify each method against the oracle::
 
     ua-gpnm all --preset full --verify
+
+Run the quick grid with the batch compiler + coalesced SLen maintenance::
+
+    ua-gpnm table-xi --coalesce
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from collections.abc import Sequence
 from typing import Optional
@@ -43,26 +48,50 @@ def _config_for(preset: str) -> ExperimentConfig:
         raise SystemExit(f"unknown preset {preset!r}; expected one of {sorted(presets)}")
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="ua-gpnm",
-        description="Reproduce the UA-GPNM evaluation tables and figures.",
-    )
+def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Register the shared options on ``parser``.
+
+    The options are accepted both before and after the subcommand.  On
+    the subparsers the defaults are suppressed so a value parsed before
+    the subcommand (by the main parser) is not clobbered by a subparser
+    default afterwards.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
     parser.add_argument(
         "--preset",
-        default="quick",
+        default=default("quick"),
         choices=("tiny", "quick", "full"),
         help="experiment grid preset (default: quick)",
     )
     parser.add_argument(
         "--verify",
         action="store_true",
+        default=default(False),
         help="cross-check every method's result against the from-scratch oracle",
     )
+    parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        default=default(False),
+        help="compile each update batch and maintain SLen in one coalesced pass",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ua-gpnm",
+        description="Reproduce the UA-GPNM evaluation tables and figures.",
+    )
+    _add_common_options(parser, suppress=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in ("table-xi", "table-xii", "table-xiii", "table-xiv", "all"):
-        subparsers.add_parser(name, help=f"print {name.replace('-', ' ')}")
+        sub = subparsers.add_parser(name, help=f"print {name.replace('-', ' ')}")
+        _add_common_options(sub, suppress=True)
     figure = subparsers.add_parser("figure", help="print one of Figures 5-9")
+    _add_common_options(figure, suppress=True)
     figure.add_argument(
         "--dataset",
         default="email-EU-core",
@@ -77,6 +106,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     config = _config_for(args.preset)
+    if args.coalesce:
+        config = dataclasses.replace(config, coalesce_updates=True)
 
     def progress(message: str) -> None:
         print(f"[run] {message}", file=sys.stderr)

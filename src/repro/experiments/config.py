@@ -45,6 +45,9 @@ class ExperimentConfig:
         Independent runs per cell (different workload seeds), averaged.
     seed:
         Base seed; every cell derives its own deterministic seed from it.
+    coalesce_updates:
+        Run every method with the batch compiler + coalesced ``SLen``
+        maintenance enabled (see :mod:`repro.batching`).
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -54,6 +57,7 @@ class ExperimentConfig:
     methods: tuple[str, ...] = METHOD_ORDER
     repetitions: int = 1
     seed: int = 2020
+    coalesce_updates: bool = False
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]

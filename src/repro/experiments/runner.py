@@ -60,6 +60,8 @@ class MeasurementRecord:
     eliminated_updates: int
     elimination_relations: int
     matches_oracle: Optional[bool] = None
+    coalesced_batches: int = 0
+    compiled_away_updates: int = 0
 
 
 def _method_factory(name: str) -> Callable[..., GPNMAlgorithm]:
@@ -89,6 +91,7 @@ def run_cell(
     verify_against_oracle: bool = False,
     shared_slen: Optional[SLenMatrix] = None,
     shared_iquery: Optional[MatchResult] = None,
+    coalesce_updates: bool = False,
 ) -> list[MeasurementRecord]:
     """Run every method of one grid cell and return its measurement records."""
     if pattern_size is None:
@@ -123,6 +126,7 @@ def run_cell(
             data,
             precomputed_slen=shared_slen,
             precomputed_relation=shared_iquery,
+            coalesce_updates=coalesce_updates,
         )
         outcome = algorithm.subsequent_query(batch)
         matches_oracle = None
@@ -143,6 +147,8 @@ def run_cell(
                 eliminated_updates=stats.eliminated_updates,
                 elimination_relations=stats.elimination_relations,
                 matches_oracle=matches_oracle,
+                coalesced_batches=stats.coalesced_batches,
+                compiled_away_updates=stats.compiled_away_updates,
             )
         )
     return records
@@ -216,6 +222,7 @@ def run_experiment(
                 verify_against_oracle=verify_against_oracle,
                 shared_slen=slen,
                 shared_iquery=iquery,
+                coalesce_updates=config.coalesce_updates,
             )
         )
     return records

@@ -313,16 +313,72 @@ class UpdateBatch(Sequence[Update]):
     The batch preserves arrival order (needed by INC-GPNM, which processes
     updates one at a time) and exposes the filtered views used throughout
     the elimination machinery.
+
+    A batch validates its *internal* consistency as updates arrive, so a
+    malformed stream fails at construction instead of deep inside an
+    apply: an update referencing a node that an earlier update in the
+    same batch deleted raises :class:`UpdateError`, as does deleting the
+    same node twice or re-inserting a node the batch already inserted or
+    deleted.  (Consistency against the target graphs — whether an edge's
+    endpoints exist at all — can only be checked at apply time.)
     """
 
     def __init__(self, updates: Iterable[Update] = ()) -> None:
-        self._updates: list[Update] = list(updates)
+        self._updates: list[Update] = []
+        # Per-graph liveness bookkeeping for validation: nodes deleted so
+        # far (referencing them is an error) and nodes inserted so far
+        # (re-inserting them is an error).
+        self._dead: dict[GraphKind, set[NodeId]] = {kind: set() for kind in GraphKind}
+        self._born: dict[GraphKind, set[NodeId]] = {kind: set() for kind in GraphKind}
+        for update in updates:
+            self.append(update)
 
     def append(self, update: Update) -> None:
-        """Add one update at the end of the batch."""
+        """Add one update at the end of the batch.
+
+        Raises :class:`UpdateError` when the update is inconsistent with
+        the batch so far (see the class docstring).
+        """
         if not isinstance(update, Update):
             raise TypeError(f"expected an Update, got {type(update).__name__}")
+        self._validate(update)
         self._updates.append(update)
+
+    def _validate(self, update: Update) -> None:
+        dead = self._dead[update.graph]
+        born = self._born[update.graph]
+        if update.is_edge_update:
+            for endpoint in (update.source, update.target):
+                if endpoint in dead:
+                    raise UpdateError(
+                        f"{update!r} references node {endpoint!r}, which an earlier "
+                        f"update in this batch deleted"
+                    )
+        elif isinstance(update, NodeInsertion):
+            if update.node in dead:
+                raise UpdateError(
+                    f"{update!r} re-inserts node {update.node!r}, which an earlier "
+                    f"update in this batch deleted; split the stream into two batches"
+                )
+            if update.node in born:
+                raise UpdateError(
+                    f"{update!r} inserts node {update.node!r} twice in the same batch"
+                )
+            for edge in update.edges:
+                for endpoint in (edge[0], edge[1]):
+                    if endpoint in dead:
+                        raise UpdateError(
+                            f"{update!r} carries an edge referencing node {endpoint!r}, "
+                            f"which an earlier update in this batch deleted"
+                        )
+            born.add(update.node)
+        elif isinstance(update, NodeDeletion):
+            if update.node in dead:
+                raise UpdateError(
+                    f"{update!r} deletes node {update.node!r} twice in the same batch"
+                )
+            born.discard(update.node)
+            dead.add(update.node)
 
     def extend(self, updates: Iterable[Update]) -> None:
         """Add several updates, preserving order."""

@@ -13,7 +13,7 @@ data graph (the paper's ``SLen`` matrix).  This package provides:
   sparse matrix discussed in the Section IV-B remark.
 """
 
-from repro.spl.incremental import SLenDelta, update_slen
+from repro.spl.incremental import SLenDelta, fold_deltas, update_slen
 from repro.spl.matrix import INF, SLenMatrix
 from repro.spl.sssp import bfs_lengths, bfs_lengths_within, dijkstra_lengths
 from repro.spl.hybrid import HybridMatrix
@@ -22,6 +22,7 @@ __all__ = [
     "INF",
     "SLenMatrix",
     "SLenDelta",
+    "fold_deltas",
     "update_slen",
     "bfs_lengths",
     "bfs_lengths_within",

@@ -28,7 +28,7 @@ from the unaffected frontier whose distances are known to be unchanged.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Hashable
+from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 
 from repro.graph.digraph import DataGraph
@@ -245,8 +245,17 @@ def delete_node(slen: SLenMatrix, graph_after: DataGraph, node: NodeId) -> SLenD
     )
 
 
+_NO_EDGES: frozenset = frozenset()
+_NO_NODES: frozenset = frozenset()
+
+
 def _settle_affected(
-    slen: SLenMatrix, graph_after: DataGraph, source: NodeId, affected: set[NodeId]
+    slen: SLenMatrix,
+    graph_after: DataGraph,
+    source: NodeId,
+    affected: set[NodeId],
+    skip_edges: frozenset[tuple[NodeId, NodeId]] | set = _NO_EDGES,
+    skip_nodes: frozenset[NodeId] | set = _NO_NODES,
 ) -> dict[NodeId, int]:
     """Recompute ``d(source, y)`` for every ``y`` in ``affected``.
 
@@ -255,13 +264,19 @@ def _settle_affected(
     through an unaffected in-neighbour and the remaining slack is resolved
     by a small Dijkstra over the affected set only (Ramalingam-Reps).
     Nodes that end up unreachable are simply absent from the result.
+
+    ``skip_edges`` / ``skip_nodes`` exclude parts of ``graph_after`` from
+    the traversal; the coalesced maintenance pass
+    (:mod:`repro.batching.coalesce`) uses them to settle against the
+    deletions-only graph while ``graph_after`` already contains the
+    batch's insertions.
     """
     source_row = slen.row_view(source) if source in slen.nodes() else {}
     tentative: dict[NodeId, float] = {}
     for y in affected:
         best = INF
         for w in graph_after.predecessors_view(y):
-            if w in affected:
+            if w in affected or w in skip_nodes or (w, y) in skip_edges:
                 continue
             if w == source:
                 upstream = 0
@@ -284,7 +299,9 @@ def _settle_affected(
             continue
         settled[y] = int(dist)
         for z in graph_after.successors_view(y):
-            if z in affected and z not in settled and dist + 1 < tentative.get(z, INF):
+            if z not in affected or z in settled or (y, z) in skip_edges:
+                continue
+            if dist + 1 < tentative.get(z, INF):
                 tentative[z] = dist + 1
                 heapq.heappush(heap, (dist + 1, repr(z), z))
     return settled
@@ -298,3 +315,29 @@ def _merge_changes(accumulated: dict[Pair, Change], fresh: dict[Pair, Change]) -
             accumulated[pair] = (original_old, new)
         else:
             accumulated[pair] = (old, new)
+
+
+def fold_deltas(deltas: Iterable[SLenDelta]) -> SLenDelta:
+    """Compose sequential per-update deltas into one net :class:`SLenDelta`.
+
+    ``changed_pairs`` keeps the earliest old and the latest new value per
+    pair; pairs whose net change is zero (an insert-then-delete pair, a
+    deletion whose damage a later insertion repaired) are dropped.
+    ``structural_nodes`` composes as a symmetric difference, so a node
+    inserted and deleted within the same batch nets out entirely.  The
+    result is what a single coalesced maintenance pass over the batch
+    (:func:`repro.batching.coalesce.coalesce_slen`) reports directly.
+    """
+    changed: dict[Pair, Change] = {}
+    recomputed: set[NodeId] = set()
+    structural: set[NodeId] = set()
+    for delta in deltas:
+        _merge_changes(changed, delta.changed_pairs)
+        recomputed |= delta.recomputed_sources
+        structural ^= set(delta.structural_nodes)
+    changed = {pair: change for pair, change in changed.items() if change[0] != change[1]}
+    return SLenDelta(
+        changed_pairs=changed,
+        recomputed_sources=frozenset(recomputed),
+        structural_nodes=frozenset(structural),
+    )

@@ -1,0 +1,263 @@
+"""Unit tests for the update-batch compiler."""
+
+import pytest
+
+from repro.batching.compiler import compile_batch
+from repro.graph.digraph import DataGraph
+from repro.graph.errors import UpdateError
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import (
+    NodeInsertion,
+    UpdateKind,
+    delete_data_edge,
+    delete_data_node,
+    delete_pattern_edge,
+    insert_data_edge,
+    insert_data_node,
+    insert_pattern_edge,
+)
+
+
+def small_data_graph() -> DataGraph:
+    return DataGraph(
+        {name: "X" for name in "abcde"},
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")],
+    )
+
+
+class TestDuplicates:
+    def test_repeated_edge_insertion_is_dropped(self):
+        compiled = compile_batch([insert_data_edge("a", "c"), insert_data_edge("a", "c")])
+        assert len(compiled) == 1
+        assert compiled.report.duplicates_dropped == 1
+        assert compiled.report.eliminated == 1
+
+    def test_repeated_edge_deletion_is_dropped(self):
+        compiled = compile_batch([delete_data_edge("a", "b"), delete_data_edge("a", "b")])
+        assert len(compiled) == 1
+        assert compiled.report.duplicates_dropped == 1
+
+    def test_distinct_edges_survive(self):
+        compiled = compile_batch([insert_data_edge("a", "c"), insert_data_edge("c", "a")])
+        assert len(compiled) == 2
+        assert compiled.report.is_noop
+
+
+class TestCancellation:
+    def test_insert_then_delete_cancels(self):
+        compiled = compile_batch([insert_data_edge("a", "c"), delete_data_edge("a", "c")])
+        assert len(compiled) == 0
+        assert compiled.report.cancelled_ops == 2
+
+    def test_delete_then_reinsert_cancels(self):
+        compiled = compile_batch([delete_data_edge("a", "b"), insert_data_edge("a", "b")])
+        assert len(compiled) == 0
+        assert compiled.report.cancelled_ops == 2
+
+    def test_insert_delete_insert_keeps_last(self):
+        stream = [
+            insert_data_edge("a", "c"),
+            delete_data_edge("a", "c"),
+            insert_data_edge("a", "c"),
+        ]
+        compiled = compile_batch(stream)
+        assert list(compiled) == [stream[-1]]
+        assert compiled.report.cancelled_ops == 2
+
+    def test_node_insert_then_delete_cancels_and_cascades(self):
+        stream = [
+            insert_data_node("n", "X", [("a", "n")]),
+            insert_data_edge("n", "b"),
+            delete_data_node("n"),
+        ]
+        compiled = compile_batch(stream)
+        assert len(compiled) == 0
+        assert compiled.report.cancelled_ops == 2  # the node pair
+        # the (n, b) edge insert and the carried (a, n) payload edge
+        assert compiled.report.subsumed_ops == 2
+
+    def test_pattern_bound_change_does_not_cancel(self):
+        stream = [
+            delete_pattern_edge("A", "B", bound=2),
+            insert_pattern_edge("A", "B", bound=3),
+        ]
+        compiled = compile_batch(stream)
+        assert len(compiled) == 2
+        kinds = [update.kind for update in compiled]
+        assert kinds == [UpdateKind.EDGE_DELETE, UpdateKind.EDGE_INSERT]
+
+    def test_pattern_same_bound_cancels(self):
+        stream = [
+            delete_pattern_edge("A", "B", bound=2),
+            insert_pattern_edge("A", "B", bound=2),
+        ]
+        compiled = compile_batch(stream)
+        assert len(compiled) == 0
+
+    def test_pattern_unknown_bound_is_kept(self):
+        stream = [
+            delete_pattern_edge("A", "B"),  # recorded bound unknown
+            insert_pattern_edge("A", "B", bound=2),
+        ]
+        compiled = compile_batch(stream)
+        assert len(compiled) == 2
+
+    def test_node_resurrection_raises(self):
+        with pytest.raises(UpdateError):
+            compile_batch([delete_data_node("a", "X"), insert_data_node("a", "X")])
+
+
+class TestSubsumption:
+    def test_edge_delete_subsumed_by_node_delete(self):
+        stream = [delete_data_edge("a", "b"), delete_data_node("b", "X")]
+        compiled = compile_batch(stream)
+        assert list(compiled) == [stream[1]]
+        assert compiled.report.subsumed_ops == 1
+
+    def test_edge_insert_to_deleted_node_is_dropped(self):
+        stream = [insert_data_edge("c", "b"), delete_data_node("b", "X")]
+        compiled = compile_batch(stream)
+        assert list(compiled) == [stream[1]]
+        assert compiled.report.subsumed_ops == 1
+
+    def test_carried_edge_to_vanished_node_is_stripped(self):
+        stream = [
+            insert_data_node("ghost", "X"),
+            insert_data_node("n", "X", [("n", "ghost"), ("n", "a")]),
+            delete_data_node("ghost"),
+        ]
+        compiled = compile_batch(stream)
+        assert len(compiled) == 1
+        survivor = list(compiled)[0]
+        assert isinstance(survivor, NodeInsertion)
+        assert survivor.edges == (("n", "a"),)
+        assert compiled.report.subsumed_ops == 1
+
+    def test_carried_edge_to_net_deleted_node_is_stripped(self):
+        """A later deletion of a payload edge's endpoint strips the payload."""
+        stream = [
+            insert_data_node("n", "X", [("n", "b")]),
+            delete_data_node("b", "X"),
+        ]
+        compiled = compile_batch(stream)
+        survivors = list(compiled)
+        assert len(survivors) == 2
+        node_insert = next(u for u in survivors if isinstance(u, NodeInsertion))
+        assert node_insert.edges == ()
+        assert compiled.report.subsumed_ops == 1
+
+    def test_carried_edge_cancelled_by_later_edge_delete(self):
+        """Deleting a payload-created edge cancels against the payload."""
+        stream = [
+            insert_data_node("n", "X", [("n", "a")]),
+            delete_data_edge("n", "a"),
+        ]
+        compiled = compile_batch(stream)
+        survivors = list(compiled)
+        assert len(survivors) == 1
+        assert isinstance(survivors[0], NodeInsertion)
+        assert survivors[0].edges == ()
+        assert compiled.report.cancelled_ops == 2
+
+    def test_orphaned_payload_edge_survives_parent_cancellation(self):
+        """A payload edge between pre-existing nodes outlives its parent.
+
+        Deleting a node removes only its incident edges, so the carried
+        (a, b) edge stays even though the inserting node vanishes.
+        """
+        stream = [
+            insert_data_node("n", "X", [("a", "c")]),
+            delete_data_node("n"),
+        ]
+        compiled = compile_batch(stream)
+        survivors = list(compiled)
+        assert len(survivors) == 1
+        assert survivors[0].kind is UpdateKind.EDGE_INSERT
+        assert (survivors[0].source, survivors[0].target) == ("a", "c")
+
+        graph = small_data_graph()
+        sequential = graph.copy()
+        for update in stream:
+            update.apply(sequential)
+        coalesced = graph.copy()
+        for update in compiled:
+            update.apply(coalesced)
+        assert coalesced == sequential
+
+
+class TestCanonicalOrderAndApplicability:
+    def test_group_order(self):
+        stream = [
+            delete_data_node("e", "X"),
+            insert_data_edge("a", "c"),
+            delete_data_edge("a", "b"),
+            insert_data_node("n", "X", [("n", "a")]),
+        ]
+        compiled = compile_batch(stream)
+        kinds = [update.kind for update in compiled]
+        assert kinds == [
+            UpdateKind.NODE_INSERT,
+            UpdateKind.EDGE_DELETE,
+            UpdateKind.EDGE_INSERT,
+            UpdateKind.NODE_DELETE,
+        ]
+
+    def test_data_before_pattern(self):
+        stream = [insert_pattern_edge("A", "B", 2), insert_data_edge("a", "c")]
+        compiled = compile_batch(stream)
+        graphs = [update.graph.value for update in compiled]
+        assert graphs == ["data", "pattern"]
+
+    def test_compiled_stream_is_applicable(self):
+        """A messy but valid stream compiles to a directly applicable one."""
+        graph = small_data_graph()
+        stream = [
+            insert_data_edge("a", "c"),
+            delete_data_edge("a", "c"),  # cancels
+            insert_data_node("n", "X", [("e", "n")]),
+            insert_data_edge("n", "a"),
+            delete_data_edge("b", "c"),
+            insert_data_edge("b", "c"),  # cancels the delete
+            delete_data_node("d", "X"),
+            insert_data_edge("a", "e"),
+        ]
+        sequential = graph.copy()
+        for update in stream:
+            update.apply(sequential)
+        compiled = compile_batch(stream)
+        coalesced = graph.copy()
+        for update in compiled:
+            update.apply(coalesced)
+        assert coalesced == sequential
+        assert len(compiled) < len(stream)
+
+    def test_idempotent(self):
+        stream = [
+            insert_data_edge("a", "c"),
+            delete_data_edge("a", "c"),
+            insert_data_node("n", "X"),
+            delete_data_edge("c", "d"),
+        ]
+        once = compile_batch(stream)
+        twice = compile_batch(once.batch)
+        assert list(twice) == list(once)
+        assert twice.report.is_noop
+
+    def test_empty_batch(self):
+        compiled = compile_batch([])
+        assert len(compiled) == 0
+        assert compiled.report.is_noop
+
+    def test_pattern_survivors_apply(self):
+        pattern = PatternGraph({"A": "X", "B": "Y"}, [("A", "B", 2)])
+        stream = [
+            delete_pattern_edge("A", "B", bound=2),
+            insert_pattern_edge("A", "B", bound=3),  # survives as a bound change
+            insert_pattern_edge("B", "A", 1),
+            delete_pattern_edge("B", "A", bound=1),  # cancels
+        ]
+        compiled = compile_batch(stream)
+        for update in compiled.pattern_updates():
+            update.apply(pattern)
+        assert pattern.bound("A", "B") == 3
+        assert not pattern.has_edge("B", "A")

@@ -157,3 +157,63 @@ class TestUpdateBatch:
 
     def test_updates_are_hashable(self):
         assert len({insert_data_edge("a", "b"), insert_data_edge("a", "b")}) == 1
+
+
+class TestUpdateBatchValidation:
+    """A batch rejects internally inconsistent streams at construction."""
+
+    def test_edge_insert_referencing_deleted_node(self):
+        with pytest.raises(UpdateError, match="deleted"):
+            UpdateBatch([delete_data_node("a", "A"), insert_data_edge("a", "b")])
+
+    def test_edge_delete_referencing_deleted_node(self):
+        with pytest.raises(UpdateError, match="deleted"):
+            UpdateBatch([delete_data_node("b", "B"), delete_data_edge("a", "b")])
+
+    def test_carried_edge_referencing_deleted_node(self):
+        with pytest.raises(UpdateError, match="carries an edge"):
+            UpdateBatch(
+                [delete_data_node("a", "A"), insert_data_node("n", "A", [("n", "a")])]
+            )
+
+    def test_double_node_deletion(self):
+        with pytest.raises(UpdateError, match="twice"):
+            UpdateBatch([delete_data_node("a", "A"), delete_data_node("a", "A")])
+
+    def test_double_node_insertion(self):
+        with pytest.raises(UpdateError, match="twice"):
+            UpdateBatch([insert_data_node("n", "A"), insert_data_node("n", "A")])
+
+    def test_resurrection_rejected(self):
+        with pytest.raises(UpdateError, match="re-inserts"):
+            UpdateBatch([delete_data_node("a", "A"), insert_data_node("a", "A")])
+
+    def test_validation_applies_to_append(self):
+        batch = UpdateBatch([delete_data_node("a", "A")])
+        with pytest.raises(UpdateError):
+            batch.append(insert_data_edge("a", "b"))
+        assert len(batch) == 1  # the failed append leaves the batch intact
+
+    def test_graphs_are_tracked_independently(self):
+        # Deleting data node "x" must not block pattern updates on "x".
+        batch = UpdateBatch(
+            [delete_data_node("x", "A"), insert_pattern_edge("x", "B", 1)]
+        )
+        assert len(batch) == 2
+
+    def test_insert_then_delete_is_valid(self):
+        batch = UpdateBatch(
+            [
+                insert_data_node("n", "A", [("n", "a")]),
+                insert_data_edge("b", "n"),
+                delete_data_node("n", "A"),
+            ]
+        )
+        assert len(batch) == 3
+
+    def test_failure_happens_at_construction_not_apply(self, data):
+        """The error surfaces before any graph is touched."""
+        untouched = data.copy()
+        with pytest.raises(UpdateError):
+            UpdateBatch([delete_data_node("c", "C"), insert_data_edge("b", "c")])
+        assert data == untouched
