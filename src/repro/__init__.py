@@ -44,6 +44,23 @@ raw length — ``benchmarks/bench_batching.py`` measures the gap.
 
 The experiment harness exposes the same switch as
 ``ExperimentConfig(coalesce_updates=True)`` and ``ua-gpnm --coalesce``.
+Batches below the ``coalesce_min_batch`` crossover (default 64, from the
+benchmark) fall back to per-update maintenance automatically.
+
+Pluggable ``SLen`` storage backends
+-----------------------------------
+The shortest-path matrix that everything above is built on accepts a
+``backend`` selection (``"sparse"`` / ``"dense"`` / ``"auto"``, see
+:mod:`repro.spl.backend`): the sparse dict-of-dicts default stores only
+finite entries, while the dense NumPy backend keeps a contiguous
+``int32`` matrix and replaces the three hot maintenance kernels with
+vectorized equivalents (frontier-array multi-source BFS construction,
+rank-1 broadcast insertion relaxation, batched affected-region deletion
+settling).  Every algorithm takes ``slen_backend=...``, the harness
+``ExperimentConfig(slen_backend=...)``, and the CLI
+``ua-gpnm --slen-backend dense``; results are identical on both backends
+(the differential harness runs every method under each) and
+``benchmarks/bench_slen_backend.py`` measures the kernel speedups.
 """
 
 from repro import paper_example
@@ -79,7 +96,15 @@ from repro.graph import (
 )
 from repro.matching import MatchResult, bounded_simulation, gpnm_query
 from repro.partition import LabelPartition, build_slen_partitioned
-from repro.spl import INF, SLenMatrix, fold_deltas, update_slen
+from repro.spl import (
+    BACKEND_NAMES,
+    DENSE_AUTO_THRESHOLD,
+    INF,
+    SLenBackend,
+    SLenMatrix,
+    fold_deltas,
+    update_slen,
+)
 
 __version__ = "1.0.0"
 
@@ -101,6 +126,9 @@ __all__ = [
     # shortest paths
     "INF",
     "SLenMatrix",
+    "SLenBackend",
+    "BACKEND_NAMES",
+    "DENSE_AUTO_THRESHOLD",
     "update_slen",
     "fold_deltas",
     # batching

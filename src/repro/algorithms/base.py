@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.batching.coalesce import coalesce_slen
+from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH, coalesce_slen
 from repro.elimination.eh_tree import EHTree
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import PatternGraph
@@ -117,6 +117,17 @@ class GPNMAlgorithm(abc.ABC):
         updates are maintained with one coalesced ``SLen`` pass
         (:mod:`repro.batching.coalesce`) instead of one pass per update.
         Results are identical; the work scales with the *net* delta.
+    coalesce_min_batch:
+        Batches smaller than this fall back to per-update maintenance
+        even when ``coalesce_updates`` is on: below the threshold the
+        compile+coalesce fixed costs exceed the savings.  The default
+        (64) is where ``BENCH_batching.json`` shows the coalesced path
+        stops losing (about par at 64, decisive wins by 256 on
+        deletion-bearing mixes).
+    slen_backend:
+        ``SLen`` storage backend (``"sparse"`` / ``"dense"`` / ``"auto"``,
+        see :mod:`repro.spl.backend`).  ``None`` inherits the backend of
+        ``precomputed_slen`` when given, otherwise ``"sparse"``.
     """
 
     #: Human-readable name used in experiment reports.
@@ -131,22 +142,32 @@ class GPNMAlgorithm(abc.ABC):
         precomputed_slen: Optional[SLenMatrix] = None,
         precomputed_relation: Optional[MatchResult] = None,
         coalesce_updates: bool = False,
+        coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
+        slen_backend: Optional[str] = None,
     ) -> None:
         self._pattern = pattern.copy()
         self._data = data.copy()
         self._use_partition = use_partition
         self._enforce_totality = enforce_totality
         self._coalesce_updates = coalesce_updates
+        self._coalesce_min_batch = coalesce_min_batch
         if precomputed_slen is not None:
             # The experiment harness shares one initial-query state across
             # the compared methods so that only the subsequent query is
             # re-measured; the matrix is copied because it will be mutated.
-            self._slen = precomputed_slen.copy()
+            if slen_backend is None:
+                self._slen = precomputed_slen.copy()
+            else:
+                self._slen = precomputed_slen.to_backend(slen_backend)
         elif use_partition:
             partition = LabelPartition.from_graph(self._data)
             self._slen = build_slen_partitioned(self._data, partition)
+            if slen_backend is not None:
+                self._slen = self._slen.to_backend(slen_backend)
         else:
-            self._slen = SLenMatrix.from_graph(self._data)
+            self._slen = SLenMatrix.from_graph(
+                self._data, backend=slen_backend if slen_backend is not None else "sparse"
+            )
         if precomputed_relation is not None:
             self._relation = MatchResult(precomputed_relation.as_dict(), enforce_totality=False)
         else:
@@ -185,6 +206,22 @@ class GPNMAlgorithm(abc.ABC):
     def coalesces_updates(self) -> bool:
         """Whether batches are compiled and maintained in one coalesced pass."""
         return self._coalesce_updates
+
+    @property
+    def slen_backend(self) -> str:
+        """Resolved name of the ``SLen`` storage backend in use."""
+        return self._slen.backend_name
+
+    def _should_coalesce(self, batch_size: int) -> bool:
+        """Whether a batch of ``batch_size`` updates goes down the
+        compile-and-coalesce path.
+
+        Coalescing only stops losing above a threshold size; smaller
+        batches stay on per-update maintenance so ``coalesce_updates=True``
+        never costs a <1x "speedup" (the small-batch regression of
+        ``BENCH_batching.json``).
+        """
+        return self._coalesce_updates and batch_size >= max(2, self._coalesce_min_batch)
 
     def subsequent_query(self, updates: Iterable[Update]) -> SubsequentResult:
         """Apply ``updates`` and answer the subsequent GPNM query."""
@@ -243,7 +280,9 @@ class GPNMAlgorithm(abc.ABC):
             # of the batch, so resync the matrix to whatever state it
             # reached before re-raising.  A caller that catches the error
             # is left with a consistent (graph, SLen) pair.
-            self._slen = SLenMatrix.from_graph(self._data, horizon=self._slen.horizon)
+            self._slen = SLenMatrix.from_graph(
+                self._data, horizon=self._slen.horizon, backend=self._slen.backend_name
+            )
             raise
         stats.slen_updates += 1
         stats.coalesced_batches += 1

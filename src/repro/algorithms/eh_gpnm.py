@@ -33,9 +33,10 @@ class EHGPNM(GPNMAlgorithm):
         # Data side: maintain SLen, detect Type II elimination, then amend
         # once for the whole data batch.  With ``coalesce_updates`` on the
         # data stream is first compiled to its net effect and maintained
-        # by one coalesced pass; the pattern side keeps its per-update
-        # procedure, which is what defines EH-GPNM.
-        if self._coalesce_updates and len(data_updates) > 1:
+        # by one coalesced pass (batches under ``coalesce_min_batch`` stay
+        # per-update); the pattern side keeps its per-update procedure,
+        # which is what defines EH-GPNM.
+        if self._should_coalesce(len(data_updates)):
             compiled = compile_batch(data_updates)
             stats.compiled_away_updates += compiled.report.eliminated
             data_updates = compiled.data_updates()

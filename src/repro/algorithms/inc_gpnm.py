@@ -31,9 +31,10 @@ class IncGPNM(GPNMAlgorithm):
         # INC-GPNM is per-update by definition, so ``coalesce_updates``
         # only canonicalises the stream: duplicates, inverse pairs and
         # subsumed edge operations are compiled away before the per-update
-        # loop; each survivor still gets its own maintenance + amendment.
+        # loop (batches under ``coalesce_min_batch`` skip even that);
+        # each survivor still gets its own maintenance + amendment.
         working: UpdateBatch = batch
-        if self._coalesce_updates and len(batch) > 1:
+        if self._should_coalesce(len(batch)):
             compiled = compile_batch(batch)
             stats.compiled_away_updates += compiled.report.eliminated
             working = compiled.batch

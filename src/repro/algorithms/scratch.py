@@ -35,7 +35,9 @@ class BatchGPNM(GPNMAlgorithm):
             partition = LabelPartition.from_graph(self._data)
             self._slen = build_slen_partitioned(self._data, partition)
         else:
-            self._slen = SLenMatrix.from_graph(self._data, horizon=self._slen.horizon)
+            self._slen = SLenMatrix.from_graph(
+                self._data, horizon=self._slen.horizon, backend=self._slen.backend_name
+            )
         stats.recomputed_rows += self._data.number_of_nodes
         relation = bounded_simulation(self._pattern, self._data, self._slen)
         stats.refinement_passes += 1

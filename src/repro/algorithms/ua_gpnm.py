@@ -56,9 +56,11 @@ class UAGPNM(GPNMAlgorithm):
     ) -> tuple[MatchResult, Optional[EHTree]]:
         # Step 0 (coalesce_updates only): compile the batch down to its
         # net effect — duplicates, inverse pairs and subsumed edge
-        # operations never reach the per-update machinery below.
+        # operations never reach the per-update machinery below.  Tiny
+        # batches skip the whole path (see ``_should_coalesce``).
         working: UpdateBatch = batch
-        if self._coalesce_updates and len(batch) > 1:
+        use_coalesce = self._should_coalesce(len(batch))
+        if use_coalesce:
             compiled = compile_batch(batch)
             stats.compiled_away_updates += compiled.report.eliminated
             working = compiled.batch
@@ -83,7 +85,7 @@ class UAGPNM(GPNMAlgorithm):
         # Step 2: apply data updates, maintaining SLen and collecting Aff_N.
         # With coalescing on, the compiled stream is maintained by a single
         # multi-source pass instead of one update_slen call per update.
-        if self._coalesce_updates and len(data_updates) > 1:
+        if use_coalesce and len(data_updates) > 1:
             affected_sets = self._apply_data_updates_coalesced(data_updates, stats)
         else:
             affected_sets = [

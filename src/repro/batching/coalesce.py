@@ -45,8 +45,17 @@ from repro.graph.updates import (
     NodeInsertion,
     Update,
 )
-from repro.spl.incremental import SLenDelta, _settle_affected
+from repro.spl.incremental import SLenDelta
 from repro.spl.matrix import INF, SLenMatrix
+
+#: Below this many updates in a batch, compiling + coalescing costs more
+#: than it saves and the algorithms fall back to per-update maintenance.
+#: ``BENCH_batching.json``: coalescing loses clearly below 64, is about
+#: par (within noise of 1x) at 64, and wins decisively by 256 on
+#: deletion-bearing mixes — so 64 is the point where the coalesced path
+#: stops being a regression.  Callers can override via
+#: ``coalesce_min_batch``.
+DEFAULT_COALESCE_MIN_BATCH: int = 64
 
 NodeId = Hashable
 Pair = tuple[NodeId, NodeId]
@@ -159,7 +168,10 @@ def coalesce_slen(
 
     # ------------------------------------------------------------------
     # Deletion phase: one affected-region union + one settle per source.
+    # Detection and settling both run as backend kernels (vectorized on
+    # the dense backend); this loop only attributes blame and applies.
     # ------------------------------------------------------------------
+    backend = slen.backend
     remaining = slen.nodes()
     blame_by_source: dict[NodeId, dict[NodeId, set[int]]] = {}
 
@@ -169,39 +181,26 @@ def coalesce_slen(
     for edge_source, edge_target, index in deleted_edges:
         if edge_source not in remaining or edge_target not in remaining:
             continue  # subsumed by a node deletion; its pairs are already INF
-        column_source = slen.column(edge_source)
-        column_source[edge_source] = 0
-        row_target = dict(slen.row_view(edge_target))
-        for x, dist_to_source in column_source.items():
-            row_x = slen.row_view(x)
-            base = dist_to_source + 1
-            for y, dist_from_target in row_target.items():
-                if x != y and row_x.get(y) == base + dist_from_target:
-                    flag(x, y, index)
+        for x, targets in backend.affected_by_edge_deletion(edge_source, edge_target).items():
+            for y in targets:
+                flag(x, y, index)
     for node, index in deleted_nodes.items():
-        old_column = old_cols[node]
-        old_row = old_rows[node]
-        for x, dist_to_node in old_column.items():
-            if x == node or x not in remaining:
-                continue
-            row_x = slen.row_view(x)
-            for y, dist_from_node in old_row.items():
-                if y == node or y == x or y not in remaining:
-                    continue
-                if row_x.get(y) == dist_to_node + dist_from_node:
-                    flag(x, y, index)
+        for x, targets in backend.affected_by_node_deletion(old_rows[node], old_cols[node]).items():
+            for y in targets:
+                flag(x, y, index)
 
-    skip_edges = {(source, target) for source, target, _ in inserted_edges}
-    skip_nodes = set(inserted_nodes)
+    skip_edges = frozenset((source, target) for source, target, _ in inserted_edges)
+    skip_nodes = frozenset(inserted_nodes)
     horizon = slen.horizon
+    affected_by_source = {x: set(targets) for x, targets in blame_by_source.items()}
+    settled = backend.settle_sources(
+        graph_after, affected_by_source, skip_edges=skip_edges, skip_nodes=skip_nodes
+    )
+    get = backend.get
     for x, blamed_targets in blame_by_source.items():
-        affected = set(blamed_targets)
-        new_values = _settle_affected(
-            slen, graph_after, x, affected, skip_edges=skip_edges, skip_nodes=skip_nodes
-        )
-        row_x = slen.row_view(x)
-        for y in affected:
-            old = row_x.get(y, INF)
+        new_values = settled[x]
+        for y in blamed_targets:
+            old = get(x, y)
             new = new_values.get(y, INF)
             if new > horizon:
                 new = INF
@@ -215,7 +214,9 @@ def coalesce_slen(
     # ------------------------------------------------------------------
     # Insertion phase: multi-source relaxation sweep to a fixpoint.  Only
     # edges whose endpoint distances moved in the previous round are
-    # re-examined, so the sweep usually costs one productive round.
+    # re-examined, so the sweep usually costs one productive round.  Each
+    # edge's relaxation is one backend kernel call (a rank-1 broadcast on
+    # the dense backend).
     # ------------------------------------------------------------------
     rounds = 0
     pending = list(inserted_edges)
@@ -224,24 +225,12 @@ def coalesce_slen(
         improved_sources: set[NodeId] = set()
         improved_targets: set[NodeId] = set()
         for edge_source, edge_target, index in pending:
-            sources_into = slen.column(edge_source)
-            sources_into[edge_source] = 0
-            targets_out = dict(slen.row_view(edge_target))
-            for x, dist_to_source in sources_into.items():
-                row_x = slen.row_view(x)
-                base = dist_to_source + 1
-                for y, dist_from_target in targets_out.items():
-                    if x == y:
-                        continue
-                    candidate = base + dist_from_target
-                    if candidate > horizon:
-                        continue
-                    current = row_x.get(y, INF)
-                    if candidate < current:
-                        slen.set_distance(x, y, candidate)
-                        record((x, y), current, candidate, (index,))
-                        improved_sources.add(x)
-                        improved_targets.add(y)
+            for (x, y), (current, candidate) in backend.relax_edge(
+                edge_source, edge_target
+            ).items():
+                record((x, y), current, candidate, (index,))
+                improved_sources.add(x)
+                improved_targets.add(y)
         pending = [
             (source, target, index)
             for source, target, index in inserted_edges

@@ -18,6 +18,11 @@ Run everything (slow) and verify each method against the oracle::
 Run the quick grid with the batch compiler + coalesced SLen maintenance::
 
     ua-gpnm table-xi --coalesce
+
+Run the quick grid on the dense NumPy SLen backend (or ``auto``, which
+picks dense above a node-count threshold)::
+
+    ua-gpnm table-xi --slen-backend dense
 """
 
 from __future__ import annotations
@@ -78,6 +83,27 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         default=default(False),
         help="compile each update batch and maintain SLen in one coalesced pass",
     )
+    parser.add_argument(
+        "--coalesce-min-batch",
+        type=int,
+        default=default(None),
+        metavar="N",
+        help=(
+            "batch size below which --coalesce falls back to per-update "
+            "maintenance (default 64, where the benchmark shows the "
+            "coalesced path stops losing)"
+        ),
+    )
+    parser.add_argument(
+        "--slen-backend",
+        default=default("sparse"),
+        choices=("sparse", "dense", "auto"),
+        help=(
+            "SLen storage backend: sparse dict-of-dicts, dense int32 NumPy "
+            "matrix with vectorized kernels, or auto (dense above a "
+            "node-count threshold); default: sparse"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -108,6 +134,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = _config_for(args.preset)
     if args.coalesce:
         config = dataclasses.replace(config, coalesce_updates=True)
+    if getattr(args, "coalesce_min_batch", None) is not None:
+        config = dataclasses.replace(config, coalesce_min_batch=args.coalesce_min_batch)
+    if args.slen_backend != "sparse":
+        config = dataclasses.replace(config, slen_backend=args.slen_backend)
 
     def progress(message: str) -> None:
         print(f"[run] {message}", file=sys.stderr)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
+from repro.spl.backend import BACKEND_NAMES
 from repro.workloads.datasets import dataset_names
 
 #: Canonical method order used in every table (matches the paper's columns).
@@ -48,6 +50,14 @@ class ExperimentConfig:
     coalesce_updates:
         Run every method with the batch compiler + coalesced ``SLen``
         maintenance enabled (see :mod:`repro.batching`).
+    coalesce_min_batch:
+        Crossover batch size below which ``coalesce_updates`` falls back
+        to per-update maintenance (compile+coalesce fixed costs exceed
+        the savings under it; default from the ``BENCH_batching.json``
+        crossover).
+    slen_backend:
+        ``SLen`` storage backend for every method: ``"sparse"``,
+        ``"dense"`` or ``"auto"`` (see :mod:`repro.spl.backend`).
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -58,6 +68,8 @@ class ExperimentConfig:
     repetitions: int = 1
     seed: int = 2020
     coalesce_updates: bool = False
+    coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH
+    slen_backend: str = "sparse"
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -65,6 +77,12 @@ class ExperimentConfig:
             raise ValueError(f"unknown methods {unknown}; expected a subset of {METHOD_ORDER}")
         if self.repetitions < 1:
             raise ValueError("repetitions must be at least 1")
+        if self.slen_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown slen_backend {self.slen_backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.coalesce_min_batch < 0:
+            raise ValueError("coalesce_min_batch must be non-negative")
 
     @property
     def number_of_cells(self) -> int:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm
+from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
 from repro.algorithms.eh_gpnm import EHGPNM
 from repro.algorithms.inc_gpnm import IncGPNM
 from repro.algorithms.scratch import BatchGPNM
@@ -62,6 +63,7 @@ class MeasurementRecord:
     matches_oracle: Optional[bool] = None
     coalesced_batches: int = 0
     compiled_away_updates: int = 0
+    slen_backend: str = "sparse"
 
 
 def _method_factory(name: str) -> Callable[..., GPNMAlgorithm]:
@@ -92,12 +94,14 @@ def run_cell(
     shared_slen: Optional[SLenMatrix] = None,
     shared_iquery: Optional[MatchResult] = None,
     coalesce_updates: bool = False,
+    coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
+    slen_backend: str = "sparse",
 ) -> list[MeasurementRecord]:
     """Run every method of one grid cell and return its measurement records."""
     if pattern_size is None:
         pattern_size = (pattern.number_of_nodes, pattern.number_of_edges)
     if shared_slen is None:
-        shared_slen = SLenMatrix.from_graph(data, horizon=SLEN_HORIZON)
+        shared_slen = SLenMatrix.from_graph(data, horizon=SLEN_HORIZON, backend=slen_backend)
     if shared_iquery is None:
         shared_iquery = gpnm_query(pattern, data, shared_slen, enforce_totality=False)
     num_pattern_updates, num_data_updates = delta_scale
@@ -127,6 +131,8 @@ def run_cell(
             precomputed_slen=shared_slen,
             precomputed_relation=shared_iquery,
             coalesce_updates=coalesce_updates,
+            coalesce_min_batch=coalesce_min_batch,
+            slen_backend=slen_backend,
         )
         outcome = algorithm.subsequent_query(batch)
         matches_oracle = None
@@ -149,6 +155,7 @@ def run_cell(
                 matches_oracle=matches_oracle,
                 coalesced_batches=stats.coalesced_batches,
                 compiled_away_updates=stats.compiled_away_updates,
+                slen_backend=algorithm.slen_backend,
             )
         )
     return records
@@ -194,7 +201,9 @@ def run_experiment(
                     seed=config.seed + pattern_size[0],
                 )
             )
-            slen = SLenMatrix.from_graph(data, horizon=SLEN_HORIZON)
+            slen = SLenMatrix.from_graph(
+                data, horizon=SLEN_HORIZON, backend=config.slen_backend
+            )
             iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
             cache[key] = (data, pattern, slen, iquery)
         data, pattern, slen, iquery = cache[key]
@@ -223,6 +232,8 @@ def run_experiment(
                 shared_slen=slen,
                 shared_iquery=iquery,
                 coalesce_updates=config.coalesce_updates,
+                coalesce_min_batch=config.coalesce_min_batch,
+                slen_backend=config.slen_backend,
             )
         )
     return records

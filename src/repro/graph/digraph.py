@@ -50,7 +50,7 @@ class DataGraph:
     ['SE1']
     """
 
-    __slots__ = ("_succ", "_pred", "_labels", "_label_index", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_labels", "_label_index", "_num_edges", "_version")
 
     def __init__(
         self,
@@ -62,6 +62,7 @@ class DataGraph:
         self._labels: dict[NodeId, tuple[str, ...]] = {}
         self._label_index: dict[str, set[NodeId]] = {}
         self._num_edges = 0
+        self._version = 0
         if nodes:
             for node, label in nodes.items():
                 if isinstance(label, str):
@@ -84,6 +85,7 @@ class DataGraph:
         self._succ[node] = set()
         self._pred[node] = set()
         self._labels[node] = tuple(labels)
+        self._version += 1
         for label in labels:
             self._label_index.setdefault(label, set()).add(node)
 
@@ -103,6 +105,7 @@ class DataGraph:
         del self._succ[node]
         del self._pred[node]
         del self._labels[node]
+        self._version += 1
 
     def has_node(self, node: NodeId) -> bool:
         """Return ``True`` if ``node`` is in the graph."""
@@ -145,6 +148,7 @@ class DataGraph:
         self._succ[source].add(target)
         self._pred[target].add(source)
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, source: NodeId, target: NodeId) -> None:
         """Remove the directed edge ``source -> target``."""
@@ -153,6 +157,7 @@ class DataGraph:
         self._succ[source].discard(target)
         self._pred[target].discard(source)
         self._num_edges -= 1
+        self._version += 1
 
     def has_edge(self, source: NodeId, target: NodeId) -> bool:
         """Return ``True`` if the edge ``source -> target`` exists."""
@@ -227,6 +232,16 @@ class DataGraph:
         return len(self._succ)
 
     @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every structural change.
+
+        Lets derived structures (e.g. the dense ``SLen`` backend's CSR
+        adjacency cache) key cached adjacency on ``(id(graph), version)``
+        without any risk of serving stale neighbourhoods.
+        """
+        return self._version
+
+    @property
     def number_of_edges(self) -> int:
         """``|ED|``."""
         return self._num_edges
@@ -244,6 +259,7 @@ class DataGraph:
             label: set(nodes) for label, nodes in self._label_index.items()
         }
         clone._num_edges = self._num_edges
+        clone._version = self._version
         return clone
 
     def __contains__(self, node: NodeId) -> bool:

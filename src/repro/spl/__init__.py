@@ -5,7 +5,11 @@ data graph (the paper's ``SLen`` matrix).  This package provides:
 
 * :mod:`repro.spl.sssp` — single-source BFS (unweighted) and Dijkstra
   (weighted extension) traversals;
-* :mod:`repro.spl.matrix` — the :class:`SLenMatrix` all-pairs structure;
+* :mod:`repro.spl.matrix` — the :class:`SLenMatrix` all-pairs facade;
+* :mod:`repro.spl.backend` — the pluggable storage/kernel interface and
+  the sparse (dict-of-dicts) backend;
+* :mod:`repro.spl.dense` — the dense ``int32`` NumPy backend with
+  vectorized construction / insertion / deletion kernels;
 * :mod:`repro.spl.incremental` — maintenance of ``SLen`` under the update
   vocabulary of Section III-C, producing the affected-pair sets (``AFF``)
   that drive elimination detection;
@@ -13,6 +17,14 @@ data graph (the paper's ``SLen`` matrix).  This package provides:
   sparse matrix discussed in the Section IV-B remark.
 """
 
+from repro.spl.backend import (
+    BACKEND_NAMES,
+    DENSE_AUTO_THRESHOLD,
+    SLenBackend,
+    SparseSLenBackend,
+    dense_available,
+    resolve_backend_name,
+)
 from repro.spl.incremental import SLenDelta, fold_deltas, update_slen
 from repro.spl.matrix import INF, SLenMatrix
 from repro.spl.sssp import bfs_lengths, bfs_lengths_within, dijkstra_lengths
@@ -22,6 +34,12 @@ __all__ = [
     "INF",
     "SLenMatrix",
     "SLenDelta",
+    "SLenBackend",
+    "SparseSLenBackend",
+    "BACKEND_NAMES",
+    "DENSE_AUTO_THRESHOLD",
+    "dense_available",
+    "resolve_backend_name",
     "fold_deltas",
     "update_slen",
     "bfs_lengths",

@@ -1,0 +1,502 @@
+"""Dense NumPy backend for the ``SLen`` matrix.
+
+Stores the all-pairs shortest path lengths as one contiguous ``int32``
+matrix ``D`` indexed by a node -> slot map, with :data:`SENTINEL`
+standing in for ``INF``.  Memory is O(|V|²) *regardless of sparsity* —
+4 bytes per ordered pair (a 2048-node graph costs 16 MiB) — which is the
+trade-off against the dict-of-dicts sparse backend: that one stores only
+finite entries but pays per-entry interpreter overhead on every kernel.
+The ``auto`` selection policy (:func:`repro.spl.backend.resolve_backend_name`)
+arbitrates via a node-count threshold.
+
+The three hot maintenance kernels are vectorized:
+
+* **construction** — frontier-array multi-source BFS: one boolean
+  frontier matrix (sources × nodes) expanded level by level through a
+  CSR predecessor gather + ``logical_or.reduceat``, instead of one
+  Python BFS per source;
+* **single-edge insertion** — the rank-1 broadcast relaxation
+  ``D = minimum(D, D[:, u, None] + 1 + D[None, v, :])``, replacing the
+  O(n²) Python double loop with one elementwise pass;
+* **deletion settle** — a batched affected-region recompute: all
+  affected source rows are settled together by iterated min-plus
+  relaxation over the affected columns only (``minimum.reduceat`` over
+  the CSR predecessor gather), seeded from the unaffected entries,
+  exactly the Ramalingam & Reps fixpoint the per-source Dijkstra
+  computes.
+
+Distances are bounded by the horizon exactly like the sparse backend:
+entries beyond it are simply absent (``SENTINEL``).  Early horizon
+clipping inside the settle iteration is equivalent to the sparse
+backend's clip-at-the-end because min-plus relaxation is monotone: any
+prefix of a path of length ≤ horizon is itself ≤ horizon.
+
+A CSR-style adjacency cache keyed on graph identity plus
+``graph.version`` avoids rebuilding the predecessor arrays when several
+kernels run against an unchanged graph (the
+:class:`~repro.graph.digraph.DataGraph` version counter is bumped on
+every structural mutation, and the cached graph is held and compared
+with ``is``, so the cache can never serve stale adjacency).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DataGraph
+from repro.spl.backend import INF, SLenBackend, _NO_EDGES, _NO_NODES
+
+NodeId = Hashable
+Pair = tuple[NodeId, NodeId]
+Change = tuple[float, float]
+
+#: ``INF`` stand-in.  ``2**29`` keeps every kernel int32-safe: the
+#: largest intermediate is ``SENTINEL + SENTINEL + 1 = 2**30 + 1 < 2**31``.
+SENTINEL: int = 2**29
+
+
+def _segment_reduce(values, segment_starts, segment_empty, ufunc, fill):
+    """Per-segment ``ufunc`` reduction of ``values`` along axis 1.
+
+    ``segment_starts``/``segment_empty`` describe CSR-style segments of
+    the gathered axis.  Empty segments yield ``fill``.  Implemented via
+    ``ufunc.reduceat`` over the non-empty segments only — passing empty
+    segments to ``reduceat`` directly would mis-handle both the
+    "start == end" case (it returns the element at ``start`` unreduced)
+    and trailing empties (whose out-of-range start would have to be
+    clipped, silently truncating the previous segment).
+    """
+    k = values.shape[0]
+    out = np.full((k, len(segment_empty)), fill, dtype=values.dtype)
+    if values.shape[1] == 0:
+        return out
+    nonempty = ~segment_empty
+    if nonempty.any():
+        out[:, nonempty] = ufunc.reduceat(values, segment_starts[nonempty], axis=1)
+    return out
+
+
+class DenseSLenBackend(SLenBackend):
+    """Contiguous int32 all-pairs matrix with vectorized kernels."""
+
+    name = "dense"
+
+    __slots__ = ("horizon", "_index", "_slots", "_free", "_D", "_row_cache", "_csr_cache")
+
+    def __init__(self, nodes: Iterable[NodeId] = (), horizon: float = INF) -> None:
+        self.horizon = horizon
+        order = list(dict.fromkeys(nodes))
+        n = len(order)
+        #: node -> slot (row/column position in ``_D``)
+        self._index: dict[NodeId, int] = {node: slot for slot, node in enumerate(order)}
+        #: slot -> node (``None`` for free slots)
+        self._slots: list[Optional[NodeId]] = list(order)
+        self._free: list[int] = []
+        capacity = max(1, n)
+        self._D = np.full((capacity, capacity), SENTINEL, dtype=np.int32)
+        if n:
+            diag = np.arange(n)
+            self._D[diag, diag] = 0
+        #: per-row materialised finite-entry dicts (invalidated on mutation)
+        self._row_cache: dict[NodeId, dict[NodeId, int]] = {}
+        #: (graph, version) -> CSR predecessor arrays.  The graph itself
+        #: is held (identity-checked with ``is``) so a freed graph's
+        #: reused id can never alias the cache.
+        self._csr_cache: Optional[tuple[DataGraph, int, tuple]] = None
+
+    # ------------------------------------------------------------------
+    # Horizon helpers
+    # ------------------------------------------------------------------
+    @property
+    def _hcap(self) -> Optional[int]:
+        """The horizon as an int cap, or ``None`` for an unbounded matrix."""
+        return None if self.horizon == INF else int(self.horizon)
+
+    # ------------------------------------------------------------------
+    # Storage primitives
+    # ------------------------------------------------------------------
+    def node_set(self) -> set[NodeId]:
+        return set(self._index)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._index
+
+    def number_of_nodes(self) -> int:
+        return len(self._index)
+
+    def get(self, source: NodeId, target: NodeId) -> float | int:
+        value = int(self._D[self._index[source], self._index[target]])
+        return INF if value >= SENTINEL else value
+
+    def row(self, source: NodeId) -> dict[NodeId, int]:
+        values = self._D[self._index[source]]
+        slots = self._slots
+        return {
+            slots[position]: int(values[position])
+            for position in np.nonzero(values < SENTINEL)[0]
+        }
+
+    def row_view(self, source: NodeId) -> Mapping[NodeId, int]:
+        cached = self._row_cache.get(source)
+        if cached is None:
+            if source not in self._index:
+                raise KeyError(source)
+            cached = self.row(source)
+            self._row_cache[source] = cached
+        return cached
+
+    def column(self, target: NodeId) -> dict[NodeId, int]:
+        values = self._D[:, self._index[target]]
+        slots = self._slots
+        return {
+            slots[position]: int(values[position])
+            for position in np.nonzero(values < SENTINEL)[0]
+        }
+
+    def set_value(self, source: NodeId, target: NodeId, value: float | int) -> None:
+        i = self._index[source]
+        j = self._index[target]
+        if value == INF or value > self.horizon:
+            self._D[i, j] = SENTINEL
+        else:
+            self._D[i, j] = int(value)
+        self._row_cache.pop(source, None)
+
+    def set_row(self, source: NodeId, row: Mapping[NodeId, int]) -> None:
+        i = self._index[source]
+        self._D[i, :] = SENTINEL
+        horizon = self.horizon
+        for target, dist in row.items():
+            if dist <= horizon:
+                self._D[i, self._index[target]] = int(dist)
+        self._D[i, i] = 0
+        self._row_cache.pop(source, None)
+
+    def replace_row_raw(self, source: NodeId, row: dict[NodeId, int]) -> None:
+        i = self._index[source]
+        self._D[i, :] = SENTINEL
+        for target, dist in row.items():
+            self._D[i, self._index[target]] = int(dist)
+        self._row_cache.pop(source, None)
+
+    def add_node(self, node: NodeId) -> None:
+        if self._free:
+            slot = self._free.pop()
+            self._slots[slot] = node
+        else:
+            slot = len(self._slots)
+            if slot >= self._D.shape[0]:
+                self._grow()
+            self._slots.append(node)
+        self._index[node] = slot
+        self._D[slot, :] = SENTINEL
+        self._D[:, slot] = SENTINEL
+        self._D[slot, slot] = 0
+
+    def _grow(self) -> None:
+        old = self._D
+        capacity = max(4, old.shape[0] * 2)
+        grown = np.full((capacity, capacity), SENTINEL, dtype=np.int32)
+        used = old.shape[0]
+        grown[:used, :used] = old
+        self._D = grown
+
+    def remove_node(self, node: NodeId) -> None:
+        slot = self._index.pop(node)
+        self._slots[slot] = None
+        self._free.append(slot)
+        self._D[slot, :] = SENTINEL
+        self._D[:, slot] = SENTINEL
+        # Every remaining row lost a column entry; drop all cached rows.
+        self._row_cache.clear()
+
+    def copy(self) -> "DenseSLenBackend":
+        clone = DenseSLenBackend(horizon=self.horizon)
+        clone._index = dict(self._index)
+        clone._slots = list(self._slots)
+        clone._free = list(self._free)
+        clone._D = self._D.copy()
+        return clone
+
+    def finite_count(self) -> int:
+        return int((self._D < SENTINEL).sum())
+
+    def finite_entries(self) -> Iterator[tuple[NodeId, NodeId, int]]:
+        slots = self._slots
+        for source, i in self._index.items():
+            values = self._D[i]
+            for position in np.nonzero(values < SENTINEL)[0]:
+                yield (source, slots[position], int(values[position]))
+
+    # ------------------------------------------------------------------
+    # CSR adjacency cache
+    # ------------------------------------------------------------------
+    def _pred_csr(self, graph: DataGraph):
+        """CSR predecessor arrays of ``graph`` over the current slot map.
+
+        Returns ``(indptr, indices, empty)`` where ``indices[indptr[y] :
+        indptr[y + 1]]`` are the slots of the in-neighbours of the node
+        at slot ``y`` (graph nodes without a slot are dropped — they have
+        no representable distance, exactly like their absence from a
+        sparse row) and ``empty`` marks slots with no predecessor.  The
+        result is cached against the graph's mutation version.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache[0] is graph and cache[1] == graph.version:
+            return cache[2]
+        index = self._index
+        capacity = self._D.shape[0]
+        counts = np.zeros(capacity + 1, dtype=np.int64)
+        pred_lists: list[list[int]] = [()] * capacity  # type: ignore[list-item]
+        for node, slot in index.items():
+            if not graph.has_node(node):
+                continue
+            preds = [
+                index[w] for w in graph.predecessors_view(node) if w in index
+            ]
+            pred_lists[slot] = preds
+            counts[slot + 1] = len(preds)
+        indptr = np.cumsum(counts)
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        for slot in range(capacity):
+            preds = pred_lists[slot]
+            if preds:
+                indices[indptr[slot] : indptr[slot + 1]] = preds
+        empty = indptr[:-1] == indptr[1:]
+        csr = (indptr, indices, empty)
+        self._csr_cache = (graph, graph.version, csr)
+        return csr
+
+    # ------------------------------------------------------------------
+    # Vectorized kernels
+    # ------------------------------------------------------------------
+    def build(self, graph: DataGraph) -> None:
+        """Frontier-array multi-source BFS over all slots at once."""
+        n = len(self._slots)
+        if n == 0:
+            return
+        indptr, indices, empty = self._pred_csr(graph)
+        D = self._D
+        if indices.size == 0:
+            return
+        frontier = np.zeros((n, D.shape[1]), dtype=bool)
+        rows = np.arange(n)
+        frontier[rows, rows] = True
+        hcap = self._hcap
+        level = 0
+        while frontier.any():
+            if hcap is not None and level >= hcap:
+                break
+            level += 1
+            reached = _segment_reduce(
+                frontier[:, indices], indptr[:-1], empty, np.logical_or, False
+            )
+            newly = reached & (D[:n, :] >= SENTINEL)
+            if not newly.any():
+                break
+            D[:n, :][newly] = level
+            frontier = newly
+        self._row_cache.clear()
+
+    def recompute_rows(self, graph: DataGraph, sources: Iterable[NodeId]) -> set[NodeId]:
+        """Multi-source BFS restricted to ``sources``; returns changed rows.
+
+        Mirrors the sparse quirk of storing plain (horizon-unfiltered)
+        BFS rows: the frontier expansion here is unbounded too.
+        """
+        source_list = list(sources)
+        if not source_list:
+            return set()
+        slot_of = self._index
+        xi = np.array([slot_of[source] for source in source_list], dtype=np.int64)
+        indptr, indices, empty = self._pred_csr(graph)
+        old_rows = self._D[xi, :].copy()
+        k = len(source_list)
+        capacity = self._D.shape[1]
+        R = np.full((k, capacity), SENTINEL, dtype=np.int32)
+        R[np.arange(k), xi] = 0
+        if indices.size:
+            frontier = R == 0
+            level = 0
+            while frontier.any():
+                level += 1
+                reached = _segment_reduce(
+                    frontier[:, indices], indptr[:-1], empty, np.logical_or, False
+                )
+                newly = reached & (R >= SENTINEL)
+                if not newly.any():
+                    break
+                R[newly] = level
+                frontier = newly
+        changed_mask = (R != old_rows).any(axis=1)
+        changed: set[NodeId] = set()
+        for position in np.nonzero(changed_mask)[0]:
+            self._D[xi[position], :] = R[position]
+            source = source_list[int(position)]
+            changed.add(source)
+            self._row_cache.pop(source, None)
+        return changed
+
+    def relax_edge(self, source: NodeId, target: NodeId) -> dict[Pair, Change]:
+        """Rank-1 broadcast relaxation for an inserted edge."""
+        iu = self._index[source]
+        iv = self._index[target]
+        D = self._D
+        candidate = D[:, iu, None] + D[None, iv, :]
+        candidate += 1
+        mask = candidate < D
+        hcap = self._hcap
+        if hcap is not None:
+            mask &= candidate <= hcap
+        xs, ys = np.nonzero(mask)
+        if xs.size == 0:
+            return {}
+        old_values = D[xs, ys]
+        new_values = candidate[xs, ys]
+        D[xs, ys] = new_values
+        # Assemble the changed-pairs delta with C-level zips: an early
+        # insertion on a well-connected graph can improve tens of
+        # thousands of pairs, so per-pair Python work would dominate the
+        # whole kernel.  Old ``INF`` entries surface as float('inf') via
+        # a float cast (== is unaffected: 3.0 == 3).  The slot array is
+        # filled by assignment — np.array() would try to unpack sequence
+        # node ids (e.g. tuples) into extra dimensions.
+        slot_array = np.empty(len(self._slots), dtype=object)
+        slot_array[:] = self._slots
+        keys = zip(slot_array[xs].tolist(), slot_array[ys].tolist())
+        olds = old_values.astype(float)
+        olds[olds >= SENTINEL] = INF
+        changed = dict(zip(keys, zip(olds.tolist(), new_values.tolist())))
+        cache = self._row_cache
+        if cache:
+            for x in dict.fromkeys(xs.tolist()):
+                cache.pop(self._slots[x], None)
+        return changed
+
+    def affected_by_edge_deletion(
+        self, source: NodeId, target: NodeId
+    ) -> dict[NodeId, set[NodeId]]:
+        """Vectorized affectedness test ``D == D[:, u] + 1 + D[v, :]``."""
+        iu = self._index[source]
+        iv = self._index[target]
+        D = self._D
+        candidate = D[:, iu, None] + D[None, iv, :]
+        candidate += 1
+        # A sentinel on either leg makes the candidate exceed any stored
+        # value, so plain equality is the full affectedness test; the
+        # diagonal (D == 0 < candidate) is excluded automatically.
+        xs, ys = np.nonzero(D == candidate)
+        slots = self._slots
+        affected: dict[NodeId, set[NodeId]] = {}
+        for x, y in zip(xs.tolist(), ys.tolist()):
+            affected.setdefault(slots[x], set()).add(slots[y])
+        return affected
+
+    def affected_by_node_deletion(
+        self, old_row: Mapping[NodeId, int], old_column: Mapping[NodeId, int]
+    ) -> dict[NodeId, set[NodeId]]:
+        index = self._index
+        xs_nodes = [x for x in old_column if x in index]
+        ys_nodes = [y for y in old_row if y in index]
+        if not xs_nodes or not ys_nodes:
+            return {}
+        xi = np.array([index[x] for x in xs_nodes], dtype=np.int64)
+        yi = np.array([index[y] for y in ys_nodes], dtype=np.int64)
+        through = (
+            np.array([old_column[x] for x in xs_nodes], dtype=np.int32)[:, None]
+            + np.array([old_row[y] for y in ys_nodes], dtype=np.int32)[None, :]
+        )
+        sub = self._D[np.ix_(xi, yi)]
+        mask = (sub == through) & (xi[:, None] != yi[None, :])
+        affected: dict[NodeId, set[NodeId]] = {}
+        for a, b in zip(*(axis.tolist() for axis in np.nonzero(mask))):
+            affected.setdefault(xs_nodes[a], set()).add(ys_nodes[b])
+        return affected
+
+    def settle_sources(
+        self,
+        graph_after: DataGraph,
+        affected_by_source: Mapping[NodeId, set[NodeId]],
+        skip_edges: frozenset[tuple[NodeId, NodeId]] | set = _NO_EDGES,
+        skip_nodes: frozenset[NodeId] | set = _NO_NODES,
+    ) -> dict[NodeId, dict[NodeId, int]]:
+        """Batched affected-region recompute over all affected source rows.
+
+        Affected entries start at :data:`SENTINEL` and are relaxed to a
+        fixpoint through CSR predecessor gathers; unaffected entries are
+        held fixed (they are exact by the Ramalingam-Reps affected-area
+        argument), which makes the fixpoint equal to the per-source
+        Dijkstra of the generic kernel.
+        """
+        if not affected_by_source:
+            return {}
+        index = self._index
+        slots = self._slots
+        sources = list(affected_by_source)
+        xi = np.array([index[source] for source in sources], dtype=np.int64)
+        k = len(sources)
+        capacity = self._D.shape[1]
+        R = self._D[xi, :].copy()
+        affected_mask = np.zeros((k, capacity), dtype=bool)
+        union_slots: set[int] = set()
+        for position, source in enumerate(sources):
+            for y in affected_by_source[source]:
+                slot = index[y]
+                affected_mask[position, slot] = True
+                union_slots.add(slot)
+        R[affected_mask] = SENTINEL
+
+        # Only the union targets can change, so only their predecessor
+        # lists are gathered (skips applied inline) — far cheaper than a
+        # whole-graph CSR when the affected region is small.
+        targets = np.fromiter(sorted(union_slots), dtype=np.int64, count=len(union_slots))
+        pred_lists = []
+        for slot in targets.tolist():
+            node = slots[slot]
+            pred_lists.append(
+                [
+                    index[w]
+                    for w in graph_after.predecessors_view(node)
+                    if w in index and w not in skip_nodes and (w, node) not in skip_edges
+                ]
+            )
+        segment_lengths = np.array([len(preds) for preds in pred_lists], dtype=np.int64)
+        gather_cols = (
+            np.concatenate([np.asarray(preds, dtype=np.int64) for preds in pred_lists if preds])
+            if int(segment_lengths.sum())
+            else np.empty(0, dtype=np.int64)
+        )
+        segment_starts = np.concatenate(([0], np.cumsum(segment_lengths)[:-1]))
+        segment_empty = segment_lengths == 0
+        hcap = self._hcap
+        affected_cols = affected_mask[:, targets]
+        if gather_cols.size:
+            while True:
+                candidate = _segment_reduce(
+                    R[:, gather_cols], segment_starts, segment_empty, np.minimum, SENTINEL
+                )
+                candidate = candidate + 1
+                if hcap is not None:
+                    candidate[candidate > hcap] = SENTINEL
+                else:
+                    candidate[candidate > SENTINEL] = SENTINEL
+                current = R[:, targets]
+                improved = affected_cols & (candidate < current)
+                if not improved.any():
+                    break
+                R[:, targets] = np.where(improved, candidate, current)
+
+        results: dict[NodeId, dict[NodeId, int]] = {}
+        for position, source in enumerate(sources):
+            settled: dict[NodeId, int] = {}
+            row = R[position]
+            for slot in np.nonzero(affected_mask[position])[0]:
+                value = int(row[slot])
+                if value < SENTINEL:
+                    settled[slots[slot]] = value
+            results[source] = settled
+        return results

@@ -21,13 +21,20 @@ inserted edge.  Deletions follow the affected-area approach of
 Ramalingam & Reps [35] that the paper's complexity analysis is based on:
 for every source the set of *affected targets* (pairs whose only shortest
 paths used the deleted edge or node) is identified first, and a small
-Dijkstra restricted to those targets recomputes their distances, seeded
-from the unaffected frontier whose distances are known to be unchanged.
+recomputation restricted to those targets restores their distances,
+seeded from the unaffected frontier whose distances are known to be
+unchanged.
+
+The heavy lifting is delegated to the matrix's storage backend
+(:mod:`repro.spl.backend`): the sparse backend runs the original
+pure-Python kernels, the dense backend (:mod:`repro.spl.dense`)
+vectorized NumPy equivalents.  This module orchestrates the kernels,
+applies the settled values and assembles the deltas — identically for
+every backend.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 
@@ -46,7 +53,6 @@ from repro.spl.matrix import INF, SLenMatrix
 NodeId = Hashable
 Pair = tuple[NodeId, NodeId]
 Change = tuple[float, float]
-
 
 @dataclass(frozen=True)
 class SLenDelta:
@@ -113,26 +119,32 @@ def insert_edge(
         raise UpdateError(
             f"graph does not contain edge ({source!r}, {target!r}); apply the update first"
         )
-    changed: dict[Pair, Change] = {}
-    # Every node that reaches `source` may now reach everything `target` reaches.
-    sources_into = dict(slen.column(source))
-    sources_into[source] = 0
-    targets_out = dict(slen.row_view(target))
-    horizon = slen.horizon
-    for x, dist_to_source in sources_into.items():
-        row_x = slen.row_view(x)
-        base = dist_to_source + 1
-        for y, dist_from_target in targets_out.items():
-            if x == y:
-                continue
-            candidate = base + dist_from_target
-            if candidate > horizon:
-                continue
-            current = row_x.get(y, INF)
-            if candidate < current:
-                slen.set_distance(x, y, candidate)
-                changed[(x, y)] = (current, candidate)
+    # Every node that reaches `source` may now reach everything `target`
+    # reaches; the backend relaxes all such pairs in one kernel call.
+    changed = slen.backend.relax_edge(source, target)
     return SLenDelta(changed_pairs=changed)
+
+
+def _apply_settled(
+    slen: SLenMatrix,
+    affected_by_source: dict[NodeId, set[NodeId]],
+    settled: dict[NodeId, dict[NodeId, int]],
+    changed: dict[Pair, Change],
+) -> frozenset[NodeId]:
+    """Write settled deletion values into ``slen`` and record the changes."""
+    horizon = slen.horizon
+    get = slen.backend.get
+    for x, affected in affected_by_source.items():
+        new_values = settled.get(x, {})
+        for y in affected:
+            old = get(x, y)
+            new = new_values.get(y, INF)
+            if new > horizon:
+                new = INF
+            if new != old:
+                slen.set_distance(x, y, new)
+                changed[(x, y)] = (old, new)
+    return frozenset(affected_by_source)
 
 
 def delete_edge(
@@ -145,32 +157,12 @@ def delete_edge(
         )
     # A pair (x, y) can only get worse if *every* old shortest path used the
     # deleted edge, which requires d(x, y) == d(x, source) + 1 + d(target, y).
-    column_source = slen.column(source)
-    column_source[source] = 0
-    row_target = dict(slen.row_view(target))
+    backend = slen.backend
+    affected_by_source = backend.affected_by_edge_deletion(source, target)
+    settled = backend.settle_sources(graph_after, affected_by_source)
     changed: dict[Pair, Change] = {}
-    recomputed: set[NodeId] = set()
-    for x, dist_to_source in column_source.items():
-        row_x = slen.row_view(x)
-        base = dist_to_source + 1
-        affected = {
-            y
-            for y, dist_from_target in row_target.items()
-            if x != y and row_x.get(y) == base + dist_from_target
-        }
-        if not affected:
-            continue
-        recomputed.add(x)
-        new_values = _settle_affected(slen, graph_after, x, affected)
-        for y in affected:
-            old = row_x.get(y, INF)
-            new = new_values.get(y, INF)
-            if new > slen.horizon:
-                new = INF
-            if new != old:
-                slen.set_distance(x, y, new)
-                changed[(x, y)] = (old, new)
-    return SLenDelta(changed_pairs=changed, recomputed_sources=frozenset(recomputed))
+    recomputed = _apply_settled(slen, affected_by_source, settled, changed)
+    return SLenDelta(changed_pairs=changed, recomputed_sources=recomputed)
 
 
 def insert_node(
@@ -212,99 +204,15 @@ def delete_node(slen: SLenMatrix, graph_after: DataGraph, node: NodeId) -> SLenD
         if origin != node:
             changed[(origin, node)] = (dist, INF)
     slen.remove_node(node)
-    remaining = slen.nodes()
-    recomputed: set[NodeId] = set()
-    for x, dist_to_node in old_column.items():
-        if x == node:
-            continue
-        row_x = slen.row_view(x)
-        affected = {
-            y
-            for y, dist_from_node in old_row.items()
-            if y != node
-            and y != x
-            and y in remaining
-            and row_x.get(y) == dist_to_node + dist_from_node
-        }
-        if not affected:
-            continue
-        recomputed.add(x)
-        new_values = _settle_affected(slen, graph_after, x, affected)
-        for y in affected:
-            old = row_x.get(y, INF)
-            new = new_values.get(y, INF)
-            if new > slen.horizon:
-                new = INF
-            if new != old:
-                slen.set_distance(x, y, new)
-                changed[(x, y)] = (old, new)
+    backend = slen.backend
+    affected_by_source = backend.affected_by_node_deletion(old_row, old_column)
+    settled = backend.settle_sources(graph_after, affected_by_source)
+    recomputed = _apply_settled(slen, affected_by_source, settled, changed)
     return SLenDelta(
         changed_pairs=changed,
-        recomputed_sources=frozenset(recomputed),
+        recomputed_sources=recomputed,
         structural_nodes=frozenset({node}),
     )
-
-
-_NO_EDGES: frozenset = frozenset()
-_NO_NODES: frozenset = frozenset()
-
-
-def _settle_affected(
-    slen: SLenMatrix,
-    graph_after: DataGraph,
-    source: NodeId,
-    affected: set[NodeId],
-    skip_edges: frozenset[tuple[NodeId, NodeId]] | set = _NO_EDGES,
-    skip_nodes: frozenset[NodeId] | set = _NO_NODES,
-) -> dict[NodeId, int]:
-    """Recompute ``d(source, y)`` for every ``y`` in ``affected``.
-
-    Distances of nodes outside ``affected`` are unchanged by the deletion,
-    so every affected node is seeded with the best distance achievable
-    through an unaffected in-neighbour and the remaining slack is resolved
-    by a small Dijkstra over the affected set only (Ramalingam-Reps).
-    Nodes that end up unreachable are simply absent from the result.
-
-    ``skip_edges`` / ``skip_nodes`` exclude parts of ``graph_after`` from
-    the traversal; the coalesced maintenance pass
-    (:mod:`repro.batching.coalesce`) uses them to settle against the
-    deletions-only graph while ``graph_after`` already contains the
-    batch's insertions.
-    """
-    source_row = slen.row_view(source) if source in slen.nodes() else {}
-    tentative: dict[NodeId, float] = {}
-    for y in affected:
-        best = INF
-        for w in graph_after.predecessors_view(y):
-            if w in affected or w in skip_nodes or (w, y) in skip_edges:
-                continue
-            if w == source:
-                upstream = 0
-            else:
-                upstream = source_row.get(w)
-                if upstream is None:
-                    continue
-            if upstream + 1 < best:
-                best = upstream + 1
-        if best < INF:
-            tentative[y] = best
-    settled: dict[NodeId, int] = {}
-    heap: list[tuple[float, str, NodeId]] = [
-        (dist, repr(y), y) for y, dist in tentative.items()
-    ]
-    heapq.heapify(heap)
-    while heap:
-        dist, _, y = heapq.heappop(heap)
-        if y in settled or dist > tentative.get(y, INF):
-            continue
-        settled[y] = int(dist)
-        for z in graph_after.successors_view(y):
-            if z not in affected or z in settled or (y, z) in skip_edges:
-                continue
-            if dist + 1 < tentative.get(z, INF):
-                tentative[z] = dist + 1
-                heapq.heappush(heap, (dist + 1, repr(z), z))
-    return settled
 
 
 def _merge_changes(accumulated: dict[Pair, Change], fresh: dict[Pair, Change]) -> None:

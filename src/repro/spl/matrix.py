@@ -2,10 +2,30 @@
 
 ``SLen(u, v)`` is the length of the shortest directed path from ``u`` to
 ``v`` in the data graph, or :data:`INF` when ``v`` is unreachable from
-``u``.  The matrix is stored *sparsely* — only finite entries are kept —
-mirroring the paper's observation that social graphs produce many
-infinite entries (nodes with no out- or in-degree), which motivates its
-Hybrid-format compression remark.
+``u``.  The matrix dominates both the memory footprint and the
+maintenance cost of the whole system (the paper's Hybrid-format remark),
+so its storage is *pluggable* (:mod:`repro.spl.backend`):
+
+``sparse`` (default)
+    Dict-of-dicts keeping only finite entries — O(finite entries) memory,
+    pure-Python maintenance kernels.  Mirrors the paper's observation
+    that social graphs produce many infinite entries.
+
+``dense``
+    A contiguous ``int32`` NumPy matrix (:mod:`repro.spl.dense`) —
+    O(|V|²) memory (4 bytes per ordered pair) regardless of sparsity,
+    but vectorized construction, insertion and deletion kernels that
+    replace per-entry interpreter overhead with array operations.
+
+``auto``
+    Dense at or above
+    :data:`~repro.spl.backend.DENSE_AUTO_THRESHOLD` nodes (sparse when
+    :mod:`numpy` is unavailable), sparse below — the point where the
+    broadcast kernels decisively beat the dict loops while the O(|V|²)
+    memory stays modest.
+
+Both backends are horizon-aware: a finite horizon turns the matrix into
+a bounded distance index whose entries beyond the horizon are absent.
 
 The class supports the operations every layer above needs:
 
@@ -20,7 +40,6 @@ The class supports the operations every layer above needs:
 
 from __future__ import annotations
 
-import math
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from typing import Optional
 
@@ -28,19 +47,33 @@ import numpy as np
 
 from repro.graph.digraph import DataGraph
 from repro.graph.errors import MissingNodeError
-from repro.spl.sssp import bfs_lengths, bfs_lengths_within
+from repro.spl.backend import (
+    BACKEND_NAMES,
+    DENSE_AUTO_THRESHOLD,
+    INF,
+    SLenBackend,
+    make_backend,
+    resolve_backend_name,
+)
 
 NodeId = Hashable
 
-#: Distance value used for unreachable pairs.
-INF: float = math.inf
+__all__ = [
+    "INF",
+    "SLenMatrix",
+    "BACKEND_NAMES",
+    "DENSE_AUTO_THRESHOLD",
+]
 
 
 class SLenMatrix:
-    """Sparse all-pairs shortest path length matrix over a fixed node set.
+    """All-pairs shortest path length matrix over a fixed node set.
 
     The node set is explicit (not inferred from the finite entries) so
-    that fully disconnected nodes still appear in :meth:`nodes`.
+    that fully disconnected nodes still appear in :meth:`nodes`.  Storage
+    and maintenance kernels live in a pluggable backend (see the module
+    docstring); matrices with different backends compare equal when they
+    hold the same distances.
 
     Examples
     --------
@@ -52,14 +85,33 @@ class SLenMatrix:
     inf
     """
 
-    __slots__ = ("_nodes", "_rows", "_horizon")
+    __slots__ = ("_backend",)
 
-    def __init__(self, nodes: Iterable[NodeId] = (), horizon: float = INF) -> None:
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] = (),
+        horizon: float = INF,
+        backend: str = "sparse",
+    ) -> None:
         if horizon != INF and horizon < 0:
             raise ValueError("horizon must be non-negative")
-        self._nodes: set[NodeId] = set(nodes)
-        self._rows: dict[NodeId, dict[NodeId, int]] = {node: {node: 0} for node in self._nodes}
-        self._horizon: float = horizon
+        self._backend = make_backend(backend, nodes, horizon=horizon)
+
+    @classmethod
+    def _from_backend(cls, backend: SLenBackend) -> "SLenMatrix":
+        matrix = cls.__new__(cls)
+        matrix._backend = backend
+        return matrix
+
+    @property
+    def backend(self) -> SLenBackend:
+        """The storage backend (used by the maintenance kernels)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Resolved backend name (``"sparse"`` or ``"dense"``)."""
+        return self._backend.name
 
     @property
     def horizon(self) -> float:
@@ -73,179 +125,185 @@ class SLenMatrix:
         edge uses the ``"*"`` wildcard; the experiment harness relies on
         this (DESIGN.md, substitution table).
         """
-        return self._horizon
+        return self._backend.horizon
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_graph(cls, graph: DataGraph, horizon: float = INF) -> "SLenMatrix":
-        """Build the matrix by running a BFS from every node of ``graph``."""
-        matrix = cls(graph.nodes(), horizon=horizon)
-        if horizon == INF:
-            for source in graph.nodes():
-                matrix._rows[source] = bfs_lengths(graph, source)
-        else:
-            for source in graph.nodes():
-                matrix._rows[source] = bfs_lengths_within(graph, source, int(horizon))
+    def from_graph(
+        cls, graph: DataGraph, horizon: float = INF, backend: str = "sparse"
+    ) -> "SLenMatrix":
+        """Build the matrix from ``graph`` (all-pairs BFS).
+
+        ``backend`` selects the storage/kernel implementation
+        (``sparse`` / ``dense`` / ``auto``); the sparse backend runs one
+        Python BFS per source, the dense backend one frontier-array
+        multi-source BFS for all sources at once.
+        """
+        matrix = cls(graph.nodes(), horizon=horizon, backend=backend)
+        matrix._backend.build(graph)
         return matrix
 
     @classmethod
     def from_rows(
-        cls, nodes: Iterable[NodeId], rows: Mapping[NodeId, Mapping[NodeId, int]]
+        cls,
+        nodes: Iterable[NodeId],
+        rows: Mapping[NodeId, Mapping[NodeId, int]],
+        backend: str = "sparse",
     ) -> "SLenMatrix":
         """Build a matrix from precomputed BFS rows (used by the partition layer)."""
-        matrix = cls(nodes)
+        matrix = cls(nodes, backend=backend)
+        store = matrix._backend
         for source, row in rows.items():
-            if source not in matrix._nodes:
+            if source not in store:
                 raise MissingNodeError(source)
-            matrix._rows[source] = {target: int(dist) for target, dist in row.items()}
-            matrix._rows[source][source] = 0
+            new_row = {target: int(dist) for target, dist in row.items()}
+            new_row[source] = 0
+            store.replace_row_raw(source, new_row)
         return matrix
+
+    def to_backend(self, backend: str) -> "SLenMatrix":
+        """Return a copy of this matrix stored in ``backend``.
+
+        A no-op copy when the resolved backend matches the current one.
+        """
+        resolved = resolve_backend_name(backend, self.number_of_nodes)
+        if resolved == self._backend.name:
+            return self.copy()
+        converted = SLenMatrix(self.nodes(), horizon=self.horizon, backend=resolved)
+        store = converted._backend
+        for source in self._backend.node_set():
+            store.replace_row_raw(source, dict(self._backend.row_view(source)))
+        return converted
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def distance(self, source: NodeId, target: NodeId) -> float | int:
         """Return ``SLen(source, target)`` (:data:`INF` if unreachable)."""
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
-        if target not in self._nodes:
+        if target not in self._backend:
             raise MissingNodeError(target)
-        return self._rows[source].get(target, INF)
+        return self._backend.get(source, target)
 
     def row(self, source: NodeId) -> dict[NodeId, int]:
         """Return a copy of the finite entries of the row of ``source``."""
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
-        return dict(self._rows[source])
+        return self._backend.row(source)
 
     def row_view(self, source: NodeId) -> Mapping[NodeId, int]:
-        """Return the *internal* row mapping of ``source`` without copying.
+        """Return a read-only mapping of the finite entries of ``source``'s row.
 
         Callers must treat the returned mapping as read-only; it exists so
         that hot loops (the simulation fixpoint) can scan finite entries
-        without allocating a copy per lookup.
+        without allocating a copy per lookup.  The sparse backend hands
+        out its internal row; the dense backend a cached materialisation.
         """
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
-        return self._rows[source]
+        return self._backend.row_view(source)
 
     def column(self, target: NodeId) -> dict[NodeId, int]:
         """Return ``{source: distance}`` for all sources reaching ``target``."""
-        if target not in self._nodes:
+        if target not in self._backend:
             raise MissingNodeError(target)
-        return {
-            source: row[target]
-            for source, row in self._rows.items()
-            if target in row
-        }
+        return self._backend.column(target)
 
     def reachable_from(self, source: NodeId) -> frozenset[NodeId]:
         """Nodes at finite distance from ``source`` (including itself)."""
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
-        return frozenset(self._rows[source])
+        return frozenset(self._backend.row_view(source))
 
     def within(self, source: NodeId, bound: float | int) -> frozenset[NodeId]:
         """Nodes ``v`` with ``SLen(source, v) <= bound``."""
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
         return frozenset(
-            target for target, dist in self._rows[source].items() if dist <= bound
+            target
+            for target, dist in self._backend.row_view(source).items()
+            if dist <= bound
         )
 
     def nodes(self) -> frozenset[NodeId]:
         """The node universe of the matrix."""
-        return frozenset(self._nodes)
+        return frozenset(self._backend.node_set())
 
     def finite_entries(self) -> Iterator[tuple[NodeId, NodeId, int]]:
         """Iterate over ``(source, target, distance)`` for finite entries."""
-        for source, row in self._rows.items():
-            for target, dist in row.items():
-                yield (source, target, dist)
+        return self._backend.finite_entries()
 
     @property
     def number_of_nodes(self) -> int:
         """``|VD|`` as seen by the matrix."""
-        return len(self._nodes)
+        return self._backend.number_of_nodes()
 
     @property
     def number_of_finite_entries(self) -> int:
         """Count of finite (stored) entries."""
-        return sum(len(row) for row in self._rows.values())
+        return self._backend.finite_count()
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def set_distance(self, source: NodeId, target: NodeId, value: float | int) -> None:
         """Set one entry; :data:`INF` (or a value beyond the horizon) removes it."""
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
-        if target not in self._nodes:
+        if target not in self._backend:
             raise MissingNodeError(target)
-        if value == INF or value > self._horizon:
-            self._rows[source].pop(target, None)
-        else:
-            self._rows[source][target] = int(value)
+        self._backend.set_value(source, target, value)
 
     def set_row(self, source: NodeId, row: Mapping[NodeId, int]) -> None:
         """Replace the whole row of ``source`` with ``row`` (finite entries only)."""
-        if source not in self._nodes:
+        if source not in self._backend:
             raise MissingNodeError(source)
-        new_row = {
-            target: int(dist)
-            for target, dist in row.items()
-            if dist <= self._horizon
-        }
-        new_row[source] = 0
-        self._rows[source] = new_row
+        self._backend.set_row(source, row)
 
     def add_node(self, node: NodeId) -> None:
         """Add a new isolated node to the matrix universe."""
-        if node in self._nodes:
+        if node in self._backend:
             return
-        self._nodes.add(node)
-        self._rows[node] = {node: 0}
+        self._backend.add_node(node)
 
     def remove_node(self, node: NodeId) -> None:
         """Drop ``node`` from the universe, removing its row and column."""
-        if node not in self._nodes:
+        if node not in self._backend:
             raise MissingNodeError(node)
-        self._nodes.discard(node)
-        del self._rows[node]
-        for row in self._rows.values():
-            row.pop(node, None)
+        self._backend.remove_node(node)
 
     def recompute_rows(self, graph: DataGraph, sources: Iterable[NodeId]) -> set[NodeId]:
         """Recompute the rows of ``sources`` from ``graph`` via BFS.
 
         Returns the set of sources whose row actually changed.
         """
-        changed: set[NodeId] = set()
+        sources = list(sources)
         for source in sources:
-            if source not in self._nodes:
+            if source not in self._backend:
                 raise MissingNodeError(source)
-            new_row = bfs_lengths(graph, source)
-            if new_row != self._rows[source]:
-                self._rows[source] = new_row
-                changed.add(source)
-        return changed
+        return self._backend.recompute_rows(graph, sources)
 
     # ------------------------------------------------------------------
     # Copy / comparison / export
     # ------------------------------------------------------------------
     def copy(self) -> "SLenMatrix":
-        """Return a deep copy of the matrix (preserving the horizon)."""
-        clone = SLenMatrix(horizon=self._horizon)
-        clone._nodes = set(self._nodes)
-        clone._rows = {source: dict(row) for source, row in self._rows.items()}
-        return clone
+        """Return a deep copy of the matrix (preserving horizon and backend)."""
+        return SLenMatrix._from_backend(self._backend.copy())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SLenMatrix):
             return NotImplemented
-        return self._nodes == other._nodes and self._rows == other._rows
+        mine = self._backend
+        theirs = other._backend
+        if mine.node_set() != theirs.node_set():
+            return False
+        return all(
+            dict(mine.row_view(source)) == dict(theirs.row_view(source))
+            for source in mine.node_set()
+        )
 
     def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
         raise TypeError("SLenMatrix is mutable and therefore unhashable")
@@ -253,7 +311,8 @@ class SLenMatrix:
     def __repr__(self) -> str:
         return (
             f"SLenMatrix(nodes={self.number_of_nodes}, "
-            f"finite_entries={self.number_of_finite_entries})"
+            f"finite_entries={self.number_of_finite_entries}, "
+            f"backend={self.backend_name!r})"
         )
 
     def differences(self, other: "SLenMatrix") -> dict[tuple[NodeId, NodeId], tuple]:
@@ -262,11 +321,11 @@ class SLenMatrix:
         Only pairs present in both universes are compared; this is the
         ``AFF[ui, vj] = [a, b]`` structure of Table II.
         """
-        shared = self._nodes & other._nodes
+        shared = self._backend.node_set() & other._backend.node_set()
         changes: dict[tuple[NodeId, NodeId], tuple] = {}
         for source in shared:
-            mine = self._rows[source]
-            theirs = other._rows[source]
+            mine = self._backend.row_view(source)
+            theirs = other._backend.row_view(source)
             for target in shared:
                 a = mine.get(target, INF)
                 b = theirs.get(target, INF)
@@ -279,13 +338,14 @@ class SLenMatrix:
 
         Returns the array together with the node ordering of its axes.
         """
-        ordering = list(order) if order is not None else sorted(self._nodes, key=repr)
-        if set(ordering) != self._nodes:
+        universe = self._backend.node_set()
+        ordering = list(order) if order is not None else sorted(universe, key=repr)
+        if set(ordering) != universe:
             raise ValueError("order must be a permutation of the matrix's node set")
         index = {node: position for position, node in enumerate(ordering)}
         dense = np.full((len(ordering), len(ordering)), INF, dtype=float)
-        for source, row in self._rows.items():
+        for source in universe:
             i = index[source]
-            for target, dist in row.items():
+            for target, dist in self._backend.row_view(source).items():
                 dense[i, index[target]] = dist
         return dense, ordering

@@ -35,6 +35,17 @@ from repro.graph.updates import (
 )
 
 
+#: Accepted values of :attr:`UpdateWorkloadSpec.mix`.
+UPDATE_MIXES: tuple[str, ...] = ("balanced", "insert-heavy", "delete-heavy")
+
+#: Weights (node inserts, edge inserts, edge deletes, node deletes) of
+#: the skewed mixes; ``balanced`` keeps the original even four-way split.
+_MIX_WEIGHTS: dict[str, tuple[int, int, int, int]] = {
+    "insert-heavy": (2, 6, 1, 1),
+    "delete-heavy": (1, 1, 6, 2),
+}
+
+
 @dataclass(frozen=True)
 class UpdateWorkloadSpec:
     """Parameters of one generated update batch.
@@ -50,6 +61,13 @@ class UpdateWorkloadSpec:
         How many edges each inserted data node brings with it.
     seed:
         Seed of the deterministic RNG.
+    mix:
+        How the data-update count is split over the four update kinds:
+        ``"balanced"`` (the paper's even split, the default),
+        ``"insert-heavy"`` (~80% insertions) or ``"delete-heavy"``
+        (~80% deletions).  Deletions are where coalesced maintenance and
+        the Ramalingam-Reps settle earn their keep, so the benchmarks
+        sweep this axis.  Pattern updates always use the balanced split.
     """
 
     num_pattern_updates: int
@@ -57,6 +75,7 @@ class UpdateWorkloadSpec:
     max_bound: int = 3
     new_node_degree: int = 2
     seed: int = 97
+    mix: str = "balanced"
 
     def __post_init__(self) -> None:
         if self.num_pattern_updates < 0 or self.num_data_updates < 0:
@@ -65,6 +84,8 @@ class UpdateWorkloadSpec:
             raise ValueError("max_bound must be at least 1")
         if self.new_node_degree < 0:
             raise ValueError("new_node_degree must be non-negative")
+        if self.mix not in UPDATE_MIXES:
+            raise ValueError(f"unknown mix {self.mix!r}; expected one of {UPDATE_MIXES}")
 
 
 def generate_update_batch(
@@ -85,7 +106,7 @@ def _data_updates(data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random)
     total = spec.num_data_updates
     if total == 0:
         return []
-    node_inserts, edge_inserts, edge_deletes, node_deletes = _split_four_ways(total)
+    node_inserts, edge_inserts, edge_deletes, node_deletes = _split_four_ways(total, spec.mix)
 
     existing_nodes = sorted(data.nodes(), key=repr)
     existing_edges = sorted(data.edges(), key=repr)
@@ -217,13 +238,24 @@ def _pattern_updates(
     return updates
 
 
-def _split_four_ways(total: int) -> tuple[int, int, int, int]:
+def _split_four_ways(total: int, mix: str = "balanced") -> tuple[int, int, int, int]:
     """Split ``total`` into (node inserts, edge inserts, edge deletes, node deletes)."""
-    base = total // 4
-    remainder = total % 4
-    parts = [base, base, base, base]
-    # Bias the remainder towards edge updates, which dominate real streams.
-    order = (1, 2, 0, 3)
-    for position in range(remainder):
-        parts[order[position]] += 1
+    if mix == "balanced":
+        base = total // 4
+        remainder = total % 4
+        parts = [base, base, base, base]
+        # Bias the remainder towards edge updates, which dominate real streams.
+        order = (1, 2, 0, 3)
+        for position in range(remainder):
+            parts[order[position]] += 1
+        return parts[0], parts[1], parts[2], parts[3]
+    # Skewed mixes: largest-remainder apportionment of the weight vector,
+    # ties broken towards edge updates (positions 1 and 2) like above.
+    weights = _MIX_WEIGHTS[mix]
+    weight_sum = sum(weights)
+    quotas = [total * weight / weight_sum for weight in weights]
+    parts = [int(quota) for quota in quotas]
+    order = sorted(range(4), key=lambda position: (-(quotas[position] - parts[position]), position != 1, position != 2))
+    for position in range(total - sum(parts)):
+        parts[order[position % 4]] += 1
     return parts[0], parts[1], parts[2], parts[3]

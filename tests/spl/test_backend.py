@@ -1,0 +1,296 @@
+"""Tests for the pluggable SLen storage backends (sparse vs dense).
+
+The dense NumPy backend must be *observationally identical* to the
+sparse dict-of-dicts backend: same distances after construction, after
+every per-update maintenance kind (insert/delete × edge/node) and after
+a coalesced batch, with the per-update deltas matching pair-for-pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batching.coalesce import coalesce_slen
+from repro.batching.compiler import compile_batch
+from repro.graph.updates import (
+    delete_data_edge,
+    delete_data_node,
+    insert_data_edge,
+    insert_data_node,
+)
+from repro.spl.backend import (
+    BACKEND_NAMES,
+    DENSE_AUTO_THRESHOLD,
+    SparseSLenBackend,
+    dense_available,
+    resolve_backend_name,
+)
+from repro.spl.incremental import update_slen
+from repro.spl.matrix import INF, SLenMatrix
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+from tests.conftest import make_random_graph
+
+pytestmark = pytest.mark.skipif(
+    not dense_available(), reason="numpy unavailable; dense backend cannot run"
+)
+
+
+def both_backends(graph, horizon=INF):
+    sparse = SLenMatrix.from_graph(graph, horizon=horizon, backend="sparse")
+    dense = SLenMatrix.from_graph(graph, horizon=horizon, backend="dense")
+    return sparse, dense
+
+
+class TestSelection:
+    def test_resolve_names(self):
+        assert resolve_backend_name("sparse", 10_000) == "sparse"
+        assert resolve_backend_name("dense", 3) == "dense"
+        assert resolve_backend_name("auto", DENSE_AUTO_THRESHOLD - 1) == "sparse"
+        assert resolve_backend_name("auto", DENSE_AUTO_THRESHOLD) == "dense"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend_name("csr", 10)
+        with pytest.raises(ValueError):
+            SLenMatrix.from_graph(make_random_graph(seed=1), backend="csr")
+
+    def test_backend_names_constant(self):
+        assert set(BACKEND_NAMES) == {"sparse", "dense", "auto"}
+
+    def test_auto_matrix_resolves_by_node_count(self):
+        small = SLenMatrix.from_graph(make_random_graph(seed=1), backend="auto")
+        assert small.backend_name == "sparse"
+
+    def test_to_backend_roundtrip(self):
+        graph = make_random_graph(seed=2)
+        sparse = SLenMatrix.from_graph(graph)
+        dense = sparse.to_backend("dense")
+        assert dense.backend_name == "dense"
+        assert dense == sparse
+        back = dense.to_backend("sparse")
+        assert back.backend_name == "sparse"
+        assert back == sparse
+        assert isinstance(back.backend, SparseSLenBackend)
+
+    def test_copy_preserves_backend_and_horizon(self):
+        graph = make_random_graph(seed=3)
+        dense = SLenMatrix.from_graph(graph, horizon=2, backend="dense")
+        clone = dense.copy()
+        assert clone.backend_name == "dense"
+        assert clone.horizon == 2
+        clone.set_distance("n0", "n1", 1)
+        assert clone != dense or dense.distance("n0", "n1") == 1
+
+
+class TestConstructionParity:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("horizon", (INF, 2, 4))
+    def test_from_graph_matches_sparse(self, seed, horizon):
+        graph = make_random_graph(num_nodes=25 + seed * 7, num_edges=60 + seed * 25, seed=seed)
+        sparse, dense = both_backends(graph, horizon=horizon)
+        assert dense == sparse
+        assert dense.number_of_finite_entries == sparse.number_of_finite_entries
+        assert dense.nodes() == sparse.nodes()
+
+    def test_queries_match(self):
+        graph = make_random_graph(seed=11)
+        sparse, dense = both_backends(graph)
+        for node in graph.nodes():
+            assert dense.row(node) == sparse.row(node)
+            assert dict(dense.row_view(node)) == dict(sparse.row_view(node))
+            assert dense.column(node) == sparse.column(node)
+            assert dense.reachable_from(node) == sparse.reachable_from(node)
+            assert dense.within(node, 2) == sparse.within(node, 2)
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import DataGraph
+
+        sparse, dense = both_backends(DataGraph())
+        assert dense == sparse
+        assert dense.number_of_nodes == 0
+
+    def test_edgeless_graph(self):
+        from repro.graph.digraph import DataGraph
+
+        graph = DataGraph({"a": "X", "b": "Y"})
+        sparse, dense = both_backends(graph)
+        assert dense == sparse
+        assert dense.distance("a", "b") == INF
+        assert dense.distance("a", "a") == 0
+
+
+class TestUpdateParity:
+    """Dense and sparse must stay equal after every update kind."""
+
+    @pytest.mark.parametrize("horizon", (INF, 3))
+    def test_edge_insert(self, horizon):
+        graph = make_random_graph(seed=21)
+        sparse, dense = both_backends(graph, horizon=horizon)
+        update = insert_data_edge("n0", "n17")
+        if graph.has_edge("n0", "n17"):
+            graph.remove_edge("n0", "n17")
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert dense == sparse
+        assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
+
+    @pytest.mark.parametrize("horizon", (INF, 3))
+    def test_edge_delete(self, horizon):
+        graph = make_random_graph(seed=22)
+        source, target = next(iter(graph.edges()))
+        sparse, dense = both_backends(graph, horizon=horizon)
+        update = delete_data_edge(source, target)
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert delta_dense.recomputed_sources == delta_sparse.recomputed_sources
+        assert dense == sparse
+        assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
+
+    @pytest.mark.parametrize("horizon", (INF, 3))
+    def test_node_insert(self, horizon):
+        graph = make_random_graph(seed=23)
+        sparse, dense = both_backends(graph, horizon=horizon)
+        update = insert_data_node("fresh", "A", [("fresh", "n3"), ("n5", "fresh")])
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert delta_dense.structural_nodes == delta_sparse.structural_nodes
+        assert dense == sparse
+        assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
+
+    @pytest.mark.parametrize("horizon", (INF, 3))
+    def test_node_delete(self, horizon):
+        graph = make_random_graph(seed=24)
+        victim = max(graph.nodes(), key=lambda n: graph.out_degree(n) + graph.in_degree(n))
+        sparse, dense = both_backends(graph, horizon=horizon)
+        update = delete_data_node(victim, graph.labels_of(victim))
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert delta_dense.recomputed_sources == delta_sparse.recomputed_sources
+        assert dense == sparse
+        assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("horizon", (INF, 4))
+    def test_coalesced_batch(self, seed, horizon):
+        graph = make_random_graph(num_nodes=40, num_edges=120, seed=30 + seed)
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=4, num_edges=4, labels=("A", "B", "C"), seed=seed)
+        )
+        batch = generate_update_batch(
+            graph,
+            pattern,
+            UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=20, seed=40 + seed),
+        )
+        sparse, dense = both_backends(graph, horizon=horizon)
+        compiled = compile_batch(batch.data_updates())
+        surviving = compiled.data_updates()
+        for update in surviving:
+            update.apply(graph)
+        outcome_sparse = coalesce_slen(sparse, graph, surviving)
+        outcome_dense = coalesce_slen(dense, graph, surviving)
+        assert outcome_dense.delta.changed_pairs == outcome_sparse.delta.changed_pairs
+        assert [d.changed_pairs for d in outcome_dense.per_update] == [
+            d.changed_pairs for d in outcome_sparse.per_update
+        ]
+        assert dense == sparse
+        assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
+
+
+class TestDenseStructure:
+    """Dense-specific mechanics: slot reuse, growth, caching."""
+
+    def test_grow_past_capacity(self):
+        from repro.graph.digraph import DataGraph
+
+        graph = DataGraph({"a": "X", "b": "X"}, [("a", "b")])
+        dense = SLenMatrix.from_graph(graph, backend="dense")
+        for position in range(10):
+            node = f"extra{position}"
+            graph.add_node(node, "X")
+            graph.add_edge("b", node)
+            dense.add_node(node)
+            update_slen(dense, graph, insert_data_edge("b", node))
+        assert dense == SLenMatrix.from_graph(graph)
+
+    def test_slot_reuse_after_removal(self):
+        graph = make_random_graph(seed=41)
+        dense = SLenMatrix.from_graph(graph, backend="dense")
+        dense.remove_node("n7")
+        dense.add_node("reborn")
+        assert dense.distance("reborn", "reborn") == 0
+        assert dense.distance("n0", "reborn") == INF
+        assert "n7" not in dense.nodes()
+
+    def test_row_view_cache_invalidation(self):
+        graph = make_random_graph(seed=42)
+        dense = SLenMatrix.from_graph(graph, backend="dense")
+        before = dict(dense.row_view("n1"))
+        dense.set_distance("n1", "n2", 9)
+        after = dict(dense.row_view("n1"))
+        assert after["n2"] == 9
+        unchanged = {target: dist for target, dist in after.items() if target != "n2"}
+        assert unchanged == {target: dist for target, dist in before.items() if target != "n2"}
+
+    def test_set_distance_beyond_horizon_dropped(self):
+        graph = make_random_graph(seed=43)
+        dense = SLenMatrix.from_graph(graph, horizon=2, backend="dense")
+        dense.set_distance("n0", "n1", 9)
+        assert dense.distance("n0", "n1") == INF
+
+    def test_set_row_matches_sparse(self):
+        graph = make_random_graph(seed=44)
+        sparse, dense = both_backends(graph, horizon=3)
+        replacement = {"n2": 1, "n3": 5, "n4": 2}
+        sparse.set_row("n0", replacement)
+        dense.set_row("n0", replacement)
+        assert dense == sparse
+        assert dense.distance("n0", "n3") == INF  # beyond horizon
+
+    def test_recompute_rows_matches_sparse(self):
+        graph = make_random_graph(seed=45)
+        sparse, dense = both_backends(graph)
+        if not graph.has_edge("n0", "n20"):
+            graph.add_edge("n0", "n20")
+        changed_sparse = sparse.recompute_rows(graph, ["n0", "n1", "n2"])
+        changed_dense = dense.recompute_rows(graph, ["n0", "n1", "n2"])
+        assert changed_dense == changed_sparse
+        assert dense == sparse
+
+    def test_repr_names_backend(self):
+        graph = make_random_graph(seed=46)
+        dense = SLenMatrix.from_graph(graph, backend="dense")
+        assert "dense" in repr(dense)
+
+    def test_tuple_node_ids(self):
+        """Node ids are only required to be Hashable — tuples included.
+
+        Regression: the relax kernel's object-array assembly must not let
+        numpy unpack sequence ids into extra dimensions.
+        """
+        from repro.graph.digraph import DataGraph
+
+        nodes = {("shard", position): "X" for position in range(6)}
+        edges = [(("shard", p), ("shard", p + 1)) for p in range(5)]
+        graph = DataGraph(nodes, edges)
+        sparse, dense = both_backends(graph)
+        assert dense == sparse
+        update = insert_data_edge(("shard", 4), ("shard", 0))
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert dense == sparse == SLenMatrix.from_graph(graph)
+        removal = delete_data_edge(("shard", 2), ("shard", 3))
+        removal.apply(graph)
+        update_slen(sparse, graph, removal)
+        update_slen(dense, graph, removal)
+        assert dense == sparse == SLenMatrix.from_graph(graph)

@@ -4,10 +4,12 @@ Property-based in the seeded style: every seed deterministically derives
 a random data graph, a random pattern graph and a random multi-update
 stream (via the workload generators), and the subsequent-query results of
 ``UA-GPNM``, ``UA-GPNM-NoPar``, ``INC-GPNM`` and ``EH-GPNM`` — each run
-with ``coalesce_updates`` both off and on — must be identical to the
-``BatchGPNM`` from-scratch oracle.  The internal ``SLen`` matrices are
-cross-checked against a from-scratch rebuild as well, so a maintenance
-bug cannot hide behind a forgiving matching instance.
+with ``coalesce_updates`` both off and on, and with the ``SLen`` matrix
+on both the sparse and the dense storage backend — must be identical to
+the ``BatchGPNM`` from-scratch oracle.  The internal ``SLen`` matrices
+are cross-checked against a from-scratch rebuild as well (matrices on
+different backends compare equal when they hold the same distances), so
+a maintenance bug cannot hide behind a forgiving matching instance.
 
 The harness runs 50+ seeds by default (the ISSUE's acceptance floor);
 crank :data:`EXTRA_SEEDS` locally for a deeper sweep.
@@ -22,6 +24,7 @@ from repro.algorithms.inc_gpnm import IncGPNM
 from repro.algorithms.scratch import BatchGPNM
 from repro.algorithms.ua_gpnm import UAGPNM
 from repro.matching.gpnm import gpnm_query
+from repro.spl.backend import dense_available
 from repro.spl.matrix import SLenMatrix
 from repro.workloads.generators import DEFAULT_LABEL_ORDER, SocialGraphSpec, generate_social_graph
 from repro.workloads.pattern_gen import PatternSpec, generate_pattern
@@ -40,6 +43,17 @@ METHODS = (
     ("INC-GPNM", lambda p, d, **kw: IncGPNM(p, d, **kw)),
     ("EH-GPNM", lambda p, d, **kw: EHGPNM(p, d, **kw)),
 )
+
+#: Both storage backends; the dense one is skipped (never silently — CI
+#: guards against that) only when numpy is unavailable.
+BACKENDS = ("sparse", "dense")
+
+requires_backend = {
+    "sparse": lambda: None,
+    "dense": lambda: None
+    if dense_available()
+    else pytest.skip("numpy unavailable; dense backend cannot run"),
+}
 
 
 def _random_instance(seed: int):
@@ -77,10 +91,12 @@ def _random_instance(seed: int):
     return data, pattern, batch
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_methods_match_oracle(seed):
+def test_methods_match_oracle(seed, backend):
+    requires_backend[backend]()
     data, pattern, batch = _random_instance(seed)
-    slen = SLenMatrix.from_graph(data)
+    slen = SLenMatrix.from_graph(data, backend=backend)
     iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
 
     oracle = BatchGPNM(pattern, data, precomputed_slen=slen, precomputed_relation=iquery)
@@ -95,20 +111,27 @@ def test_methods_match_oracle(seed):
                 precomputed_slen=slen,
                 precomputed_relation=iquery,
                 coalesce_updates=coalesce,
+                # Force the coalesced path even for these small batches;
+                # the production default falls back to per-update below
+                # the benchmarked crossover.
+                coalesce_min_batch=2,
             )
             outcome = engine.subsequent_query(batch)
-            label = f"{name} (coalesce={coalesce}, seed={seed})"
+            label = f"{name} (backend={backend}, coalesce={coalesce}, seed={seed})"
+            assert engine.slen_backend == backend, label
             assert outcome.result == expected, f"{label}: SQuery differs from oracle"
             assert engine.slen == expected_slen, f"{label}: SLen differs from rebuild"
             if coalesce:
                 assert outcome.stats.coalesced_batches <= 1
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", SEEDS[:8])
-def test_chained_batches_match_oracle(seed):
+def test_chained_batches_match_oracle(seed, backend):
     """Chaining several subsequent queries keeps every method exact."""
+    requires_backend[backend]()
     data, pattern, _ = _random_instance(seed)
-    slen = SLenMatrix.from_graph(data)
+    slen = SLenMatrix.from_graph(data, backend=backend)
     iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
 
     engines = {
@@ -118,6 +141,7 @@ def test_chained_batches_match_oracle(seed):
             precomputed_slen=slen,
             precomputed_relation=iquery,
             coalesce_updates=coalesce,
+            coalesce_min_batch=2,
         )
         for name, factory in METHODS
         for coalesce in (False, True)
@@ -138,5 +162,6 @@ def test_chained_batches_match_oracle(seed):
         for (name, coalesce), engine in engines.items():
             got = engine.subsequent_query(batch).result
             assert got == expected, (
-                f"{name} (coalesce={coalesce}, seed={seed}, step={step}) diverged"
+                f"{name} (backend={backend}, coalesce={coalesce}, seed={seed}, "
+                f"step={step}) diverged"
             )
