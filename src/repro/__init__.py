@@ -21,31 +21,42 @@ Quickstart
 >>> result.stats.refinement_passes
 1
 
-Batch compilation and coalesced maintenance
--------------------------------------------
-Every algorithm accepts ``coalesce_updates=True``.  With the flag on, a
+Batch compilation, coalesced maintenance and the execution planner
+------------------------------------------------------------------
+Every algorithm accepts ``batch_plan=...``.  On a coalescing route, a
 subsequent query first runs the batch through the **update-batch
 compiler** (:func:`repro.batching.compile_batch`), which canonicalises
 the stream — duplicates are dropped, inverse insert/delete pairs cancel,
-edge operations subsumed by a node deletion disappear, and the survivors
-are reordered so they are always applicable.  The surviving data updates
+edge operations subsumed by a node deletion disappear, a node deleted
+and re-inserted survives as a resurrection pair, and the survivors are
+reordered so they are always applicable.  The surviving data updates
 are then maintained by **one coalesced ``SLen`` pass**
 (:func:`repro.batching.coalesce_slen`): all deletions share a single
-affected-region recompute per source and all insertions are applied in
-one multi-source relaxation sweep.  Results are bit-identical to
-per-update processing (``tests/test_differential.py`` checks every
-method against the from-scratch oracle across 50+ seeds, with the flag
-off and on); the cost scales with the batch's *net* delta instead of its
-raw length — ``benchmarks/bench_batching.py`` measures the gap.
+affected-region recompute per source (or per target — the transposed
+sweep) and all insertions are applied in one multi-source relaxation
+sweep.  With ``batch_plan="partitioned"`` the deletion settle routes
+row-heavy sources through the label partition
+(:func:`repro.partition.coalesce_slen_partitioned`), and with
+``batch_plan="auto"`` the **execution planner**
+(:func:`repro.batching.plan_batch`) picks the cheapest strategy per
+batch from a cost model calibrated on the benchmark crossovers.
+Results are bit-identical on every route (``tests/test_differential.py``
+and ``tests/batching/test_planner_equivalence.py`` check every method
+and every forced strategy against the from-scratch oracle across 50+
+seeds); on coalescing routes the cost scales with the batch's *net*
+delta instead of its raw length — ``benchmarks/bench_batching.py``
+measures the gap and the planner's routing accuracy.
 
->>> engine = UAGPNM(pattern, data, coalesce_updates=True)
+>>> engine = UAGPNM(pattern, data, batch_plan="coalesced")
 >>> engine.subsequent_query(paper_example.example2_updates()).stats.coalesced_batches
 1
 
 The experiment harness exposes the same switch as
-``ExperimentConfig(coalesce_updates=True)`` and ``ua-gpnm --coalesce``.
-Batches below the ``coalesce_min_batch`` crossover (default 64, from the
-benchmark) fall back to per-update maintenance automatically.
+``ExperimentConfig(batch_plan="auto")`` and ``ua-gpnm --batch-plan
+auto``.  Auto-planned batches below the ``coalesce_min_batch``
+crossover (default 64, from the benchmark) stay on per-update
+maintenance — one planner rule among several; ``ua-gpnm --help``
+documents the full strategy-selection policy.
 
 Pluggable ``SLen`` storage backends
 -----------------------------------
@@ -65,11 +76,14 @@ settling).  Every algorithm takes ``slen_backend=...``, the harness
 
 from repro import paper_example
 from repro.batching import (
+    BatchStatistics,
     CoalescedMaintenance,
     CompilationReport,
     CompiledBatch,
+    PlanReport,
     coalesce_slen,
     compile_batch,
+    plan_batch,
 )
 from repro.algorithms import (
     BatchGPNM,
@@ -95,7 +109,11 @@ from repro.graph import (
     UpdateKind,
 )
 from repro.matching import MatchResult, bounded_simulation, gpnm_query
-from repro.partition import LabelPartition, build_slen_partitioned
+from repro.partition import (
+    LabelPartition,
+    build_slen_partitioned,
+    coalesce_slen_partitioned,
+)
 from repro.spl import (
     BACKEND_NAMES,
     DENSE_AUTO_THRESHOLD,
@@ -137,9 +155,13 @@ __all__ = [
     "compile_batch",
     "CoalescedMaintenance",
     "coalesce_slen",
+    "BatchStatistics",
+    "PlanReport",
+    "plan_batch",
     # partition
     "LabelPartition",
     "build_slen_partitioned",
+    "coalesce_slen_partitioned",
     # matching
     "MatchResult",
     "gpnm_query",

@@ -13,10 +13,20 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH, coalesce_slen
+from repro.batching.planner import (
+    PLAN_CHOICES,
+    STRATEGY_AUTO,
+    STRATEGY_PARTITIONED,
+    STRATEGY_PER_UPDATE,
+    BatchStatistics,
+    PlanReport,
+    plan_batch,
+)
 from repro.elimination.eh_tree import EHTree
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import PatternGraph
@@ -27,7 +37,10 @@ from repro.matching.bgs import bounded_simulation
 from repro.matching.candidates import CandidateSet, candidate_set
 from repro.matching.gpnm import MatchResult
 from repro.partition.label_partition import LabelPartition
-from repro.partition.partitioned_spl import build_slen_partitioned
+from repro.partition.partitioned_spl import (
+    build_slen_partitioned,
+    coalesce_slen_partitioned,
+)
 from repro.spl.incremental import update_slen
 from repro.spl.matrix import SLenMatrix
 
@@ -57,11 +70,18 @@ class QueryStats:
     elimination_relations:
         Total elimination relationships detected.
     coalesced_batches:
-        How many coalesced maintenance passes were run (``coalesce_updates``
-        only).
+        How many coalesced maintenance passes were run (coalescing
+        strategies only).
     compiled_away_updates:
         Updates removed by the batch compiler before processing
         (duplicates, inverse pairs, subsumed edge operations).
+    planned_strategy:
+        The maintenance strategy the execution planner chose for the
+        batch (``"per-update"``, ``"coalesced"`` or ``"partitioned"``;
+        empty for algorithms that do not plan, e.g. the oracle).  For
+        INC-GPNM — per-update by definition — a coalescing decision
+        only canonicalises the stream; maintenance itself stays
+        per-update regardless of the recorded plan.
     """
 
     elapsed_seconds: float = 0.0
@@ -73,8 +93,9 @@ class QueryStats:
     elimination_relations: int = 0
     coalesced_batches: int = 0
     compiled_away_updates: int = 0
+    planned_strategy: str = ""
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, float | str]:
         """Plain-dict copy (used by the experiment reports)."""
         return {
             "elapsed_seconds": self.elapsed_seconds,
@@ -86,6 +107,7 @@ class QueryStats:
             "elimination_relations": self.elimination_relations,
             "coalesced_batches": self.coalesced_batches,
             "compiled_away_updates": self.compiled_away_updates,
+            "planned_strategy": self.planned_strategy,
         }
 
 
@@ -96,6 +118,9 @@ class SubsequentResult:
     result: MatchResult
     stats: QueryStats
     eh_tree: Optional[EHTree] = None
+    #: The execution planner's decision for the batch (``None`` for
+    #: algorithms that do not plan, e.g. the from-scratch oracle).
+    plan: Optional[PlanReport] = None
 
 
 class GPNMAlgorithm(abc.ABC):
@@ -111,19 +136,36 @@ class GPNMAlgorithm(abc.ABC):
     enforce_totality:
         Whether returned :class:`MatchResult` objects collapse to empty
         when some pattern node has no match (the paper's GPNM semantics).
+    batch_plan:
+        Maintenance-strategy selection for each batch, decided by the
+        execution planner (:mod:`repro.batching.planner`):
+
+        * ``"per-update"`` — one ``update_slen`` pass per data update
+          (the default when nothing else is requested);
+        * ``"coalesced"`` — compile the batch and maintain ``SLen`` with
+          one coalesced pass; results are identical, the work scales
+          with the *net* delta;
+        * ``"partitioned"`` — coalesced maintenance whose deletion
+          settle routes row-heavy sources through the label partition
+          (degrades to ``"coalesced"`` when ``use_partition`` is off);
+        * ``"auto"`` — the planner's cost model picks the cheapest
+          strategy per batch (insert-dominated batches are routed away
+          from coalescing, small batches stay per-update).
+
+        ``None`` derives the plan from the deprecated
+        ``coalesce_updates`` flag (``"auto"`` when it is set, else
+        ``"per-update"``).
     coalesce_updates:
-        When on, each batch is first canonicalised by the update-batch
-        compiler (:mod:`repro.batching.compiler`) and the surviving data
-        updates are maintained with one coalesced ``SLen`` pass
-        (:mod:`repro.batching.coalesce`) instead of one pass per update.
-        Results are identical; the work scales with the *net* delta.
+        Deprecated alias for ``batch_plan="auto"``; the planner is the
+        single decision point now.  Passing it emits a
+        :class:`DeprecationWarning`; an explicit ``batch_plan`` wins.
     coalesce_min_batch:
-        Batches smaller than this fall back to per-update maintenance
-        even when ``coalesce_updates`` is on: below the threshold the
-        compile+coalesce fixed costs exceed the savings.  The default
-        (64) is where ``BENCH_batching.json`` shows the coalesced path
-        stops losing (about par at 64, decisive wins by 256 on
-        deletion-bearing mixes).
+        The planner's crossover rule: ``auto``-planned batches smaller
+        than this stay on per-update maintenance (below the threshold
+        the compile+coalesce fixed costs exceed the savings).  The
+        default (64) is where ``BENCH_batching.json`` shows the
+        coalesced path stops losing (about par at 64, decisive wins by
+        256 on deletion-bearing mixes).  Forced strategies ignore it.
     slen_backend:
         ``SLen`` storage backend (``"sparse"`` / ``"dense"`` / ``"auto"``,
         see :mod:`repro.spl.backend`).  ``None`` inherits the backend of
@@ -144,13 +186,28 @@ class GPNMAlgorithm(abc.ABC):
         coalesce_updates: bool = False,
         coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
         slen_backend: Optional[str] = None,
+        batch_plan: Optional[str] = None,
     ) -> None:
         self._pattern = pattern.copy()
         self._data = data.copy()
         self._use_partition = use_partition
         self._enforce_totality = enforce_totality
-        self._coalesce_updates = coalesce_updates
+        if coalesce_updates:
+            warnings.warn(
+                "coalesce_updates is deprecated: the execution planner is the "
+                "single decision point now; pass batch_plan='auto' instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if batch_plan is None:
+            batch_plan = STRATEGY_AUTO if coalesce_updates else STRATEGY_PER_UPDATE
+        elif batch_plan not in PLAN_CHOICES:
+            raise ValueError(
+                f"unknown batch_plan {batch_plan!r}; expected one of {PLAN_CHOICES}"
+            )
+        self._batch_plan = batch_plan
         self._coalesce_min_batch = coalesce_min_batch
+        self._last_plan: Optional[PlanReport] = None
         if precomputed_slen is not None:
             # The experiment harness shares one initial-query state across
             # the compared methods so that only the subsequent query is
@@ -203,30 +260,47 @@ class GPNMAlgorithm(abc.ABC):
         return self._use_partition
 
     @property
+    def batch_plan(self) -> str:
+        """The requested batch plan (``"auto"`` or a forced strategy)."""
+        return self._batch_plan
+
+    @property
     def coalesces_updates(self) -> bool:
-        """Whether batches are compiled and maintained in one coalesced pass."""
-        return self._coalesce_updates
+        """Whether the batch plan can route batches to a coalesced pass."""
+        return self._batch_plan != STRATEGY_PER_UPDATE
 
     @property
     def slen_backend(self) -> str:
         """Resolved name of the ``SLen`` storage backend in use."""
         return self._slen.backend_name
 
-    def _should_coalesce(self, batch_size: int) -> bool:
-        """Whether a batch of ``batch_size`` updates goes down the
-        compile-and-coalesce path.
+    def _plan_data_batch(self, data_updates: Sequence[Update], batch_size: int) -> PlanReport:
+        """Run the execution planner for one batch's data updates.
 
-        Coalescing only stops losing above a threshold size; smaller
-        batches stay on per-update maintenance so ``coalesce_updates=True``
-        never costs a <1x "speedup" (the small-batch regression of
-        ``BENCH_batching.json``).
+        Subsumes the old static ``coalesce_min_batch`` guard: the
+        threshold is one planner rule, and the planner's decision — not a
+        raw flag — selects the maintenance strategy (it is recorded in
+        ``stats.planned_strategy`` and surfaced as
+        :attr:`SubsequentResult.plan`).
         """
-        return self._coalesce_updates and batch_size >= max(2, self._coalesce_min_batch)
+        statistics = BatchStatistics.from_updates(
+            data_updates,
+            node_count=self._data.number_of_nodes,
+            backend=self._slen.backend_name,
+            partition_available=self._use_partition,
+            batch_size=batch_size,
+        )
+        plan = plan_batch(
+            statistics, requested=self._batch_plan, min_batch=self._coalesce_min_batch
+        )
+        self._last_plan = plan
+        return plan
 
     def subsequent_query(self, updates: Iterable[Update]) -> SubsequentResult:
         """Apply ``updates`` and answer the subsequent GPNM query."""
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
         stats = QueryStats(updates_processed=len(batch))
+        self._last_plan = None
         started = time.perf_counter()
         relation, eh_tree = self._process_batch(batch, stats)
         stats.elapsed_seconds = time.perf_counter() - started
@@ -235,6 +309,7 @@ class GPNMAlgorithm(abc.ABC):
             result=MatchResult(relation.as_dict(), enforce_totality=self._enforce_totality),
             stats=stats,
             eh_tree=eh_tree,
+            plan=self._last_plan,
         )
 
     # ------------------------------------------------------------------
@@ -257,8 +332,23 @@ class GPNMAlgorithm(abc.ABC):
         stats.recomputed_rows += len(delta.recomputed_sources)
         return affected_set_from_delta(update, delta)
 
+    def _execute_data_plan(
+        self, data_updates: Sequence[Update], stats: QueryStats, plan: PlanReport
+    ) -> list[AffectedSet]:
+        """Apply ``data_updates`` along the planner's chosen route."""
+        if plan.strategy != STRATEGY_PER_UPDATE and data_updates:
+            return self._apply_data_updates_coalesced(
+                data_updates,
+                stats,
+                partitioned=plan.strategy == STRATEGY_PARTITIONED,
+            )
+        return [self._apply_data_update(update, stats) for update in data_updates]
+
     def _apply_data_updates_coalesced(
-        self, data_updates: Sequence[Update], stats: QueryStats
+        self,
+        data_updates: Sequence[Update],
+        stats: QueryStats,
+        partitioned: bool = False,
     ) -> list[AffectedSet]:
         """Apply an already-compiled data-update stream in one coalesced pass.
 
@@ -266,15 +356,19 @@ class GPNMAlgorithm(abc.ABC):
         :func:`repro.batching.compiler.compile_batch`): all structural
         changes are applied to the graph first, then ``SLen`` is
         maintained by a single :func:`~repro.batching.coalesce.coalesce_slen`
-        call.  Returns per-update affected sets built from the pass's
-        attribution deltas, so the elimination machinery keeps working.
+        call — or, with ``partitioned``, by
+        :func:`~repro.partition.partitioned_spl.coalesce_slen_partitioned`,
+        whose deletion settle goes through the label partition.  Returns
+        per-update affected sets built from the pass's attribution
+        deltas, so the elimination machinery keeps working.
         """
         if not data_updates:
             return []
+        maintain = coalesce_slen_partitioned if partitioned else coalesce_slen
         try:
             for update in data_updates:
                 update.apply(self._data)
-            outcome = coalesce_slen(self._slen, self._data, data_updates)
+            outcome = maintain(self._slen, self._data, data_updates)
         except Exception:
             # Keep failures non-corrupting: the graph may already hold some
             # of the batch, so resync the matrix to whatever state it

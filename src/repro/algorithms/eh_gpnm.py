@@ -9,6 +9,7 @@ which is the gap UA-GPNM closes.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
@@ -31,20 +32,21 @@ class EHGPNM(GPNMAlgorithm):
         pattern_updates = batch.pattern_updates()
 
         # Data side: maintain SLen, detect Type II elimination, then amend
-        # once for the whole data batch.  With ``coalesce_updates`` on the
-        # data stream is first compiled to its net effect and maintained
-        # by one coalesced pass (batches under ``coalesce_min_batch`` stay
-        # per-update); the pattern side keeps its per-update procedure,
-        # which is what defines EH-GPNM.
-        if self._should_coalesce(len(data_updates)):
+        # once for the whole data batch.  The execution planner routes the
+        # data stream: on a coalescing route it is first compiled to its
+        # net effect and maintained by one coalesced pass; the pattern
+        # side keeps its per-update procedure, which is what defines
+        # EH-GPNM.  (EH-GPNM runs without the label partition, so a
+        # forced "partitioned" plan degrades to "coalesced".)
+        plan = self._plan_data_batch(data_updates, len(data_updates))
+        stats.planned_strategy = plan.strategy
+        if plan.strategy != "per-update":
             compiled = compile_batch(data_updates)
             stats.compiled_away_updates += compiled.report.eliminated
             data_updates = compiled.data_updates()
-            affected_sets = self._apply_data_updates_coalesced(data_updates, stats)
-        else:
-            affected_sets = [
-                self._apply_data_update(update, stats) for update in data_updates
-            ]
+            plan = dataclasses.replace(plan, compilation=compiled.report)
+            self._last_plan = plan
+        affected_sets = self._execute_data_plan(data_updates, stats, plan)
         relations = detect_type_ii(affected_sets)
         analysis = EliminationAnalysis(
             candidate_sets=[], affected_sets=affected_sets, relations=relations

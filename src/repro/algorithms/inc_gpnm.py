@@ -11,6 +11,7 @@ UA-GPNM's elimination analysis removes.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
@@ -28,16 +29,22 @@ class IncGPNM(GPNMAlgorithm):
     def _process_batch(
         self, batch: UpdateBatch, stats: QueryStats
     ) -> tuple[MatchResult, Optional[EHTree]]:
-        # INC-GPNM is per-update by definition, so ``coalesce_updates``
-        # only canonicalises the stream: duplicates, inverse pairs and
-        # subsumed edge operations are compiled away before the per-update
-        # loop (batches under ``coalesce_min_batch`` skip even that);
-        # each survivor still gets its own maintenance + amendment.
+        # INC-GPNM is per-update by definition, so a coalescing plan only
+        # canonicalises the stream: duplicates, inverse pairs and
+        # subsumed edge operations are compiled away before the
+        # per-update loop (a per-update plan skips even that); each
+        # survivor still gets its own maintenance + amendment.  The
+        # recorded planned_strategy is the planner's decision — here it
+        # means "compile first", never coalesced maintenance.
+        plan = self._plan_data_batch(batch.data_updates(), len(batch))
+        stats.planned_strategy = plan.strategy
         working: UpdateBatch = batch
-        if self._should_coalesce(len(batch)):
+        if plan.strategy != "per-update":
             compiled = compile_batch(batch)
             stats.compiled_away_updates += compiled.report.eliminated
             working = compiled.batch
+            plan = dataclasses.replace(plan, compilation=compiled.report)
+            self._last_plan = plan
         for update in working:
             if update.graph is GraphKind.DATA:
                 self._apply_data_update(update, stats)

@@ -21,6 +21,7 @@ whenever ``SLen`` rows must be recomputed.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
@@ -54,16 +55,21 @@ class UAGPNM(GPNMAlgorithm):
     def _process_batch(
         self, batch: UpdateBatch, stats: QueryStats
     ) -> tuple[MatchResult, Optional[EHTree]]:
-        # Step 0 (coalesce_updates only): compile the batch down to its
+        # Step 0: the execution planner routes the batch to per-update,
+        # coalesced or partitioned-coalesced maintenance (one decision
+        # point; the old ``coalesce_min_batch`` guard is a planner rule).
+        # On a coalescing route the batch is first compiled down to its
         # net effect — duplicates, inverse pairs and subsumed edge
-        # operations never reach the per-update machinery below.  Tiny
-        # batches skip the whole path (see ``_should_coalesce``).
+        # operations never reach the maintenance machinery below.
+        plan = self._plan_data_batch(batch.data_updates(), len(batch))
+        stats.planned_strategy = plan.strategy
         working: UpdateBatch = batch
-        use_coalesce = self._should_coalesce(len(batch))
-        if use_coalesce:
+        if plan.strategy != "per-update":
             compiled = compile_batch(batch)
             stats.compiled_away_updates += compiled.report.eliminated
             working = compiled.batch
+            plan = dataclasses.replace(plan, compilation=compiled.report)
+            self._last_plan = plan
         data_updates = working.data_updates()
         pattern_updates = working.pattern_updates()
 
@@ -83,14 +89,10 @@ class UAGPNM(GPNMAlgorithm):
                 candidate_sets.append(CandidateSet(update=update))
 
         # Step 2: apply data updates, maintaining SLen and collecting Aff_N.
-        # With coalescing on, the compiled stream is maintained by a single
-        # multi-source pass instead of one update_slen call per update.
-        if use_coalesce and len(data_updates) > 1:
-            affected_sets = self._apply_data_updates_coalesced(data_updates, stats)
-        else:
-            affected_sets = [
-                self._apply_data_update(update, stats) for update in data_updates
-            ]
+        # On a coalescing route the compiled stream is maintained by a
+        # single multi-source pass instead of one update_slen call per
+        # update (through the label partition on the partitioned route).
+        affected_sets = self._execute_data_plan(data_updates, stats, plan)
 
         # Step 3: apply the pattern updates themselves.
         for update in pattern_updates:

@@ -20,14 +20,28 @@ make the joint handling cheap:
   :class:`~repro.spl.incremental.SLenDelta` equal to the composition of
   the per-update deltas.
 
-The algorithms expose the machinery behind a ``coalesce_updates`` flag
-(see :class:`repro.algorithms.base.GPNMAlgorithm`); with it on, the cost
-of a subsequent query scales with the *net* delta of the batch instead
-of the raw update count.
+* :mod:`repro.batching.planner` — the **adaptive execution planner**.
+  One decision point that routes each batch to per-update, coalesced or
+  partitioned-coalesced maintenance via a small cost model calibrated
+  from the benchmark crossovers; algorithms expose it as
+  ``batch_plan="auto" | "per-update" | "coalesced" | "partitioned"``
+  (see :class:`repro.algorithms.base.GPNMAlgorithm`) and surface each
+  decision as a :class:`~repro.batching.planner.PlanReport`.
+
+With a coalescing route chosen, the cost of a subsequent query scales
+with the *net* delta of the batch instead of the raw update count.
 """
 
 from repro.batching.compiler import CompilationReport, CompiledBatch, compile_batch
 from repro.batching.coalesce import CoalescedMaintenance, coalesce_slen
+from repro.batching.planner import (
+    PLAN_CHOICES,
+    STRATEGIES,
+    BatchStatistics,
+    PlanReport,
+    estimate_costs,
+    plan_batch,
+)
 
 __all__ = [
     "CompilationReport",
@@ -35,4 +49,10 @@ __all__ = [
     "compile_batch",
     "CoalescedMaintenance",
     "coalesce_slen",
+    "PLAN_CHOICES",
+    "STRATEGIES",
+    "BatchStatistics",
+    "PlanReport",
+    "estimate_costs",
+    "plan_batch",
 ]

@@ -90,7 +90,10 @@ class CoalescedMaintenance:
 
 
 def coalesce_slen(
-    slen: SLenMatrix, graph_after: DataGraph, updates: Sequence[Update]
+    slen: SLenMatrix,
+    graph_after: DataGraph,
+    updates: Sequence[Update],
+    settle=None,
 ) -> CoalescedMaintenance:
     """Maintain ``slen`` in place for a whole batch of data updates.
 
@@ -100,6 +103,17 @@ def coalesce_slen(
     streams; feeding a raw stream with internal cancellations produces an
     exception or an incorrect matrix, exactly like calling the
     single-update maintenance with an inconsistent ``graph_after``.
+
+    A node both deleted and re-inserted by the batch (a compiled
+    resurrection) is handled as a deletion followed by an isolated
+    re-insertion; its new incident edges arrive as separate insertions.
+
+    ``settle`` optionally replaces the deletion-phase settle kernel
+    (signature and contract of
+    :meth:`repro.spl.backend.SLenBackend.settle_sources`); the
+    partitioned-coalesced strategy uses this hook to route row-heavy
+    sources through the label partition
+    (:func:`repro.partition.partitioned_spl.coalesce_slen_partitioned`).
     """
     updates = list(updates)
     inserted_edges: list[tuple[NodeId, NodeId, int]] = []
@@ -179,7 +193,12 @@ def coalesce_slen(
         blame_by_source.setdefault(source, {}).setdefault(target, set()).add(index)
 
     for edge_source, edge_target, index in deleted_edges:
-        if edge_source not in remaining or edge_target not in remaining:
+        if (
+            edge_source in deleted_nodes
+            or edge_target in deleted_nodes
+            or edge_source not in remaining
+            or edge_target not in remaining
+        ):
             continue  # subsumed by a node deletion; its pairs are already INF
         for x, targets in backend.affected_by_edge_deletion(edge_source, edge_target).items():
             for y in targets:
@@ -193,7 +212,9 @@ def coalesce_slen(
     skip_nodes = frozenset(inserted_nodes)
     horizon = slen.horizon
     affected_by_source = {x: set(targets) for x, targets in blame_by_source.items()}
-    settled = backend.settle_sources(
+    if settle is None:
+        settle = backend.settle_sources
+    settled = settle(
         graph_after, affected_by_source, skip_edges=skip_edges, skip_nodes=skip_nodes
     )
     get = backend.get
@@ -239,7 +260,9 @@ def coalesce_slen(
 
     # Drop identity pairs: a deletion whose damage an insertion repaired.
     merged = {pair: change for pair, change in merged.items() if change[0] != change[1]}
-    structural = frozenset(deleted_nodes) | frozenset(inserted_nodes)
+    # Symmetric difference: a resurrected node (deleted *and* re-inserted)
+    # nets out structurally, matching the fold of its sequential deltas.
+    structural = frozenset(set(deleted_nodes) ^ set(inserted_nodes))
     delta = SLenDelta(
         changed_pairs=merged,
         recomputed_sources=frozenset(blame_by_source),
@@ -284,7 +307,7 @@ def _check_graph_state(
                 f"graph still contains edge ({source!r}, {target!r}); apply the batch first"
             )
     for node in deleted_nodes:
-        if graph_after.has_node(node):
+        if graph_after.has_node(node) and node not in inserted_nodes:
             raise UpdateError(f"graph still contains node {node!r}; apply the batch first")
         if node not in slen.nodes():
             raise UpdateError(f"node {node!r} is not in the SLen matrix")

@@ -25,10 +25,16 @@ nodes exist before edges reference them, re-inserted edges are deleted
 before being re-added, and node deletions run last so no surviving edge
 operation references a removed node.
 
-Re-inserting a node that the same batch deleted ("resurrection") is not
-canonicalisable — the replacement may carry different labels or edges —
-and raises :class:`~repro.graph.errors.UpdateError`; split such streams
-across two batches instead.
+Re-inserting a node that the same batch deleted ("resurrection") is
+canonicalised payload-aware: intermediate churn on the node cancels, the
+*first* deletion and the *final* insertion survive as a pair (the
+deletion removes the old incarnation's incident edges, the insertion
+carries the new labels), and every surviving edge insertion touching the
+reborn node — its payload edges included — is emitted *after* the
+re-insertion as a standalone edge insertion so the compiled stream stays
+directly applicable.  Edge deletions aimed at the old incarnation are
+subsumed by the node deletion exactly like those of a plainly deleted
+node.
 """
 
 from __future__ import annotations
@@ -36,7 +42,6 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator
 from dataclasses import dataclass
 
-from repro.graph.errors import UpdateError
 from repro.graph.pattern import normalise_bound
 from repro.graph.updates import (
     EdgeDeletion,
@@ -67,6 +72,9 @@ class CompilationReport:
     subsumed_ops:
         Edge operations dropped because a node deletion in the same batch
         makes them redundant (including carried-edge payload entries).
+    resurrections:
+        Nodes the batch deleted and re-inserted; each survives as a
+        delete + re-insert pair (counted once per node, not per op).
     """
 
     input_size: int
@@ -74,6 +82,7 @@ class CompilationReport:
     duplicates_dropped: int = 0
     cancelled_ops: int = 0
     subsumed_ops: int = 0
+    resurrections: int = 0
 
     @property
     def eliminated(self) -> int:
@@ -120,6 +129,7 @@ def compile_batch(updates: Iterable[Update]) -> CompiledBatch:
     duplicates = 0
     cancelled = 0
     subsumed = 0
+    resurrections = 0
     for kind in (GraphKind.DATA, GraphKind.PATTERN):
         survivors, counts = _compile_one_graph(
             [(pos, u) for pos, u in enumerate(stream) if u.graph is kind]
@@ -128,12 +138,14 @@ def compile_batch(updates: Iterable[Update]) -> CompiledBatch:
         duplicates += counts[0]
         cancelled += counts[1]
         subsumed += counts[2]
+        resurrections += counts[3]
     report = CompilationReport(
         input_size=len(stream),
         output_size=len(compiled),
         duplicates_dropped=duplicates,
         cancelled_ops=cancelled,
         subsumed_ops=subsumed,
+        resurrections=resurrections,
     )
     return CompiledBatch(batch=UpdateBatch(compiled), report=report)
 
@@ -160,7 +172,7 @@ class _Entry:
 
 def _compile_one_graph(
     stream: list[tuple[int, Update]]
-) -> tuple[list[Update], tuple[int, int, int]]:
+) -> tuple[list[Update], tuple[int, int, int, int]]:
     """Compile the updates of one target graph; returns (survivors, counts)."""
     duplicates = 0
     cancelled = 0
@@ -206,11 +218,16 @@ def _compile_one_graph(
     # Resolve node timelines first: they decide which edge operations are
     # subsumed.  ``last_delete_pos`` marks, per node, the stream position
     # of its final deletion; edge operations before that position touch an
-    # incarnation of the node that does not survive.
+    # incarnation of the node that does not survive.  A node deleted *and*
+    # re-inserted ("resurrection") keeps its first deletion and its final
+    # insertion as a pair; every surviving edge insertion touching it must
+    # apply after the re-insertion and is routed to a dedicated group.
     node_survivors: list[tuple[int, Update]] = []
+    resurrection_survivors: list[tuple[int, Update]] = []
     surviving_insert_pos: set[int] = set()
     vanished: set[NodeId] = set()  # inserted then deleted: never durably exists
     net_deleted: set[NodeId] = set()  # pre-existing, deleted by the batch
+    resurrected: set[NodeId] = set()  # pre-existing, deleted then re-inserted
     last_delete_pos: dict[NodeId, int] = {}
     for node, timeline in node_timelines.items():
         pre_existed = timeline[0][1].is_deletion
@@ -220,12 +237,18 @@ def _compile_one_graph(
             last_delete_pos[node] = max(deletions)
         if pre_existed == final_exists:
             if pre_existed:
-                raise UpdateError(
-                    f"cannot canonicalise a batch that deletes and re-inserts node "
-                    f"{node!r}; split the stream into two batches"
-                )
-            cancelled += len(timeline)
-            vanished.add(node)
+                # Resurrection: the first deletion removes the old
+                # incarnation (labels and incident edges), the final
+                # insertion creates the new one.  Intermediate churn
+                # cancels; the insertion's payload edges are re-emitted
+                # standalone after it (see the edge resolution below).
+                cancelled += len(timeline) - 2
+                node_survivors.append(timeline[0])
+                resurrection_survivors.append(timeline[-1])
+                resurrected.add(node)
+            else:
+                cancelled += len(timeline)
+                vanished.add(node)
         else:
             cancelled += len(timeline) - 1
             node_survivors.append(timeline[-1])
@@ -238,19 +261,23 @@ def _compile_one_graph(
     # payload entry normally stays in its parent's payload; it becomes a
     # standalone EdgeInsertion when the parent was cancelled (the edge
     # outlives the parent node insertion) or when it must apply *after*
-    # an edge deletion of the same pair (bound change).
+    # an edge deletion of the same pair (bound change).  Insertions that
+    # touch a resurrected node are emitted *late* — after the node's
+    # re-insertion — so the compiled stream stays directly applicable.
     edge_survivors: list[tuple[int, Update]] = []
+    late_edge_survivors: list[tuple[int, Update]] = []
 
-    def emit(entry: _Entry, force_standalone: bool = False) -> None:
+    def emit(entry: _Entry, force_standalone: bool = False, late: bool = False) -> None:
+        destination = late_edge_survivors if late else edge_survivors
         if entry.payload is None:
-            edge_survivors.append((entry.pos, entry.update))
+            destination.append((entry.pos, entry.update))
             return
         parent_pos, edge = entry.payload
-        if parent_pos in surviving_insert_pos and not force_standalone:
+        if parent_pos in surviving_insert_pos and not force_standalone and not late:
             return  # stays in the surviving parent's payload
         strip(entry)
         bound = edge[2] if len(edge) > 2 else None
-        edge_survivors.append(
+        destination.append(
             (entry.pos, EdgeInsertion(graph_kind, edge[0], edge[1], bound))
         )
 
@@ -283,6 +310,19 @@ def _compile_one_graph(
             kept.append(entry)
         if not kept:
             continue
+        if source in resurrected or target in resurrected:
+            # Every kept entry postdates the reborn endpoint's final
+            # deletion, which already removed all incident edges — so the
+            # edge exists at the end iff the last entry is an insertion,
+            # and that insertion must apply after the re-insertion.
+            if kept[-1].is_insertion:
+                for entry in kept[:-1]:
+                    drop(entry, as_subsumed=not entry.is_insertion)
+                emit(kept[-1], late=True)
+            else:
+                for entry in kept:
+                    drop(entry, as_subsumed=True)
+            continue
         pre_existed = not kept[0].is_insertion
         final_exists = kept[-1].is_insertion
         if pre_existed != final_exists:
@@ -307,29 +347,41 @@ def _compile_one_graph(
             emit(kept[-1], force_standalone=True)
 
     # Materialise the payload strips on the surviving node insertions.
-    cleaned_node_survivors: list[tuple[int, Update]] = []
-    for pos, update in node_survivors:
-        to_strip = payload_strip.get(pos)
-        if to_strip and isinstance(update, NodeInsertion):
-            edges = tuple(edge for edge in update.edges if tuple(edge) not in to_strip)
-            update = NodeInsertion(update.graph, update.node, update.labels, edges)
-        cleaned_node_survivors.append((pos, update))
+    def materialise(survivor_list: list[tuple[int, Update]]) -> list[tuple[int, Update]]:
+        cleaned: list[tuple[int, Update]] = []
+        for pos, update in survivor_list:
+            to_strip = payload_strip.get(pos)
+            if to_strip and isinstance(update, NodeInsertion):
+                edges = tuple(edge for edge in update.edges if tuple(edge) not in to_strip)
+                update = NodeInsertion(update.graph, update.node, update.labels, edges)
+            cleaned.append((pos, update))
+        return cleaned
 
-    survivors = _canonical_order(cleaned_node_survivors, edge_survivors)
-    return survivors, (duplicates, cancelled, subsumed)
+    survivors = _canonical_order(
+        materialise(node_survivors),
+        edge_survivors,
+        materialise(resurrection_survivors),
+        late_edge_survivors,
+    )
+    return survivors, (duplicates, cancelled, subsumed, len(resurrected))
 
 
 def _canonical_order(
-    node_ops: list[tuple[int, Update]], edge_ops: list[tuple[int, Update]]
+    node_ops: list[tuple[int, Update]],
+    edge_ops: list[tuple[int, Update]],
+    resurrection_ops: list[tuple[int, Update]] = (),
+    late_edge_ops: list[tuple[int, Update]] = (),
 ) -> list[Update]:
-    """Order survivors: node inserts, edge deletes, edge inserts, node deletes."""
+    """Order survivors: node inserts, edge deletes, edge inserts, node
+    deletes — then resurrection re-inserts and finally the edge
+    insertions that must apply after a resurrection."""
     groups: tuple[list[tuple[int, Update]], ...] = ([], [], [], [])
     for pos, update in node_ops:
         groups[0 if update.is_insertion else 3].append((pos, update))
     for pos, update in edge_ops:
         groups[2 if update.is_insertion else 1].append((pos, update))
     ordered: list[Update] = []
-    for group in groups:
+    for group in groups + (list(resurrection_ops), list(late_edge_ops)):
         group.sort(key=lambda entry: entry[0])
         ordered.extend(update for _pos, update in group)
     return ordered

@@ -15,9 +15,11 @@ Run everything (slow) and verify each method against the oracle::
 
     ua-gpnm all --preset full --verify
 
-Run the quick grid with the batch compiler + coalesced SLen maintenance::
+Run the quick grid with the adaptive batch execution planner (routes
+each update batch to per-update, coalesced or partitioned-coalesced
+SLen maintenance)::
 
-    ua-gpnm table-xi --coalesce
+    ua-gpnm table-xi --batch-plan auto
 
 Run the quick grid on the dense NumPy SLen backend (or ``auto``, which
 picks dense above a node-count threshold)::
@@ -78,10 +80,20 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         help="cross-check every method's result against the from-scratch oracle",
     )
     parser.add_argument(
+        "--batch-plan",
+        default=default(None),
+        choices=("auto", "per-update", "coalesced", "partitioned"),
+        help=(
+            "update-batch execution strategy: per-update maintenance, one "
+            "coalesced SLen pass, the partition-aware coalesced pass, or "
+            "auto (cost-model routing per batch; see the epilog)"
+        ),
+    )
+    parser.add_argument(
         "--coalesce",
         action="store_true",
         default=default(False),
-        help="compile each update batch and maintain SLen in one coalesced pass",
+        help="deprecated alias for --batch-plan auto",
     )
     parser.add_argument(
         "--coalesce-min-batch",
@@ -89,9 +101,9 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         default=default(None),
         metavar="N",
         help=(
-            "batch size below which --coalesce falls back to per-update "
+            "batch size below which the auto plan stays on per-update "
             "maintenance (default 64, where the benchmark shows the "
-            "coalesced path stops losing)"
+            "coalesced path stops losing); forced strategies ignore it"
         ),
     )
     parser.add_argument(
@@ -106,10 +118,41 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
     )
 
 
+#: ``--help`` epilog: how the execution planner selects a strategy.
+_EPILOG = """\
+batch plan strategy selection (--batch-plan):
+  Every update batch is routed by the execution planner to one of three
+  SLen maintenance strategies:
+
+    per-update   one incremental maintenance pass per data update; the
+                 default, and always fastest for small or
+                 insert-dominated batches
+    coalesced    compile the batch to its net effect, then maintain SLen
+                 in one pass: all deletions share one affected-region
+                 settle per source (or per target, transposed), all
+                 insertions one relaxation sweep; wins 1.5-2.5x on
+                 deletion-bearing batches above the crossover (~64)
+    partitioned  coalesced maintenance whose deletion settle recomputes
+                 row-heavy sources through the label partition
+                 (Section V); requires a partition (UA-GPNM), pays off
+                 on large deletion volumes
+
+  'auto' picks per batch via a small cost model calibrated from
+  BENCH_batching.json: batches under --coalesce-min-batch or dominated
+  by insertions stay per-update (insert coalescing is a structural
+  non-win); deletion-bearing batches above the crossover go coalesced,
+  and partitioned when a partition is available and the deletion volume
+  amortises the quotient condensation.  The chosen strategy is recorded
+  per run (PlanReport).
+"""
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ua-gpnm",
         description="Reproduce the UA-GPNM evaluation tables and figures.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     _add_common_options(parser, suppress=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -132,8 +175,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     config = _config_for(args.preset)
-    if args.coalesce:
-        config = dataclasses.replace(config, coalesce_updates=True)
+    if getattr(args, "batch_plan", None) is not None:
+        config = dataclasses.replace(config, batch_plan=args.batch_plan)
+    elif args.coalesce:
+        print(
+            "[deprecated] --coalesce is an alias for --batch-plan auto",
+            file=sys.stderr,
+        )
+        config = dataclasses.replace(config, batch_plan="auto")
     if getattr(args, "coalesce_min_batch", None) is not None:
         config = dataclasses.replace(config, coalesce_min_batch=args.coalesce_min_batch)
     if args.slen_backend != "sparse":

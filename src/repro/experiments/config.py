@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
+from repro.batching.planner import PLAN_CHOICES
 from repro.spl.backend import BACKEND_NAMES
 from repro.workloads.datasets import dataset_names
 
@@ -47,14 +50,18 @@ class ExperimentConfig:
         Independent runs per cell (different workload seeds), averaged.
     seed:
         Base seed; every cell derives its own deterministic seed from it.
+    batch_plan:
+        Maintenance-strategy plan handed to every method (``"auto"``,
+        ``"per-update"``, ``"coalesced"`` or ``"partitioned"``; see
+        :mod:`repro.batching.planner`).  ``None`` derives the plan from
+        the deprecated ``coalesce_updates`` flag.
     coalesce_updates:
-        Run every method with the batch compiler + coalesced ``SLen``
-        maintenance enabled (see :mod:`repro.batching`).
+        Deprecated alias for ``batch_plan="auto"`` (kept for backwards
+        compatibility; an explicit ``batch_plan`` wins).
     coalesce_min_batch:
-        Crossover batch size below which ``coalesce_updates`` falls back
-        to per-update maintenance (compile+coalesce fixed costs exceed
-        the savings under it; default from the ``BENCH_batching.json``
-        crossover).
+        The planner's crossover rule: ``auto``-planned batches below
+        this size stay on per-update maintenance (default from the
+        ``BENCH_batching.json`` crossover).
     slen_backend:
         ``SLen`` storage backend for every method: ``"sparse"``,
         ``"dense"`` or ``"auto"`` (see :mod:`repro.spl.backend`).
@@ -70,6 +77,7 @@ class ExperimentConfig:
     coalesce_updates: bool = False
     coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH
     slen_backend: str = "sparse"
+    batch_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -83,6 +91,10 @@ class ExperimentConfig:
             )
         if self.coalesce_min_batch < 0:
             raise ValueError("coalesce_min_batch must be non-negative")
+        if self.batch_plan is not None and self.batch_plan not in PLAN_CHOICES:
+            raise ValueError(
+                f"unknown batch_plan {self.batch_plan!r}; expected one of {PLAN_CHOICES}"
+            )
 
     @property
     def number_of_cells(self) -> int:

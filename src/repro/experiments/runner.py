@@ -64,6 +64,11 @@ class MeasurementRecord:
     coalesced_batches: int = 0
     compiled_away_updates: int = 0
     slen_backend: str = "sparse"
+    #: The requested batch plan and the strategy the planner chose (for
+    #: INC-GPNM a coalescing choice means "compile first" — its
+    #: maintenance is per-update by definition).
+    batch_plan: str = "per-update"
+    plan_strategy: str = ""
 
 
 def _method_factory(name: str) -> Callable[..., GPNMAlgorithm]:
@@ -96,8 +101,13 @@ def run_cell(
     coalesce_updates: bool = False,
     coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
     slen_backend: str = "sparse",
+    batch_plan: Optional[str] = None,
 ) -> list[MeasurementRecord]:
     """Run every method of one grid cell and return its measurement records."""
+    if batch_plan is None:
+        # Legacy flag translation happens here so the deprecated
+        # constructor path (and its warning) is reserved for direct users.
+        batch_plan = "auto" if coalesce_updates else "per-update"
     if pattern_size is None:
         pattern_size = (pattern.number_of_nodes, pattern.number_of_edges)
     if shared_slen is None:
@@ -130,7 +140,7 @@ def run_cell(
             data,
             precomputed_slen=shared_slen,
             precomputed_relation=shared_iquery,
-            coalesce_updates=coalesce_updates,
+            batch_plan=batch_plan,
             coalesce_min_batch=coalesce_min_batch,
             slen_backend=slen_backend,
         )
@@ -156,6 +166,8 @@ def run_cell(
                 coalesced_batches=stats.coalesced_batches,
                 compiled_away_updates=stats.compiled_away_updates,
                 slen_backend=algorithm.slen_backend,
+                batch_plan=batch_plan,
+                plan_strategy=stats.planned_strategy,
             )
         )
     return records
@@ -234,6 +246,7 @@ def run_experiment(
                 coalesce_updates=config.coalesce_updates,
                 coalesce_min_batch=config.coalesce_min_batch,
                 slen_backend=config.slen_backend,
+                batch_plan=config.batch_plan,
             )
         )
     return records

@@ -318,9 +318,13 @@ class UpdateBatch(Sequence[Update]):
     malformed stream fails at construction instead of deep inside an
     apply: an update referencing a node that an earlier update in the
     same batch deleted raises :class:`UpdateError`, as does deleting the
-    same node twice or re-inserting a node the batch already inserted or
-    deleted.  (Consistency against the target graphs — whether an edge's
-    endpoints exist at all — can only be checked at apply time.)
+    same node twice or re-inserting a node the batch already inserted.
+    Re-inserting a node the batch *deleted* ("resurrection") is valid —
+    the node is alive again afterwards, so later updates may reference
+    it — which is what lets the batch compiler canonicalise
+    delete-then-re-insert streams instead of rejecting them.
+    (Consistency against the target graphs — whether an edge's endpoints
+    exist at all — can only be checked at apply time.)
     """
 
     def __init__(self, updates: Iterable[Update] = ()) -> None:
@@ -355,22 +359,20 @@ class UpdateBatch(Sequence[Update]):
                         f"update in this batch deleted"
                     )
         elif isinstance(update, NodeInsertion):
-            if update.node in dead:
-                raise UpdateError(
-                    f"{update!r} re-inserts node {update.node!r}, which an earlier "
-                    f"update in this batch deleted; split the stream into two batches"
-                )
             if update.node in born:
                 raise UpdateError(
                     f"{update!r} inserts node {update.node!r} twice in the same batch"
                 )
             for edge in update.edges:
                 for endpoint in (edge[0], edge[1]):
-                    if endpoint in dead:
+                    if endpoint in dead and endpoint != update.node:
                         raise UpdateError(
                             f"{update!r} carries an edge referencing node {endpoint!r}, "
                             f"which an earlier update in this batch deleted"
                         )
+            # Inserting a batch-deleted node is a resurrection: the node
+            # is alive again from this point on.
+            dead.discard(update.node)
             born.add(update.node)
         elif isinstance(update, NodeDeletion):
             if update.node in dead:

@@ -16,6 +16,9 @@ This package provides:
   exact partition-aware all-pairs construction (condensation of the
   quotient graph, intra-partition BFS, cross-partition composition through
   bridge edges);
+* :func:`~repro.partition.partitioned_spl.coalesce_slen_partitioned` —
+  the partitioned-coalesced batch maintenance strategy (a coalesced pass
+  whose deletion settle routes row-heavy sources through the partition);
 * :func:`~repro.partition.partitioned_spl.paper_subprocess_1` /
   :func:`~repro.partition.partitioned_spl.paper_subprocess_2` — literal
   transcriptions of Algorithms 4 and 5, used to reproduce the worked
@@ -25,6 +28,7 @@ This package provides:
 from repro.partition.label_partition import LabelPartition, Partition
 from repro.partition.partitioned_spl import (
     build_slen_partitioned,
+    coalesce_slen_partitioned,
     paper_subprocess_1,
     paper_subprocess_2,
     partitioned_recompute_rows,
@@ -34,6 +38,7 @@ __all__ = [
     "LabelPartition",
     "Partition",
     "build_slen_partitioned",
+    "coalesce_slen_partitioned",
     "partitioned_recompute_rows",
     "paper_subprocess_1",
     "paper_subprocess_2",

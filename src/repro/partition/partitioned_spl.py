@@ -19,20 +19,35 @@ Two implementations live here.
     whose quotient graph is acyclic after the pairwise combination step —
     the situation the paper's examples depict — but they are not used by
     the main algorithms, which rely on the exact builder above.
+
+``coalesce_slen_partitioned``
+    The **partitioned-coalesced** maintenance strategy: a coalesced batch
+    pass (:func:`repro.batching.coalesce.coalesce_slen`) whose
+    deletion-phase settle routes row-heavy affected sources through the
+    label partition (``partitioned_recompute_rows`` against the
+    deletions-only graph) instead of per-source/per-target Dijkstras —
+    UA-GPNM's partition advantage finally applied to coalesced batches.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import Optional
 
+from repro.batching.coalesce import CoalescedMaintenance, coalesce_slen
 from repro.graph.digraph import DataGraph
+from repro.graph.updates import Update
 from repro.partition.label_partition import LabelPartition
 from repro.spl.matrix import INF, SLenMatrix
 from repro.spl.sssp import bfs_lengths
 
 NodeId = Hashable
+
+#: The partitioned settle falls back to the backend settle when the
+#: affected region is small relative to the suspects' finite rows —
+#: below this fraction a targeted Dijkstra beats recomputing whole rows.
+PARTITIONED_RECOMPUTE_FRACTION: float = 1.0 / 3.0
 
 
 # ----------------------------------------------------------------------
@@ -339,6 +354,107 @@ def _topological_order(components: list[_Component]) -> list[_Component]:
     if len(order) != len(by_id):
         raise RuntimeError("quotient condensation produced a cycle; this is a bug")
     return order
+
+
+# ----------------------------------------------------------------------
+# Partitioned-coalesced batch maintenance
+# ----------------------------------------------------------------------
+def coalesce_slen_partitioned(
+    slen: SLenMatrix,
+    graph_after: DataGraph,
+    updates: Sequence[Update],
+    partition: Optional[LabelPartition] = None,
+    recompute_fraction: float = PARTITIONED_RECOMPUTE_FRACTION,
+) -> CoalescedMaintenance:
+    """Coalesced ``SLen`` maintenance with a partition-aware deletion settle.
+
+    Drop-in replacement for :func:`repro.batching.coalesce.coalesce_slen`
+    (same contract, bit-identical matrix and deltas): the only difference
+    is *how* the deletion phase restores affected distances.  When the
+    union of affected targets is large relative to the suspects' finite
+    rows (at least ``recompute_fraction`` of it), every affected source's
+    whole row is recomputed through the label partition —
+    intra-component BFS plus composition through trusted bridge rows,
+    against the deletions-only graph — which is the Section V advantage;
+    below the threshold the backend settle is cheaper and is used
+    unchanged.  ``partition`` must describe the deletions-only graph when
+    given; it is derived from it when omitted.
+    """
+
+    def settle(
+        graph_final: DataGraph,
+        affected_by_source: Mapping[NodeId, set[NodeId]],
+        skip_edges=frozenset(),
+        skip_nodes=frozenset(),
+    ) -> dict[NodeId, dict[NodeId, int]]:
+        return _partitioned_settle(
+            slen,
+            graph_final,
+            affected_by_source,
+            skip_edges,
+            skip_nodes,
+            partition,
+            recompute_fraction,
+        )
+
+    return coalesce_slen(slen, graph_after, updates, settle=settle)
+
+
+def _partitioned_settle(
+    slen: SLenMatrix,
+    graph_after: DataGraph,
+    affected_by_source: Mapping[NodeId, set[NodeId]],
+    skip_edges,
+    skip_nodes,
+    partition: Optional[LabelPartition],
+    recompute_fraction: float,
+) -> dict[NodeId, dict[NodeId, int]]:
+    """Settle affected sources through the partition (or fall back)."""
+    if not affected_by_source:
+        return {}
+    universe = slen.nodes()
+    total_affected = sum(len(targets) for targets in affected_by_source.values())
+    total_row = sum(
+        len(slen.row_view(source))
+        for source in affected_by_source
+        if source in universe
+    )
+    if total_affected < total_row * recompute_fraction:
+        return slen.backend.settle_sources(
+            graph_after, affected_by_source, skip_edges=skip_edges, skip_nodes=skip_nodes
+        )
+    graph_mid = _deletions_only_graph(graph_after, skip_edges, skip_nodes)
+    if partition is None:
+        partition = LabelPartition.from_graph(graph_mid)
+    # All suspects are recomputed together so the composition never
+    # trusts the stale row of a fellow suspect.
+    rows = partitioned_recompute_rows(
+        graph_mid, slen, affected_by_source.keys(), partition
+    )
+    results: dict[NodeId, dict[NodeId, int]] = {}
+    for source, affected in affected_by_source.items():
+        row = rows.get(source, {})
+        results[source] = {
+            target: row[target] for target in affected if target in row
+        }
+    return results
+
+
+def _deletions_only_graph(graph_after, skip_edges, skip_nodes) -> DataGraph:
+    """``graph_after`` minus the batch's insertions (the settle's view)."""
+    mid = DataGraph()
+    for node in graph_after.nodes():
+        if node not in skip_nodes:
+            mid.add_node(node, *graph_after.labels_of(node))
+    for source, target in graph_after.edges():
+        if (
+            source in skip_nodes
+            or target in skip_nodes
+            or (source, target) in skip_edges
+        ):
+            continue
+        mid.add_edge(source, target)
+    return mid
 
 
 # ----------------------------------------------------------------------

@@ -327,6 +327,90 @@ class SLenBackend(abc.ABC):
                     heapq.heappush(heap, (dist + 1, repr(z), z))
         return settled
 
+    def settle_sources_transposed(
+        self,
+        graph_after: DataGraph,
+        affected_by_source: Mapping[NodeId, set[NodeId]],
+        skip_edges: frozenset[tuple[NodeId, NodeId]] | set = _NO_EDGES,
+        skip_nodes: frozenset[NodeId] | set = _NO_NODES,
+    ) -> dict[NodeId, dict[NodeId, int]]:
+        """The per-target transposed deletion sweep.
+
+        Computes exactly what :meth:`settle_sources` computes, but runs
+        one settle per affected *target*, shared across every source
+        affected for that target — the mirror image of the per-source
+        settle, i.e. the Ramalingam-Reps recompute on the transposed
+        graph.  It wins when deletions damage few distinct targets seen
+        from many sources (the "edge near a sink" shape), where the
+        per-source orientation would repeat near-identical Dijkstras.
+        """
+        affected_by_target: dict[NodeId, set[NodeId]] = {}
+        for source, targets in affected_by_source.items():
+            for target in targets:
+                affected_by_target.setdefault(target, set()).add(source)
+        results: dict[NodeId, dict[NodeId, int]] = {
+            source: {} for source in affected_by_source
+        }
+        for target, sources in affected_by_target.items():
+            settled = self._settle_one_transposed(
+                graph_after, target, sources, skip_edges, skip_nodes
+            )
+            for source, dist in settled.items():
+                results[source][target] = dist
+        return results
+
+    def _settle_one_transposed(
+        self,
+        graph_after: DataGraph,
+        target: NodeId,
+        affected_sources: set[NodeId],
+        skip_edges: frozenset[tuple[NodeId, NodeId]] | set,
+        skip_nodes: frozenset[NodeId] | set,
+    ) -> dict[NodeId, int]:
+        """One target's affected-region recompute over its sources.
+
+        Mirror of :meth:`_settle_one`: every affected source is seeded
+        with the best distance achievable through an unaffected
+        out-neighbour (whose distance *to the target* is known to be
+        unchanged by the deletion) and the remaining slack is resolved by
+        a small Dijkstra over the affected sources only, relaxing along
+        *incoming* edges.
+        """
+        target_column = self.column(target) if target in self else {}
+        tentative: dict[NodeId, float] = {}
+        for x in affected_sources:
+            best = INF
+            for z in graph_after.successors_view(x):
+                if z in affected_sources or z in skip_nodes or (x, z) in skip_edges:
+                    continue
+                if z == target:
+                    downstream = 0
+                else:
+                    downstream = target_column.get(z)
+                    if downstream is None:
+                        continue
+                if downstream + 1 < best:
+                    best = downstream + 1
+            if best < INF:
+                tentative[x] = best
+        settled: dict[NodeId, int] = {}
+        heap: list[tuple[float, str, NodeId]] = [
+            (dist, repr(x), x) for x, dist in tentative.items()
+        ]
+        heapq.heapify(heap)
+        while heap:
+            dist, _, x = heapq.heappop(heap)
+            if x in settled or dist > tentative.get(x, INF):
+                continue
+            settled[x] = int(dist)
+            for w in graph_after.predecessors_view(x):
+                if w not in affected_sources or w in settled or (w, x) in skip_edges:
+                    continue
+                if dist + 1 < tentative.get(w, INF):
+                    tentative[w] = dist + 1
+                    heapq.heappush(heap, (dist + 1, repr(w), w))
+        return settled
+
 
 class SparseSLenBackend(SLenBackend):
     """The original dict-of-dicts storage: only finite entries are kept.
@@ -406,6 +490,40 @@ class SparseSLenBackend(SLenBackend):
         clone._nodes = set(self._nodes)
         clone._rows = {source: dict(row) for source, row in self._rows.items()}
         return clone
+
+    # ------------------------------------------------------------------
+    # Deletion-settle orientation
+    # ------------------------------------------------------------------
+    def settle_sources(
+        self,
+        graph_after: DataGraph,
+        affected_by_source: Mapping[NodeId, set[NodeId]],
+        skip_edges: frozenset[tuple[NodeId, NodeId]] | set = _NO_EDGES,
+        skip_nodes: frozenset[NodeId] | set = _NO_NODES,
+    ) -> dict[NodeId, dict[NodeId, int]]:
+        """Settle in whichever orientation needs fewer Dijkstras.
+
+        The per-source settle runs one Dijkstra per affected source; the
+        transposed sweep one per distinct affected *target*, shared
+        across all sources (the dense backend's batched settle gets this
+        sharing implicitly from its matrix fixpoint — this closes the
+        sparse/dense deletion-kernel gap).  Both orientations compute the
+        exact Ramalingam-Reps fixpoint, so the choice is purely a cost
+        call: the transposed sweep pays one column scan per target, hence
+        it is only taken when there are strictly fewer targets than
+        sources.
+        """
+        if affected_by_source:
+            distinct_targets: set[NodeId] = set()
+            for targets in affected_by_source.values():
+                distinct_targets |= targets
+            if len(distinct_targets) < len(affected_by_source):
+                return self.settle_sources_transposed(
+                    graph_after, affected_by_source, skip_edges, skip_nodes
+                )
+        return super().settle_sources(
+            graph_after, affected_by_source, skip_edges, skip_nodes
+        )
 
     def finite_count(self) -> int:
         return sum(len(row) for row in self._rows.values())

@@ -217,10 +217,10 @@ class TestPayloadEdgeInteractions:
         ]
         oracle = BatchGPNM(pattern, data)
         expected = oracle.subsequent_query(list(batch)).result
-        # coalesce_min_batch=2 forces the coalesced path even for this
-        # tiny batch (the production default falls back to per-update
-        # below the benchmarked crossover).
-        engine = UAGPNM(pattern, data, coalesce_updates=True, coalesce_min_batch=2)
+        # A forced plan takes the coalesced path even for this tiny
+        # batch (the auto plan falls back to per-update below the
+        # benchmarked crossover).
+        engine = UAGPNM(pattern, data, batch_plan="coalesced")
         outcome = engine.subsequent_query(list(batch))
         assert outcome.result == expected
         assert engine.slen == oracle.slen

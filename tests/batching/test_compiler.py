@@ -102,9 +102,12 @@ class TestCancellation:
         compiled = compile_batch(stream)
         assert len(compiled) == 2
 
-    def test_node_resurrection_raises(self):
-        with pytest.raises(UpdateError):
-            compile_batch([delete_data_node("a", "X"), insert_data_node("a", "X")])
+    def test_node_resurrection_compiles(self):
+        """Regression: delete-then-re-insert used to raise UpdateError."""
+        compiled = compile_batch([delete_data_node("a", "X"), insert_data_node("a", "X")])
+        kinds = [update.kind for update in compiled]
+        assert kinds == [UpdateKind.NODE_DELETE, UpdateKind.NODE_INSERT]
+        assert compiled.report.resurrections == 1
 
 
 class TestSubsumption:
@@ -183,6 +186,180 @@ class TestSubsumption:
         for update in compiled:
             update.apply(coalesced)
         assert coalesced == sequential
+
+
+def apply_equivalent(base: DataGraph, stream, compiled) -> None:
+    """Applying the compiled stream must produce the sequential graph."""
+    sequential = base.copy()
+    for update in stream:
+        update.apply(sequential)
+    coalesced = base.copy()
+    for update in compiled:
+        update.apply(coalesced)
+    assert coalesced == sequential
+
+
+class TestResurrection:
+    """Within-batch delete-then-re-insert of a node (payload-aware)."""
+
+    def test_same_labels(self):
+        """The reborn node loses its old incident edges but keeps existing."""
+        graph = small_data_graph()
+        stream = [delete_data_node("b", "X"), insert_data_node("b", "X")]
+        compiled = compile_batch(stream)
+        apply_equivalent(graph, stream, compiled)
+        result = graph.copy()
+        for update in compiled:
+            update.apply(result)
+        assert result.has_node("b")
+        assert not result.has_edge("a", "b")
+        assert not result.has_edge("b", "c")
+
+    def test_different_labels(self):
+        graph = small_data_graph()
+        stream = [delete_data_node("c", "X"), insert_data_node("c", "Y")]
+        compiled = compile_batch(stream)
+        apply_equivalent(graph, stream, compiled)
+        result = graph.copy()
+        for update in compiled:
+            update.apply(result)
+        assert result.labels_of("c") == ("Y",)
+        assert compiled.report.resurrections == 1
+
+    def test_payload_edges_are_emitted_after_the_rebirth(self):
+        graph = small_data_graph()
+        stream = [
+            delete_data_node("b", "X"),
+            insert_data_node("b", "X", [("b", "d"), ("a", "b")]),
+        ]
+        compiled = compile_batch(stream)
+        survivors = list(compiled)
+        # delete -> re-insert (payload stripped) -> standalone edge inserts
+        assert [u.kind for u in survivors[:2]] == [
+            UpdateKind.NODE_DELETE,
+            UpdateKind.NODE_INSERT,
+        ]
+        assert survivors[1].edges == ()
+        assert {(u.source, u.target) for u in survivors[2:]} == {("b", "d"), ("a", "b")}
+        apply_equivalent(graph, stream, compiled)
+
+    def test_late_edge_insert_to_reborn_node(self):
+        graph = small_data_graph()
+        stream = [
+            delete_data_node("b", "X"),
+            insert_data_node("b", "X"),
+            insert_data_edge("b", "e"),
+        ]
+        compiled = compile_batch(stream)
+        survivors = list(compiled)
+        assert survivors[-1].kind is UpdateKind.EDGE_INSERT
+        assert (survivors[-1].source, survivors[-1].target) == ("b", "e")
+        apply_equivalent(graph, stream, compiled)
+
+    def test_intermediate_churn_cancels(self):
+        """del/ins/del/ins collapses to the first delete + final insert."""
+        graph = small_data_graph()
+        stream = [
+            delete_data_node("d", "X"),
+            insert_data_node("d", "X"),
+            delete_data_node("d", "X"),
+            insert_data_node("d", "Y"),
+        ]
+        compiled = compile_batch(stream)
+        assert len(compiled) == 2
+        assert compiled.report.cancelled_ops == 2
+        assert compiled.report.resurrections == 1
+        apply_equivalent(graph, stream, compiled)
+
+    def test_edge_ops_on_old_incarnation_are_subsumed(self):
+        graph = small_data_graph()
+        stream = [
+            delete_data_edge("a", "b"),
+            delete_data_node("b", "X"),
+            insert_data_node("b", "X"),
+        ]
+        compiled = compile_batch(stream)
+        kinds = [update.kind for update in compiled]
+        assert kinds == [UpdateKind.NODE_DELETE, UpdateKind.NODE_INSERT]
+        assert compiled.report.subsumed_ops == 1
+        apply_equivalent(graph, stream, compiled)
+
+    def test_edge_between_two_resurrected_nodes(self):
+        graph = small_data_graph()
+        stream = [
+            delete_data_node("b", "X"),
+            delete_data_node("c", "X"),
+            insert_data_node("c", "X"),
+            insert_data_node("b", "X", [("b", "c")]),
+        ]
+        compiled = compile_batch(stream)
+        survivors = list(compiled)
+        # The (b, c) edge must apply after *both* rebirths.
+        assert survivors[-1].kind is UpdateKind.EDGE_INSERT
+        assert (survivors[-1].source, survivors[-1].target) == ("b", "c")
+        apply_equivalent(graph, stream, compiled)
+
+    def test_resurrection_interacts_with_fresh_inserts(self):
+        graph = small_data_graph()
+        stream = [
+            insert_data_node("n", "X"),
+            delete_data_node("e", "X"),
+            insert_data_node("e", "X", [("n", "e")]),
+            insert_data_edge("e", "a"),
+        ]
+        compiled = compile_batch(stream)
+        apply_equivalent(graph, stream, compiled)
+
+    @pytest.mark.parametrize("labels", ["X", "Y"])
+    def test_resurrection_idempotent(self, labels):
+        """Metamorphic: compile(compile(b)) == compile(b)."""
+        stream = [
+            delete_data_node("b", "X"),
+            insert_data_node("b", labels, [("b", "d")]),
+            insert_data_edge("a", "b"),
+        ]
+        once = compile_batch(stream)
+        twice = compile_batch(once.batch)
+        assert list(twice) == list(once)
+        assert twice.report.is_noop
+
+
+class TestIdempotence:
+    """Metamorphic property: compilation is idempotent on any stream."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomised_streams(self, seed):
+        from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+        from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+        from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+        data = generate_social_graph(
+            SocialGraphSpec(name=f"idem{seed}", num_nodes=30, num_edges=80, seed=seed)
+        )
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=4, num_edges=4, labels=("PM", "SE", "TE"), seed=seed)
+        )
+        batch = generate_update_batch(
+            data,
+            pattern,
+            UpdateWorkloadSpec(num_pattern_updates=3, num_data_updates=16, seed=seed),
+        )
+        stream = list(batch)
+        # Inject a resurrection on a third of the seeds: delete and
+        # re-insert a node the generated batch does not delete.
+        if seed % 3 == 0:
+            deleted = {u.node for u in stream if u.kind is UpdateKind.NODE_DELETE}
+            victim = sorted(
+                (n for n in data.nodes() if n not in deleted), key=repr
+            )[0]
+            stream = stream + [
+                delete_data_node(victim, data.labels_of(victim)),
+                insert_data_node(victim, "PM"),
+            ]
+        once = compile_batch(stream)
+        twice = compile_batch(once.batch)
+        assert list(twice) == list(once)
+        assert twice.report.is_noop
 
 
 class TestCanonicalOrderAndApplicability:

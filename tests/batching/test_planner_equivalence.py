@@ -1,0 +1,218 @@
+"""Property-based strategy-equivalence suite for the execution planner.
+
+Every seed deterministically derives a random social graph and a random
+update stream for each update mix (balanced / insert-heavy /
+delete-heavy).  For each of the planner's three strategies —
+``per-update``, ``coalesced`` and ``partitioned`` — forced explicitly,
+the suite asserts **byte-identical results against the sequential
+oracle** on both ``SLen`` storage backends, at two levels:
+
+* **kernel level** — the maintained matrix equals the sequentially
+  maintained one (and a from-scratch rebuild), and the merged
+  :class:`~repro.spl.incremental.SLenDelta` is fold-equal to the
+  composition of the sequential per-update deltas
+  (:func:`~repro.spl.incremental.fold_deltas`); the coalesced and
+  partitioned routes must agree *exactly* (including attribution);
+* **algorithm level** — ``UAGPNM`` with each forced ``batch_plan``
+  (plus ``auto``) returns the same ``SQuery`` and internal matrix as the
+  ``BatchGPNM`` from-scratch oracle.
+
+A third of the seeds additionally inject a within-batch resurrection
+(delete + re-insert of a node) so the payload-aware cancellation path is
+exercised under every strategy.  The suite runs 50 seeds x 3 mixes x 2
+backends; the dense half skips only when numpy is missing, which CI
+treats as a failure (no-skip gate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.scratch import BatchGPNM
+from repro.algorithms.ua_gpnm import UAGPNM
+from repro.batching.coalesce import coalesce_slen
+from repro.batching.compiler import compile_batch
+from repro.batching.planner import STRATEGIES
+from repro.graph.updates import UpdateKind, delete_data_node, insert_data_edge, insert_data_node
+from repro.matching.gpnm import gpnm_query
+from repro.partition.partitioned_spl import coalesce_slen_partitioned
+from repro.spl.backend import dense_available
+from repro.spl.incremental import fold_deltas, update_slen
+from repro.spl.matrix import SLenMatrix
+from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UPDATE_MIXES, UpdateWorkloadSpec, generate_update_batch
+
+#: >= 50 seeds, per the acceptance criteria.
+SEEDS = tuple(range(50))
+MIXES = UPDATE_MIXES
+BACKENDS = ("sparse", "dense")
+
+requires_backend = {
+    "sparse": lambda: None,
+    "dense": lambda: None
+    if dense_available()
+    else pytest.skip("numpy unavailable; dense backend cannot run"),
+}
+
+
+def _instance(seed: int, mix: str, num_pattern_updates: int = 0):
+    """One deterministic (data, pattern, stream) instance."""
+    data = generate_social_graph(
+        SocialGraphSpec(
+            name=f"plan{seed}{mix[0]}",
+            num_nodes=30 + (seed % 4) * 4,
+            num_edges=75 + (seed % 5) * 10,
+            seed=4000 + seed,
+        )
+    )
+    pattern = generate_pattern(
+        PatternSpec(
+            num_nodes=4 + seed % 2,
+            num_edges=4 + seed % 2,
+            labels=("PM", "SE", "TE"),
+            seed=5000 + seed,
+        )
+    )
+    batch = generate_update_batch(
+        data,
+        pattern,
+        UpdateWorkloadSpec(
+            num_pattern_updates=num_pattern_updates,
+            num_data_updates=14 + (seed % 4) * 3,
+            seed=6000 + 3 * seed,
+            mix=mix,
+        ),
+    )
+    stream = list(batch)
+    if seed % 3 == 0:
+        stream = stream + _resurrection_tail(data, stream)
+    return data, pattern, stream
+
+
+def _resurrection_tail(data, stream):
+    """A valid delete + re-insert (+ late edge) of an untouched node."""
+    deleted = {u.node for u in stream if u.kind is UpdateKind.NODE_DELETE}
+    inserted_pairs = {
+        (u.source, u.target) for u in stream if u.kind is UpdateKind.EDGE_INSERT
+    }
+    candidates = sorted((n for n in data.nodes() if n not in deleted), key=repr)
+    victim = candidates[0]
+    safe = next(
+        n
+        for n in candidates[1:]
+        if not data.has_edge(victim, n) and (victim, n) not in inserted_pairs
+    )
+    return [
+        delete_data_node(victim, data.labels_of(victim)),
+        insert_data_node(victim, data.labels_of(victim)[0]),
+        insert_data_edge(victim, safe),
+    ]
+
+
+def _sequential_oracle(data, stream, backend):
+    """Apply the raw stream one update at a time; the ground truth."""
+    graph = data.copy()
+    matrix = SLenMatrix.from_graph(graph, backend=backend)
+    deltas = []
+    for update in stream:
+        update.apply(graph)
+        deltas.append(update_slen(matrix, graph, update))
+    return graph, matrix, fold_deltas(deltas)
+
+
+def _execute(strategy, data, compiled, backend):
+    """Run one forced strategy over the compiled stream; return (graph,
+    matrix, merged delta, full outcome or None)."""
+    graph = data.copy()
+    matrix = SLenMatrix.from_graph(graph, backend=backend)
+    updates = compiled.data_updates()
+    if strategy == "per-update":
+        deltas = []
+        for update in updates:
+            update.apply(graph)
+            deltas.append(update_slen(matrix, graph, update))
+        return graph, matrix, fold_deltas(deltas), None
+    for update in updates:
+        update.apply(graph)
+    if strategy == "coalesced":
+        outcome = coalesce_slen(matrix, graph, updates)
+    else:
+        # recompute_fraction=0 forces the partition-recompute settle so
+        # the partitioned code path is genuinely exercised even on small
+        # affected regions (the production threshold falls back).
+        outcome = coalesce_slen_partitioned(
+            matrix, graph, updates, recompute_fraction=0.0
+        )
+    return graph, matrix, outcome.delta, outcome
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mix", MIXES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kernel_level_equivalence(seed, mix, backend):
+    """All three strategies leave matrix and merged delta fold-equal."""
+    requires_backend[backend]()
+    data, _pattern, stream = _instance(seed, mix)
+    oracle_graph, oracle_matrix, folded = _sequential_oracle(data, stream, backend)
+    compiled = compile_batch(stream)
+
+    outcomes = {}
+    for strategy in STRATEGIES:
+        label = f"seed={seed} mix={mix} backend={backend} strategy={strategy}"
+        graph, matrix, delta, outcome = _execute(strategy, data, compiled, backend)
+        assert graph == oracle_graph, label
+        assert matrix == oracle_matrix, f"{label}: matrix differs from sequential"
+        assert delta.changed_pairs == folded.changed_pairs, (
+            f"{label}: merged delta not fold-equal to the sequential oracle"
+        )
+        assert delta.structural_nodes == folded.structural_nodes, label
+        assert delta.affected_nodes == folded.affected_nodes, label
+        outcomes[strategy] = (matrix, delta, outcome)
+
+    # The rebuild check pins the oracle itself.
+    assert oracle_matrix == SLenMatrix.from_graph(oracle_graph, backend=backend)
+
+    # Coalesced and partitioned run the same pass modulo the settle
+    # kernel, so they must agree exactly — attribution included.
+    _m1, delta_c, outcome_c = outcomes["coalesced"]
+    _m2, delta_p, outcome_p = outcomes["partitioned"]
+    assert delta_c.changed_pairs == delta_p.changed_pairs
+    assert delta_c.recomputed_sources == delta_p.recomputed_sources
+    assert [d.changed_pairs for d in outcome_c.per_update] == [
+        d.changed_pairs for d in outcome_p.per_update
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mix", MIXES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_algorithm_level_equivalence(seed, mix, backend):
+    """UAGPNM under every forced plan (and auto) matches the oracle."""
+    requires_backend[backend]()
+    data, pattern, stream = _instance(seed, mix, num_pattern_updates=seed % 3)
+    slen = SLenMatrix.from_graph(data, backend=backend)
+    iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
+
+    oracle = BatchGPNM(pattern, data, precomputed_slen=slen, precomputed_relation=iquery)
+    expected = oracle.subsequent_query(list(stream)).result
+    expected_slen = oracle.slen
+
+    for plan in STRATEGIES + ("auto",):
+        engine = UAGPNM(
+            pattern,
+            data,
+            use_partition=True,
+            precomputed_slen=slen,
+            precomputed_relation=iquery,
+            batch_plan=plan,
+        )
+        outcome = engine.subsequent_query(list(stream))
+        label = f"seed={seed} mix={mix} backend={backend} plan={plan}"
+        assert outcome.result == expected, f"{label}: SQuery differs from oracle"
+        assert engine.slen == expected_slen, f"{label}: SLen differs from rebuild"
+        assert outcome.plan is not None, label
+        if plan != "auto":
+            assert outcome.stats.planned_strategy == plan, label
+        else:
+            assert outcome.stats.planned_strategy in STRATEGIES, label

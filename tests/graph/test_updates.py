@@ -184,9 +184,49 @@ class TestUpdateBatchValidation:
         with pytest.raises(UpdateError, match="twice"):
             UpdateBatch([insert_data_node("n", "A"), insert_data_node("n", "A")])
 
-    def test_resurrection_rejected(self):
-        with pytest.raises(UpdateError, match="re-inserts"):
-            UpdateBatch([delete_data_node("a", "A"), insert_data_node("a", "A")])
+    def test_resurrection_allowed(self):
+        """Delete-then-re-insert of a node is a valid resurrection."""
+        batch = UpdateBatch([delete_data_node("a", "A"), insert_data_node("a", "A")])
+        assert len(batch) == 2
+
+    def test_resurrected_node_is_alive_again(self):
+        batch = UpdateBatch(
+            [
+                delete_data_node("a", "A"),
+                insert_data_node("a", "B", [("a", "b")]),
+                insert_data_edge("b", "a"),
+            ]
+        )
+        assert len(batch) == 3
+        # ... and can be deleted again afterwards.
+        batch.append(delete_data_node("a", "B"))
+        assert len(batch) == 4
+
+    def test_edge_update_between_death_and_rebirth_still_rejected(self):
+        with pytest.raises(UpdateError, match="deleted"):
+            UpdateBatch(
+                [
+                    delete_data_node("a", "A"),
+                    insert_data_edge("a", "b"),
+                    insert_data_node("a", "A"),
+                ]
+            )
+
+    def test_resurrection_payload_may_reference_the_reborn_node(self):
+        batch = UpdateBatch(
+            [delete_data_node("a", "A"), insert_data_node("a", "A", [("a", "b")])]
+        )
+        assert len(batch) == 2
+
+    def test_resurrection_payload_referencing_other_dead_node_rejected(self):
+        with pytest.raises(UpdateError, match="carries an edge"):
+            UpdateBatch(
+                [
+                    delete_data_node("a", "A"),
+                    delete_data_node("b", "B"),
+                    insert_data_node("a", "A", [("a", "b")]),
+                ]
+            )
 
     def test_validation_applies_to_append(self):
         batch = UpdateBatch([delete_data_node("a", "A")])

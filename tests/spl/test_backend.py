@@ -205,6 +205,100 @@ class TestUpdateParity:
         assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
 
 
+class TestTransposedSettle:
+    """The sparse per-target transposed deletion sweep.
+
+    Structure-level parity: for the same affected map, the transposed
+    sweep (one settle per distinct *target*, shared across sources) must
+    return exactly what the per-source settle returns, and the sparse
+    backend must route between the orientations without changing any
+    result.  This closes the sparse/dense deletion-kernel gap — the
+    dense batched settle shares work across sources implicitly.
+    """
+
+    def _deletion_fixture(self, seed, deletions=3):
+        graph = make_random_graph(num_nodes=35, num_edges=110, seed=seed)
+        matrix = SLenMatrix.from_graph(graph)
+        backend = matrix.backend
+        affected: dict = {}
+        removed = []
+        for source, target in sorted(graph.edges(), key=repr)[:deletions]:
+            for x, targets in backend.affected_by_edge_deletion(source, target).items():
+                affected.setdefault(x, set()).update(targets)
+            removed.append((source, target))
+        for source, target in removed:
+            graph.remove_edge(source, target)
+        return graph, matrix, affected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_per_source_settle(self, seed):
+        from repro.spl.backend import SLenBackend
+
+        graph, matrix, affected = self._deletion_fixture(seed)
+        backend = matrix.backend
+        per_source = SLenBackend.settle_sources(backend, graph, affected)
+        transposed = backend.settle_sources_transposed(graph, affected)
+        assert transposed == per_source
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_orientation_routing_is_result_invariant(self, seed):
+        from repro.spl.backend import SLenBackend
+
+        graph, matrix, affected = self._deletion_fixture(seed)
+        backend = matrix.backend
+        routed = backend.settle_sources(graph, affected)
+        assert routed == SLenBackend.settle_sources(backend, graph, affected)
+
+    def test_sink_shape_prefers_transposed_and_stays_exact(self):
+        """Deleting edges into a sink damages many sources x one target —
+        the transposed sweep's home turf."""
+        from repro.graph.digraph import DataGraph
+
+        nodes = {f"v{i}": "X" for i in range(8)}
+        nodes["sink"] = "X"
+        edges = [(f"v{i}", f"v{i+1}") for i in range(7)] + [("v7", "sink")]
+        graph = DataGraph(nodes, edges)
+        matrix = SLenMatrix.from_graph(graph)
+        backend = matrix.backend
+        affected = backend.affected_by_edge_deletion("v7", "sink")
+        assert len(affected) > 1  # many sources
+        assert {y for ys in affected.values() for y in ys} == {"sink"}  # one target
+        graph.remove_edge("v7", "sink")
+        update = delete_data_edge("v7", "sink")
+        delta = update_slen(matrix, graph, update)
+        assert matrix == SLenMatrix.from_graph(graph)
+        assert all(new == INF for _old, new in delta.changed_pairs.values())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_skip_sets_respected(self, seed):
+        """The coalesced pass settles against the deletions-only graph:
+        both orientations must honour skip_edges / skip_nodes."""
+        from repro.spl.backend import SLenBackend
+
+        graph, matrix, affected = self._deletion_fixture(seed)
+        # Pretend two extra edges and one node were batch-inserted: the
+        # settle must ignore them in either orientation.
+        extra_edges = []
+        nodes = sorted(graph.nodes(), key=repr)
+        for source, target in ((nodes[0], nodes[5]), (nodes[3], nodes[9])):
+            if not graph.has_edge(source, target):
+                graph.add_edge(source, target)
+                extra_edges.append((source, target))
+        graph.add_node("fresh", "X")
+        graph.add_edge(nodes[1], "fresh")
+        graph.add_edge("fresh", nodes[2])
+        skip_edges = frozenset(extra_edges) | {(nodes[1], "fresh"), ("fresh", nodes[2])}
+        skip_nodes = frozenset({"fresh"})
+        backend = matrix.backend
+        per_source = SLenBackend.settle_sources(
+            backend, graph, affected, skip_edges=skip_edges, skip_nodes=skip_nodes
+        )
+        transposed = backend.settle_sources_transposed(
+            graph, affected, skip_edges=skip_edges, skip_nodes=skip_nodes
+        )
+        assert transposed == per_source
+
+
 class TestDenseStructure:
     """Dense-specific mechanics: slot reuse, growth, caching."""
 

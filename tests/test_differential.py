@@ -4,9 +4,12 @@ Property-based in the seeded style: every seed deterministically derives
 a random data graph, a random pattern graph and a random multi-update
 stream (via the workload generators), and the subsequent-query results of
 ``UA-GPNM``, ``UA-GPNM-NoPar``, ``INC-GPNM`` and ``EH-GPNM`` — each run
-with ``coalesce_updates`` both off and on, and with the ``SLen`` matrix
-on both the sparse and the dense storage backend — must be identical to
-the ``BatchGPNM`` from-scratch oracle.  The internal ``SLen`` matrices
+with the batch plan forced to per-update and to coalesced, and with the
+``SLen`` matrix on both the sparse and the dense storage backend — must
+be identical to the ``BatchGPNM`` from-scratch oracle.  (The
+planner-strategy equivalence suite in
+``tests/batching/test_planner_equivalence.py`` additionally forces the
+partitioned strategy and checks delta-level equality.)  The internal ``SLen`` matrices
 are cross-checked against a from-scratch rebuild as well (matrices on
 different backends compare equal when they hold the same distances), so
 a maintenance bug cannot hide behind a forgiving matching instance.
@@ -104,24 +107,24 @@ def test_methods_match_oracle(seed, backend):
     expected_slen = oracle.slen
 
     for name, factory in METHODS:
-        for coalesce in (False, True):
+        for plan in ("per-update", "coalesced"):
             engine = factory(
                 pattern,
                 data,
                 precomputed_slen=slen,
                 precomputed_relation=iquery,
-                coalesce_updates=coalesce,
-                # Force the coalesced path even for these small batches;
-                # the production default falls back to per-update below
-                # the benchmarked crossover.
-                coalesce_min_batch=2,
+                # Force the strategy even for these small batches; the
+                # auto plan would route them per-update below the
+                # benchmarked crossover.
+                batch_plan=plan,
             )
             outcome = engine.subsequent_query(batch)
-            label = f"{name} (backend={backend}, coalesce={coalesce}, seed={seed})"
+            label = f"{name} (backend={backend}, plan={plan}, seed={seed})"
             assert engine.slen_backend == backend, label
             assert outcome.result == expected, f"{label}: SQuery differs from oracle"
             assert engine.slen == expected_slen, f"{label}: SLen differs from rebuild"
-            if coalesce:
+            assert outcome.stats.planned_strategy == plan, label
+            if plan == "coalesced":
                 assert outcome.stats.coalesced_batches <= 1
 
 
@@ -135,16 +138,15 @@ def test_chained_batches_match_oracle(seed, backend):
     iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
 
     engines = {
-        (name, coalesce): factory(
+        (name, plan): factory(
             pattern,
             data,
             precomputed_slen=slen,
             precomputed_relation=iquery,
-            coalesce_updates=coalesce,
-            coalesce_min_batch=2,
+            batch_plan=plan,
         )
         for name, factory in METHODS
-        for coalesce in (False, True)
+        for plan in ("per-update", "coalesced")
     }
     oracle = BatchGPNM(pattern, data, precomputed_slen=slen, precomputed_relation=iquery)
 
@@ -159,9 +161,9 @@ def test_chained_batches_match_oracle(seed, backend):
             ),
         )
         expected = oracle.subsequent_query(batch).result
-        for (name, coalesce), engine in engines.items():
+        for (name, plan), engine in engines.items():
             got = engine.subsequent_query(batch).result
             assert got == expected, (
-                f"{name} (backend={backend}, coalesce={coalesce}, seed={seed}, "
+                f"{name} (backend={backend}, plan={plan}, seed={seed}, "
                 f"step={step}) diverged"
             )
