@@ -36,12 +36,13 @@ affected-region recompute per source (or per target — the transposed
 sweep) and all insertions are applied in one multi-source relaxation
 sweep.  With ``batch_plan="partitioned"`` the deletion settle routes
 row-heavy sources through the label partition
-(:func:`repro.partition.coalesce_slen_partitioned`), and with
-``batch_plan="auto"`` the **execution planner**
-(:func:`repro.batching.plan_batch`) picks the cheapest strategy per
-batch from a cost model calibrated on the benchmark crossovers.
-Results are bit-identical on every route (``tests/test_differential.py``
-and ``tests/batching/test_planner_equivalence.py`` check every method
+(:func:`repro.partition.coalesce_slen_partitioned`).
+``batch_plan="auto"`` — the **default** — has the execution planner
+(:func:`repro.batching.plan_batch`) pick the cheapest strategy per
+batch from an explicit, serializable
+:class:`~repro.batching.CostModel`.  Results are bit-identical on every
+route (``tests/test_differential.py`` and
+``tests/batching/test_planner_equivalence.py`` check every method
 and every forced strategy against the from-scratch oracle across 50+
 seeds); on coalescing routes the cost scales with the batch's *net*
 delta instead of its raw length — ``benchmarks/bench_batching.py``
@@ -52,11 +53,31 @@ measures the gap and the planner's routing accuracy.
 1
 
 The experiment harness exposes the same switch as
-``ExperimentConfig(batch_plan="auto")`` and ``ua-gpnm --batch-plan
-auto``.  Auto-planned batches below the ``coalesce_min_batch``
-crossover (default 64, from the benchmark) stay on per-update
-maintenance — one planner rule among several; ``ua-gpnm --help``
-documents the full strategy-selection policy.
+``ExperimentConfig(batch_plan=...)`` and ``ua-gpnm --batch-plan``.
+Auto-planned batches below the ``coalesce_min_batch`` crossover
+(default 64, from the benchmark) stay on per-update maintenance — one
+planner rule among several; ``ua-gpnm --help`` documents the full
+strategy-selection policy.
+
+Planner telemetry and self-calibration
+--------------------------------------
+The planner measures itself: hand any algorithm (or the harness, via
+``ExperimentConfig(telemetry_path=...)`` / ``ua-gpnm
+--telemetry-out``) a :class:`~repro.batching.TelemetryLog` and every
+maintained batch records a :class:`~repro.batching.PlanObservation` —
+the predicted per-strategy costs next to the measured maintenance
+wall-clock.  :func:`repro.batching.calibrate.refit_cost_model`
+least-squares refits the cost model from those observations, guarded
+against fits that predict held-out observations worse than the
+incumbent; ``recalibrate_every`` (CLI ``--recalibrate-every``) swaps
+refit models in mid-run, and the CI ``calibration`` job refits from the
+benchmark grid on every push and gates on routing-accuracy
+non-regression.  UA-GPNM additionally caches its
+:class:`~repro.partition.LabelPartition` across batches (invalidated on
+:attr:`DataGraph.version <repro.graph.digraph.DataGraph.version>`
+changes, maintained incrementally per update), so the partitioned
+route's per-batch setup cost no longer distorts the telemetry it is
+judged by.
 
 Pluggable ``SLen`` storage backends
 -----------------------------------
@@ -76,11 +97,15 @@ settling).  Every algorithm takes ``slen_backend=...``, the harness
 
 from repro import paper_example
 from repro.batching import (
+    DEFAULT_COST_MODEL,
     BatchStatistics,
     CoalescedMaintenance,
     CompilationReport,
     CompiledBatch,
+    CostModel,
+    PlanObservation,
     PlanReport,
+    TelemetryLog,
     coalesce_slen,
     compile_batch,
     plan_batch,
@@ -156,8 +181,12 @@ __all__ = [
     "CoalescedMaintenance",
     "coalesce_slen",
     "BatchStatistics",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
     "PlanReport",
     "plan_batch",
+    "PlanObservation",
+    "TelemetryLog",
     # partition
     "LabelPartition",
     "build_slen_partitioned",

@@ -13,7 +13,6 @@ import dataclasses
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
-from repro.batching.compiler import compile_batch
 from repro.elimination.detector import EliminationAnalysis, detect_type_ii
 from repro.elimination.eh_tree import EHTree
 from repro.graph.updates import UpdateBatch
@@ -37,12 +36,14 @@ class EHGPNM(GPNMAlgorithm):
         # net effect and maintained by one coalesced pass; the pattern
         # side keeps its per-update procedure, which is what defines
         # EH-GPNM.  (EH-GPNM runs without the label partition, so a
-        # forced "partitioned" plan degrades to "coalesced".)
-        plan = self._plan_data_batch(data_updates, len(data_updates))
+        # forced "partitioned" plan degrades to "coalesced".)  The plan
+        # sees the full batch length, like every other algorithm, so the
+        # min_batch crossover rule routes the same workload identically
+        # across methods and telemetry cells line up.
+        plan = self._plan_data_batch(data_updates, len(batch))
         stats.planned_strategy = plan.strategy
         if plan.strategy != "per-update":
-            compiled = compile_batch(data_updates)
-            stats.compiled_away_updates += compiled.report.eliminated
+            compiled = self._compile_timed(data_updates, stats)
             data_updates = compiled.data_updates()
             plan = dataclasses.replace(plan, compilation=compiled.report)
             self._last_plan = plan

@@ -15,7 +15,6 @@ import dataclasses
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
-from repro.batching.compiler import compile_batch
 from repro.elimination.eh_tree import EHTree
 from repro.graph.updates import GraphKind, UpdateBatch
 from repro.matching.gpnm import MatchResult
@@ -40,8 +39,7 @@ class IncGPNM(GPNMAlgorithm):
         stats.planned_strategy = plan.strategy
         working: UpdateBatch = batch
         if plan.strategy != "per-update":
-            compiled = compile_batch(batch)
-            stats.compiled_away_updates += compiled.report.eliminated
+            compiled = self._compile_timed(batch, stats)
             working = compiled.batch
             plan = dataclasses.replace(plan, compilation=compiled.report)
             self._last_plan = plan

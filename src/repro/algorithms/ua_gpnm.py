@@ -17,6 +17,14 @@ UA-GPNM processes a subsequent query in three steps:
 ``UAGPNM(use_partition=False)`` is the UA-GPNM-NoPar baseline of the
 experiments: identical elimination machinery, but plain per-source BFS
 whenever ``SLen`` rows must be recomputed.
+
+With ``use_partition`` on, the label partition is **cached across
+batches** (seeded by the initial build, maintained incrementally per
+update, and invalidated whenever ``DataGraph.version`` moved without
+the cache seeing the change), so the partitioned-coalesced maintenance
+route pays O(|batch|) partition bookkeeping instead of an O(V + E)
+rebuild per batch — see
+:meth:`~repro.algorithms.base.GPNMAlgorithm._settle_partition`.
 """
 
 from __future__ import annotations
@@ -25,7 +33,6 @@ import dataclasses
 from typing import Optional
 
 from repro.algorithms.base import GPNMAlgorithm, QueryStats
-from repro.batching.compiler import compile_batch
 from repro.elimination.detector import detect_all
 from repro.elimination.eh_tree import EHTree
 from repro.graph.digraph import DataGraph
@@ -65,8 +72,7 @@ class UAGPNM(GPNMAlgorithm):
         stats.planned_strategy = plan.strategy
         working: UpdateBatch = batch
         if plan.strategy != "per-update":
-            compiled = compile_batch(batch)
-            stats.compiled_away_updates += compiled.report.eliminated
+            compiled = self._compile_timed(batch, stats)
             working = compiled.batch
             plan = dataclasses.replace(plan, compilation=compiled.report)
             self._last_plan = plan

@@ -1,0 +1,601 @@
+"""Online recalibration of the planner's cost model from telemetry.
+
+:func:`refit_cost_model` turns a stream of
+:class:`~repro.batching.telemetry.PlanObservation` records into a new
+:class:`~repro.batching.planner.CostModel`:
+
+1. the **unit** — the wall-clock cost of "one per-update maintenance
+   pass" — is estimated from the per-update observations by a
+   through-origin least squares of ``elapsed_seconds`` on
+   ``data_updates`` (the per-update strategy costs exactly
+   ``data_updates`` units by construction, so it anchors the scale);
+2. the **coalesced** coefficients (fixed overhead, per-insertion and
+   per-deletion factors) are refit by ordinary least squares of the
+   unit-normalised elapsed time on ``(1, insertions, deletions)`` over
+   the coalesced observations (sparse-backend rows preferred; pure
+   Gaussian elimination on the 3x3 normal equations — no numpy needed);
+3. the **partitioned** coefficients reuse the refit insertion factor and
+   the incumbent per-node term, leaving a 2-parameter fit of the
+   residual on ``(1, deletions)``;
+4. a **guard** evaluates every candidate coefficient set against the
+   incumbent on held-out observations (every ``holdout_every``-th row,
+   never trained on): a candidate that predicts the holdout *worse* than
+   the incumbent is rejected and the incumbent's coefficients survive.
+   A refit where every group is rejected returns the incumbent itself
+   (same object, same version), so callers can detect "nothing learned".
+
+:func:`planner_choice_accuracy` replays the routing decision of a model
+over telemetry cells that measured at least two strategies on the same
+workload shape, mirroring the ``planner_choice_accuracy`` gate of
+``benchmarks/bench_batching.py`` — that is the acceptance metric of the
+CI calibration job (refit must match or beat the shipped model on the
+grid that produced the telemetry).
+
+The module doubles as a CLI::
+
+    PYTHONPATH=src python -m repro.batching.calibrate telemetry.json \\
+        --out refit_cost_model.json --require-non-regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
+from repro.batching.planner import (
+    DEFAULT_COST_MODEL,
+    STRATEGY_COALESCED,
+    STRATEGY_PARTITIONED,
+    STRATEGY_PER_UPDATE,
+    CostModel,
+    plan_batch,
+)
+from repro.batching.telemetry import PlanObservation, TelemetryLog
+
+#: Every ``holdout_every``-th observation of a strategy is held out of
+#: the fit and used only to judge candidate vs. incumbent.
+DEFAULT_HOLDOUT_EVERY: int = 4
+
+#: Minimum observations (per fitted strategy) before a refit is attempted.
+DEFAULT_MIN_OBSERVATIONS: int = 4
+
+#: Tolerance when comparing candidate vs. incumbent holdout error: the
+#: candidate wins ties (it was fit to fresher data).
+_GUARD_EPSILON: float = 1e-12
+
+
+@dataclass
+class RefitReport:
+    """Everything :func:`refit_cost_model` learned (and rejected).
+
+    Attributes
+    ----------
+    model:
+        The resulting :class:`CostModel` — the incumbent itself when
+        nothing was accepted, otherwise a version-bumped refit.
+    converged:
+        Whether the fit machinery produced candidate coefficients at all
+        (a rejected-by-guard fit still converged; too little or
+        degenerate telemetry did not).
+    accepted:
+        Per fitted group (``"coalesced"``, ``"partitioned"``) whether
+        the candidate survived the holdout guard.
+    unit_seconds:
+        The estimated wall-clock seconds of one per-update unit.
+    observation_counts:
+        Observations per executed strategy that entered the refit.
+    holdout_errors:
+        Per group: ``{"candidate": mae, "incumbent": mae}`` on the
+        held-out rows, in per-update units (absent when no holdout).
+    notes:
+        Human-readable diagnostics (why a group was skipped/rejected).
+    """
+
+    model: CostModel
+    converged: bool = False
+    accepted: dict = field(default_factory=dict)
+    unit_seconds: Optional[float] = None
+    observation_counts: dict = field(default_factory=dict)
+    holdout_errors: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """Plain-dict summary (the CLI's JSON report body)."""
+        return {
+            "converged": self.converged,
+            "accepted": dict(self.accepted),
+            "unit_seconds": self.unit_seconds,
+            "observation_counts": dict(self.observation_counts),
+            "holdout_errors": {
+                group: dict(errors) for group, errors in self.holdout_errors.items()
+            },
+            "notes": list(self.notes),
+            "model": self.model.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Tiny linear algebra (no numpy dependency: the systems are 2x2 / 3x3)
+# ----------------------------------------------------------------------
+def _solve_normal_equations(
+    rows: Sequence[Sequence[float]], targets: Sequence[float]
+) -> Optional[list[float]]:
+    """Least-squares solve of ``rows @ beta ~= targets`` via the normal
+    equations and Gaussian elimination with partial pivoting.  Returns
+    ``None`` when the system is singular (degenerate features)."""
+    if not rows:
+        return None
+    k = len(rows[0])
+    ata = [[0.0] * k for _ in range(k)]
+    atb = [0.0] * k
+    for row, target in zip(rows, targets):
+        for i in range(k):
+            atb[i] += row[i] * target
+            for j in range(k):
+                ata[i][j] += row[i] * row[j]
+    # Augmented elimination.
+    for col in range(k):
+        pivot = max(range(col, k), key=lambda r: abs(ata[r][col]))
+        if abs(ata[pivot][col]) < 1e-12:
+            return None
+        if pivot != col:
+            ata[col], ata[pivot] = ata[pivot], ata[col]
+            atb[col], atb[pivot] = atb[pivot], atb[col]
+        inv = 1.0 / ata[col][col]
+        for r in range(k):
+            if r == col:
+                continue
+            factor = ata[r][col] * inv
+            if factor == 0.0:
+                continue
+            for c in range(col, k):
+                ata[r][c] -= factor * ata[col][c]
+            atb[r] -= factor * atb[col]
+    solution = [atb[i] / ata[i][i] for i in range(k)]
+    if any(value != value or value in (float("inf"), float("-inf")) for value in solution):
+        return None
+    return solution
+
+
+def _split_holdout(items: list, holdout_every: int) -> tuple[list, list]:
+    """(train, holdout): every ``holdout_every``-th item is held out."""
+    if holdout_every < 2:
+        return list(items), []
+    train = [item for index, item in enumerate(items) if (index + 1) % holdout_every]
+    holdout = [item for index, item in enumerate(items) if not (index + 1) % holdout_every]
+    return train, holdout
+
+
+def _strategy_mae(model: CostModel, rows: Iterable[tuple[PlanObservation, float]], strategy: str) -> float:
+    """Mean absolute prediction error (in units) of ``model`` on rows of
+    one executed strategy; ``rows`` pairs observations with unit-costs."""
+    errors = []
+    for observation, actual_units in rows:
+        predicted = model.estimate(observation.statistics).get(strategy)
+        if predicted is None:
+            continue
+        errors.append(abs(predicted - actual_units))
+    return sum(errors) / len(errors) if errors else float("inf")
+
+
+# ----------------------------------------------------------------------
+# The refit
+# ----------------------------------------------------------------------
+def refit_report(
+    observations: Iterable[PlanObservation],
+    incumbent: Optional[CostModel] = None,
+    holdout_every: int = DEFAULT_HOLDOUT_EVERY,
+    min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+) -> RefitReport:
+    """Refit the cost model from telemetry; full diagnostics.
+
+    See the module docstring for the procedure.  The returned report's
+    ``model`` is the incumbent itself (``is``-identical) when the refit
+    did not converge or every fitted group was rejected by the guard.
+    """
+    incumbent = incumbent or DEFAULT_COST_MODEL
+    report = RefitReport(model=incumbent)
+
+    usable = [
+        observation
+        for observation in observations
+        if observation.statistics.data_updates > 0 and observation.elapsed_seconds >= 0
+    ]
+    by_strategy: dict[str, list[PlanObservation]] = {}
+    for observation in usable:
+        by_strategy.setdefault(observation.executed, []).append(observation)
+    report.observation_counts = {
+        strategy: len(rows) for strategy, rows in sorted(by_strategy.items())
+    }
+
+    # ------------------------------------------------------------------
+    # Step 1: the per-update unit anchors wall-clock to model units.
+    # ------------------------------------------------------------------
+    per_update = by_strategy.get(STRATEGY_PER_UPDATE, [])
+    denominator = sum(o.statistics.data_updates**2 for o in per_update)
+    if len(per_update) < min_observations or denominator <= 0:
+        report.notes.append(
+            f"insufficient per-update observations ({len(per_update)} < "
+            f"{min_observations}); cannot anchor the unit"
+        )
+        return report
+    unit = sum(o.elapsed_seconds * o.statistics.data_updates for o in per_update) / denominator
+    if unit <= 0:
+        report.notes.append("non-positive per-update unit; telemetry is degenerate")
+        return report
+    report.unit_seconds = unit
+
+    def unit_rows(strategy: str) -> list[tuple[PlanObservation, float]]:
+        return [
+            (observation, observation.elapsed_seconds / unit)
+            for observation in by_strategy.get(strategy, [])
+        ]
+
+    # ------------------------------------------------------------------
+    # Step 2: coalesced fit (sparse rows preferred; dense rows are
+    # de-discounted with the incumbent's factor when sparse is absent).
+    # ------------------------------------------------------------------
+    coalesced_all = unit_rows(STRATEGY_COALESCED)
+    sparse_rows = [r for r in coalesced_all if r[0].statistics.backend != "dense"]
+    dense_rows = [r for r in coalesced_all if r[0].statistics.backend == "dense"]
+    fit_rows = sparse_rows
+    de_discount = 1.0
+    if not fit_rows and dense_rows:
+        fit_rows = dense_rows
+        de_discount = incumbent.dense_coalesced_discount or 1.0
+        report.notes.append(
+            "no sparse coalesced observations; fit dense rows de-discounted "
+            "by the incumbent factor"
+        )
+
+    changes: dict[str, float] = {}
+    solution = None
+    if len(fit_rows) < min_observations:
+        report.notes.append(
+            f"insufficient coalesced observations ({len(fit_rows)} < "
+            f"{min_observations}); kept the incumbent coefficients"
+        )
+    else:
+        train, holdout = _split_holdout(fit_rows, holdout_every)
+        solution = _solve_normal_equations(
+            [
+                (1.0, float(o.statistics.insertions), float(o.statistics.deletions))
+                for o, _units in train
+            ],
+            [units for _o, units in train],
+        )
+        if solution is None:
+            report.notes.append("coalesced fit is singular (degenerate features)")
+    if solution is not None:
+        report.converged = True
+        fixed, insert_factor, delete_factor = (max(value, 0.0) for value in solution)
+        delete_factor /= de_discount
+        candidate = incumbent.replace(
+            coalesce_fixed_overhead=fixed,
+            coalesced_insert_factor=insert_factor,
+            coalesced_delete_factor=delete_factor,
+        )
+        if holdout:
+            candidate_mae = _strategy_mae(candidate, holdout, STRATEGY_COALESCED)
+            incumbent_mae = _strategy_mae(incumbent, holdout, STRATEGY_COALESCED)
+            report.holdout_errors[STRATEGY_COALESCED] = {
+                "candidate": candidate_mae,
+                "incumbent": incumbent_mae,
+            }
+            accept = candidate_mae <= incumbent_mae + _GUARD_EPSILON
+        else:
+            accept = True
+        report.accepted[STRATEGY_COALESCED] = accept
+        if accept:
+            changes.update(
+                coalesce_fixed_overhead=fixed,
+                coalesced_insert_factor=insert_factor,
+                coalesced_delete_factor=delete_factor,
+            )
+        else:
+            report.notes.append("coalesced candidate predicted the holdout worse; rejected")
+
+    # Dense discount: refit only when both backends contributed enough
+    # coalesced rows to compare their delete factors — and guard it on
+    # held-out dense rows like every other candidate coefficient set.
+    if sparse_rows and len(dense_rows) >= min_observations and changes:
+        d_train, d_holdout = _split_holdout(dense_rows, holdout_every)
+        dense_solution = _solve_normal_equations(
+            [
+                (1.0, float(o.statistics.insertions), float(o.statistics.deletions))
+                for o, _units in d_train
+            ],
+            [units for _o, units in d_train],
+        )
+        base_delete = changes.get("coalesced_delete_factor", incumbent.coalesced_delete_factor)
+        if dense_solution is not None and base_delete > 0 and dense_solution[2] > 0:
+            discount = min(dense_solution[2] / base_delete, 1.0)
+            d_candidate = incumbent.replace(**changes, dense_coalesced_discount=discount)
+            d_incumbent = incumbent.replace(**changes)
+            if d_holdout:
+                candidate_mae = _strategy_mae(d_candidate, d_holdout, STRATEGY_COALESCED)
+                incumbent_mae = _strategy_mae(d_incumbent, d_holdout, STRATEGY_COALESCED)
+                report.holdout_errors["dense-discount"] = {
+                    "candidate": candidate_mae,
+                    "incumbent": incumbent_mae,
+                }
+                d_accept = candidate_mae <= incumbent_mae + _GUARD_EPSILON
+            else:
+                d_accept = True
+            report.accepted["dense-discount"] = d_accept
+            if d_accept:
+                changes["dense_coalesced_discount"] = discount
+            else:
+                report.notes.append(
+                    "dense-discount candidate predicted the holdout worse; rejected"
+                )
+
+    # ------------------------------------------------------------------
+    # Step 3: partitioned fit — residual over (1, deletions), reusing
+    # the (possibly refit) insertion factor and the incumbent per-node
+    # condensation term.
+    # ------------------------------------------------------------------
+    partitioned_all = unit_rows(STRATEGY_PARTITIONED)
+    insert_factor_now = changes.get("coalesced_insert_factor", incumbent.coalesced_insert_factor)
+    fixed_now = changes.get("coalesce_fixed_overhead", incumbent.coalesce_fixed_overhead)
+    if len(partitioned_all) >= min_observations:
+        p_train, p_holdout = _split_holdout(partitioned_all, holdout_every)
+        residual_targets = [
+            units
+            - fixed_now
+            - insert_factor_now * o.statistics.insertions
+            - incumbent.partition_overhead_per_node * o.statistics.node_count
+            for o, units in p_train
+        ]
+        p_solution = _solve_normal_equations(
+            [(1.0, float(o.statistics.deletions)) for o, _units in p_train],
+            residual_targets,
+        )
+        if p_solution is None:
+            report.notes.append("partitioned fit is singular (degenerate features)")
+        else:
+            report.converged = True
+            p_fixed, p_delete = (max(value, 0.0) for value in p_solution)
+            p_candidate = incumbent.replace(
+                **changes,
+                partition_fixed_overhead=p_fixed,
+                partitioned_delete_factor=p_delete,
+            )
+            # The rejection baseline is what would actually ship on
+            # rejection: the incumbent plus the already-accepted
+            # coalesced changes (which enter every partitioned estimate
+            # through the shared insert factor and fixed overhead).
+            p_baseline = incumbent.replace(**changes)
+            if p_holdout:
+                candidate_mae = _strategy_mae(p_candidate, p_holdout, STRATEGY_PARTITIONED)
+                incumbent_mae = _strategy_mae(p_baseline, p_holdout, STRATEGY_PARTITIONED)
+                report.holdout_errors[STRATEGY_PARTITIONED] = {
+                    "candidate": candidate_mae,
+                    "incumbent": incumbent_mae,
+                }
+                p_accept = candidate_mae <= incumbent_mae + _GUARD_EPSILON
+            else:
+                p_accept = True
+            report.accepted[STRATEGY_PARTITIONED] = p_accept
+            if p_accept:
+                changes.update(
+                    partition_fixed_overhead=p_fixed,
+                    partitioned_delete_factor=p_delete,
+                )
+            else:
+                report.notes.append(
+                    "partitioned candidate predicted the holdout worse; rejected"
+                )
+    elif partitioned_all:
+        report.notes.append(
+            f"insufficient partitioned observations ({len(partitioned_all)} < "
+            f"{min_observations}); kept the incumbent coefficients"
+        )
+
+    if not changes:
+        # Everything was rejected: the incumbent survives unchanged.
+        return report
+    report.model = incumbent.replace(
+        **changes,
+        version=incumbent.version + 1,
+        calibrated_from=f"refit from {len(usable)} telemetry observations",
+    )
+    return report
+
+
+def refit_cost_model(
+    observations: Iterable[PlanObservation],
+    incumbent: Optional[CostModel] = None,
+    holdout_every: int = DEFAULT_HOLDOUT_EVERY,
+    min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+) -> CostModel:
+    """Refit the cost model from telemetry (the :class:`RefitReport`'s
+    ``model``): the incumbent itself when nothing was learned, otherwise
+    a version-bumped refit whose per-strategy coefficient sets each beat
+    the incumbent on held-out observations."""
+    return refit_report(
+        observations,
+        incumbent=incumbent,
+        holdout_every=holdout_every,
+        min_observations=min_observations,
+    ).model
+
+
+class RecalibrationSchedule:
+    """The online-recalibration cadence, in exactly one place.
+
+    Both :class:`repro.algorithms.base.GPNMAlgorithm` (direct users with
+    ``recalibrate_every``) and the experiment runner (``ExperimentConfig.
+    recalibrate_every``, refitting between cells) share this trigger:
+    once ``every`` new observations accrued since the last refit, refit
+    from the log's retained observations and remember the result as the
+    next incumbent.  The holdout guard inside the refit still applies —
+    a worse candidate leaves the incumbent in place.
+    """
+
+    def __init__(
+        self,
+        every: int,
+        incumbent: Optional[CostModel] = None,
+        observed: int = 0,
+    ) -> None:
+        if every < 1:
+            raise ValueError("recalibration cadence must be positive")
+        self.every = every
+        self.model = incumbent
+        self._observed_at_refit = observed
+
+    def maybe_refit(self, telemetry: TelemetryLog) -> Optional[CostModel]:
+        """Refit if the cadence is due; returns the (possibly unchanged
+        incumbent) model on a refit, ``None`` when not due yet."""
+        if telemetry.total_recorded - self._observed_at_refit < self.every:
+            return None
+        self.model = refit_cost_model(
+            telemetry.observations(), incumbent=self.model or DEFAULT_COST_MODEL
+        )
+        self._observed_at_refit = telemetry.total_recorded
+        return self.model
+
+
+# ----------------------------------------------------------------------
+# Choice-accuracy evaluation (the CI calibration gate's metric)
+# ----------------------------------------------------------------------
+def planner_choice_accuracy(
+    model: CostModel,
+    observations: Iterable[PlanObservation],
+    min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
+) -> dict:
+    """Fraction of telemetry cells where ``model`` picks the measured best.
+
+    Observations are grouped by workload shape
+    (:attr:`PlanObservation.features_key`); a group is an accuracy
+    *cell* when at least two strategies were measured on it.  Within a
+    cell the empirically fastest strategy is the median-elapsed argmin,
+    and the model's choice is what :func:`plan_batch` would route
+    (``auto``).  Returns ``{"cells", "matched", "accuracy"}`` with
+    ``accuracy = None`` when no cell qualifies — mirroring the
+    ``planner_choice_accuracy`` field of ``BENCH_batching.json``.
+    """
+    groups: dict[tuple, dict[str, list[float]]] = {}
+    stats_of: dict[tuple, PlanObservation] = {}
+    for observation in observations:
+        key = observation.features_key
+        groups.setdefault(key, {}).setdefault(observation.executed, []).append(
+            observation.elapsed_seconds
+        )
+        stats_of.setdefault(key, observation)
+    cells = 0
+    matched = 0
+    for key, timings in groups.items():
+        if len(timings) < 2:
+            continue
+        cells += 1
+        # statistics.median, not an upper median: the benchmark's
+        # planner_choice_accuracy gate uses it, and the two metrics must
+        # agree on the same samples.
+        medians = {
+            strategy: statistics.median(values)
+            for strategy, values in timings.items()
+        }
+        best = min(medians, key=medians.get)
+        choice = plan_batch(
+            stats_of[key].statistics, min_batch=min_batch, model=model
+        ).strategy
+        matched += choice == best
+    return {
+        "cells": cells,
+        "matched": matched,
+        "accuracy": (matched / cells) if cells else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI: the CI calibration job's entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Refit from telemetry file(s), report as JSON, optionally gate."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.batching.calibrate",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "telemetry", nargs="+", help="telemetry JSON file(s) written by TelemetryLog.save"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write the refit CostModel JSON here"
+    )
+    parser.add_argument(
+        "--incumbent",
+        metavar="PATH",
+        default=None,
+        help="CostModel JSON to refit from (default: the shipped model)",
+    )
+    parser.add_argument(
+        "--min-batch",
+        type=int,
+        default=DEFAULT_COALESCE_MIN_BATCH,
+        help="planner crossover rule used in the accuracy replay",
+    )
+    parser.add_argument(
+        "--require-non-regression",
+        action="store_true",
+        help=(
+            "exit non-zero unless the refit model's planner_choice_accuracy "
+            "on this telemetry is at least the shipped model's"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    observations: list[PlanObservation] = []
+    for path in args.telemetry:
+        observations.extend(TelemetryLog.load(path).observations())
+    incumbent = CostModel.load_json(args.incumbent) if args.incumbent else DEFAULT_COST_MODEL
+
+    report = refit_report(observations, incumbent=incumbent)
+    shipped_accuracy = planner_choice_accuracy(
+        incumbent, observations, min_batch=args.min_batch
+    )
+    refit_accuracy = planner_choice_accuracy(
+        report.model, observations, min_batch=args.min_batch
+    )
+    payload = report.as_dict()
+    payload["observations"] = len(observations)
+    payload["choice_accuracy"] = {"shipped": shipped_accuracy, "refit": refit_accuracy}
+    print(json.dumps(payload, indent=2))
+
+    if not report.converged:
+        print("calibration did not converge (see notes)", file=sys.stderr)
+        return 1
+    if args.out:
+        report.model.save_json(args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.require_non_regression:
+        shipped = shipped_accuracy["accuracy"]
+        refit = refit_accuracy["accuracy"]
+        if shipped is None or refit is None:
+            # No multi-strategy cells means no routing-accuracy signal at
+            # all; a gate that cannot measure must not certify.
+            print(
+                "no telemetry cells measured >= 2 strategies; cannot "
+                "certify choice-accuracy non-regression",
+                file=sys.stderr,
+            )
+            return 1
+        if refit < shipped:
+            print(
+                f"refit choice accuracy {refit:.3f} regressed below the "
+                f"shipped model's {shipped:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CI job
+    sys.exit(main())

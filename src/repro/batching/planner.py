@@ -50,9 +50,12 @@ runner records.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
 from repro.batching.compiler import CompilationReport
@@ -74,10 +77,11 @@ STRATEGIES: tuple[str, ...] = (
 PLAN_CHOICES: tuple[str, ...] = (STRATEGY_AUTO,) + STRATEGIES
 
 # ----------------------------------------------------------------------
-# Cost-model constants.  Unit: "one per-update maintenance pass", so the
-# per-update strategy costs exactly ``data_updates``.  Calibrated from
-# BENCH_batching.json (sparse, 320 nodes, horizon 4), re-measured after
-# the per-target transposed deletion sweep landed:
+# Cost model.  Unit: "one per-update maintenance pass", so the
+# per-update strategy costs exactly ``data_updates``.  The shipped
+# default is calibrated from BENCH_batching.json (sparse, 320 nodes,
+# horizon 4), re-measured after the per-target transposed deletion sweep
+# landed:
 #
 # * delete-bearing mixes now cross over at the 64-batch mark (1.0-1.2x
 #   coalesced win at 64, 1.6-1.7x at 256) -> fixed overhead ~16 with a
@@ -93,22 +97,168 @@ PLAN_CHOICES: tuple[str, ...] = (STRATEGY_AUTO,) + STRATEGIES
 #   backend amortises the deletion settle better than sparse
 #   (1.4-2.2x vs the per-kernel 1.2-1.7x), hence the dense discount.
 # ----------------------------------------------------------------------
-#: Compile + coalesced-pass setup cost, in per-update units.
-COALESCE_FIXED_OVERHEAD: float = 16.0
-#: Per-insertion cost of the coalesced relaxation sweep.
-COALESCED_INSERT_FACTOR: float = 0.9
-#: Per-deletion cost of the shared affected-region settle (< 1: the win).
-COALESCED_DELETE_FACTOR: float = 0.45
-#: Deletion-factor discount on the dense backend (batched settle kernel).
-DENSE_COALESCED_DISCOUNT: float = 0.9
-#: Per-deletion cost of the partition-aware settle (bridge composition).
-PARTITIONED_DELETE_FACTOR: float = 0.42
-#: Quotient condensation is O(V + E): charged per node on top of the
-#: coalesced fixed overhead.
-PARTITION_OVERHEAD_PER_NODE: float = 1.0 / 64.0
-PARTITION_FIXED_OVERHEAD: float = 4.0
-#: Insert fraction at or above which auto always routes per-update.
-INSERT_ROUTE_THRESHOLD: float = 0.75
+
+#: On-disk JSON layout version of a serialized :class:`CostModel`.
+COST_MODEL_FORMAT_VERSION: int = 1
+
+#: The fields of :class:`CostModel` that are fitted coefficients (the
+#: serializer and the refit machinery enumerate exactly these).
+COST_MODEL_COEFFICIENTS: tuple[str, ...] = (
+    "coalesce_fixed_overhead",
+    "coalesced_insert_factor",
+    "coalesced_delete_factor",
+    "dense_coalesced_discount",
+    "partitioned_delete_factor",
+    "partition_overhead_per_node",
+    "partition_fixed_overhead",
+    "insert_route_threshold",
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """The planner's linear cost model, as an explicit serializable value.
+
+    All coefficients are in per-update units (the per-update strategy
+    costs exactly ``data_updates`` by construction, so it has no free
+    coefficient).  The defaults are the shipped hand calibration; the
+    online recalibration machinery (:mod:`repro.batching.calibrate`)
+    refits the coefficients from execution telemetry and bumps
+    ``version``, so a planner can tell a refit model from the incumbent
+    it was derived from.
+
+    Attributes
+    ----------
+    coalesce_fixed_overhead:
+        Compile + coalesced-pass setup cost.
+    coalesced_insert_factor:
+        Per-insertion cost of the coalesced relaxation sweep.
+    coalesced_delete_factor:
+        Per-deletion cost of the shared affected-region settle (< 1 is
+        the coalescing win).
+    dense_coalesced_discount:
+        Deletion-factor discount on the dense backend (batched settle
+        kernel).
+    partitioned_delete_factor:
+        Per-deletion cost of the partition-aware settle (bridge
+        composition).
+    partition_overhead_per_node / partition_fixed_overhead:
+        Quotient condensation is O(V + E): charged per node on top of
+        the coalesced fixed overhead, plus a flat setup term.
+    insert_route_threshold:
+        Insert fraction at or above which auto always routes per-update.
+    version:
+        Monotonic calibration generation (1 = the shipped model; a refit
+        bumps it).
+    calibrated_from:
+        Human-readable provenance of the coefficients.
+    """
+
+    coalesce_fixed_overhead: float = 16.0
+    coalesced_insert_factor: float = 0.9
+    coalesced_delete_factor: float = 0.45
+    dense_coalesced_discount: float = 0.9
+    partitioned_delete_factor: float = 0.42
+    partition_overhead_per_node: float = 1.0 / 64.0
+    partition_fixed_overhead: float = 4.0
+    insert_route_threshold: float = 0.75
+    version: int = 1
+    calibrated_from: str = "BENCH_batching.json + BENCH_slen_backend.json (hand-calibrated)"
+
+    def estimate(self, statistics: "BatchStatistics") -> dict[str, float]:
+        """Per-strategy cost estimates for one batch, in per-update units."""
+        insertions = statistics.insertions
+        deletions = statistics.deletions
+        delete_factor = self.coalesced_delete_factor
+        if statistics.backend == "dense":
+            delete_factor *= self.dense_coalesced_discount
+        costs = {
+            STRATEGY_PER_UPDATE: float(statistics.data_updates),
+            STRATEGY_COALESCED: (
+                self.coalesce_fixed_overhead
+                + insertions * self.coalesced_insert_factor
+                + deletions * delete_factor
+            ),
+        }
+        if statistics.partition_available:
+            costs[STRATEGY_PARTITIONED] = (
+                self.coalesce_fixed_overhead
+                + self.partition_fixed_overhead
+                + statistics.node_count * self.partition_overhead_per_node
+                + insertions * self.coalesced_insert_factor
+                + deletions * self.partitioned_delete_factor
+            )
+        return costs
+
+    # ------------------------------------------------------------------
+    # Serialization (versioned JSON)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Plain-dict form (the JSON layout of :meth:`save_json`)."""
+        return {
+            "format_version": COST_MODEL_FORMAT_VERSION,
+            "version": self.version,
+            "calibrated_from": self.calibrated_from,
+            "coefficients": {
+                name: getattr(self, name) for name in COST_MODEL_COEFFICIENTS
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostModel":
+        """Rebuild a model from :meth:`as_dict` output (strictly validated)."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"cost model payload must be a dict, got {type(payload).__name__}")
+        fmt = payload.get("format_version")
+        if fmt != COST_MODEL_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported cost model format_version {fmt!r}; "
+                f"expected {COST_MODEL_FORMAT_VERSION}"
+            )
+        coefficients = payload.get("coefficients", {})
+        unknown = sorted(set(coefficients) - set(COST_MODEL_COEFFICIENTS))
+        if unknown:
+            raise ValueError(f"unknown cost model coefficients {unknown}")
+        missing = sorted(set(COST_MODEL_COEFFICIENTS) - set(coefficients))
+        if missing:
+            raise ValueError(f"missing cost model coefficients {missing}")
+        return cls(
+            version=int(payload.get("version", 1)),
+            calibrated_from=str(payload.get("calibrated_from", "")),
+            **{name: float(coefficients[name]) for name in COST_MODEL_COEFFICIENTS},
+        )
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        """Write the model to ``path`` as versioned JSON."""
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "CostModel":
+        """Load a model previously written by :meth:`save_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def replace(self, **changes) -> "CostModel":
+        """A copy with ``changes`` applied (wrapper over dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The shipped calibration — what ``plan_batch`` uses when no explicit
+#: model is handed in.
+DEFAULT_COST_MODEL: CostModel = CostModel()
+
+# Backwards-compatible aliases for the pre-CostModel module constants.
+# Read-only snapshots of the shipped calibration: estimate_costs /
+# plan_batch consult the CostModel they are given, never these globals,
+# so reassigning them no longer changes routing — construct and pass a
+# CostModel instead.
+COALESCE_FIXED_OVERHEAD: float = DEFAULT_COST_MODEL.coalesce_fixed_overhead
+COALESCED_INSERT_FACTOR: float = DEFAULT_COST_MODEL.coalesced_insert_factor
+COALESCED_DELETE_FACTOR: float = DEFAULT_COST_MODEL.coalesced_delete_factor
+DENSE_COALESCED_DISCOUNT: float = DEFAULT_COST_MODEL.dense_coalesced_discount
+PARTITIONED_DELETE_FACTOR: float = DEFAULT_COST_MODEL.partitioned_delete_factor
+PARTITION_OVERHEAD_PER_NODE: float = DEFAULT_COST_MODEL.partition_overhead_per_node
+PARTITION_FIXED_OVERHEAD: float = DEFAULT_COST_MODEL.partition_fixed_overhead
+INSERT_ROUTE_THRESHOLD: float = DEFAULT_COST_MODEL.insert_route_threshold
 
 
 @dataclass(frozen=True)
@@ -235,46 +385,29 @@ class PlanReport:
 
 
 def estimate_costs(
-    statistics: BatchStatistics, min_batch: int = DEFAULT_COALESCE_MIN_BATCH
+    statistics: BatchStatistics,
+    min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
+    model: Optional[CostModel] = None,
 ) -> dict[str, float]:
     """Per-strategy cost estimates, in per-update units.
 
     The model is deliberately tiny and interpretable: per-update costs
     one unit per data update; the coalesced strategies pay a fixed
-    compile+setup overhead plus per-insertion / per-deletion factors (see
-    the module constants for the calibration).  ``min_batch`` does not
-    enter the estimates — it is a separate planner rule — but is accepted
-    so callers can evolve the model without changing signatures.
+    compile+setup overhead plus per-insertion / per-deletion factors
+    (:class:`CostModel` holds the calibration; ``None`` means the shipped
+    :data:`DEFAULT_COST_MODEL`).  ``min_batch`` does not enter the
+    estimates — it is a separate planner rule — but is accepted so
+    callers can evolve the model without changing signatures.
     """
     del min_batch  # rule-based, not cost-based; see plan_batch
-    insertions = statistics.insertions
-    deletions = statistics.deletions
-    delete_factor = COALESCED_DELETE_FACTOR
-    if statistics.backend == "dense":
-        delete_factor *= DENSE_COALESCED_DISCOUNT
-    costs = {
-        STRATEGY_PER_UPDATE: float(statistics.data_updates),
-        STRATEGY_COALESCED: (
-            COALESCE_FIXED_OVERHEAD
-            + insertions * COALESCED_INSERT_FACTOR
-            + deletions * delete_factor
-        ),
-    }
-    if statistics.partition_available:
-        costs[STRATEGY_PARTITIONED] = (
-            COALESCE_FIXED_OVERHEAD
-            + PARTITION_FIXED_OVERHEAD
-            + statistics.node_count * PARTITION_OVERHEAD_PER_NODE
-            + insertions * COALESCED_INSERT_FACTOR
-            + deletions * PARTITIONED_DELETE_FACTOR
-        )
-    return costs
+    return (model or DEFAULT_COST_MODEL).estimate(statistics)
 
 
 def plan_batch(
     statistics: BatchStatistics,
     requested: str = STRATEGY_AUTO,
     min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
+    model: Optional[CostModel] = None,
 ) -> PlanReport:
     """Choose the maintenance strategy for one batch.
 
@@ -283,13 +416,16 @@ def plan_batch(
     is available) or ``"auto"``, which applies the routing rules in the
     module docstring.  ``min_batch`` is the crossover batch size of
     rule 1 — the planner rule that subsumes the old static
-    ``coalesce_min_batch`` guard.
+    ``coalesce_min_batch`` guard.  ``model`` selects the
+    :class:`CostModel` the estimates come from (``None`` = the shipped
+    default; online recalibration swaps in refit models here).
     """
     if requested not in PLAN_CHOICES:
         raise ValueError(
             f"unknown batch plan {requested!r}; expected one of {PLAN_CHOICES}"
         )
-    costs = estimate_costs(statistics)
+    model = model or DEFAULT_COST_MODEL
+    costs = model.estimate(statistics)
 
     if requested != STRATEGY_AUTO:
         strategy = requested
@@ -314,11 +450,11 @@ def plan_batch(
     elif statistics.deletions == 0:
         strategy = STRATEGY_PER_UPDATE
         reason = "no deletions: coalescing insertions is a structural non-win"
-    elif statistics.insert_fraction >= INSERT_ROUTE_THRESHOLD:
+    elif statistics.insert_fraction >= model.insert_route_threshold:
         strategy = STRATEGY_PER_UPDATE
         reason = (
             f"insert-dominated batch (insert fraction "
-            f"{statistics.insert_fraction:.2f} >= {INSERT_ROUTE_THRESHOLD}); "
+            f"{statistics.insert_fraction:.2f} >= {model.insert_route_threshold}); "
             f"routed away from coalescing"
         )
     else:

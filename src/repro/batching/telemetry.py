@@ -1,0 +1,250 @@
+"""Planner execution telemetry: what was predicted vs. what it cost.
+
+PR 3's planner routes every batch through a linear cost model whose
+constants were frozen from one ``BENCH_batching.json`` grid.  This
+module is the measurement half of keeping that model honest: every
+maintained batch emits a :class:`PlanObservation` — the
+:class:`~repro.batching.planner.BatchStatistics` the planner saw, the
+strategy it chose, the per-strategy predicted costs, and the *measured*
+maintenance wall-clock — into a :class:`TelemetryLog` with bounded
+in-memory retention and JSON persistence.  The observations are exactly
+what :func:`repro.batching.calibrate.refit_cost_model` consumes to refit
+the model online (``--recalibrate-every``) or offline (the CI
+calibration job).
+
+Observations distinguish the *planned* strategy from the *executed*
+one: INC-GPNM is per-update by definition, so its batches can carry a
+coalescing plan (meaning "compile first") while the maintenance that was
+actually timed ran per-update — the refit must attribute the timing to
+the executed strategy, not the label on the plan.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.batching.planner import BatchStatistics
+
+#: On-disk JSON layout version of a persisted telemetry log.
+TELEMETRY_FORMAT_VERSION: int = 1
+
+#: Default bound on in-memory retention; the log keeps the most recent
+#: observations and counts (but drops) the rest.
+DEFAULT_RETENTION: int = 4096
+
+#: The BatchStatistics fields serialized with every observation.
+_STATISTICS_FIELDS: tuple[str, ...] = (
+    "batch_size",
+    "data_updates",
+    "insertions",
+    "deletions",
+    "node_count",
+    "backend",
+    "partition_available",
+)
+
+
+@dataclass(frozen=True)
+class PlanObservation:
+    """One planning decision paired with its measured execution cost.
+
+    Attributes
+    ----------
+    statistics:
+        The workload-shape features the planner based its decision on
+        (pre-compilation counts — the same inputs a future prediction
+        would see).
+    requested:
+        What the caller asked for (``"auto"`` or a forced strategy).
+    planned:
+        The strategy the planner chose.
+    executed:
+        The strategy the timed maintenance actually ran (differs from
+        ``planned`` for algorithms that are per-update by definition,
+        e.g. INC-GPNM under a coalescing plan).
+    predicted_costs:
+        The planner's per-strategy cost estimates at decision time, in
+        per-update units.
+    elapsed_seconds:
+        Measured wall-clock of the batch's ``SLen`` maintenance (graph
+        application + maintenance kernels; the quantity the cost model
+        predicts up to a unit conversion).
+    algorithm:
+        Name of the emitting algorithm (empty for kernel-level
+        harnesses such as the benchmark).
+    """
+
+    statistics: BatchStatistics
+    requested: str
+    planned: str
+    executed: str
+    predicted_costs: Mapping[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    algorithm: str = ""
+
+    @property
+    def predicted_cost(self) -> float:
+        """The estimate of the *planned* strategy (``nan`` if absent)."""
+        return float(self.predicted_costs.get(self.planned, float("nan")))
+
+    @property
+    def features_key(self) -> tuple:
+        """Hashable grouping key: observations with equal keys saw the
+        same workload shape (used by the choice-accuracy evaluation)."""
+        return tuple(getattr(self.statistics, name) for name in _STATISTICS_FIELDS)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (the JSON layout of :meth:`TelemetryLog.save`)."""
+        return {
+            "statistics": {
+                name: getattr(self.statistics, name) for name in _STATISTICS_FIELDS
+            },
+            "requested": self.requested,
+            "planned": self.planned,
+            "executed": self.executed,
+            "predicted_costs": {
+                name: float(cost) for name, cost in self.predicted_costs.items()
+            },
+            "elapsed_seconds": self.elapsed_seconds,
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlanObservation":
+        """Rebuild an observation from :meth:`as_dict` output."""
+        raw = dict(payload.get("statistics", {}))
+        unknown = sorted(set(raw) - set(_STATISTICS_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown observation statistics fields {unknown}")
+        statistics = BatchStatistics(
+            batch_size=int(raw.get("batch_size", 0)),
+            data_updates=int(raw.get("data_updates", 0)),
+            insertions=int(raw.get("insertions", 0)),
+            deletions=int(raw.get("deletions", 0)),
+            node_count=int(raw.get("node_count", 0)),
+            backend=str(raw.get("backend", "sparse")),
+            partition_available=bool(raw.get("partition_available", False)),
+        )
+        return cls(
+            statistics=statistics,
+            requested=str(payload.get("requested", "")),
+            planned=str(payload.get("planned", "")),
+            executed=str(payload.get("executed", "")),
+            predicted_costs={
+                str(name): float(cost)
+                for name, cost in dict(payload.get("predicted_costs", {})).items()
+            },
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            algorithm=str(payload.get("algorithm", "")),
+        )
+
+
+class TelemetryLog:
+    """Bounded in-memory observation log with JSON persistence.
+
+    The log keeps the most recent ``retention`` observations (a deque —
+    older ones are dropped, not errored) and counts everything it ever
+    saw, so long-running processes can emit telemetry forever without
+    growing without bound.  :meth:`save` / :meth:`load` round-trip the
+    retained observations through a versioned JSON file
+    (``--telemetry-out`` / ``ExperimentConfig.telemetry_path``).
+    """
+
+    def __init__(self, retention: int = DEFAULT_RETENTION) -> None:
+        if retention < 1:
+            raise ValueError("telemetry retention must be at least 1")
+        self._observations: deque[PlanObservation] = deque(maxlen=retention)
+        self._total_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, observation: PlanObservation) -> PlanObservation:
+        """Append one observation (dropping the oldest when full)."""
+        self._observations.append(observation)
+        self._total_recorded += 1
+        return observation
+
+    def extend(self, observations: Iterable[PlanObservation]) -> None:
+        """Record every observation of ``observations`` in order."""
+        for observation in observations:
+            self.record(observation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def retention(self) -> int:
+        """The in-memory bound."""
+        return self._observations.maxlen or 0
+
+    @property
+    def total_recorded(self) -> int:
+        """How many observations were ever recorded (retained or not)."""
+        return self._total_recorded
+
+    @property
+    def dropped(self) -> int:
+        """How many recorded observations fell out of retention."""
+        return self._total_recorded - len(self._observations)
+
+    def observations(self) -> list[PlanObservation]:
+        """The retained observations, oldest first."""
+        return list(self._observations)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[PlanObservation]:
+        return iter(list(self._observations))
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryLog(retained={len(self)}, total_recorded={self._total_recorded}, "
+            f"retention={self.retention})"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Plain-dict form of the retained observations."""
+        return {
+            "format_version": TELEMETRY_FORMAT_VERSION,
+            "total_recorded": self._total_recorded,
+            "retention": self.retention,
+            "observations": [observation.as_dict() for observation in self._observations],
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the retained observations to ``path`` as versioned JSON."""
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TelemetryLog":
+        """Rebuild a log from :meth:`as_dict` output (strictly validated)."""
+        fmt = payload.get("format_version")
+        if fmt != TELEMETRY_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported telemetry format_version {fmt!r}; "
+                f"expected {TELEMETRY_FORMAT_VERSION}"
+            )
+        retention = int(payload.get("retention", DEFAULT_RETENTION)) or DEFAULT_RETENTION
+        log = cls(retention=retention)
+        for raw in payload.get("observations", []):
+            log.record(PlanObservation.from_dict(raw))
+        # Preserve the origin's lifetime count across the round trip.
+        log._total_recorded = max(
+            log._total_recorded, int(payload.get("total_recorded", 0))
+        )
+        return log
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TelemetryLog":
+        """Load a log previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

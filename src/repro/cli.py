@@ -15,11 +15,15 @@ Run everything (slow) and verify each method against the oracle::
 
     ua-gpnm all --preset full --verify
 
-Run the quick grid with the adaptive batch execution planner (routes
-each update batch to per-update, coalesced or partitioned-coalesced
-SLen maintenance)::
+The adaptive batch execution planner routes each update batch to
+per-update, coalesced or partitioned-coalesced SLen maintenance —
+``--batch-plan auto`` is the default; force a single strategy with e.g.::
 
-    ua-gpnm table-xi --batch-plan auto
+    ua-gpnm table-xi --batch-plan per-update
+
+Record planner telemetry and recalibrate the cost model online::
+
+    ua-gpnm table-xi --telemetry-out telemetry.json --recalibrate-every 50
 
 Run the quick grid on the dense NumPy SLen backend (or ``auto``, which
 picks dense above a node-count threshold)::
@@ -84,9 +88,9 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         default=default(None),
         choices=("auto", "per-update", "coalesced", "partitioned"),
         help=(
-            "update-batch execution strategy: per-update maintenance, one "
-            "coalesced SLen pass, the partition-aware coalesced pass, or "
-            "auto (cost-model routing per batch; see the epilog)"
+            "update-batch execution strategy: auto (the default; "
+            "cost-model routing per batch, see the epilog), or a forced "
+            "per-update / coalesced / partitioned strategy"
         ),
     )
     parser.add_argument(
@@ -116,6 +120,38 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
             "node-count threshold); default: sparse"
         ),
     )
+    parser.add_argument(
+        "--telemetry-out",
+        default=default(None),
+        metavar="PATH",
+        help=(
+            "record planner telemetry (predicted cost vs measured "
+            "maintenance time per batch) and write it here as JSON; feed "
+            "the file to `python -m repro.batching.calibrate` to refit "
+            "the cost model"
+        ),
+    )
+    parser.add_argument(
+        "--recalibrate-every",
+        type=int,
+        default=default(None),
+        metavar="N",
+        help=(
+            "online recalibration: refit the planner's cost model after "
+            "every N telemetry observations and route subsequent cells "
+            "with the refit model (0 disables; default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--cost-model",
+        default=default(None),
+        metavar="PATH",
+        help=(
+            "load the planner's cost model from this JSON file (e.g. a "
+            "refit written by repro.batching.calibrate) instead of the "
+            "shipped calibration"
+        ),
+    )
 
 
 #: ``--help`` epilog: how the execution planner selects a strategy.
@@ -124,9 +160,10 @@ batch plan strategy selection (--batch-plan):
   Every update batch is routed by the execution planner to one of three
   SLen maintenance strategies:
 
-    per-update   one incremental maintenance pass per data update; the
-                 default, and always fastest for small or
-                 insert-dominated batches
+    auto         THE DEFAULT: pick per batch via the planner's cost
+                 model (see below)
+    per-update   one incremental maintenance pass per data update;
+                 always fastest for small or insert-dominated batches
     coalesced    compile the batch to its net effect, then maintain SLen
                  in one pass: all deletions share one affected-region
                  settle per source (or per target, transposed), all
@@ -137,13 +174,29 @@ batch plan strategy selection (--batch-plan):
                  (Section V); requires a partition (UA-GPNM), pays off
                  on large deletion volumes
 
-  'auto' picks per batch via a small cost model calibrated from
-  BENCH_batching.json: batches under --coalesce-min-batch or dominated
-  by insertions stay per-update (insert coalescing is a structural
-  non-win); deletion-bearing batches above the crossover go coalesced,
-  and partitioned when a partition is available and the deletion volume
-  amortises the quotient condensation.  The chosen strategy is recorded
-  per run (PlanReport).
+  'auto' picks per batch via a small cost model (shipped calibration
+  from BENCH_batching.json): batches under --coalesce-min-batch or
+  dominated by insertions stay per-update (insert coalescing is a
+  structural non-win); deletion-bearing batches above the crossover go
+  coalesced, and partitioned when a partition is available and the
+  deletion volume amortises the quotient condensation.  The chosen
+  strategy is recorded per run (PlanReport).
+
+planner telemetry and recalibration:
+  --telemetry-out records one observation per maintained batch (the
+  planner's predicted per-strategy costs vs the measured maintenance
+  wall-clock) and writes the log as JSON at the end of the run.  Refit
+  the cost model from one or more such logs with
+
+    python -m repro.batching.calibrate telemetry.json --out model.json
+
+  (least-squares refit per strategy, with a guard that keeps the
+  incumbent coefficients when the fit predicts held-out observations
+  worse) and feed the refit model back via --cost-model.
+
+  --recalibrate-every N does the same online: after every N new
+  observations the runner refits mid-run and all subsequent cells are
+  routed with the refit model.
 """
 
 
@@ -187,6 +240,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = dataclasses.replace(config, coalesce_min_batch=args.coalesce_min_batch)
     if args.slen_backend != "sparse":
         config = dataclasses.replace(config, slen_backend=args.slen_backend)
+    if getattr(args, "telemetry_out", None) is not None:
+        config = dataclasses.replace(config, telemetry_path=args.telemetry_out)
+    if getattr(args, "recalibrate_every", None) is not None:
+        config = dataclasses.replace(config, recalibrate_every=args.recalibrate_every)
+    if getattr(args, "cost_model", None) is not None:
+        config = dataclasses.replace(config, cost_model_path=args.cost_model)
 
     def progress(message: str) -> None:
         print(f"[run] {message}", file=sys.stderr)

@@ -51,13 +51,14 @@ class ExperimentConfig:
     seed:
         Base seed; every cell derives its own deterministic seed from it.
     batch_plan:
-        Maintenance-strategy plan handed to every method (``"auto"``,
-        ``"per-update"``, ``"coalesced"`` or ``"partitioned"``; see
-        :mod:`repro.batching.planner`).  ``None`` derives the plan from
-        the deprecated ``coalesce_updates`` flag.
+        Maintenance-strategy plan handed to every method (``"auto"`` —
+        the default: cost-model routing per batch — or a forced
+        ``"per-update"`` / ``"coalesced"`` / ``"partitioned"``; see
+        :mod:`repro.batching.planner`).  ``None`` also selects
+        ``"auto"``.
     coalesce_updates:
-        Deprecated alias for ``batch_plan="auto"`` (kept for backwards
-        compatibility; an explicit ``batch_plan`` wins).
+        Deprecated alias for ``batch_plan="auto"`` (now the default
+        anyway; kept for backwards compatibility).
     coalesce_min_batch:
         The planner's crossover rule: ``auto``-planned batches below
         this size stay on per-update maintenance (default from the
@@ -65,6 +66,21 @@ class ExperimentConfig:
     slen_backend:
         ``SLen`` storage backend for every method: ``"sparse"``,
         ``"dense"`` or ``"auto"`` (see :mod:`repro.spl.backend`).
+    telemetry_path:
+        When set, every maintained batch's planner observation
+        (prediction vs. measured maintenance time) is collected in a
+        :class:`~repro.batching.telemetry.TelemetryLog` and persisted
+        here as JSON at the end of the run (CLI: ``--telemetry-out``).
+    recalibrate_every:
+        Online recalibration cadence: after every N new telemetry
+        observations the runner refits the cost model
+        (:func:`repro.batching.calibrate.refit_cost_model`) and hands
+        the refit model to all subsequent cells.  0 disables (CLI:
+        ``--recalibrate-every``).
+    cost_model_path:
+        Load the planner's starting
+        :class:`~repro.batching.planner.CostModel` from this JSON file
+        instead of the shipped calibration (CLI: ``--cost-model``).
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -77,7 +93,10 @@ class ExperimentConfig:
     coalesce_updates: bool = False
     coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH
     slen_backend: str = "sparse"
-    batch_plan: Optional[str] = None
+    batch_plan: Optional[str] = "auto"
+    telemetry_path: Optional[str] = None
+    recalibrate_every: int = 0
+    cost_model_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -95,6 +114,8 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown batch_plan {self.batch_plan!r}; expected one of {PLAN_CHOICES}"
             )
+        if self.recalibrate_every < 0:
+            raise ValueError("recalibrate_every must be non-negative")
 
     @property
     def number_of_cells(self) -> int:

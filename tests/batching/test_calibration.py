@@ -1,0 +1,361 @@
+"""Calibration-convergence suite for the cost-model refit.
+
+Synthetic telemetry with a *known* ground-truth cost model lets the
+suite assert convergence exactly: :func:`refit_cost_model` must recover
+the generating coefficients within tolerance, survive a JSON round trip
+of the telemetry, reject fits that predict held-out observations worse
+than the incumbent, and never regress ``planner_choice_accuracy``
+against the model the telemetry was generated from.  This suite is in
+the CI no-skip gate next to the differential and strategy-equivalence
+suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batching.calibrate import (
+    DEFAULT_HOLDOUT_EVERY,
+    main as calibrate_main,
+    planner_choice_accuracy,
+    refit_cost_model,
+    refit_report,
+)
+from repro.batching.planner import (
+    COST_MODEL_COEFFICIENTS,
+    DEFAULT_COST_MODEL,
+    BatchStatistics,
+    CostModel,
+    plan_batch,
+)
+from repro.batching.telemetry import PlanObservation, TelemetryLog
+
+#: Wall-clock seconds of one per-update unit in the synthetic telemetry.
+UNIT = 0.002
+
+
+def stats(insertions, deletions, node_count=320, backend="sparse", partition=True):
+    return BatchStatistics(
+        batch_size=insertions + deletions,
+        data_updates=insertions + deletions,
+        insertions=insertions,
+        deletions=deletions,
+        node_count=node_count,
+        backend=backend,
+        partition_available=partition,
+    )
+
+
+def synthetic_observations(
+    model: CostModel, shapes=None, unit: float = UNIT, backend: str = "sparse"
+):
+    """Noise-free telemetry generated from ``model``: every strategy's
+    elapsed time is exactly its model cost times ``unit``."""
+    if shapes is None:
+        # Diverse (insertions, deletions) so the 3-parameter fit is
+        # well-conditioned; node_count varies for the partitioned term.
+        shapes = [
+            (4, 4, 100),
+            (8, 24, 150),
+            (16, 48, 200),
+            (32, 32, 250),
+            (40, 88, 300),
+            (64, 192, 320),
+            (12, 52, 400),
+            (96, 160, 500),
+            (20, 108, 600),
+            (56, 72, 700),
+            (80, 240, 800),
+            (10, 86, 900),
+        ]
+    observations = []
+    for insertions, deletions, node_count in shapes:
+        s = stats(insertions, deletions, node_count=node_count, backend=backend)
+        costs = model.estimate(s)
+        for strategy, cost in costs.items():
+            observations.append(
+                PlanObservation(
+                    statistics=s,
+                    requested=strategy,
+                    planned=strategy,
+                    executed=strategy,
+                    predicted_costs=DEFAULT_COST_MODEL.estimate(s),
+                    elapsed_seconds=cost * unit,
+                    algorithm="synthetic",
+                )
+            )
+    return observations
+
+
+#: A ground truth deliberately far from the shipped calibration.
+TRUTH = DEFAULT_COST_MODEL.replace(
+    coalesce_fixed_overhead=24.0,
+    coalesced_insert_factor=0.7,
+    coalesced_delete_factor=0.3,
+    partitioned_delete_factor=0.25,
+    partition_fixed_overhead=6.0,
+)
+
+
+class TestConvergence:
+    def test_refit_recovers_generating_coefficients(self):
+        observations = synthetic_observations(TRUTH)
+        refit = refit_cost_model(observations, incumbent=DEFAULT_COST_MODEL)
+        assert refit is not DEFAULT_COST_MODEL
+        assert refit.version == DEFAULT_COST_MODEL.version + 1
+        assert refit.coalesce_fixed_overhead == pytest.approx(24.0, rel=1e-6)
+        assert refit.coalesced_insert_factor == pytest.approx(0.7, rel=1e-6)
+        assert refit.coalesced_delete_factor == pytest.approx(0.3, rel=1e-6)
+        # The partitioned fit reuses the incumbent per-node term, so the
+        # recovered flat/deletion terms absorb the (zero) difference.
+        assert refit.partitioned_delete_factor == pytest.approx(0.25, rel=1e-6)
+        assert refit.partition_fixed_overhead == pytest.approx(6.0, rel=1e-4)
+
+    def test_report_diagnostics(self):
+        report = refit_report(synthetic_observations(TRUTH), incumbent=DEFAULT_COST_MODEL)
+        assert report.converged
+        assert report.accepted == {"coalesced": True, "partitioned": True}
+        assert report.unit_seconds == pytest.approx(UNIT, rel=1e-9)
+        assert report.observation_counts["per-update"] == 12
+        for errors in report.holdout_errors.values():
+            assert errors["candidate"] <= errors["incumbent"]
+
+    def test_telemetry_round_trip_reproduces_refit(self, tmp_path):
+        """record -> persist -> load -> refit matches the in-memory refit
+        coefficient-for-coefficient (the satellite's acceptance check)."""
+        log = TelemetryLog()
+        log.extend(synthetic_observations(TRUTH))
+        direct = refit_cost_model(log.observations(), incumbent=DEFAULT_COST_MODEL)
+        path = tmp_path / "telemetry.json"
+        log.save(path)
+        reloaded = refit_cost_model(
+            TelemetryLog.load(path).observations(), incumbent=DEFAULT_COST_MODEL
+        )
+        for name in COST_MODEL_COEFFICIENTS:
+            assert getattr(reloaded, name) == pytest.approx(
+                getattr(direct, name), rel=1e-9
+            ), name
+
+    def test_dense_discount_recovered_from_mixed_backends(self):
+        truth = TRUTH.replace(dense_coalesced_discount=0.8)
+        observations = synthetic_observations(truth) + synthetic_observations(
+            truth, backend="dense"
+        )
+        report = refit_report(observations, incumbent=DEFAULT_COST_MODEL)
+        assert report.accepted.get("dense-discount") is True
+        assert report.model.dense_coalesced_discount == pytest.approx(0.8, rel=1e-6)
+
+    def test_refit_is_idempotent_on_its_own_telemetry(self):
+        observations = synthetic_observations(TRUTH)
+        once = refit_cost_model(observations, incumbent=DEFAULT_COST_MODEL)
+        twice = refit_cost_model(observations, incumbent=once)
+        for name in ("coalesce_fixed_overhead", "coalesced_insert_factor",
+                     "coalesced_delete_factor", "partitioned_delete_factor"):
+            assert getattr(twice, name) == pytest.approx(getattr(once, name), rel=1e-6)
+
+
+class TestRejectionGuard:
+    def test_too_few_observations_keep_incumbent(self):
+        observations = synthetic_observations(TRUTH)[:4]
+        refit = refit_cost_model(observations, incumbent=DEFAULT_COST_MODEL)
+        assert refit is DEFAULT_COST_MODEL
+
+    def test_no_per_update_anchor_keeps_incumbent(self):
+        observations = [
+            o for o in synthetic_observations(TRUTH) if o.executed != "per-update"
+        ]
+        report = refit_report(observations, incumbent=DEFAULT_COST_MODEL)
+        assert report.model is DEFAULT_COST_MODEL
+        assert not report.converged
+
+    def test_partitioned_fit_proceeds_without_coalesced_rows(self):
+        """Telemetry from a UA-GPNM-only run can hold per-update and
+        partitioned observations but no coalesced ones; the partitioned
+        fit must still run (it only needs the incumbent's coalesced
+        coefficients for the residual)."""
+        observations = [
+            o for o in synthetic_observations(TRUTH) if o.executed != "coalesced"
+        ]
+        report = refit_report(observations, incumbent=DEFAULT_COST_MODEL)
+        assert report.converged
+        assert "partitioned" in report.accepted
+        assert "coalesced" not in report.accepted
+
+    def test_degenerate_features_keep_incumbent(self):
+        """Every coalesced row has identical features: singular fit."""
+        shape = [(16, 48, 200)] * 12
+        observations = synthetic_observations(TRUTH, shapes=shape)
+        report = refit_report(observations, incumbent=DEFAULT_COST_MODEL)
+        assert report.model is DEFAULT_COST_MODEL
+
+    def test_bad_observations_keep_incumbent(self):
+        """Training rows corrupted, holdout rows honest: the candidate
+        fit predicts the holdout worse than the incumbent, so the guard
+        rejects it and the incumbent's coefficients survive."""
+        observations = synthetic_observations(DEFAULT_COST_MODEL)
+        corrupted = []
+        position = {"coalesced": 0, "partitioned": 0}
+        for o in observations:
+            if o.executed in position:
+                position[o.executed] += 1
+                # _split_holdout holds out every holdout_every-th row of
+                # a strategy; corrupt only the training rows.
+                if position[o.executed] % DEFAULT_HOLDOUT_EVERY:
+                    o = PlanObservation(
+                        statistics=o.statistics,
+                        requested=o.requested,
+                        planned=o.planned,
+                        executed=o.executed,
+                        predicted_costs=o.predicted_costs,
+                        elapsed_seconds=o.elapsed_seconds
+                        * (50.0 if position[o.executed] % 2 else 0.01),
+                        algorithm=o.algorithm,
+                    )
+            corrupted.append(o)
+        report = refit_report(corrupted, incumbent=DEFAULT_COST_MODEL)
+        assert report.model is DEFAULT_COST_MODEL
+        assert report.accepted.get("coalesced") is False
+
+    def test_rejected_refit_keeps_version(self):
+        observations = synthetic_observations(TRUTH)[:4]
+        refit = refit_cost_model(observations, incumbent=DEFAULT_COST_MODEL)
+        assert refit.version == DEFAULT_COST_MODEL.version
+
+
+class TestChoiceAccuracy:
+    def test_perfect_model_scores_perfectly(self):
+        observations = synthetic_observations(TRUTH)
+        result = planner_choice_accuracy(TRUTH, observations, min_batch=2)
+        assert result["cells"] == 12
+        assert result["accuracy"] == 1.0
+
+    def test_refit_matches_or_beats_shipped_on_generated_grid(self):
+        """The acceptance inequality of the CI calibration job, on a
+        grid where the shipped model is wrong by construction."""
+        observations = synthetic_observations(TRUTH)
+        refit = refit_cost_model(observations, incumbent=DEFAULT_COST_MODEL)
+        shipped = planner_choice_accuracy(DEFAULT_COST_MODEL, observations, min_batch=2)
+        refitted = planner_choice_accuracy(refit, observations, min_batch=2)
+        assert refitted["accuracy"] >= shipped["accuracy"]
+        assert refitted["accuracy"] == 1.0
+
+    def test_no_multi_strategy_cells_means_no_accuracy(self):
+        observations = [
+            o for o in synthetic_observations(TRUTH) if o.executed == "per-update"
+        ]
+        result = planner_choice_accuracy(DEFAULT_COST_MODEL, observations)
+        assert result["cells"] == 0
+        assert result["accuracy"] is None
+
+
+class TestCostModelSerialization:
+    def test_json_round_trip(self, tmp_path):
+        model = TRUTH.replace(version=7, calibrated_from="test")
+        path = tmp_path / "model.json"
+        model.save_json(path)
+        assert CostModel.load_json(path) == model
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError):
+            CostModel.load_json(path)
+
+    def test_rejects_missing_and_unknown_coefficients(self):
+        payload = DEFAULT_COST_MODEL.as_dict()
+        del payload["coefficients"]["coalesce_fixed_overhead"]
+        with pytest.raises(ValueError, match="missing"):
+            CostModel.from_dict(payload)
+        payload = DEFAULT_COST_MODEL.as_dict()
+        payload["coefficients"]["mystery"] = 1.0
+        with pytest.raises(ValueError, match="unknown"):
+            CostModel.from_dict(payload)
+
+    def test_plan_batch_consumes_model(self):
+        """The acceptance criterion: plan_batch takes a serializable
+        CostModel and the model changes the routing."""
+        s = stats(insertions=51, deletions=205)
+        assert plan_batch(s).strategy == "coalesced"
+        prohibitive = DEFAULT_COST_MODEL.replace(coalesce_fixed_overhead=1e9)
+        assert plan_batch(s, model=prohibitive).strategy == "per-update"
+        round_tripped = CostModel.from_dict(prohibitive.as_dict())
+        assert plan_batch(s, model=round_tripped).strategy == "per-update"
+
+
+class TestCalibrateCLI:
+    def test_end_to_end(self, tmp_path, capsys):
+        log = TelemetryLog()
+        log.extend(synthetic_observations(TRUTH))
+        telemetry_path = tmp_path / "telemetry.json"
+        log.save(telemetry_path)
+        model_path = tmp_path / "refit.json"
+        exit_code = calibrate_main(
+            [
+                str(telemetry_path),
+                "--out",
+                str(model_path),
+                "--min-batch",
+                "2",
+                "--require-non-regression",
+            ]
+        )
+        assert exit_code == 0
+        refit = CostModel.load_json(model_path)
+        assert refit.version == DEFAULT_COST_MODEL.version + 1
+        assert refit.coalesce_fixed_overhead == pytest.approx(24.0, rel=1e-6)
+        out = capsys.readouterr().out
+        assert '"converged": true' in out
+
+    def test_vacuous_accuracy_fails_the_gate(self, tmp_path):
+        """No telemetry cell measured >= 2 strategies: the refit can
+        converge, but --require-non-regression must refuse to certify."""
+        observations = synthetic_observations(TRUTH)
+        shapes = sorted({o.features_key for o in observations})
+        keep = {shape: ("per-update", "coalesced", "partitioned")[i % 3]
+                for i, shape in enumerate(shapes)}
+        filtered = [o for o in observations if o.executed == keep[o.features_key]]
+        log = TelemetryLog()
+        log.extend(filtered)
+        telemetry_path = tmp_path / "telemetry.json"
+        log.save(telemetry_path)
+        assert calibrate_main([str(telemetry_path)]) == 0
+        assert calibrate_main([str(telemetry_path), "--require-non-regression"]) == 1
+
+    def test_non_convergence_exits_nonzero(self, tmp_path):
+        log = TelemetryLog()
+        log.extend(synthetic_observations(TRUTH)[:4])
+        telemetry_path = tmp_path / "telemetry.json"
+        log.save(telemetry_path)
+        assert calibrate_main([str(telemetry_path)]) == 1
+
+
+class TestOnlineRecalibration:
+    def test_runner_level_refit_swaps_model(self):
+        """An engine with recalibrate_every refits from its own log; a
+        pre-seeded log generated from TRUTH pulls the active model
+        towards TRUTH after one more observed batch."""
+        from repro.algorithms.ua_gpnm import UAGPNM
+        from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+        from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+        from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+
+        log = TelemetryLog()
+        log.extend(synthetic_observations(TRUTH))
+        data = generate_social_graph(
+            SocialGraphSpec(name="recal", num_nodes=40, num_edges=120, seed=9)
+        )
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=4, num_edges=4, labels=("PM", "SE", "TE"), seed=9)
+        )
+        batch = generate_update_batch(
+            data,
+            pattern,
+            UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=10, seed=9),
+        )
+        engine = UAGPNM(pattern, data, telemetry=log, recalibrate_every=1)
+        assert engine.cost_model is DEFAULT_COST_MODEL
+        engine.subsequent_query(batch)
+        assert engine.cost_model.version > DEFAULT_COST_MODEL.version
+        assert engine.cost_model.coalesce_fixed_overhead == pytest.approx(
+            24.0, rel=0.25
+        )

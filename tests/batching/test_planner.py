@@ -14,10 +14,12 @@ import pytest
 
 from repro.algorithms.ua_gpnm import UAGPNM
 from repro.batching.planner import (
+    DEFAULT_COST_MODEL,
     INSERT_ROUTE_THRESHOLD,
     PLAN_CHOICES,
     STRATEGIES,
     BatchStatistics,
+    CostModel,
     estimate_costs,
     plan_batch,
 )
@@ -100,6 +102,44 @@ class TestAutoRouting:
         assert plan_batch(stats(size=256, insertions=128, deletions=128)).strategy == "coalesced"
 
 
+class TestCostModelParameter:
+    """plan_batch consumes an explicit CostModel (ISSUE 4 acceptance)."""
+
+    def test_default_model_matches_module_constants(self):
+        assert DEFAULT_COST_MODEL.insert_route_threshold == INSERT_ROUTE_THRESHOLD
+        assert estimate_costs(stats()) == DEFAULT_COST_MODEL.estimate(stats())
+
+    def test_model_changes_routing(self):
+        s = stats(insertions=51, deletions=205)
+        assert plan_batch(s).strategy == "coalesced"
+        prohibitive = DEFAULT_COST_MODEL.replace(coalesce_fixed_overhead=1e9)
+        assert plan_batch(s, model=prohibitive).strategy == "per-update"
+
+    def test_model_threshold_drives_insert_routing(self):
+        s = stats(insertions=180, deletions=76)  # insert fraction ~0.70
+        assert plan_batch(s).strategy != "per-update"
+        eager = DEFAULT_COST_MODEL.replace(insert_route_threshold=0.5)
+        routed = plan_batch(s, model=eager)
+        assert routed.strategy == "per-update"
+        assert "insert-dominated" in routed.reason
+
+    def test_dense_discount_in_model_estimates(self):
+        sparse_costs = DEFAULT_COST_MODEL.estimate(stats(backend="sparse"))
+        dense_costs = DEFAULT_COST_MODEL.estimate(stats(backend="dense"))
+        assert dense_costs["coalesced"] < sparse_costs["coalesced"]
+
+    def test_algorithms_expose_active_model(self):
+        from tests.conftest import make_random_graph, make_random_pattern
+
+        custom = CostModel(version=9)
+        engine = UAGPNM(
+            make_random_pattern(seed=7), make_random_graph(seed=7), cost_model=custom
+        )
+        assert engine.cost_model is custom
+        default_engine = UAGPNM(make_random_pattern(seed=7), make_random_graph(seed=7))
+        assert default_engine.cost_model is DEFAULT_COST_MODEL
+
+
 class TestForcedPlans:
     @pytest.mark.parametrize("strategy", ["per-update", "coalesced"])
     def test_forced_strategies_are_honoured(self, strategy):
@@ -149,6 +189,15 @@ class TestBatchStatistics:
 class TestDeprecatedFlag:
     """``coalesce_updates`` is deprecated; the planner decides."""
 
+    @pytest.fixture(autouse=True)
+    def _rearm_deprecation(self):
+        """The warning fires once per process; re-arm it per test."""
+        from repro.algorithms.base import reset_coalesce_deprecation_warning
+
+        reset_coalesce_deprecation_warning()
+        yield
+        reset_coalesce_deprecation_warning()
+
     def _instance(self):
         from tests.conftest import make_random_graph, make_random_pattern
 
@@ -161,6 +210,20 @@ class TestDeprecatedFlag:
         with pytest.warns(DeprecationWarning, match="batch_plan"):
             engine = UAGPNM(pattern, data, coalesce_updates=True)
         assert engine.batch_plan == "auto"
+
+    def test_warning_fires_once_per_process(self):
+        """Workloads construct thousands of instances; the deprecation
+        must not fire once per constructor."""
+        import warnings as _warnings
+
+        pattern, data = self._instance()
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            UAGPNM(pattern, data, coalesce_updates=True)
+            UAGPNM(pattern, data, coalesce_updates=True)
+            UAGPNM(pattern, data, coalesce_updates=True)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
 
     def test_explicit_batch_plan_wins_over_flag(self):
         pattern, data = self._instance()
@@ -175,6 +238,18 @@ class TestDeprecatedFlag:
         with _warnings.catch_warnings():
             _warnings.simplefilter("error")
             engine = UAGPNM(pattern, data, batch_plan="auto")
+        assert engine.batch_plan == "auto"
+        assert engine.coalesces_updates
+
+    def test_auto_is_the_default(self):
+        """The default flipped from per-update to auto once the planner
+        soaked (ISSUE 4); no flag, no warning, auto plan."""
+        import warnings as _warnings
+
+        pattern, data = self._instance()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            engine = UAGPNM(pattern, data)
         assert engine.batch_plan == "auto"
         assert engine.coalesces_updates
 

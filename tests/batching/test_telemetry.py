@@ -1,0 +1,204 @@
+"""Telemetry log: recording, bounded retention, JSON round-trip, and
+algorithm-level emission (every maintained batch observes itself)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.inc_gpnm import IncGPNM
+from repro.algorithms.ua_gpnm import UAGPNM
+from repro.batching.planner import DEFAULT_COST_MODEL, BatchStatistics
+from repro.batching.telemetry import (
+    TELEMETRY_FORMAT_VERSION,
+    PlanObservation,
+    TelemetryLog,
+)
+from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+from repro.workloads.pattern_gen import PatternSpec, generate_pattern
+from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
+from tests.conftest import make_random_graph, make_random_pattern
+
+
+def observation(
+    insertions=10,
+    deletions=20,
+    node_count=100,
+    executed="coalesced",
+    elapsed=0.25,
+    backend="sparse",
+):
+    stats = BatchStatistics(
+        batch_size=insertions + deletions,
+        data_updates=insertions + deletions,
+        insertions=insertions,
+        deletions=deletions,
+        node_count=node_count,
+        backend=backend,
+        partition_available=True,
+    )
+    return PlanObservation(
+        statistics=stats,
+        requested="auto",
+        planned=executed,
+        executed=executed,
+        predicted_costs=DEFAULT_COST_MODEL.estimate(stats),
+        elapsed_seconds=elapsed,
+        algorithm="test",
+    )
+
+
+class TestPlanObservation:
+    def test_dict_round_trip(self):
+        original = observation()
+        rebuilt = PlanObservation.from_dict(original.as_dict())
+        assert rebuilt == original
+
+    def test_predicted_cost_is_planned_strategy_estimate(self):
+        obs = observation(executed="coalesced")
+        assert obs.predicted_cost == pytest.approx(obs.predicted_costs["coalesced"])
+
+    def test_features_key_groups_same_shape(self):
+        assert observation(executed="coalesced").features_key == observation(
+            executed="per-update"
+        ).features_key
+        assert observation(insertions=11).features_key != observation().features_key
+
+    def test_unknown_statistics_field_rejected(self):
+        payload = observation().as_dict()
+        payload["statistics"]["surprise"] = 1
+        with pytest.raises(ValueError):
+            PlanObservation.from_dict(payload)
+
+
+class TestTelemetryLog:
+    def test_record_and_iterate(self):
+        log = TelemetryLog()
+        first = log.record(observation(elapsed=0.1))
+        log.record(observation(elapsed=0.2))
+        assert len(log) == 2
+        assert log.observations()[0] == first
+        assert [o.elapsed_seconds for o in log] == [0.1, 0.2]
+
+    def test_bounded_retention_drops_oldest(self):
+        log = TelemetryLog(retention=4)
+        for i in range(10):
+            log.record(observation(elapsed=float(i)))
+        assert len(log) == 4
+        assert log.total_recorded == 10
+        assert log.dropped == 6
+        assert [o.elapsed_seconds for o in log] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryLog(retention=0)
+
+    def test_save_load_round_trip(self, tmp_path):
+        log = TelemetryLog(retention=16)
+        for i in range(6):
+            log.record(observation(insertions=i + 1, elapsed=0.01 * (i + 1)))
+        path = tmp_path / "telemetry.json"
+        log.save(path)
+        loaded = TelemetryLog.load(path)
+        assert loaded.observations() == log.observations()
+        assert loaded.total_recorded == log.total_recorded
+        assert loaded.as_dict() == log.as_dict()
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 999, "observations": []}')
+        with pytest.raises(ValueError):
+            TelemetryLog.load(path)
+
+    def test_format_version_is_written(self, tmp_path):
+        import json
+
+        log = TelemetryLog()
+        log.record(observation())
+        path = tmp_path / "telemetry.json"
+        log.save(path)
+        assert json.loads(path.read_text())["format_version"] == TELEMETRY_FORMAT_VERSION
+
+
+class TestAlgorithmEmission:
+    """Every maintained batch emits one observation into the shared log."""
+
+    def _instance(self, seed=3):
+        data = generate_social_graph(
+            SocialGraphSpec(name="tele", num_nodes=40, num_edges=120, seed=seed)
+        )
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=4, num_edges=4, labels=("PM", "SE", "TE"), seed=seed)
+        )
+        batch = generate_update_batch(
+            data,
+            pattern,
+            UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=12, seed=seed),
+        )
+        return data, pattern, batch
+
+    def test_observation_per_batch(self):
+        data, pattern, batch = self._instance()
+        log = TelemetryLog()
+        engine = UAGPNM(pattern, data, telemetry=log)
+        outcome = engine.subsequent_query(batch)
+        assert len(log) == 1
+        obs = log.observations()[0]
+        assert obs.planned == outcome.stats.planned_strategy
+        assert obs.elapsed_seconds == pytest.approx(outcome.stats.maintenance_seconds)
+        assert obs.elapsed_seconds > 0
+        assert obs.algorithm == engine.name
+        assert obs.statistics.data_updates == len(batch.data_updates())
+
+    def test_forced_coalesced_observation_attributes_executed(self):
+        data, pattern, batch = self._instance()
+        log = TelemetryLog()
+        engine = UAGPNM(pattern, data, batch_plan="coalesced", telemetry=log)
+        engine.subsequent_query(batch)
+        (obs,) = log.observations()
+        assert obs.planned == "coalesced"
+        assert obs.executed == "coalesced"
+
+    def test_inc_gpnm_emits_no_mismatched_observation(self):
+        """INC-GPNM under a coalescing plan compiles but maintains
+        per-update over the *compiled* stream — its timing does not
+        match the plan's pre-compilation statistics, so no observation
+        is emitted (a mislabelled one would bias the refit's per-update
+        unit anchor)."""
+        data, pattern, batch = self._instance()
+        log = TelemetryLog()
+        engine = IncGPNM(pattern, data, batch_plan="coalesced", telemetry=log)
+        engine.subsequent_query(batch)
+        assert len(log) == 0
+
+    def test_inc_gpnm_per_update_plan_still_observes(self):
+        data, pattern, batch = self._instance()
+        log = TelemetryLog()
+        engine = IncGPNM(pattern, data, batch_plan="per-update", telemetry=log)
+        engine.subsequent_query(batch)
+        (obs,) = log.observations()
+        assert obs.planned == obs.executed == "per-update"
+        assert obs.elapsed_seconds > 0
+
+    def test_no_log_no_emission(self):
+        data, pattern, batch = self._instance()
+        engine = UAGPNM(pattern, data)
+        outcome = engine.subsequent_query(batch)
+        assert engine.telemetry is None
+        assert outcome.stats.maintenance_seconds > 0
+
+    def test_empty_batch_emits_nothing(self):
+        pattern = make_random_pattern(seed=1)
+        data = make_random_graph(seed=1)
+        log = TelemetryLog()
+        engine = UAGPNM(pattern, data, telemetry=log)
+        engine.subsequent_query([])
+        assert len(log) == 0
+
+    def test_shared_log_across_engines(self):
+        data, pattern, batch = self._instance()
+        log = TelemetryLog()
+        for plan in ("per-update", "coalesced"):
+            engine = UAGPNM(pattern, data, batch_plan=plan, telemetry=log)
+            engine.subsequent_query(batch)
+        assert len(log) == 2
+        assert {o.executed for o in log} == {"per-update", "coalesced"}
