@@ -209,6 +209,10 @@ class GPNMAlgorithm(abc.ABC):
         ``SLen`` storage backend (``"sparse"`` / ``"dense"`` / ``"auto"``,
         see :mod:`repro.spl.backend`).  ``None`` inherits the backend of
         ``precomputed_slen`` when given, otherwise ``"sparse"``.
+    dense_block_size:
+        Block edge of the blocked dense layout (``None`` = the
+        :data:`repro.spl.dense.DEFAULT_DENSE_BLOCK_SIZE` default);
+        ignored by the sparse backend.
     cost_model:
         The planner's :class:`~repro.batching.planner.CostModel`
         (``None`` = the shipped calibration).  Online recalibration
@@ -242,6 +246,7 @@ class GPNMAlgorithm(abc.ABC):
         coalesce_updates: bool = False,
         coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
         slen_backend: Optional[str] = None,
+        dense_block_size: Optional[int] = None,
         batch_plan: Optional[str] = None,
         cost_model: Optional[CostModel] = None,
         telemetry: Optional[TelemetryLog] = None,
@@ -289,18 +294,24 @@ class GPNMAlgorithm(abc.ABC):
             if slen_backend is None:
                 self._slen = precomputed_slen.copy()
             else:
-                self._slen = precomputed_slen.to_backend(slen_backend)
+                self._slen = precomputed_slen.to_backend(
+                    slen_backend, dense_block_size=dense_block_size
+                )
         elif use_partition:
             partition = LabelPartition.from_graph(self._data)
             self._slen = build_slen_partitioned(self._data, partition)
             if slen_backend is not None:
-                self._slen = self._slen.to_backend(slen_backend)
+                self._slen = self._slen.to_backend(
+                    slen_backend, dense_block_size=dense_block_size
+                )
             # The construction partition seeds the cross-batch cache.
             self._partition_cache = partition
             self._partition_version = self._data.version
         else:
             self._slen = SLenMatrix.from_graph(
-                self._data, backend=slen_backend if slen_backend is not None else "sparse"
+                self._data,
+                backend=slen_backend if slen_backend is not None else "sparse",
+                dense_block_size=dense_block_size,
             )
         if (
             use_partition
@@ -564,7 +575,10 @@ class GPNMAlgorithm(abc.ABC):
             # is left with a consistent (graph, SLen) pair.
             self._invalidate_partition_cache()
             self._slen = SLenMatrix.from_graph(
-                self._data, horizon=self._slen.horizon, backend=self._slen.backend_name
+                self._data,
+                horizon=self._slen.horizon,
+                backend=self._slen.backend_name,
+                dense_block_size=getattr(self._slen.backend, "block_size", None),
             )
             raise
         stats.maintenance_seconds += time.perf_counter() - started

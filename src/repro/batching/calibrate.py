@@ -5,15 +5,22 @@
 :class:`~repro.batching.planner.CostModel`:
 
 1. the **unit** — the wall-clock cost of "one per-update maintenance
-   pass" — is estimated from the per-update observations by a
-   through-origin least squares of ``elapsed_seconds`` on
-   ``data_updates`` (the per-update strategy costs exactly
-   ``data_updates`` units by construction, so it anchors the scale);
+   pass" — is estimated from the *sparse-backend* per-update
+   observations by a through-origin least squares of
+   ``elapsed_seconds`` on ``data_updates`` (the per-update strategy
+   costs exactly ``data_updates`` units by construction, so it anchors
+   the scale; a dense-only stream is de-factored by the incumbent's
+   ``dense_per_update_factor`` instead).  Dense per-update rows then
+   fit the **backend feature column's** per-update coefficient — the
+   relative cost of one blocked-dense pass — so mixed-backend telemetry
+   no longer conflates the two backends' pass costs;
 2. the **coalesced** coefficients (fixed overhead, per-insertion and
    per-deletion factors) are refit by ordinary least squares of the
    unit-normalised elapsed time on ``(1, insertions, deletions)`` over
    the coalesced observations (sparse-backend rows preferred; pure
    Gaussian elimination on the 3x3 normal equations — no numpy needed);
+   when both backends contributed rows, the dense rows additionally fit
+   the column's coalesced-side discounts (insertion and deletion);
 3. the **partitioned** coefficients reuse the refit insertion factor and
    the incumbent per-node term, leaving a 2-parameter fit of the
    residual on ``(1, deletions)``;
@@ -216,16 +223,41 @@ def refit_report(
 
     # ------------------------------------------------------------------
     # Step 1: the per-update unit anchors wall-clock to model units.
+    # The unit is a *sparse*-backend quantity (the backend feature
+    # column expresses dense costs relative to it), so sparse rows
+    # anchor when available; a dense-only stream is de-factored by the
+    # incumbent's dense_per_update_factor instead.
     # ------------------------------------------------------------------
     per_update = by_strategy.get(STRATEGY_PER_UPDATE, [])
-    denominator = sum(o.statistics.data_updates**2 for o in per_update)
-    if len(per_update) < min_observations or denominator <= 0:
+    sparse_per_update = [o for o in per_update if o.statistics.backend != "dense"]
+    dense_per_update = [o for o in per_update if o.statistics.backend == "dense"]
+    anchored_on_sparse = len(sparse_per_update) >= min_observations
+    de_factor = 1.0
+    if anchored_on_sparse:
+        anchor_rows = sparse_per_update
+    elif len(dense_per_update) >= min_observations:
+        # Too few sparse rows to anchor on (a mostly-dense stream):
+        # fall back to the dense rows, de-factored by the incumbent's
+        # per-update factor, rather than aborting the whole refit.
+        anchor_rows = dense_per_update
+        de_factor = incumbent.dense_per_update_factor or 1.0
         report.notes.append(
-            f"insufficient per-update observations ({len(per_update)} < "
-            f"{min_observations}); cannot anchor the unit"
+            f"too few sparse per-update observations ({len(sparse_per_update)} < "
+            f"{min_observations}); anchored the unit on dense rows de-factored "
+            f"by the incumbent dense_per_update_factor"
+        )
+    else:
+        report.notes.append(
+            f"insufficient per-update observations ({len(per_update)} total, "
+            f"neither backend reaching {min_observations}); cannot anchor the unit"
         )
         return report
-    unit = sum(o.elapsed_seconds * o.statistics.data_updates for o in per_update) / denominator
+    denominator = sum(o.statistics.data_updates**2 for o in anchor_rows)
+    if denominator <= 0:
+        report.notes.append("degenerate per-update observations; cannot anchor the unit")
+        return report
+    unit = sum(o.elapsed_seconds * o.statistics.data_updates for o in anchor_rows) / denominator
+    unit /= de_factor
     if unit <= 0:
         report.notes.append("non-positive per-update unit; telemetry is degenerate")
         return report
@@ -237,6 +269,53 @@ def refit_report(
             for observation in by_strategy.get(strategy, [])
         ]
 
+    changes: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Step 1b: backend feature column, per-update side — the relative
+    # cost of one dense per-update pass, fit from the dense rows against
+    # the sparse-anchored unit (guarded like every candidate).  Without
+    # a sparse anchor the factor is unidentifiable (the dense rows
+    # anchored the unit), so it is left alone.
+    # ------------------------------------------------------------------
+    if anchored_on_sparse and len(dense_per_update) >= min_observations:
+        d_train, d_holdout = _split_holdout(dense_per_update, holdout_every)
+        d_denominator = sum(o.statistics.data_updates**2 for o in d_train)
+        if d_denominator > 0:
+            factor = (
+                sum(
+                    (o.elapsed_seconds / unit) * o.statistics.data_updates
+                    for o in d_train
+                )
+                / d_denominator
+            )
+            if factor > 0:
+                report.converged = True
+                f_candidate = incumbent.replace(dense_per_update_factor=factor)
+                holdout_rows = [(o, o.elapsed_seconds / unit) for o in d_holdout]
+                if holdout_rows:
+                    candidate_mae = _strategy_mae(
+                        f_candidate, holdout_rows, STRATEGY_PER_UPDATE
+                    )
+                    incumbent_mae = _strategy_mae(
+                        incumbent, holdout_rows, STRATEGY_PER_UPDATE
+                    )
+                    report.holdout_errors["dense-per-update"] = {
+                        "candidate": candidate_mae,
+                        "incumbent": incumbent_mae,
+                    }
+                    f_accept = candidate_mae <= incumbent_mae + _GUARD_EPSILON
+                else:
+                    f_accept = True
+                report.accepted["dense-per-update"] = f_accept
+                if f_accept:
+                    changes["dense_per_update_factor"] = factor
+                else:
+                    report.notes.append(
+                        "dense per-update factor candidate predicted the "
+                        "holdout worse; rejected"
+                    )
+
     # ------------------------------------------------------------------
     # Step 2: coalesced fit (sparse rows preferred; dense rows are
     # de-discounted with the incumbent's factor when sparse is absent).
@@ -246,15 +325,16 @@ def refit_report(
     dense_rows = [r for r in coalesced_all if r[0].statistics.backend == "dense"]
     fit_rows = sparse_rows
     de_discount = 1.0
+    de_insert_discount = 1.0
     if not fit_rows and dense_rows:
         fit_rows = dense_rows
         de_discount = incumbent.dense_coalesced_discount or 1.0
+        de_insert_discount = incumbent.dense_coalesced_insert_discount or 1.0
         report.notes.append(
             "no sparse coalesced observations; fit dense rows de-discounted "
-            "by the incumbent factor"
+            "by the incumbent factors"
         )
 
-    changes: dict[str, float] = {}
     solution = None
     if len(fit_rows) < min_observations:
         report.notes.append(
@@ -276,6 +356,7 @@ def refit_report(
         report.converged = True
         fixed, insert_factor, delete_factor = (max(value, 0.0) for value in solution)
         delete_factor /= de_discount
+        insert_factor /= de_insert_discount
         candidate = incumbent.replace(
             coalesce_fixed_overhead=fixed,
             coalesced_insert_factor=insert_factor,
@@ -301,9 +382,10 @@ def refit_report(
         else:
             report.notes.append("coalesced candidate predicted the holdout worse; rejected")
 
-    # Dense discount: refit only when both backends contributed enough
-    # coalesced rows to compare their delete factors — and guard it on
-    # held-out dense rows like every other candidate coefficient set.
+    # Dense coalesced discounts (the feature column's coalesced side):
+    # refit only when both backends contributed enough coalesced rows to
+    # compare their factors — and guard the pair on held-out dense rows
+    # like every other candidate coefficient set.
     if sparse_rows and len(dense_rows) >= min_observations and changes:
         d_train, d_holdout = _split_holdout(dense_rows, holdout_every)
         dense_solution = _solve_normal_equations(
@@ -314,9 +396,16 @@ def refit_report(
             [units for _o, units in d_train],
         )
         base_delete = changes.get("coalesced_delete_factor", incumbent.coalesced_delete_factor)
+        base_insert = changes.get("coalesced_insert_factor", incumbent.coalesced_insert_factor)
         if dense_solution is not None and base_delete > 0 and dense_solution[2] > 0:
-            discount = min(dense_solution[2] / base_delete, 1.0)
-            d_candidate = incumbent.replace(**changes, dense_coalesced_discount=discount)
+            discounts = {
+                "dense_coalesced_discount": min(dense_solution[2] / base_delete, 1.0)
+            }
+            if base_insert > 0 and dense_solution[1] > 0:
+                discounts["dense_coalesced_insert_discount"] = min(
+                    dense_solution[1] / base_insert, 1.0
+                )
+            d_candidate = incumbent.replace(**changes, **discounts)
             d_incumbent = incumbent.replace(**changes)
             if d_holdout:
                 candidate_mae = _strategy_mae(d_candidate, d_holdout, STRATEGY_COALESCED)
@@ -330,7 +419,7 @@ def refit_report(
                 d_accept = True
             report.accepted["dense-discount"] = d_accept
             if d_accept:
-                changes["dense_coalesced_discount"] = discount
+                changes.update(discounts)
             else:
                 report.notes.append(
                     "dense-discount candidate predicted the holdout worse; rejected"
@@ -343,13 +432,23 @@ def refit_report(
     # ------------------------------------------------------------------
     partitioned_all = unit_rows(STRATEGY_PARTITIONED)
     insert_factor_now = changes.get("coalesced_insert_factor", incumbent.coalesced_insert_factor)
+    insert_discount_now = changes.get(
+        "dense_coalesced_insert_discount", incumbent.dense_coalesced_insert_discount
+    )
     fixed_now = changes.get("coalesce_fixed_overhead", incumbent.coalesce_fixed_overhead)
+
+    def _insert_factor_for(observation: PlanObservation) -> float:
+        """The (backend-column-scaled) insertion factor one row pays."""
+        if observation.statistics.backend == "dense":
+            return insert_factor_now * insert_discount_now
+        return insert_factor_now
+
     if len(partitioned_all) >= min_observations:
         p_train, p_holdout = _split_holdout(partitioned_all, holdout_every)
         residual_targets = [
             units
             - fixed_now
-            - insert_factor_now * o.statistics.insertions
+            - _insert_factor_for(o) * o.statistics.insertions
             - incumbent.partition_overhead_per_node * o.statistics.node_count
             for o, units in p_train
         ]
@@ -518,11 +617,36 @@ def planner_choice_accuracy(
 # ----------------------------------------------------------------------
 # CLI: the CI calibration job's entry point
 # ----------------------------------------------------------------------
+#: ``--help`` epilog: where the telemetry comes from and what gets fit.
+_CLI_EPILOG = """\
+telemetry provenance and defaults:
+  Telemetry is recorded by runs with --telemetry-out (ua-gpnm or
+  benchmarks/bench_batching.py).  batch_plan defaults to 'auto'
+  everywhere (algorithms, ExperimentConfig, the CLI), so a default run
+  yields auto-routed observations; force strategies (--batch-plan
+  per-update|coalesced|partitioned) to cover all three for the
+  choice-accuracy replay.
+
+what the refit learns:
+  The per-update unit is anchored on sparse-backend per-update rows;
+  coalesced / partitioned coefficients are least-squares refit per
+  strategy; and the cost model's *backend feature column*
+  (dense_per_update_factor + the dense coalesced discounts) is fit
+  whenever dense-backend rows are present, so one calibration prices
+  sparse and blocked-dense maintenance separately (the dense layout is
+  tuned with ua-gpnm --slen-backend dense --dense-block-size N).  Every
+  candidate coefficient set must beat the incumbent on held-out rows or
+  it is rejected.
+"""
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Refit from telemetry file(s), report as JSON, optionally gate."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.batching.calibrate",
         description=__doc__.splitlines()[0],
+        epilog=_CLI_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "telemetry", nargs="+", help="telemetry JSON file(s) written by TelemetryLog.save"

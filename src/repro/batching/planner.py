@@ -99,7 +99,10 @@ PLAN_CHOICES: tuple[str, ...] = (STRATEGY_AUTO,) + STRATEGIES
 # ----------------------------------------------------------------------
 
 #: On-disk JSON layout version of a serialized :class:`CostModel`.
-COST_MODEL_FORMAT_VERSION: int = 1
+#: Version 2 added the backend feature column (``dense_per_update_factor``
+#: + ``dense_coalesced_insert_discount``); version-1 payloads still load,
+#: with the column's coefficients at their neutral defaults.
+COST_MODEL_FORMAT_VERSION: int = 2
 
 #: The fields of :class:`CostModel` that are fitted coefficients (the
 #: serializer and the refit machinery enumerate exactly these).
@@ -112,7 +115,17 @@ COST_MODEL_COEFFICIENTS: tuple[str, ...] = (
     "partition_overhead_per_node",
     "partition_fixed_overhead",
     "insert_route_threshold",
+    "dense_per_update_factor",
+    "dense_coalesced_insert_discount",
 )
+
+#: Coefficients absent from pre-v2 payloads, with the neutral defaults
+#: they load as (the backend feature column; see :meth:`CostModel.
+#: from_dict`).
+_OPTIONAL_COEFFICIENT_DEFAULTS: dict[str, float] = {
+    "dense_per_update_factor": 1.0,
+    "dense_coalesced_insert_discount": 1.0,
+}
 
 
 @dataclass(frozen=True)
@@ -138,7 +151,10 @@ class CostModel:
         the coalescing win).
     dense_coalesced_discount:
         Deletion-factor discount on the dense backend (batched settle
-        kernel).
+        kernel) — one coefficient of the **backend feature column**:
+        the ``BatchStatistics.backend`` feature scales each strategy's
+        terms so one calibration prices sparse and blocked-dense
+        maintenance separately.
     partitioned_delete_factor:
         Per-deletion cost of the partition-aware settle (bridge
         composition).
@@ -147,6 +163,17 @@ class CostModel:
         the coalesced fixed overhead, plus a flat setup term.
     insert_route_threshold:
         Insert fraction at or above which auto always routes per-update.
+    dense_per_update_factor:
+        Backend feature column, per-update strategy: cost multiplier of
+        one per-update maintenance pass on the dense backend (the unit
+        is anchored on *sparse* per-update passes, so this is the
+        relative per-pass cost of the blocked dense kernels; 1.0 =
+        neutral).
+    dense_coalesced_insert_discount:
+        Backend feature column, coalesced insertion side: multiplier on
+        ``coalesced_insert_factor`` when the backend is dense (the
+        blocked rank-1 relaxation amortises differently from the sparse
+        Python loop; 1.0 = neutral).
     version:
         Monotonic calibration generation (1 = the shipped model; a refit
         bumps it).
@@ -162,21 +189,34 @@ class CostModel:
     partition_overhead_per_node: float = 1.0 / 64.0
     partition_fixed_overhead: float = 4.0
     insert_route_threshold: float = 0.75
+    dense_per_update_factor: float = 1.0
+    dense_coalesced_insert_discount: float = 1.0
     version: int = 1
     calibrated_from: str = "BENCH_batching.json + BENCH_slen_backend.json (hand-calibrated)"
 
     def estimate(self, statistics: "BatchStatistics") -> dict[str, float]:
-        """Per-strategy cost estimates for one batch, in per-update units."""
+        """Per-strategy cost estimates for one batch, in per-update units.
+
+        The ``statistics.backend`` feature column scales the terms:
+        on the dense backend the per-update pass costs
+        ``dense_per_update_factor`` units, the coalesced insertion term
+        is discounted by ``dense_coalesced_insert_discount`` and the
+        deletion term by ``dense_coalesced_discount``.
+        """
         insertions = statistics.insertions
         deletions = statistics.deletions
+        per_update_unit = 1.0
+        insert_factor = self.coalesced_insert_factor
         delete_factor = self.coalesced_delete_factor
         if statistics.backend == "dense":
+            per_update_unit = self.dense_per_update_factor
+            insert_factor *= self.dense_coalesced_insert_discount
             delete_factor *= self.dense_coalesced_discount
         costs = {
-            STRATEGY_PER_UPDATE: float(statistics.data_updates),
+            STRATEGY_PER_UPDATE: float(statistics.data_updates) * per_update_unit,
             STRATEGY_COALESCED: (
                 self.coalesce_fixed_overhead
-                + insertions * self.coalesced_insert_factor
+                + insertions * insert_factor
                 + deletions * delete_factor
             ),
         }
@@ -185,7 +225,7 @@ class CostModel:
                 self.coalesce_fixed_overhead
                 + self.partition_fixed_overhead
                 + statistics.node_count * self.partition_overhead_per_node
-                + insertions * self.coalesced_insert_factor
+                + insertions * insert_factor
                 + deletions * self.partitioned_delete_factor
             )
         return costs
@@ -206,19 +246,29 @@ class CostModel:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CostModel":
-        """Rebuild a model from :meth:`as_dict` output (strictly validated)."""
+        """Rebuild a model from :meth:`as_dict` output (strictly validated).
+
+        Accepts the current layout and version-1 payloads (written
+        before the backend feature column existed); the column's
+        coefficients load at their neutral defaults in that case.
+        """
         if not isinstance(payload, dict):
             raise ValueError(f"cost model payload must be a dict, got {type(payload).__name__}")
         fmt = payload.get("format_version")
-        if fmt != COST_MODEL_FORMAT_VERSION:
+        if fmt not in (1, COST_MODEL_FORMAT_VERSION):
             raise ValueError(
                 f"unsupported cost model format_version {fmt!r}; "
-                f"expected {COST_MODEL_FORMAT_VERSION}"
+                f"expected {COST_MODEL_FORMAT_VERSION} (or the legacy 1)"
             )
-        coefficients = payload.get("coefficients", {})
+        coefficients = dict(payload.get("coefficients", {}))
         unknown = sorted(set(coefficients) - set(COST_MODEL_COEFFICIENTS))
         if unknown:
             raise ValueError(f"unknown cost model coefficients {unknown}")
+        if fmt == 1:
+            # Only legacy payloads may omit the backend feature column;
+            # a current-format payload missing it is malformed.
+            for name, default in _OPTIONAL_COEFFICIENT_DEFAULTS.items():
+                coefficients.setdefault(name, default)
         missing = sorted(set(COST_MODEL_COEFFICIENTS) - set(coefficients))
         if missing:
             raise ValueError(f"missing cost model coefficients {missing}")

@@ -115,9 +115,21 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         default=default("sparse"),
         choices=("sparse", "dense", "auto"),
         help=(
-            "SLen storage backend: sparse dict-of-dicts, dense int32 NumPy "
-            "matrix with vectorized kernels, or auto (dense above a "
-            "node-count threshold); default: sparse"
+            "SLen storage backend: sparse dict-of-dicts, dense blocked "
+            "int32 NumPy grid with vectorized kernels, or auto (dense "
+            "above a node-count threshold); default: sparse"
+        ),
+    )
+    parser.add_argument(
+        "--dense-block-size",
+        type=int,
+        default=default(None),
+        metavar="N",
+        help=(
+            "block edge of the blocked dense SLen layout (default 512); "
+            "blocks are allocated lazily and all-INF blocks are elided, "
+            "so memory scales with occupied blocks instead of |V|^2; "
+            "ignored by the sparse backend"
         ),
     )
     parser.add_argument(
@@ -174,13 +186,26 @@ batch plan strategy selection (--batch-plan):
                  (Section V); requires a partition (UA-GPNM), pays off
                  on large deletion volumes
 
-  'auto' picks per batch via a small cost model (shipped calibration
-  from BENCH_batching.json): batches under --coalesce-min-batch or
-  dominated by insertions stay per-update (insert coalescing is a
+  'auto' (the default since the planner soaked behind the differential,
+  strategy-equivalence and calibration gates) picks per batch via a
+  small cost model (shipped calibration from BENCH_batching.json, or a
+  refit loaded with --cost-model): batches under --coalesce-min-batch
+  or dominated by insertions stay per-update (insert coalescing is a
   structural non-win); deletion-bearing batches above the crossover go
   coalesced, and partitioned when a partition is available and the
-  deletion volume amortises the quotient condensation.  The chosen
+  deletion volume amortises the quotient condensation.  The model
+  carries a backend feature column, so the same calibration prices
+  sparse and (blocked) dense maintenance differently.  The chosen
   strategy is recorded per run (PlanReport).
+
+SLen backend selection (--slen-backend / --dense-block-size):
+  sparse keeps only finite entries in dicts (pure-Python kernels);
+  dense stores a blocked int32 grid with vectorized kernels — blocks
+  (--dense-block-size, default 512) are allocated lazily and all-INF
+  blocks are elided, so memory scales with occupied blocks and the
+  dense backend stays usable past 10^4 nodes.  auto picks dense at or
+  above 256 nodes.  See the README's "choosing a backend" guide and
+  BENCH_slen_backend.json.
 
 planner telemetry and recalibration:
   --telemetry-out records one observation per maintained batch (the
@@ -240,6 +265,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = dataclasses.replace(config, coalesce_min_batch=args.coalesce_min_batch)
     if args.slen_backend != "sparse":
         config = dataclasses.replace(config, slen_backend=args.slen_backend)
+    if getattr(args, "dense_block_size", None) is not None:
+        config = dataclasses.replace(config, dense_block_size=args.dense_block_size)
     if getattr(args, "telemetry_out", None) is not None:
         config = dataclasses.replace(config, telemetry_path=args.telemetry_out)
     if getattr(args, "recalibrate_every", None) is not None:

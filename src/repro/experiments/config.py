@@ -66,6 +66,10 @@ class ExperimentConfig:
     slen_backend:
         ``SLen`` storage backend for every method: ``"sparse"``,
         ``"dense"`` or ``"auto"`` (see :mod:`repro.spl.backend`).
+    dense_block_size:
+        Block edge of the blocked dense ``SLen`` layout (``None`` uses
+        :data:`repro.spl.dense.DEFAULT_DENSE_BLOCK_SIZE`); ignored when
+        the sparse backend is selected (CLI: ``--dense-block-size``).
     telemetry_path:
         When set, every maintained batch's planner observation
         (prediction vs. measured maintenance time) is collected in a
@@ -93,6 +97,7 @@ class ExperimentConfig:
     coalesce_updates: bool = False
     coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH
     slen_backend: str = "sparse"
+    dense_block_size: Optional[int] = None
     batch_plan: Optional[str] = "auto"
     telemetry_path: Optional[str] = None
     recalibrate_every: int = 0
@@ -110,6 +115,8 @@ class ExperimentConfig:
             )
         if self.coalesce_min_batch < 0:
             raise ValueError("coalesce_min_batch must be non-negative")
+        if self.dense_block_size is not None and self.dense_block_size < 1:
+            raise ValueError("dense_block_size must be positive")
         if self.batch_plan is not None and self.batch_plan not in PLAN_CHOICES:
             raise ValueError(
                 f"unknown batch_plan {self.batch_plan!r}; expected one of {PLAN_CHOICES}"

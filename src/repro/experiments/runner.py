@@ -107,6 +107,7 @@ def run_cell(
     coalesce_updates: bool = False,
     coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH,
     slen_backend: str = "sparse",
+    dense_block_size: Optional[int] = None,
     batch_plan: Optional[str] = None,
     telemetry: Optional[TelemetryLog] = None,
     cost_model: Optional[CostModel] = None,
@@ -121,7 +122,12 @@ def run_cell(
     if pattern_size is None:
         pattern_size = (pattern.number_of_nodes, pattern.number_of_edges)
     if shared_slen is None:
-        shared_slen = SLenMatrix.from_graph(data, horizon=SLEN_HORIZON, backend=slen_backend)
+        shared_slen = SLenMatrix.from_graph(
+            data,
+            horizon=SLEN_HORIZON,
+            backend=slen_backend,
+            dense_block_size=dense_block_size,
+        )
     if shared_iquery is None:
         shared_iquery = gpnm_query(pattern, data, shared_slen, enforce_totality=False)
     num_pattern_updates, num_data_updates = delta_scale
@@ -153,6 +159,7 @@ def run_cell(
             batch_plan=batch_plan,
             coalesce_min_batch=coalesce_min_batch,
             slen_backend=slen_backend,
+            dense_block_size=dense_block_size,
             telemetry=telemetry,
             cost_model=cost_model,
         )
@@ -256,7 +263,10 @@ def run_experiment(
                     )
                 )
                 slen = SLenMatrix.from_graph(
-                    data, horizon=SLEN_HORIZON, backend=config.slen_backend
+                    data,
+                    horizon=SLEN_HORIZON,
+                    backend=config.slen_backend,
+                    dense_block_size=config.dense_block_size,
                 )
                 iquery = gpnm_query(pattern, data, slen, enforce_totality=False)
                 cache[key] = (data, pattern, slen, iquery)
@@ -288,6 +298,7 @@ def run_experiment(
                     coalesce_updates=config.coalesce_updates,  # deprecated, warns only
                     coalesce_min_batch=config.coalesce_min_batch,
                     slen_backend=config.slen_backend,
+                    dense_block_size=config.dense_block_size,
                     batch_plan=config.batch_plan,
                     telemetry=telemetry,
                     cost_model=cost_model,

@@ -68,6 +68,13 @@ def simulation_fixpoint(
     restricted to label-consistent nodes (the caller is responsible for
     label consistency).  The input mapping is not mutated.
 
+    Each edge check asks the matrix for the surviving sources in bulk
+    (:meth:`~repro.spl.matrix.SLenMatrix.sources_within`): on the dense
+    backend that is one block-wise submatrix gather for the whole
+    candidate set, instead of one materialised per-row dict per
+    candidate; the sparse backend runs the same per-row scan the scalar
+    check always did.
+
     Returns the refined relation as ``{pattern node: frozenset of data nodes}``.
     """
     match: dict[NodeId, set[NodeId]] = {u: set(candidates.get(u, set())) for u in pattern.nodes()}
@@ -83,14 +90,12 @@ def simulation_fixpoint(
         source_pattern, target_pattern, bound = edges[position]
         source_matches = match[source_pattern]
         target_matches = match[target_pattern]
-        violating = [
-            v
-            for v in source_matches
-            if not edge_constraint_holds(slen, v, target_matches, bound)
-        ]
-        if not violating:
+        satisfied = slen.sources_within(
+            source_matches, target_matches, _TOO_FAR if bound is STAR else bound
+        )
+        if len(satisfied) == len(source_matches):
             continue
-        source_matches.difference_update(violating)
+        source_matches.intersection_update(satisfied)
         for affected_edge in in_edges_of[source_pattern]:
             pending.add(affected_edge)
         # The edge we just processed may need re-checking too if its own

@@ -8,8 +8,11 @@ data graph (the paper's ``SLen`` matrix).  This package provides:
 * :mod:`repro.spl.matrix` — the :class:`SLenMatrix` all-pairs facade;
 * :mod:`repro.spl.backend` — the pluggable storage/kernel interface and
   the sparse (dict-of-dicts) backend;
-* :mod:`repro.spl.dense` — the dense ``int32`` NumPy backend with
-  vectorized construction / insertion / deletion kernels;
+* :mod:`repro.spl.dense` — the blocked dense ``int32`` NumPy backend:
+  a lazily-allocated block grid (all-``INF`` blocks elided, so memory
+  scales with occupied blocks rather than |V|²) with vectorized
+  construction (bit-packed BFS frontiers), insertion, deletion and
+  matching kernels; the block edge is the ``dense_block_size`` knob;
 * :mod:`repro.spl.incremental` — maintenance of ``SLen`` under the update
   vocabulary of Section III-C, producing the affected-pair sets (``AFF``)
   that drive elimination detection;

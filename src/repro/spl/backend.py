@@ -23,11 +23,15 @@ Two backends ship with the repository:
     dense update streams.
 
 ``dense`` (:class:`~repro.spl.dense.DenseSLenBackend`)
-    A contiguous ``int32`` NumPy matrix with a sentinel for ``INF`` and
-    vectorized kernels (frontier-array multi-source BFS construction,
-    rank-1 broadcast insertion, batched affected-region settling).
-    Memory is O(|V|²) regardless of sparsity — the classic trade-off the
-    ``auto`` policy arbitrates.
+    A blocked ``int32`` NumPy layout: the all-pairs matrix is a grid of
+    lazily-allocated fixed-size blocks with a sentinel for ``INF``
+    (all-``INF`` blocks are elided entirely), plus vectorized kernels
+    (bit-packed-frontier multi-source BFS construction, rank-1
+    insertion relaxation, batched affected-region settling, and the
+    block-gather matching kernel behind :meth:`SLenBackend.
+    sources_within`).  Memory scales with the *occupied* blocks, which
+    is what lets the dense backend handle graphs past ~10⁴ nodes; the
+    block edge is the ``dense_block_size`` knob.
 
 ``auto``
     Resolved at construction time: dense for graphs with at least
@@ -47,6 +51,7 @@ import abc
 import heapq
 import math
 from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
 
 from repro.graph.digraph import DataGraph
 from repro.spl.sssp import bfs_lengths, bfs_lengths_within
@@ -151,6 +156,42 @@ class SLenBackend(abc.ABC):
         for source in self.node_set():
             for target, dist in self.row_view(source).items():
                 yield (source, target, dist)
+
+    def sources_within(
+        self, sources: Iterable[NodeId], targets: Iterable[NodeId], bound: float | int
+    ) -> set[NodeId]:
+        """Subset of ``sources`` reaching some node of ``targets`` within ``bound``.
+
+        The bulk form of the BGS edge-constraint check: the simulation
+        fixpoint asks this question once per pattern edge per refinement
+        round, for the whole candidate set at once.  The generic
+        implementation scans each source's row view with the same
+        small/large-set heuristics the scalar check used; the dense
+        backend overrides it with one block-wise submatrix gather.
+        Sources or targets outside the universe are ignored; ``bound``
+        may be :data:`INF` (any finite distance qualifies — the ``"*"``
+        wildcard).
+        """
+        target_set = targets if isinstance(targets, (set, frozenset)) else set(targets)
+        satisfied: set[NodeId] = set()
+        if not target_set:
+            return satisfied
+        for source in sources:
+            if source not in self:
+                continue
+            row = self.row_view(source)
+            if len(row) <= len(target_set):
+                for target, dist in row.items():
+                    if dist <= bound and target in target_set:
+                        satisfied.add(source)
+                        break
+            else:
+                for target in target_set:
+                    dist = row.get(target)
+                    if dist is not None and dist <= bound:
+                        satisfied.add(source)
+                        break
+        return satisfied
 
     def finite_count(self) -> int:
         """Number of finite (stored) entries."""
@@ -433,24 +474,30 @@ class SparseSLenBackend(SLenBackend):
     # Storage primitives
     # ------------------------------------------------------------------
     def node_set(self) -> set[NodeId]:
+        """A fresh set holding the node universe."""
         return set(self._nodes)
 
     def __contains__(self, node: NodeId) -> bool:
         return node in self._nodes
 
     def number_of_nodes(self) -> int:
+        """``|VD|`` as seen by the backend."""
         return len(self._nodes)
 
     def get(self, source: NodeId, target: NodeId) -> float | int:
+        """``SLen(source, target)``; :data:`INF` when absent."""
         return self._rows[source].get(target, INF)
 
     def row(self, source: NodeId) -> dict[NodeId, int]:
+        """A fresh dict of the finite entries of one row."""
         return dict(self._rows[source])
 
     def row_view(self, source: NodeId) -> Mapping[NodeId, int]:
+        """The internal row dict itself (callers must not mutate it)."""
         return self._rows[source]
 
     def column(self, target: NodeId) -> dict[NodeId, int]:
+        """``{source: distance}`` over all sources reaching ``target``."""
         return {
             source: row[target]
             for source, row in self._rows.items()
@@ -458,12 +505,14 @@ class SparseSLenBackend(SLenBackend):
         }
 
     def set_value(self, source: NodeId, target: NodeId, value: float | int) -> None:
+        """Set one entry; :data:`INF` (or beyond the horizon) removes it."""
         if value == INF or value > self.horizon:
             self._rows[source].pop(target, None)
         else:
             self._rows[source][target] = int(value)
 
     def set_row(self, source: NodeId, row: Mapping[NodeId, int]) -> None:
+        """Replace one row (entries beyond the horizon are dropped)."""
         new_row = {
             target: int(dist)
             for target, dist in row.items()
@@ -473,19 +522,23 @@ class SparseSLenBackend(SLenBackend):
         self._rows[source] = new_row
 
     def replace_row_raw(self, source: NodeId, row: dict[NodeId, int]) -> None:
+        """Replace one row verbatim, without horizon filtering."""
         self._rows[source] = row
 
     def add_node(self, node: NodeId) -> None:
+        """Add an isolated node (its row starts at ``{node: 0}``)."""
         self._nodes.add(node)
         self._rows[node] = {node: 0}
 
     def remove_node(self, node: NodeId) -> None:
+        """Drop a node, its row and its column."""
         self._nodes.discard(node)
         del self._rows[node]
         for row in self._rows.values():
             row.pop(node, None)
 
     def copy(self) -> "SparseSLenBackend":
+        """An independent deep copy (same horizon)."""
         clone = SparseSLenBackend(horizon=self.horizon)
         clone._nodes = set(self._nodes)
         clone._rows = {source: dict(row) for source, row in self._rows.items()}
@@ -526,9 +579,11 @@ class SparseSLenBackend(SLenBackend):
         )
 
     def finite_count(self) -> int:
+        """Number of finite (stored) entries."""
         return sum(len(row) for row in self._rows.values())
 
     def finite_entries(self) -> Iterator[tuple[NodeId, NodeId, int]]:
+        """Iterate over ``(source, target, distance)`` finite entries."""
         for source, row in self._rows.items():
             for target, dist in row.items():
                 yield (source, target, dist)
@@ -560,13 +615,25 @@ def resolve_backend_name(name: str, num_nodes: int) -> str:
 
 
 def make_backend(
-    name: str, nodes: Iterable[NodeId] = (), horizon: float = INF
+    name: str,
+    nodes: Iterable[NodeId] = (),
+    horizon: float = INF,
+    dense_block_size: Optional[int] = None,
 ) -> SLenBackend:
-    """Instantiate a backend by (resolved or unresolved) name."""
+    """Instantiate a backend by (resolved or unresolved) name.
+
+    ``dense_block_size`` sets the blocked dense layout's block edge
+    (``None`` = :data:`repro.spl.dense.DEFAULT_DENSE_BLOCK_SIZE`); the
+    sparse backend ignores it.
+    """
     nodes = list(nodes)
     resolved = resolve_backend_name(name, len(nodes))
     if resolved == "sparse":
         return SparseSLenBackend(nodes, horizon=horizon)
-    from repro.spl.dense import DenseSLenBackend
+    from repro.spl.dense import DEFAULT_DENSE_BLOCK_SIZE, DenseSLenBackend
 
-    return DenseSLenBackend(nodes, horizon=horizon)
+    return DenseSLenBackend(
+        nodes,
+        horizon=horizon,
+        block_size=DEFAULT_DENSE_BLOCK_SIZE if dense_block_size is None else dense_block_size,
+    )

@@ -1,29 +1,52 @@
-"""Dense NumPy backend for the ``SLen`` matrix.
+"""Blocked dense NumPy backend for the ``SLen`` matrix.
 
-Stores the all-pairs shortest path lengths as one contiguous ``int32``
-matrix ``D`` indexed by a node -> slot map, with :data:`SENTINEL`
-standing in for ``INF``.  Memory is O(|V|²) *regardless of sparsity* —
-4 bytes per ordered pair (a 2048-node graph costs 16 MiB) — which is the
-trade-off against the dict-of-dicts sparse backend: that one stores only
-finite entries but pays per-entry interpreter overhead on every kernel.
-The ``auto`` selection policy (:func:`repro.spl.backend.resolve_backend_name`)
-arbitrates via a node-count threshold.
+The all-pairs shortest path lengths are stored as a **grid of fixed-size
+``int32`` blocks** indexed by a node -> slot map, with :data:`SENTINEL`
+standing in for ``INF``.  Blocks are allocated lazily the first time a
+finite entry lands in them, and all-``INF`` blocks are simply absent
+from the grid — so memory scales with the number of *occupied* blocks,
+not with |V|².  On a horizon-bounded matrix over a sparse social graph
+most off-diagonal blocks never materialise, which is what lets the
+dense backend handle graphs past ~10⁴ nodes (a full 10⁴×10⁴ ``int32``
+matrix costs 400 MB; the blocked layout pays only for the reachable
+neighbourhood structure).  The trade-off against the dict-of-dicts
+sparse backend is unchanged in spirit: the sparse backend stores only
+finite entries but pays per-entry interpreter overhead on every kernel,
+while the blocked layout pays (at most) a block-granular memory premium
+for vectorized kernels.  The ``auto`` selection policy
+(:func:`repro.spl.backend.resolve_backend_name`) arbitrates via a
+node-count threshold; :data:`DEFAULT_DENSE_BLOCK_SIZE` (overridable per
+matrix via the ``dense_block_size`` knob threaded through
+:class:`~repro.spl.matrix.SLenMatrix`, ``ExperimentConfig`` and
+``ua-gpnm --dense-block-size``) sets the block edge.
 
-The three hot maintenance kernels are vectorized:
+The hot maintenance kernels are vectorized and block-aware:
 
-* **construction** — frontier-array multi-source BFS: one boolean
-  frontier matrix (sources × nodes) expanded level by level through a
-  CSR predecessor gather + ``logical_or.reduceat``, instead of one
-  Python BFS per source;
-* **single-edge insertion** — the rank-1 broadcast relaxation
-  ``D = minimum(D, D[:, u, None] + 1 + D[None, v, :])``, replacing the
-  O(n²) Python double loop with one elementwise pass;
-* **deletion settle** — a batched affected-region recompute: all
+* **construction** — multi-source BFS with **bit-packed frontier
+  words**: sources are processed in block-row stripes, each stripe's
+  frontier is packed 64 sources per ``np.uint64`` word, and one level of
+  expansion is a CSR predecessor gather followed by a
+  ``bitwise_or.reduceat`` over the words (8× less memory traffic than
+  the PR-2 boolean-frontier kernel, which survives as the
+  ``"boolean"`` frontier mode for differential testing and the
+  benchmark's speedup row);
+* **single-edge insertion** — the rank-1 relaxation
+  ``d'(x, y) = min(d(x, y), d(x, u) + 1 + d(v, y))`` restricted to the
+  finite column of ``u`` × the finite row of ``v`` and gathered /
+  scattered block-wise, so no |V|²-sized temporary is ever allocated;
+* **deletion settle** — the batched affected-region recompute: all
   affected source rows are settled together by iterated min-plus
   relaxation over the affected columns only (``minimum.reduceat`` over
   the CSR predecessor gather), seeded from the unaffected entries,
   exactly the Ramalingam & Reps fixpoint the per-source Dijkstra
-  computes.
+  computes;
+* **matching support** — :meth:`DenseSLenBackend.sources_within`
+  answers "which of these sources reach some target within the bound"
+  for a whole candidate set in one block-wise gather, which is what
+  drives the BGS simulation fixpoint off the block grid instead of
+  materialised per-row dicts (the per-row dict cache behind
+  :meth:`row_view` survives as a compatibility shim for callers that
+  still want mapping semantics).
 
 Distances are bounded by the horizon exactly like the sparse backend:
 entries beyond it are simply absent (``SENTINEL``).  Early horizon
@@ -57,50 +80,113 @@ Change = tuple[float, float]
 #: largest intermediate is ``SENTINEL + SENTINEL + 1 = 2**30 + 1 < 2**31``.
 SENTINEL: int = 2**29
 
+#: Default edge length of one block (``block_size`` × ``block_size``
+#: ``int32`` entries = 1 MiB at 512).  512 keeps graphs up to the PR-2
+#: benchmark sizes in a single block (so small-graph kernel behaviour is
+#: unchanged) while giving a 10⁴-node matrix a 20×20 grid whose
+#: unreachable regions are never allocated.
+DEFAULT_DENSE_BLOCK_SIZE: int = 512
 
-def _segment_reduce(values, segment_starts, segment_empty, ufunc, fill):
-    """Per-segment ``ufunc`` reduction of ``values`` along axis 1.
+#: Multi-source BFS frontier representations: ``"bitset"`` packs 64
+#: sources per ``uint64`` word (the default); ``"boolean"`` is the PR-2
+#: one-byte-per-source kernel, kept as the differential reference and
+#: the baseline of the benchmark's construction-speedup row.
+FRONTIER_MODES: tuple[str, ...] = ("bitset", "boolean")
+
+
+def _segment_reduce(values, segment_starts, segment_empty, ufunc, fill, axis=1):
+    """Per-segment ``ufunc`` reduction of ``values`` along ``axis``.
 
     ``segment_starts``/``segment_empty`` describe CSR-style segments of
-    the gathered axis.  Empty segments yield ``fill``.  Implemented via
-    ``ufunc.reduceat`` over the non-empty segments only — passing empty
-    segments to ``reduceat`` directly would mis-handle both the
-    "start == end" case (it returns the element at ``start`` unreduced)
-    and trailing empties (whose out-of-range start would have to be
-    clipped, silently truncating the previous segment).
+    the gathered axis (axis 1 for the min-plus/boolean kernels, axis 0
+    for the bit-packed frontier expansion, which gathers whole
+    word-rows per predecessor).  Empty segments yield ``fill``.
+    Implemented via ``ufunc.reduceat`` over the non-empty segments only
+    — passing empty segments to ``reduceat`` directly would mis-handle
+    both the "start == end" case (it returns the element at ``start``
+    unreduced) and trailing empties (whose out-of-range start would
+    have to be clipped, silently truncating the previous segment).
     """
-    k = values.shape[0]
-    out = np.full((k, len(segment_empty)), fill, dtype=values.dtype)
-    if values.shape[1] == 0:
+    segments = len(segment_empty)
+    if axis == 1:
+        shape = (values.shape[0], segments)
+    else:
+        shape = (segments, values.shape[1])
+    out = np.full(shape, fill, dtype=values.dtype)
+    if values.shape[axis] == 0:
         return out
     nonempty = ~segment_empty
     if nonempty.any():
-        out[:, nonempty] = ufunc.reduceat(values, segment_starts[nonempty], axis=1)
+        reduced = ufunc.reduceat(values, segment_starts[nonempty], axis=axis)
+        if axis == 1:
+            out[:, nonempty] = reduced
+        else:
+            out[nonempty] = reduced
     return out
 
 
 class DenseSLenBackend(SLenBackend):
-    """Contiguous int32 all-pairs matrix with vectorized kernels."""
+    """Blocked ``int32`` all-pairs grid with vectorized kernels.
+
+    ``block_size`` fixes the block edge; ``frontier_mode`` selects the
+    multi-source BFS frontier representation (see
+    :data:`FRONTIER_MODES`).  Storage invariants: entries of free or
+    padding slots are always :data:`SENTINEL`, a block absent from the
+    grid is all-:data:`SENTINEL` by definition, and every occupied
+    slot's diagonal entry is ``0`` (so the diagonal blocks of occupied
+    block-rows are always allocated).
+    """
 
     name = "dense"
 
-    __slots__ = ("horizon", "_index", "_slots", "_free", "_D", "_row_cache", "_csr_cache")
+    __slots__ = (
+        "horizon",
+        "block_size",
+        "frontier_mode",
+        "_index",
+        "_slots",
+        "_free",
+        "_blocks",
+        "_row_cache",
+        "_csr_cache",
+    )
 
-    def __init__(self, nodes: Iterable[NodeId] = (), horizon: float = INF) -> None:
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] = (),
+        horizon: float = INF,
+        block_size: int = DEFAULT_DENSE_BLOCK_SIZE,
+        frontier_mode: str = "bitset",
+    ) -> None:
+        """Create an identity matrix (diagonal 0) over ``nodes``."""
+        if block_size < 1:
+            raise ValueError("dense block size must be positive")
+        if frontier_mode not in FRONTIER_MODES:
+            raise ValueError(
+                f"unknown frontier mode {frontier_mode!r}; expected one of {FRONTIER_MODES}"
+            )
         self.horizon = horizon
+        self.block_size = int(block_size)
+        self.frontier_mode = frontier_mode
         order = list(dict.fromkeys(nodes))
-        n = len(order)
-        #: node -> slot (row/column position in ``_D``)
+        #: node -> slot (logical row/column position in the block grid)
         self._index: dict[NodeId, int] = {node: slot for slot, node in enumerate(order)}
         #: slot -> node (``None`` for free slots)
         self._slots: list[Optional[NodeId]] = list(order)
         self._free: list[int] = []
-        capacity = max(1, n)
-        self._D = np.full((capacity, capacity), SENTINEL, dtype=np.int32)
-        if n:
-            diag = np.arange(n)
-            self._D[diag, diag] = 0
-        #: per-row materialised finite-entry dicts (invalidated on mutation)
+        #: (block_row, block_col) -> (block_size, block_size) int32 block;
+        #: absent blocks are all-SENTINEL by definition (INF-block elision).
+        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        size = self.block_size
+        n = len(order)
+        for block_row in range((n + size - 1) // size):
+            low = block_row * size
+            span = np.arange(min(n, low + size) - low)
+            self._ensure_block(block_row, block_row)[span, span] = 0
+        #: per-row materialised finite-entry dicts — the compatibility
+        #: shim behind :meth:`row_view` (invalidated on mutation).  The
+        #: matching fixpoint no longer needs it (:meth:`sources_within`
+        #: reads the block grid directly).
         self._row_cache: dict[NodeId, dict[NodeId, int]] = {}
         #: (graph, version) -> CSR predecessor arrays.  The graph itself
         #: is held (identity-checked with ``is``) so a freed graph's
@@ -108,31 +194,170 @@ class DenseSLenBackend(SLenBackend):
         self._csr_cache: Optional[tuple[DataGraph, int, tuple]] = None
 
     # ------------------------------------------------------------------
-    # Horizon helpers
+    # Horizon / geometry helpers
     # ------------------------------------------------------------------
     @property
     def _hcap(self) -> Optional[int]:
         """The horizon as an int cap, or ``None`` for an unbounded matrix."""
         return None if self.horizon == INF else int(self.horizon)
 
+    @property
+    def _num_block_rows(self) -> int:
+        """Blocks per grid edge (the grid is square)."""
+        return (len(self._slots) + self.block_size - 1) // self.block_size
+
+    @property
+    def _padded_capacity(self) -> int:
+        """Logical slot capacity rounded up to whole blocks.
+
+        Slots past ``len(self._slots)`` are padding: no kernel ever
+        writes a finite value there, so padded gathers read
+        :data:`SENTINEL` and behave like absent nodes.
+        """
+        return self._num_block_rows * self.block_size
+
+    def _ensure_block(self, block_row: int, block_col: int) -> np.ndarray:
+        """The block at grid position, allocating it if absent."""
+        block = self._blocks.get((block_row, block_col))
+        if block is None:
+            block = np.full((self.block_size, self.block_size), SENTINEL, dtype=np.int32)
+            self._blocks[(block_row, block_col)] = block
+        return block
+
+    # ------------------------------------------------------------------
+    # Memory introspection (the 10⁴-node acceptance surface)
+    # ------------------------------------------------------------------
+    def occupied_blocks(self) -> int:
+        """Number of allocated (non-elided) blocks."""
+        return len(self._blocks)
+
+    def total_blocks(self) -> int:
+        """Grid size: blocks the dense-full layout would allocate."""
+        return self._num_block_rows**2
+
+    def allocated_bytes(self) -> int:
+        """Bytes held by allocated blocks (the matrix's real footprint)."""
+        return sum(block.nbytes for block in self._blocks.values())
+
+    def dense_full_bytes(self) -> int:
+        """What the pre-blocked O(|V|²) ``int32`` layout would cost."""
+        n = len(self._index)
+        return 4 * n * n
+
+    # ------------------------------------------------------------------
+    # Block-wise gather / scatter primitives
+    # ------------------------------------------------------------------
+    def _row_array(self, slot: int) -> np.ndarray:
+        """One logical row as a fresh int32 array over the padded capacity."""
+        size = self.block_size
+        out = np.full(self._padded_capacity, SENTINEL, dtype=np.int32)
+        block_row, offset = divmod(slot, size)
+        blocks = self._blocks
+        for block_col in range(self._num_block_rows):
+            block = blocks.get((block_row, block_col))
+            if block is not None:
+                out[block_col * size : (block_col + 1) * size] = block[offset]
+        return out
+
+    def _column_array(self, slot: int) -> np.ndarray:
+        """One logical column as a fresh int32 array over the padded capacity."""
+        size = self.block_size
+        out = np.full(self._padded_capacity, SENTINEL, dtype=np.int32)
+        block_col, offset = divmod(slot, size)
+        blocks = self._blocks
+        for block_row in range(self._num_block_rows):
+            block = blocks.get((block_row, block_col))
+            if block is not None:
+                out[block_row * size : (block_row + 1) * size] = block[:, offset]
+        return out
+
+    def _gather_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Stack the logical rows of slot array ``rows`` into (k, capacity)."""
+        size = self.block_size
+        out = np.full((len(rows), self._padded_capacity), SENTINEL, dtype=np.int32)
+        if not len(rows):
+            return out
+        rows = np.asarray(rows, dtype=np.int64)
+        positions_by_block_row: dict[int, list[int]] = {}
+        for position, slot in enumerate(rows.tolist()):
+            positions_by_block_row.setdefault(slot // size, []).append(position)
+        blocks = self._blocks
+        for block_row, positions in positions_by_block_row.items():
+            pos = np.asarray(positions, dtype=np.int64)
+            offsets = rows[pos] % size
+            for block_col in range(self._num_block_rows):
+                block = blocks.get((block_row, block_col))
+                if block is not None:
+                    out[pos, block_col * size : (block_col + 1) * size] = block[offsets]
+        return out
+
+    def _scatter_row(self, slot: int, values: np.ndarray) -> None:
+        """Write a full padded row back, allocating blocks only for finite chunks."""
+        size = self.block_size
+        block_row, offset = divmod(slot, size)
+        for block_col in range(self._num_block_rows):
+            chunk = values[block_col * size : (block_col + 1) * size]
+            block = self._blocks.get((block_row, block_col))
+            if block is not None:
+                block[offset] = chunk
+            elif (chunk < SENTINEL).any():
+                self._ensure_block(block_row, block_col)[offset] = chunk
+
+    def _gather_pairs_matrix(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """The submatrix ``D[xs × ys]`` as a fresh (|xs|, |ys|) int32 array."""
+        size = self.block_size
+        out = np.full((len(xs), len(ys)), SENTINEL, dtype=np.int32)
+        if not len(xs) or not len(ys):
+            return out
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        row_groups: dict[int, list[int]] = {}
+        for position, slot in enumerate(xs.tolist()):
+            row_groups.setdefault(slot // size, []).append(position)
+        col_groups: dict[int, list[int]] = {}
+        for position, slot in enumerate(ys.tolist()):
+            col_groups.setdefault(slot // size, []).append(position)
+        for block_row, row_positions in row_groups.items():
+            row_pos = np.asarray(row_positions, dtype=np.int64)
+            row_off = xs[row_pos] % size
+            for block_col, col_positions in col_groups.items():
+                block = self._blocks.get((block_row, block_col))
+                if block is None:
+                    continue
+                col_pos = np.asarray(col_positions, dtype=np.int64)
+                col_off = ys[col_pos] % size
+                out[np.ix_(row_pos, col_pos)] = block[np.ix_(row_off, col_off)]
+        return out
+
     # ------------------------------------------------------------------
     # Storage primitives
     # ------------------------------------------------------------------
     def node_set(self) -> set[NodeId]:
+        """A fresh set holding the node universe."""
         return set(self._index)
 
     def __contains__(self, node: NodeId) -> bool:
+        """Whether ``node`` is in the universe."""
         return node in self._index
 
     def number_of_nodes(self) -> int:
+        """``|VD|`` as seen by the backend."""
         return len(self._index)
 
     def get(self, source: NodeId, target: NodeId) -> float | int:
-        value = int(self._D[self._index[source], self._index[target]])
+        """``SLen(source, target)``; :data:`INF` when absent."""
+        size = self.block_size
+        i = self._index[source]
+        j = self._index[target]
+        block = self._blocks.get((i // size, j // size))
+        if block is None:
+            return INF
+        value = int(block[i % size, j % size])
         return INF if value >= SENTINEL else value
 
     def row(self, source: NodeId) -> dict[NodeId, int]:
-        values = self._D[self._index[source]]
+        """A fresh dict of the finite entries of one row."""
+        values = self._row_array(self._index[source])
         slots = self._slots
         return {
             slots[position]: int(values[position])
@@ -140,6 +365,12 @@ class DenseSLenBackend(SLenBackend):
         }
 
     def row_view(self, source: NodeId) -> Mapping[NodeId, int]:
+        """A cached finite-entry dict of one row (compatibility shim).
+
+        Kept for callers that want mapping semantics over a row; the
+        matching fixpoint itself goes through :meth:`sources_within` and
+        never materialises these dicts.
+        """
         cached = self._row_cache.get(source)
         if cached is None:
             if source not in self._index:
@@ -149,7 +380,8 @@ class DenseSLenBackend(SLenBackend):
         return cached
 
     def column(self, target: NodeId) -> dict[NodeId, int]:
-        values = self._D[:, self._index[target]]
+        """``{source: distance}`` over all sources reaching ``target``."""
+        values = self._column_array(self._index[target])
         slots = self._slots
         return {
             slots[position]: int(values[position])
@@ -157,77 +389,114 @@ class DenseSLenBackend(SLenBackend):
         }
 
     def set_value(self, source: NodeId, target: NodeId, value: float | int) -> None:
+        """Set one entry; :data:`INF` (or beyond the horizon) removes it."""
+        size = self.block_size
         i = self._index[source]
         j = self._index[target]
+        key = (i // size, j // size)
         if value == INF or value > self.horizon:
-            self._D[i, j] = SENTINEL
+            block = self._blocks.get(key)
+            if block is not None:
+                block[i % size, j % size] = SENTINEL
         else:
-            self._D[i, j] = int(value)
+            self._ensure_block(*key)[i % size, j % size] = int(value)
         self._row_cache.pop(source, None)
 
     def set_row(self, source: NodeId, row: Mapping[NodeId, int]) -> None:
+        """Replace one row (entries beyond the horizon are dropped)."""
         i = self._index[source]
-        self._D[i, :] = SENTINEL
+        values = np.full(self._padded_capacity, SENTINEL, dtype=np.int32)
         horizon = self.horizon
         for target, dist in row.items():
             if dist <= horizon:
-                self._D[i, self._index[target]] = int(dist)
-        self._D[i, i] = 0
+                values[self._index[target]] = int(dist)
+        values[i] = 0
+        self._scatter_row(i, values)
         self._row_cache.pop(source, None)
 
     def replace_row_raw(self, source: NodeId, row: dict[NodeId, int]) -> None:
+        """Replace one row verbatim, without horizon filtering."""
         i = self._index[source]
-        self._D[i, :] = SENTINEL
+        values = np.full(self._padded_capacity, SENTINEL, dtype=np.int32)
         for target, dist in row.items():
-            self._D[i, self._index[target]] = int(dist)
+            values[self._index[target]] = int(dist)
+        self._scatter_row(i, values)
         self._row_cache.pop(source, None)
 
     def add_node(self, node: NodeId) -> None:
+        """Add an isolated node, reusing a free slot when one exists.
+
+        Free slots were scrubbed to :data:`SENTINEL` on removal and
+        appended slots live in never-written block regions, so only the
+        diagonal needs establishing.
+        """
         if self._free:
             slot = self._free.pop()
             self._slots[slot] = node
         else:
             slot = len(self._slots)
-            if slot >= self._D.shape[0]:
-                self._grow()
             self._slots.append(node)
         self._index[node] = slot
-        self._D[slot, :] = SENTINEL
-        self._D[:, slot] = SENTINEL
-        self._D[slot, slot] = 0
-
-    def _grow(self) -> None:
-        old = self._D
-        capacity = max(4, old.shape[0] * 2)
-        grown = np.full((capacity, capacity), SENTINEL, dtype=np.int32)
-        used = old.shape[0]
-        grown[:used, :used] = old
-        self._D = grown
+        block_row, offset = divmod(slot, self.block_size)
+        self._ensure_block(block_row, block_row)[offset, offset] = 0
 
     def remove_node(self, node: NodeId) -> None:
+        """Drop a node, scrubbing its row and column; prune emptied blocks."""
         slot = self._index.pop(node)
         self._slots[slot] = None
         self._free.append(slot)
-        self._D[slot, :] = SENTINEL
-        self._D[:, slot] = SENTINEL
+        block_index, offset = divmod(slot, self.block_size)
+        grid = self._num_block_rows
+        candidates = {(block_index, other) for other in range(grid)}
+        candidates.update((other, block_index) for other in range(grid))
+        emptied = []
+        for key in candidates:
+            block = self._blocks.get(key)
+            if block is None:
+                continue
+            # Scrub (and pay the whole-block emptiness scan) only when
+            # the node's row/column segment actually held finite entries
+            # — an O(block_size) probe per block otherwise.
+            cleared = False
+            if key[0] == block_index:
+                segment = block[offset, :]
+                if (segment < SENTINEL).any():
+                    segment[:] = SENTINEL
+                    cleared = True
+            if key[1] == block_index:
+                segment = block[:, offset]
+                if (segment < SENTINEL).any():
+                    segment[:] = SENTINEL
+                    cleared = True
+            if cleared and not (block < SENTINEL).any():
+                emptied.append(key)
+        for key in emptied:
+            del self._blocks[key]
         # Every remaining row lost a column entry; drop all cached rows.
         self._row_cache.clear()
 
     def copy(self) -> "DenseSLenBackend":
-        clone = DenseSLenBackend(horizon=self.horizon)
+        """An independent deep copy (same block size and horizon)."""
+        clone = DenseSLenBackend(
+            horizon=self.horizon,
+            block_size=self.block_size,
+            frontier_mode=self.frontier_mode,
+        )
         clone._index = dict(self._index)
         clone._slots = list(self._slots)
         clone._free = list(self._free)
-        clone._D = self._D.copy()
+        clone._blocks = {key: block.copy() for key, block in self._blocks.items()}
         return clone
 
     def finite_count(self) -> int:
-        return int((self._D < SENTINEL).sum())
+        """Number of finite (stored) entries."""
+        return int(sum((block < SENTINEL).sum() for block in self._blocks.values()))
 
     def finite_entries(self) -> Iterator[tuple[NodeId, NodeId, int]]:
+        """Iterate over ``(source, target, distance)`` finite entries."""
         slots = self._slots
         for source, i in self._index.items():
-            values = self._D[i]
+            values = self._row_array(i)
             for position in np.nonzero(values < SENTINEL)[0]:
                 yield (source, slots[position], int(values[position]))
 
@@ -242,13 +511,18 @@ class DenseSLenBackend(SLenBackend):
         at slot ``y`` (graph nodes without a slot are dropped — they have
         no representable distance, exactly like their absence from a
         sparse row) and ``empty`` marks slots with no predecessor.  The
-        result is cached against the graph's mutation version.
+        result is cached against the graph's mutation version (and the
+        current padded capacity, which can grow when nodes are added).
         """
+        capacity = self._padded_capacity
         cache = self._csr_cache
-        if cache is not None and cache[0] is graph and cache[1] == graph.version:
+        if (
+            cache is not None
+            and cache[0] is graph
+            and cache[1] == (graph.version, capacity)
+        ):
             return cache[2]
         index = self._index
-        capacity = self._D.shape[0]
         counts = np.zeros(capacity + 1, dtype=np.int64)
         pred_lists: list[list[int]] = [()] * capacity  # type: ignore[list-item]
         for node, slot in index.items():
@@ -268,25 +542,103 @@ class DenseSLenBackend(SLenBackend):
                 indices[indptr[slot] : indptr[slot + 1]] = preds
         empty = indptr[:-1] == indptr[1:]
         csr = (indptr, indices, empty)
-        self._csr_cache = (graph, graph.version, csr)
+        self._csr_cache = (graph, (graph.version, capacity), csr)
         return csr
 
     # ------------------------------------------------------------------
-    # Vectorized kernels
+    # Multi-source BFS kernels
     # ------------------------------------------------------------------
-    def build(self, graph: DataGraph) -> None:
-        """Frontier-array multi-source BFS over all slots at once."""
-        n = len(self._slots)
-        if n == 0:
-            return
+    def _bfs_rows(
+        self, graph: DataGraph, source_slots: np.ndarray, hcap: Optional[int]
+    ) -> np.ndarray:
+        """BFS level rows (len(source_slots), padded capacity) from each source.
+
+        Dispatches on :attr:`frontier_mode`; both representations
+        compute identical levels (a differential test pins this).
+        """
+        if self.frontier_mode == "boolean":
+            return self._bfs_rows_boolean(graph, source_slots, hcap)
+        return self._bfs_rows_bitset(graph, source_slots, hcap)
+
+    def _bfs_rows_bitset(
+        self, graph: DataGraph, source_slots: np.ndarray, hcap: Optional[int]
+    ) -> np.ndarray:
+        """Bit-packed multi-source BFS: 64 sources per ``uint64`` word.
+
+        The frontier and visited sets are (capacity, words) ``uint64``
+        arrays whose bit ``b`` of word ``w`` belongs to source
+        ``64 w + b``.  One expansion level is a CSR predecessor gather
+        plus ``bitwise_or.reduceat`` over whole words — no per-source
+        popcounts, and 8× less memory traffic than the boolean kernel.
+        Levels are committed into the int32 result via one unpack per
+        level.
+        """
+        k = len(source_slots)
+        capacity = self._padded_capacity
+        levels = np.full((k, capacity), SENTINEL, dtype=np.int32)
+        if k == 0:
+            return levels
+        source_slots = np.asarray(source_slots, dtype=np.int64)
+        rows = np.arange(k)
+        levels[rows, source_slots] = 0
         indptr, indices, empty = self._pred_csr(graph)
-        D = self._D
         if indices.size == 0:
-            return
-        frontier = np.zeros((n, D.shape[1]), dtype=bool)
-        rows = np.arange(n)
-        frontier[rows, rows] = True
-        hcap = self._hcap
+            return levels
+        # The packed arrays are (capacity, words) uint64 but every bit
+        # operation round-trips through the same uint8 view (packbits /
+        # unpackbits byte layout), so word endianness never matters.
+        words = (k + 63) // 64
+        seed_bytes = np.zeros((capacity, words * 8), dtype=np.uint8)
+        seed_bytes[source_slots, rows // 8] = np.left_shift(1, rows % 8).astype(np.uint8)
+        frontier = seed_bytes.view(np.uint64)
+        visited = frontier.copy()
+        level = 0
+        while True:
+            if hcap is not None and level >= hcap:
+                break
+            level += 1
+            reached = _segment_reduce(
+                frontier[indices], indptr[:-1], empty, np.bitwise_or, np.uint64(0), axis=0
+            )
+            newly = reached & ~visited
+            # Commit levels sparsely: only target slots with a fresh bit
+            # are unpacked, so the per-level cost scales with the newly
+            # reached region instead of capacity × sources.
+            active = np.nonzero(newly.any(axis=1))[0]
+            if active.size == 0:
+                break
+            visited |= newly
+            mask = np.unpackbits(
+                newly[active].view(np.uint8), axis=1, bitorder="little", count=k
+            ).view(np.bool_)
+            hit_rows, hit_sources = np.nonzero(mask)
+            levels[hit_sources, active[hit_rows]] = level
+            frontier = newly
+        return levels
+
+    def _bfs_rows_boolean(
+        self, graph: DataGraph, source_slots: np.ndarray, hcap: Optional[int]
+    ) -> np.ndarray:
+        """Boolean-frontier multi-source BFS (the PR-2 reference kernel).
+
+        One byte per (source, node) frontier cell, expanded through a
+        CSR predecessor gather + ``logical_or.reduceat``.  Retained as
+        the differential reference for the bit-packed kernel and as the
+        baseline of the benchmark's construction-speedup row.
+        """
+        k = len(source_slots)
+        capacity = self._padded_capacity
+        levels = np.full((k, capacity), SENTINEL, dtype=np.int32)
+        if k == 0:
+            return levels
+        source_slots = np.asarray(source_slots, dtype=np.int64)
+        rows = np.arange(k)
+        levels[rows, source_slots] = 0
+        indptr, indices, empty = self._pred_csr(graph)
+        if indices.size == 0:
+            return levels
+        frontier = np.zeros((k, capacity), dtype=bool)
+        frontier[rows, source_slots] = True
         level = 0
         while frontier.any():
             if hcap is not None and level >= hcap:
@@ -295,11 +647,45 @@ class DenseSLenBackend(SLenBackend):
             reached = _segment_reduce(
                 frontier[:, indices], indptr[:-1], empty, np.logical_or, False
             )
-            newly = reached & (D[:n, :] >= SENTINEL)
+            newly = reached & (levels >= SENTINEL)
             if not newly.any():
                 break
-            D[:n, :][newly] = level
+            levels[newly] = level
             frontier = newly
+        return levels
+
+    # ------------------------------------------------------------------
+    # Vectorized maintenance kernels
+    # ------------------------------------------------------------------
+    def build(self, graph: DataGraph) -> None:
+        """Construct all rows by striped bit-packed multi-source BFS.
+
+        Sources are processed one block-row stripe at a time, so the
+        transient level matrix is (block_size × capacity) — blocks whose
+        stripe region stays all-``INF`` are never allocated, which is
+        what keeps construction memory proportional to the occupied
+        blocks instead of |V|².
+        """
+        if not self._index:
+            return
+        size = self.block_size
+        hcap = self._hcap
+        all_slots = np.array(sorted(self._index.values()), dtype=np.int64)
+        for block_row in range(self._num_block_rows):
+            low = block_row * size
+            stripe = all_slots[(all_slots >= low) & (all_slots < low + size)]
+            if stripe.size == 0:
+                continue
+            rows = self._bfs_rows(graph, stripe, hcap)
+            offsets = stripe % size
+            for block_col in range(self._num_block_rows):
+                chunk = rows[:, block_col * size : (block_col + 1) * size]
+                block = self._blocks.get((block_row, block_col))
+                if block is None:
+                    if not (chunk < SENTINEL).any():
+                        continue
+                    block = self._ensure_block(block_row, block_col)
+                block[offsets] = chunk
         self._row_cache.clear()
 
     def recompute_rows(self, graph: DataGraph, sources: Iterable[NodeId]) -> set[NodeId]:
@@ -313,51 +699,97 @@ class DenseSLenBackend(SLenBackend):
             return set()
         slot_of = self._index
         xi = np.array([slot_of[source] for source in source_list], dtype=np.int64)
-        indptr, indices, empty = self._pred_csr(graph)
-        old_rows = self._D[xi, :].copy()
-        k = len(source_list)
-        capacity = self._D.shape[1]
-        R = np.full((k, capacity), SENTINEL, dtype=np.int32)
-        R[np.arange(k), xi] = 0
-        if indices.size:
-            frontier = R == 0
-            level = 0
-            while frontier.any():
-                level += 1
-                reached = _segment_reduce(
-                    frontier[:, indices], indptr[:-1], empty, np.logical_or, False
-                )
-                newly = reached & (R >= SENTINEL)
-                if not newly.any():
-                    break
-                R[newly] = level
-                frontier = newly
-        changed_mask = (R != old_rows).any(axis=1)
+        old_rows = self._gather_rows(xi)
+        new_rows = self._bfs_rows(graph, xi, None)
+        changed_mask = (new_rows != old_rows).any(axis=1)
         changed: set[NodeId] = set()
         for position in np.nonzero(changed_mask)[0]:
-            self._D[xi[position], :] = R[position]
+            self._scatter_row(int(xi[position]), new_rows[position])
             source = source_list[int(position)]
             changed.add(source)
             self._row_cache.pop(source, None)
         return changed
 
+    def _block_extent(self, block_index: int) -> int:
+        """Used rows/columns of one block (the last block may be partial).
+
+        Kernels slice blocks to this extent so a small graph in a large
+        block pays for its node count, not for the block padding.
+        """
+        return min(self.block_size, len(self._slots) - block_index * self.block_size)
+
+    def _finite_block_stripes(self, values: np.ndarray) -> list[int]:
+        """Block indices whose stripe of ``values`` holds a finite entry."""
+        size = self.block_size
+        return [
+            block
+            for block in range(self._num_block_rows)
+            if (values[block * size : (block + 1) * size] < SENTINEL).any()
+        ]
+
     def relax_edge(self, source: NodeId, target: NodeId) -> dict[Pair, Change]:
-        """Rank-1 broadcast relaxation for an inserted edge."""
+        """Rank-1 relaxation for an inserted edge, applied block by block.
+
+        The candidate ``d(x, u) + 1 + d(v, y)`` is evaluated one block
+        at a time against the block's contiguous storage; block stripes
+        where the column of ``source`` (or the row of ``target``) is
+        all-``INF`` are skipped outright (a :data:`SENTINEL` leg makes
+        the candidate exceed every stored value), and absent blocks are
+        allocated only when an in-horizon candidate actually lands in
+        them.
+        """
         iu = self._index[source]
         iv = self._index[target]
-        D = self._D
-        candidate = D[:, iu, None] + D[None, iv, :]
-        candidate += 1
-        mask = candidate < D
+        column_u = self._column_array(iu)
+        row_v = self._row_array(iv)
+        size = self.block_size
         hcap = self._hcap
-        if hcap is not None:
-            mask &= candidate <= hcap
-        xs, ys = np.nonzero(mask)
-        if xs.size == 0:
+        limit = SENTINEL - 1 if hcap is None else hcap
+        col_blocks = self._finite_block_stripes(column_u)
+        row_blocks = self._finite_block_stripes(row_v)
+        if not col_blocks or not row_blocks:
             return {}
-        old_values = D[xs, ys]
-        new_values = candidate[xs, ys]
-        D[xs, ys] = new_values
+        changed_xs: list[np.ndarray] = []
+        changed_ys: list[np.ndarray] = []
+        changed_old: list[np.ndarray] = []
+        changed_new: list[np.ndarray] = []
+        row_plus_one = {
+            block_col: row_v[
+                block_col * size : block_col * size + self._block_extent(block_col)
+            ]
+            + 1
+            for block_col in row_blocks
+        }
+        for block_row in col_blocks:
+            rows_used = self._block_extent(block_row)
+            col_stripe = column_u[block_row * size : block_row * size + rows_used]
+            for block_col in row_blocks:
+                candidate = col_stripe[:, None] + row_plus_one[block_col][None, :]
+                block = self._blocks.get((block_row, block_col))
+                if block is None:
+                    mask = candidate <= limit
+                    a, b = np.nonzero(mask)
+                    if a.size == 0:
+                        continue
+                    block = self._ensure_block(block_row, block_col)
+                else:
+                    cols_used = candidate.shape[1]
+                    mask = candidate < block[:rows_used, :cols_used]
+                    if hcap is not None:
+                        mask &= candidate <= hcap
+                    a, b = np.nonzero(mask)
+                    if a.size == 0:
+                        continue
+                changed_old.append(block[a, b])
+                new_values = candidate[a, b].astype(np.int32)
+                block[a, b] = new_values
+                changed_xs.append(a + block_row * size)
+                changed_ys.append(b + block_col * size)
+                changed_new.append(new_values)
+        if not changed_xs:
+            return {}
+        all_xs = np.concatenate(changed_xs)
+        all_ys = np.concatenate(changed_ys)
         # Assemble the changed-pairs delta with C-level zips: an early
         # insertion on a well-connected graph can improve tens of
         # thousands of pairs, so per-pair Python work would dominate the
@@ -367,38 +799,60 @@ class DenseSLenBackend(SLenBackend):
         # node ids (e.g. tuples) into extra dimensions.
         slot_array = np.empty(len(self._slots), dtype=object)
         slot_array[:] = self._slots
-        keys = zip(slot_array[xs].tolist(), slot_array[ys].tolist())
-        olds = old_values.astype(float)
+        keys = zip(slot_array[all_xs].tolist(), slot_array[all_ys].tolist())
+        olds = np.concatenate(changed_old).astype(float)
         olds[olds >= SENTINEL] = INF
-        changed = dict(zip(keys, zip(olds.tolist(), new_values.tolist())))
+        news = np.concatenate(changed_new)
+        changed = dict(zip(keys, zip(olds.tolist(), news.tolist())))
         cache = self._row_cache
         if cache:
-            for x in dict.fromkeys(xs.tolist()):
+            for x in dict.fromkeys(all_xs.tolist()):
                 cache.pop(self._slots[x], None)
         return changed
 
     def affected_by_edge_deletion(
         self, source: NodeId, target: NodeId
     ) -> dict[NodeId, set[NodeId]]:
-        """Vectorized affectedness test ``D == D[:, u] + 1 + D[v, :]``."""
+        """Vectorized affectedness test ``D == D[:, u] + 1 + D[v, :]``.
+
+        Evaluated block by block against contiguous storage: absent
+        blocks hold no finite pair and cannot be affected, stripes with
+        an all-``INF`` leg cannot satisfy the equality (a
+        :data:`SENTINEL` leg pushes the candidate past any stored
+        value), and the diagonal (``D == 0 < candidate``) is excluded
+        automatically.
+        """
         iu = self._index[source]
         iv = self._index[target]
-        D = self._D
-        candidate = D[:, iu, None] + D[None, iv, :]
-        candidate += 1
-        # A sentinel on either leg makes the candidate exceed any stored
-        # value, so plain equality is the full affectedness test; the
-        # diagonal (D == 0 < candidate) is excluded automatically.
-        xs, ys = np.nonzero(D == candidate)
+        column_u = self._column_array(iu)
+        row_v = self._row_array(iv)
+        size = self.block_size
+        col_blocks = self._finite_block_stripes(column_u)
+        row_blocks = self._finite_block_stripes(row_v)
         slots = self._slots
         affected: dict[NodeId, set[NodeId]] = {}
-        for x, y in zip(xs.tolist(), ys.tolist()):
-            affected.setdefault(slots[x], set()).add(slots[y])
+        for block_row in col_blocks:
+            rows_used = self._block_extent(block_row)
+            col_stripe = column_u[block_row * size : block_row * size + rows_used]
+            for block_col in row_blocks:
+                block = self._blocks.get((block_row, block_col))
+                if block is None:
+                    continue
+                cols_used = self._block_extent(block_col)
+                row_stripe = row_v[block_col * size : block_col * size + cols_used]
+                candidate = col_stripe[:, None] + row_stripe[None, :]
+                candidate += 1
+                a, b = np.nonzero(block[:rows_used, :cols_used] == candidate)
+                for x, y in zip(
+                    (a + block_row * size).tolist(), (b + block_col * size).tolist()
+                ):
+                    affected.setdefault(slots[x], set()).add(slots[y])
         return affected
 
     def affected_by_node_deletion(
         self, old_row: Mapping[NodeId, int], old_column: Mapping[NodeId, int]
     ) -> dict[NodeId, set[NodeId]]:
+        """Pairs whose every shortest path ran through a deleted node."""
         index = self._index
         xs_nodes = [x for x in old_column if x in index]
         ys_nodes = [y for y in old_row if y in index]
@@ -410,7 +864,7 @@ class DenseSLenBackend(SLenBackend):
             np.array([old_column[x] for x in xs_nodes], dtype=np.int32)[:, None]
             + np.array([old_row[y] for y in ys_nodes], dtype=np.int32)[None, :]
         )
-        sub = self._D[np.ix_(xi, yi)]
+        sub = self._gather_pairs_matrix(xi, yi)
         mask = (sub == through) & (xi[:, None] != yi[None, :])
         affected: dict[NodeId, set[NodeId]] = {}
         for a, b in zip(*(axis.tolist() for axis in np.nonzero(mask))):
@@ -430,7 +884,13 @@ class DenseSLenBackend(SLenBackend):
         fixpoint through CSR predecessor gathers; unaffected entries are
         held fixed (they are exact by the Ramalingam-Reps affected-area
         argument), which makes the fixpoint equal to the per-source
-        Dijkstra of the generic kernel.
+        Dijkstra of the generic kernel.  The working rows are gathered
+        from the block grid once (k × capacity transient) and the
+        settled values are returned, not written — the caller applies
+        them, exactly like the generic kernel.  Deletion settles whose
+        seeding or relaxation crosses an elided (absent) block simply
+        read :data:`SENTINEL` there, so INF-block elision is invisible
+        to the fixpoint.
         """
         if not affected_by_source:
             return {}
@@ -439,8 +899,8 @@ class DenseSLenBackend(SLenBackend):
         sources = list(affected_by_source)
         xi = np.array([index[source] for source in sources], dtype=np.int64)
         k = len(sources)
-        capacity = self._D.shape[1]
-        R = self._D[xi, :].copy()
+        capacity = self._padded_capacity
+        working = self._gather_rows(xi)
         affected_mask = np.zeros((k, capacity), dtype=bool)
         union_slots: set[int] = set()
         for position, source in enumerate(sources):
@@ -448,7 +908,7 @@ class DenseSLenBackend(SLenBackend):
                 slot = index[y]
                 affected_mask[position, slot] = True
                 union_slots.add(slot)
-        R[affected_mask] = SENTINEL
+        working[affected_mask] = SENTINEL
 
         # Only the union targets can change, so only their predecessor
         # lists are gathered (skips applied inline) — far cheaper than a
@@ -477,26 +937,63 @@ class DenseSLenBackend(SLenBackend):
         if gather_cols.size:
             while True:
                 candidate = _segment_reduce(
-                    R[:, gather_cols], segment_starts, segment_empty, np.minimum, SENTINEL
+                    working[:, gather_cols], segment_starts, segment_empty, np.minimum, SENTINEL
                 )
                 candidate = candidate + 1
                 if hcap is not None:
                     candidate[candidate > hcap] = SENTINEL
                 else:
                     candidate[candidate > SENTINEL] = SENTINEL
-                current = R[:, targets]
+                current = working[:, targets]
                 improved = affected_cols & (candidate < current)
                 if not improved.any():
                     break
-                R[:, targets] = np.where(improved, candidate, current)
+                working[:, targets] = np.where(improved, candidate, current)
 
         results: dict[NodeId, dict[NodeId, int]] = {}
         for position, source in enumerate(sources):
             settled: dict[NodeId, int] = {}
-            row = R[position]
+            row = working[position]
             for slot in np.nonzero(affected_mask[position])[0]:
                 value = int(row[slot])
                 if value < SENTINEL:
                     settled[slots[slot]] = value
             results[source] = settled
         return results
+
+    # ------------------------------------------------------------------
+    # Matching-fixpoint kernel
+    # ------------------------------------------------------------------
+    def sources_within(
+        self, sources: Iterable[NodeId], targets: Iterable[NodeId], bound: float | int
+    ) -> set[NodeId]:
+        """Subset of ``sources`` reaching some node of ``targets`` within ``bound``.
+
+        One block-wise submatrix gather + a row-wise ``any`` instead of
+        one materialised row dict per source — this is what drives the
+        BGS simulation fixpoint off the block grid.  Large candidate
+        sets are processed in row chunks so the transient submatrix
+        stays bounded.  Sources or targets outside the universe are
+        ignored (they have no representable distance).
+        """
+        source_list = [source for source in sources if source in self._index]
+        target_slots = [self._index[target] for target in targets if target in self._index]
+        if not source_list or not target_slots:
+            return set()
+        if bound == INF:
+            limit = SENTINEL - 1
+        else:
+            limit = min(int(bound), SENTINEL - 1)
+        if limit < 0:
+            return set()
+        xs = np.array([self._index[source] for source in source_list], dtype=np.int64)
+        ys = np.array(target_slots, dtype=np.int64)
+        satisfied: set[NodeId] = set()
+        chunk = max(1, (1 << 22) // max(1, ys.size))
+        for start in range(0, xs.size, chunk):
+            part = xs[start : start + chunk]
+            sub = self._gather_pairs_matrix(part, ys)
+            hit = (sub <= limit).any(axis=1)
+            for position in np.nonzero(hit)[0]:
+                satisfied.add(source_list[start + int(position)])
+        return satisfied

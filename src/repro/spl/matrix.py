@@ -12,10 +12,12 @@ so its storage is *pluggable* (:mod:`repro.spl.backend`):
     that social graphs produce many infinite entries.
 
 ``dense``
-    A contiguous ``int32`` NumPy matrix (:mod:`repro.spl.dense`) —
-    O(|V|²) memory (4 bytes per ordered pair) regardless of sparsity,
-    but vectorized construction, insertion and deletion kernels that
-    replace per-entry interpreter overhead with array operations.
+    A blocked ``int32`` NumPy layout (:mod:`repro.spl.dense`) — a grid
+    of lazily-allocated fixed-size blocks (all-``INF`` blocks elided),
+    so memory scales with the occupied blocks rather than |V|², plus
+    vectorized construction, insertion, deletion and matching kernels
+    that replace per-entry interpreter overhead with array operations.
+    The block edge is the ``dense_block_size`` knob.
 
 ``auto``
     Dense at or above
@@ -92,10 +94,13 @@ class SLenMatrix:
         nodes: Iterable[NodeId] = (),
         horizon: float = INF,
         backend: str = "sparse",
+        dense_block_size: Optional[int] = None,
     ) -> None:
         if horizon != INF and horizon < 0:
             raise ValueError("horizon must be non-negative")
-        self._backend = make_backend(backend, nodes, horizon=horizon)
+        self._backend = make_backend(
+            backend, nodes, horizon=horizon, dense_block_size=dense_block_size
+        )
 
     @classmethod
     def _from_backend(cls, backend: SLenBackend) -> "SLenMatrix":
@@ -132,16 +137,26 @@ class SLenMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(
-        cls, graph: DataGraph, horizon: float = INF, backend: str = "sparse"
+        cls,
+        graph: DataGraph,
+        horizon: float = INF,
+        backend: str = "sparse",
+        dense_block_size: Optional[int] = None,
     ) -> "SLenMatrix":
         """Build the matrix from ``graph`` (all-pairs BFS).
 
         ``backend`` selects the storage/kernel implementation
         (``sparse`` / ``dense`` / ``auto``); the sparse backend runs one
-        Python BFS per source, the dense backend one frontier-array
-        multi-source BFS for all sources at once.
+        Python BFS per source, the dense backend a bit-packed-frontier
+        multi-source BFS per block-row stripe.  ``dense_block_size``
+        sets the blocked layout's block edge (dense backends only).
         """
-        matrix = cls(graph.nodes(), horizon=horizon, backend=backend)
+        matrix = cls(
+            graph.nodes(),
+            horizon=horizon,
+            backend=backend,
+            dense_block_size=dense_block_size,
+        )
         matrix._backend.build(graph)
         return matrix
 
@@ -163,15 +178,24 @@ class SLenMatrix:
             store.replace_row_raw(source, new_row)
         return matrix
 
-    def to_backend(self, backend: str) -> "SLenMatrix":
+    def to_backend(
+        self, backend: str, dense_block_size: Optional[int] = None
+    ) -> "SLenMatrix":
         """Return a copy of this matrix stored in ``backend``.
 
-        A no-op copy when the resolved backend matches the current one.
+        A no-op copy when the resolved backend matches the current one
+        (which also preserves the current block size); a conversion to
+        dense honours ``dense_block_size``.
         """
         resolved = resolve_backend_name(backend, self.number_of_nodes)
         if resolved == self._backend.name:
             return self.copy()
-        converted = SLenMatrix(self.nodes(), horizon=self.horizon, backend=resolved)
+        converted = SLenMatrix(
+            self.nodes(),
+            horizon=self.horizon,
+            backend=resolved,
+            dense_block_size=dense_block_size,
+        )
         store = converted._backend
         for source in self._backend.node_set():
             store.replace_row_raw(source, dict(self._backend.row_view(source)))
@@ -227,6 +251,21 @@ class SLenMatrix:
             for target, dist in self._backend.row_view(source).items()
             if dist <= bound
         )
+
+    def sources_within(
+        self, sources: Iterable[NodeId], targets: Iterable[NodeId], bound: float | int
+    ) -> set[NodeId]:
+        """Subset of ``sources`` with ``SLen(source, t) <= bound`` for some ``t`` in ``targets``.
+
+        The bulk edge-constraint check of the BGS simulation fixpoint:
+        one call per pattern edge per refinement round, answered on the
+        dense backend by a block-wise submatrix gather instead of one
+        materialised row dict per source (:meth:`repro.spl.backend.
+        SLenBackend.sources_within`).  ``bound`` may be :data:`INF`
+        (any finite distance qualifies).  Sources or targets outside
+        the matrix universe are ignored.
+        """
+        return self._backend.sources_within(sources, targets, bound)
 
     def nodes(self) -> frozenset[NodeId]:
         """The node universe of the matrix."""

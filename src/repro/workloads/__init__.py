@@ -17,12 +17,17 @@ from repro.workloads.datasets import (
     dataset_names,
     load_dataset,
 )
-from repro.workloads.generators import SocialGraphSpec, generate_social_graph
+from repro.workloads.generators import (
+    SocialGraphSpec,
+    generate_community_graph,
+    generate_social_graph,
+)
 from repro.workloads.pattern_gen import PatternSpec, generate_pattern
 from repro.workloads.update_gen import UpdateWorkloadSpec, generate_update_batch
 
 __all__ = [
     "SocialGraphSpec",
+    "generate_community_graph",
     "generate_social_graph",
     "DatasetSpec",
     "DATASETS",

@@ -174,3 +174,48 @@ def generate_social_graph(spec: SocialGraphSpec) -> DataGraph:
         graph.add_edge(source, target)
         in_degree_weight[target] += 1
     return graph
+
+
+def generate_community_graph(
+    num_nodes: int,
+    community_size: int,
+    seed: int,
+    labels: tuple[str, ...] = ("PM", "SE", "TE"),
+    intra_degree: int = 3,
+    bridges: bool = True,
+) -> DataGraph:
+    """A community-structured digraph with slot-order locality.
+
+    Nodes ``n0 .. n{num_nodes-1}`` are grouped into contiguous
+    communities of ``community_size``; each community is wired with
+    ``intra_degree`` random intra-community edges per node, plus (with
+    ``bridges``) one random cross-community edge per community.  Because
+    the communities are contiguous in insertion order, the reachable
+    neighbourhood of every node stays within a narrow slot range — the
+    shape whose unreachable regions the blocked dense ``SLen`` layout
+    elides.  Used by the backend benchmark's scaling axis and the
+    10⁴-node parity tests; deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    graph = DataGraph()
+    for position in range(num_nodes):
+        graph.add_node(f"n{position}", labels[position % len(labels)])
+    for low in range(0, num_nodes, community_size):
+        high = min(num_nodes, low + community_size)
+        wanted = (high - low) * intra_degree
+        added = 0
+        attempts = 0
+        while added < wanted and attempts < wanted * 20:
+            attempts += 1
+            a = rng.randrange(low, high)
+            b = rng.randrange(low, high)
+            if a != b and not graph.has_edge(f"n{a}", f"n{b}"):
+                graph.add_edge(f"n{a}", f"n{b}")
+                added += 1
+    if bridges:
+        for _ in range(num_nodes // max(1, community_size)):
+            a = rng.randrange(num_nodes)
+            b = rng.randrange(num_nodes)
+            if a != b and not graph.has_edge(f"n{a}", f"n{b}"):
+                graph.add_edge(f"n{a}", f"n{b}")
+    return graph

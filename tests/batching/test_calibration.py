@@ -145,6 +145,53 @@ class TestConvergence:
         assert report.accepted.get("dense-discount") is True
         assert report.model.dense_coalesced_discount == pytest.approx(0.8, rel=1e-6)
 
+    def test_backend_column_recovered_from_mixed_backends(self):
+        """The full backend feature column (per-update factor + both
+        coalesced discounts) is identified from mixed telemetry."""
+        truth = TRUTH.replace(
+            dense_per_update_factor=0.4,
+            dense_coalesced_discount=0.8,
+            dense_coalesced_insert_discount=0.6,
+        )
+        observations = synthetic_observations(truth) + synthetic_observations(
+            truth, backend="dense"
+        )
+        report = refit_report(observations, incumbent=DEFAULT_COST_MODEL)
+        assert report.accepted.get("dense-per-update") is True
+        assert report.accepted.get("dense-discount") is True
+        assert report.model.dense_per_update_factor == pytest.approx(0.4, rel=1e-6)
+        assert report.model.dense_coalesced_discount == pytest.approx(0.8, rel=1e-6)
+        assert report.model.dense_coalesced_insert_discount == pytest.approx(
+            0.6, rel=1e-6
+        )
+        # The unit is anchored on the sparse rows alone, so the dense
+        # factor does not pollute the scale.
+        assert report.unit_seconds == pytest.approx(UNIT, rel=1e-9)
+
+    def test_dense_only_stream_de_factors_the_anchor(self):
+        """With only dense per-update rows, the unit is de-factored by
+        the incumbent's dense_per_update_factor instead of mis-anchored."""
+        truth = DEFAULT_COST_MODEL.replace(dense_per_update_factor=0.5)
+        observations = synthetic_observations(truth, backend="dense")
+        report = refit_report(observations, incumbent=truth)
+        assert report.unit_seconds == pytest.approx(UNIT, rel=1e-9)
+
+    def test_sparse_minority_does_not_abort_the_refit(self):
+        """A mostly-dense stream with a handful of sparse per-update
+        rows must still refit (via the dense-anchored fallback) — a few
+        sparse observations cannot make calibration strictly worse than
+        none at all."""
+        dense_stream = synthetic_observations(DEFAULT_COST_MODEL, backend="dense")
+        sparse_minority = [
+            o for o in synthetic_observations(DEFAULT_COST_MODEL) if o.executed == "per-update"
+        ][:2]
+        report = refit_report(
+            sparse_minority + dense_stream, incumbent=DEFAULT_COST_MODEL
+        )
+        assert report.unit_seconds is not None
+        assert report.unit_seconds == pytest.approx(UNIT, rel=1e-9)
+        assert report.converged
+
     def test_refit_is_idempotent_on_its_own_telemetry(self):
         observations = synthetic_observations(TRUTH)
         once = refit_cost_model(observations, incumbent=DEFAULT_COST_MODEL)

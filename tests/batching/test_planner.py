@@ -128,6 +128,60 @@ class TestCostModelParameter:
         dense_costs = DEFAULT_COST_MODEL.estimate(stats(backend="dense"))
         assert dense_costs["coalesced"] < sparse_costs["coalesced"]
 
+    def test_backend_feature_column_scales_per_update(self):
+        """dense_per_update_factor prices dense per-update passes."""
+        model = DEFAULT_COST_MODEL.replace(dense_per_update_factor=0.5)
+        s_sparse = stats(backend="sparse")
+        s_dense = stats(backend="dense")
+        assert model.estimate(s_sparse)["per-update"] == float(s_sparse.data_updates)
+        assert model.estimate(s_dense)["per-update"] == pytest.approx(
+            0.5 * s_dense.data_updates
+        )
+        # The default column is neutral: per-update costs match across
+        # backends under the shipped calibration.
+        assert DEFAULT_COST_MODEL.estimate(s_dense)["per-update"] == float(
+            s_dense.data_updates
+        )
+
+    def test_backend_feature_column_scales_coalesced_inserts(self):
+        model = DEFAULT_COST_MODEL.replace(dense_coalesced_insert_discount=0.5)
+        sparse_cost = model.estimate(stats(backend="sparse"))["coalesced"]
+        dense_cost = model.estimate(stats(backend="dense"))["coalesced"]
+        expected_drop = (
+            stats().insertions * model.coalesced_insert_factor * 0.5
+            + stats().deletions
+            * model.coalesced_delete_factor
+            * (1 - model.dense_coalesced_discount)
+        )
+        assert dense_cost == pytest.approx(sparse_cost - expected_drop)
+
+    def test_backend_column_can_flip_routing(self):
+        """A cheap dense per-update pass routes a batch away from
+        coalescing that the sparse pricing would have taken."""
+        s = stats(size=256, insertions=51, deletions=205, backend="dense")
+        assert plan_batch(s).strategy == "coalesced"
+        cheap_dense = DEFAULT_COST_MODEL.replace(dense_per_update_factor=0.05)
+        assert plan_batch(s, model=cheap_dense).strategy == "per-update"
+
+    def test_v1_payload_loads_with_neutral_column(self):
+        """Pre-column CostModel JSON still loads (format_version 1)."""
+        payload = DEFAULT_COST_MODEL.as_dict()
+        payload["format_version"] = 1
+        for name in ("dense_per_update_factor", "dense_coalesced_insert_discount"):
+            del payload["coefficients"][name]
+        loaded = CostModel.from_dict(payload)
+        assert loaded.dense_per_update_factor == 1.0
+        assert loaded.dense_coalesced_insert_discount == 1.0
+        assert loaded.coalesce_fixed_overhead == DEFAULT_COST_MODEL.coalesce_fixed_overhead
+
+    def test_current_format_must_carry_the_column(self):
+        """A format_version-2 payload missing the backend feature
+        column is malformed, not silently neutral."""
+        payload = DEFAULT_COST_MODEL.as_dict()
+        del payload["coefficients"]["dense_per_update_factor"]
+        with pytest.raises(ValueError, match="missing cost model coefficients"):
+            CostModel.from_dict(payload)
+
     def test_algorithms_expose_active_model(self):
         from tests.conftest import make_random_graph, make_random_pattern
 

@@ -299,6 +299,265 @@ class TestTransposedSettle:
         assert transposed == per_source
 
 
+class TestBlockedLayout:
+    """The blocked dense layout: block boundaries, elision, scaling.
+
+    A tiny ``dense_block_size`` forces multi-block grids on small
+    graphs, so every kernel crosses block frontiers; disconnected
+    communities force elided (absent) ``INF``-blocks; and the 10⁴-node
+    case pins the acceptance bar — sparse parity with allocated memory
+    below the dense-full O(n²) baseline.
+    """
+
+    def _blocked(self, graph, block_size, horizon=INF):
+        matrix = SLenMatrix.from_graph(
+            graph, horizon=horizon, backend="dense", dense_block_size=block_size
+        )
+        assert matrix.backend.block_size == block_size
+        assert matrix.backend._num_block_rows > 1  # genuinely multi-block
+        return matrix
+
+    @pytest.mark.parametrize("block_size", (4, 8, 16))
+    @pytest.mark.parametrize("horizon", (INF, 3))
+    def test_update_stream_parity_across_blocks(self, block_size, horizon):
+        """Every update kind, applied sequentially, on a multi-block grid."""
+        graph = make_random_graph(num_nodes=37, num_edges=110, seed=61)
+        sparse = SLenMatrix.from_graph(graph, horizon=horizon, backend="sparse")
+        dense = self._blocked(graph, block_size, horizon=horizon)
+        some_edge = sorted(graph.edges(), key=repr)[0][:2]
+        updates = [
+            insert_data_edge("n0", "n30"),
+            delete_data_edge(*some_edge),
+            insert_data_node("fresh", "A", [("fresh", "n3"), ("n5", "fresh")]),
+            delete_data_node("n11", graph.labels_of("n11")),
+        ]
+        if graph.has_edge("n0", "n30"):
+            graph.remove_edge("n0", "n30")
+        for update in updates:
+            update.apply(graph)
+            delta_sparse = update_slen(sparse, graph, update)
+            delta_dense = update_slen(dense, graph, update)
+            assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+            assert dense == sparse
+        assert sparse == SLenMatrix.from_graph(graph, horizon=horizon)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_coalesced_batch_parity_across_blocks(self, seed):
+        graph = make_random_graph(num_nodes=40, num_edges=120, seed=70 + seed)
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=4, num_edges=4, labels=("A", "B", "C"), seed=seed)
+        )
+        batch = generate_update_batch(
+            graph,
+            pattern,
+            UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=20, seed=80 + seed),
+        )
+        sparse = SLenMatrix.from_graph(graph, backend="sparse")
+        dense = self._blocked(graph, block_size=8)
+        compiled = compile_batch(batch.data_updates())
+        surviving = compiled.data_updates()
+        for update in surviving:
+            update.apply(graph)
+        outcome_sparse = coalesce_slen(sparse, graph, surviving)
+        outcome_dense = coalesce_slen(dense, graph, surviving)
+        assert outcome_dense.delta.changed_pairs == outcome_sparse.delta.changed_pairs
+        assert dense == sparse == SLenMatrix.from_graph(graph)
+
+    def test_slot_reuse_across_block_frontiers(self):
+        """Removed slots are reused by later insertions even when the
+        reused slot and the node's distances live in different blocks."""
+        graph = make_random_graph(num_nodes=30, num_edges=90, seed=62)
+        sparse = SLenMatrix.from_graph(graph, backend="sparse")
+        dense = self._blocked(graph, block_size=4)
+        # Free slots in several different blocks, then re-add nodes: the
+        # free list hands the slots back in reverse order, so the new
+        # nodes land in other blocks than their namesakes occupied.
+        victims = ["n2", "n13", "n27"]
+        for victim in victims:
+            update = delete_data_node(victim, graph.labels_of(victim))
+            update.apply(graph)
+            update_slen(sparse, graph, update)
+            update_slen(dense, graph, update)
+        for position, name in enumerate(("reborn-a", "reborn-b", "reborn-c")):
+            edges = [(name, f"n{3 + position}"), (f"n{20 + position}", name)]
+            update = insert_data_node(name, "A", edges)
+            update.apply(graph)
+            delta_sparse = update_slen(sparse, graph, update)
+            delta_dense = update_slen(dense, graph, update)
+            assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert dense == sparse == SLenMatrix.from_graph(graph)
+        assert len(dense.backend._free) == 0
+
+    def test_deletion_settle_spans_elided_inf_blocks(self):
+        """A deletion settle whose affected region crosses a block
+        frontier while unrelated block pairs stay elided (absent)."""
+        from repro.graph.digraph import DataGraph
+
+        # Two chains in disjoint slot ranges (separate blocks at size 4)
+        # plus an isolated community that never reaches anything: the
+        # cross blocks between the communities are elided INF-blocks.
+        nodes = {f"a{i}": "X" for i in range(8)}
+        nodes.update({f"b{i}": "X" for i in range(8)})
+        nodes.update({f"c{i}": "X" for i in range(4)})
+        edges = [(f"a{i}", f"a{i+1}") for i in range(7)]
+        edges += [(f"b{i}", f"b{i+1}") for i in range(7)]
+        graph = DataGraph(nodes, edges)
+        sparse = SLenMatrix.from_graph(graph, backend="sparse")
+        dense = self._blocked(graph, block_size=4)
+        backend = dense.backend
+        assert backend.occupied_blocks() < backend.total_blocks()
+        before = backend.occupied_blocks()
+        # Delete an edge in the middle of chain a: the affected region
+        # (a0..a3 × a4..a7) spans block boundaries; the settle must read
+        # SENTINEL through the elided blocks without materialising them.
+        update = delete_data_edge("a3", "a4")
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert delta_dense.recomputed_sources == delta_sparse.recomputed_sources
+        assert dense == sparse == SLenMatrix.from_graph(graph)
+        # The settle emptied entries; it must not have allocated blocks.
+        assert backend.occupied_blocks() <= before
+
+    def test_inf_blocks_are_elided(self):
+        """Disconnected communities never allocate their cross blocks."""
+        from repro.graph.digraph import DataGraph
+
+        nodes = {}
+        edges = []
+        for community in range(4):
+            for i in range(8):
+                nodes[f"c{community}-{i}"] = "X"
+            edges += [
+                (f"c{community}-{i}", f"c{community}-{i+1}") for i in range(7)
+            ]
+        graph = DataGraph(nodes, edges)
+        dense = self._blocked(graph, block_size=8)
+        backend = dense.backend
+        # Only the four diagonal blocks hold finite entries.
+        assert backend.total_blocks() == 16
+        assert backend.occupied_blocks() == 4
+        assert backend.allocated_bytes() == 4 * 8 * 8 * 4
+        assert backend.allocated_bytes() < backend.dense_full_bytes()
+        assert dense == SLenMatrix.from_graph(graph, backend="sparse")
+
+    @pytest.mark.parametrize("horizon", (INF, 3))
+    def test_bitset_matches_boolean_frontier(self, horizon):
+        """The bit-packed BFS is a drop-in for the boolean reference."""
+        graph = make_random_graph(num_nodes=45, num_edges=140, seed=63)
+        bitset = SLenMatrix(graph.nodes(), horizon=horizon, backend="dense", dense_block_size=16)
+        bitset.backend.build(graph)
+        boolean = SLenMatrix(graph.nodes(), horizon=horizon, backend="dense", dense_block_size=16)
+        boolean.backend.frontier_mode = "boolean"
+        boolean.backend.build(graph)
+        assert bitset == boolean
+        # recompute_rows dispatches through the same kernels.
+        if not graph.has_edge("n0", "n40"):
+            graph.add_edge("n0", "n40")
+        changed_bitset = bitset.recompute_rows(graph, ["n0", "n1", "n17"])
+        changed_boolean = boolean.recompute_rows(graph, ["n0", "n1", "n17"])
+        assert changed_bitset == changed_boolean
+        assert bitset == boolean
+
+    def test_block_size_knob_threading(self):
+        graph = make_random_graph(seed=64)
+        dense = SLenMatrix.from_graph(graph, backend="dense", dense_block_size=32)
+        assert dense.backend.block_size == 32
+        assert dense.copy().backend.block_size == 32
+        converted = SLenMatrix.from_graph(graph).to_backend("dense", dense_block_size=16)
+        assert converted.backend.block_size == 16
+        assert converted == dense
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(dense_block_size=64)
+        assert config.dense_block_size == 64
+        with pytest.raises(ValueError):
+            ExperimentConfig(dense_block_size=0)
+        with pytest.raises(ValueError):
+            SLenMatrix.from_graph(graph, backend="dense", dense_block_size=-1)
+
+    def test_parity_and_memory_at_ten_thousand_nodes(self):
+        """The acceptance bar: dense == sparse at 10⁴ nodes with the
+        allocated block memory strictly below the dense-full baseline."""
+        from repro.workloads.generators import generate_community_graph
+
+        graph = generate_community_graph(
+            10_000, community_size=500, seed=97, intra_degree=2, bridges=False
+        )
+        sparse = SLenMatrix.from_graph(graph, horizon=2, backend="sparse")
+        dense = SLenMatrix.from_graph(graph, horizon=2, backend="dense")
+        backend = dense.backend
+        assert backend.allocated_bytes() < backend.dense_full_bytes()
+        assert backend.occupied_blocks() < backend.total_blocks()
+        assert dense == sparse
+        # Maintenance stays exact at scale, across block boundaries.
+        update = insert_data_edge("n10", "n9000")
+        if graph.has_edge("n10", "n9000"):
+            graph.remove_edge("n10", "n9000")
+        update.apply(graph)
+        delta_sparse = update_slen(sparse, graph, update)
+        delta_dense = update_slen(dense, graph, update)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        removal = delete_data_edge("n10", "n9000")
+        removal.apply(graph)
+        delta_sparse = update_slen(sparse, graph, removal)
+        delta_dense = update_slen(dense, graph, removal)
+        assert delta_dense.changed_pairs == delta_sparse.changed_pairs
+        assert dense == sparse
+
+
+class TestSourcesWithin:
+    """The bulk matching kernel behind the simulation fixpoint."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("bound", (1, 2, 3, INF))
+    def test_dense_matches_generic(self, seed, bound):
+        from repro.spl.backend import SLenBackend
+
+        graph = make_random_graph(num_nodes=30, num_edges=90, seed=seed)
+        sparse, dense = both_backends(graph)
+        nodes = sorted(graph.nodes(), key=repr)
+        sources = set(nodes[::2])
+        targets = set(nodes[1::3])
+        expected = SLenBackend.sources_within(sparse.backend, sources, targets, bound)
+        assert sparse.sources_within(sources, targets, bound) == expected
+        assert dense.sources_within(sources, targets, bound) == expected
+
+    def test_blocked_grid_and_edge_cases(self):
+        graph = make_random_graph(num_nodes=30, num_edges=90, seed=9)
+        dense = SLenMatrix.from_graph(graph, backend="dense", dense_block_size=4)
+        sparse = SLenMatrix.from_graph(graph, backend="sparse")
+        nodes = sorted(graph.nodes(), key=repr)
+        sources = set(nodes[:15])
+        targets = set(nodes[15:])
+        assert dense.sources_within(sources, targets, 2) == sparse.sources_within(
+            sources, targets, 2
+        )
+        assert dense.sources_within(sources, set(), 3) == set()
+        assert dense.sources_within(set(), targets, 3) == set()
+        # Out-of-universe nodes are ignored, not an error.
+        assert dense.sources_within({"ghost"}, targets, 3) == set()
+        assert dense.sources_within(sources, {"ghost"}, 3) == set()
+        # bound 0 only admits sources that are themselves targets.
+        assert dense.sources_within(sources, sources, 0) == sources
+
+    def test_matches_scalar_edge_constraint(self):
+        from repro.matching.bgs import edge_constraint_holds
+
+        graph = make_random_graph(num_nodes=25, num_edges=70, seed=10)
+        sparse, dense = both_backends(graph)
+        nodes = sorted(graph.nodes(), key=repr)
+        targets = set(nodes[5:12])
+        for bound in (1, 2, INF):
+            expected = {
+                node
+                for node in nodes
+                if edge_constraint_holds(sparse, node, targets, bound)
+            }
+            assert dense.sources_within(nodes, targets, bound) == expected
+
+
 class TestDenseStructure:
     """Dense-specific mechanics: slot reuse, growth, caching."""
 

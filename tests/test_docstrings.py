@@ -1,0 +1,80 @@
+"""Docstring gate for the documented packages (``repro.spl`` + ``repro.batching``).
+
+CI enforces pydocstyle's D1xx rules on these two packages through ruff
+(the ``docs`` job; see ``ruff.toml``), but ruff is not part of the
+runtime toolchain — this AST-based mirror keeps the same gate inside
+tier-1, so a missing docstring fails locally before it fails in CI.
+
+The rule set mirrors the ruff selection (D100-D104, D106): every
+module needs a docstring, as does every public class and every public
+function/method.  Private names (leading underscore) and dunders are
+exempt, matching the deliberate exclusion of D105/D107 in ``ruff.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+#: The packages whose public APIs the documentation satellite covers.
+DOCUMENTED_PACKAGES = ("src/repro/spl", "src/repro/batching")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def documented_files() -> list[Path]:
+    """Every Python file of the documented packages."""
+    files: list[Path] = []
+    for package in DOCUMENTED_PACKAGES:
+        files.extend(sorted((REPO_ROOT / package).rglob("*.py")))
+    assert files, "documented packages not found — repo layout changed?"
+    return files
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def missing_docstrings(path: Path) -> list[str]:
+    """D1xx-style findings for one file, as ``kind name (line)`` strings."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: list[str] = []
+    if ast.get_docstring(tree) is None:
+        findings.append("module docstring missing (D100/D104)")
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name) and ast.get_docstring(child) is None:
+                    findings.append(
+                        f"class {child.name} (line {child.lineno}) undocumented (D101/D106)"
+                    )
+                visit(child, inside_function)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    not inside_function
+                    and _is_public(child.name)
+                    and ast.get_docstring(child) is None
+                ):
+                    findings.append(
+                        f"def {child.name} (line {child.lineno}) undocumented (D102/D103)"
+                    )
+                visit(child, True)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return findings
+
+
+@pytest.mark.parametrize(
+    "path", documented_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_public_api_is_documented(path: Path) -> None:
+    findings = missing_docstrings(path)
+    assert not findings, (
+        f"{path.relative_to(REPO_ROOT)} fails the docstring gate:\n  "
+        + "\n  ".join(findings)
+    )
