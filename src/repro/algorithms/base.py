@@ -12,6 +12,7 @@ initial-query-then-subsequent-query protocol.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -51,16 +52,21 @@ from repro.spl.matrix import SLenMatrix
 # ----------------------------------------------------------------------
 # The ``coalesce_updates`` deprecation fires once per process, not once
 # per algorithm construction (workloads build thousands of instances).
+# The flag is guarded by a lock: service handlers construct algorithms
+# on executor threads, and an unsynchronized check-then-set can emit the
+# warning from several threads at once.
 # ----------------------------------------------------------------------
 _coalesce_deprecation_warned = False
+_coalesce_deprecation_lock = threading.Lock()
 
 
 def warn_coalesce_updates_deprecated(stacklevel: int = 4) -> None:
     """Emit the ``coalesce_updates`` DeprecationWarning at most once."""
     global _coalesce_deprecation_warned
-    if _coalesce_deprecation_warned:
-        return
-    _coalesce_deprecation_warned = True
+    with _coalesce_deprecation_lock:
+        if _coalesce_deprecation_warned:
+            return
+        _coalesce_deprecation_warned = True
     warnings.warn(
         "coalesce_updates is deprecated: the execution planner is the "
         "single decision point now; pass batch_plan='auto' instead",
@@ -72,7 +78,8 @@ def warn_coalesce_updates_deprecated(stacklevel: int = 4) -> None:
 def reset_coalesce_deprecation_warning() -> None:
     """Re-arm the once-per-process deprecation (test hook)."""
     global _coalesce_deprecation_warned
-    _coalesce_deprecation_warned = False
+    with _coalesce_deprecation_lock:
+        _coalesce_deprecation_warned = False
 
 
 @dataclass
@@ -299,11 +306,12 @@ class GPNMAlgorithm(abc.ABC):
                 )
         elif use_partition:
             partition = LabelPartition.from_graph(self._data)
-            self._slen = build_slen_partitioned(self._data, partition)
-            if slen_backend is not None:
-                self._slen = self._slen.to_backend(
-                    slen_backend, dense_block_size=dense_block_size
-                )
+            self._slen = build_slen_partitioned(
+                self._data,
+                partition,
+                backend=slen_backend if slen_backend is not None else "sparse",
+                dense_block_size=dense_block_size,
+            )
             # The construction partition seeds the cross-batch cache.
             self._partition_cache = partition
             self._partition_version = self._data.version

@@ -60,6 +60,7 @@ from typing import Optional, Union
 from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
 from repro.batching.compiler import CompilationReport
 from repro.graph.updates import GraphKind, Update
+from repro.ioutil import atomic_write_text
 
 #: The three executable maintenance strategies.
 STRATEGY_PER_UPDATE = "per-update"
@@ -279,8 +280,12 @@ class CostModel:
         )
 
     def save_json(self, path: Union[str, Path]) -> None:
-        """Write the model to ``path`` as versioned JSON."""
-        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        """Write the model to ``path`` as versioned JSON.
+
+        Atomic (temp file + ``os.replace``): service instances hot-reload
+        this artifact, so a reader must never see a half-written model.
+        """
+        atomic_write_text(path, json.dumps(self.as_dict(), indent=2) + "\n")
 
     @classmethod
     def load_json(cls, path: Union[str, Path]) -> "CostModel":

@@ -22,6 +22,7 @@ the executed strategy, not the label on the plan.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
@@ -29,6 +30,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.batching.planner import BatchStatistics
+from repro.ioutil import atomic_write_text
 
 #: On-disk JSON layout version of a persisted telemetry log.
 TELEMETRY_FORMAT_VERSION: int = 1
@@ -153,11 +155,20 @@ class TelemetryLog:
     growing without bound.  :meth:`save` / :meth:`load` round-trip the
     retained observations through a versioned JSON file
     (``--telemetry-out`` / ``ExperimentConfig.telemetry_path``).
+
+    One log is routinely **shared across concurrent writers** — the
+    streaming service's per-graph queues settle batches on executor
+    threads and all record into the service's single log — so the
+    record / lifetime-counter / save path is serialized by an internal
+    lock, and :meth:`save` writes atomically (temp file + ``os.replace``)
+    so a crash mid-write cannot corrupt the artifact the calibration job
+    and the service's hot-reload consume.
     """
 
     def __init__(self, retention: int = DEFAULT_RETENTION) -> None:
         if retention < 1:
             raise ValueError("telemetry retention must be at least 1")
+        self._lock = threading.Lock()
         self._observations: deque[PlanObservation] = deque(maxlen=retention)
         self._total_recorded = 0
 
@@ -166,8 +177,9 @@ class TelemetryLog:
     # ------------------------------------------------------------------
     def record(self, observation: PlanObservation) -> PlanObservation:
         """Append one observation (dropping the oldest when full)."""
-        self._observations.append(observation)
-        self._total_recorded += 1
+        with self._lock:
+            self._observations.append(observation)
+            self._total_recorded += 1
         return observation
 
     def extend(self, observations: Iterable[PlanObservation]) -> None:
@@ -186,26 +198,32 @@ class TelemetryLog:
     @property
     def total_recorded(self) -> int:
         """How many observations were ever recorded (retained or not)."""
-        return self._total_recorded
+        with self._lock:
+            return self._total_recorded
 
     @property
     def dropped(self) -> int:
         """How many recorded observations fell out of retention."""
-        return self._total_recorded - len(self._observations)
+        with self._lock:
+            return self._total_recorded - len(self._observations)
 
     def observations(self) -> list[PlanObservation]:
         """The retained observations, oldest first."""
-        return list(self._observations)
+        with self._lock:
+            return list(self._observations)
 
     def __len__(self) -> int:
-        return len(self._observations)
+        with self._lock:
+            return len(self._observations)
 
     def __iter__(self) -> Iterator[PlanObservation]:
-        return iter(list(self._observations))
+        return iter(self.observations())
 
     def __repr__(self) -> str:
+        with self._lock:
+            retained, total = len(self._observations), self._total_recorded
         return (
-            f"TelemetryLog(retained={len(self)}, total_recorded={self._total_recorded}, "
+            f"TelemetryLog(retained={retained}, total_recorded={total}, "
             f"retention={self.retention})"
         )
 
@@ -214,16 +232,24 @@ class TelemetryLog:
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
         """Plain-dict form of the retained observations."""
+        with self._lock:
+            total_recorded = self._total_recorded
+            retained = list(self._observations)
         return {
             "format_version": TELEMETRY_FORMAT_VERSION,
-            "total_recorded": self._total_recorded,
+            "total_recorded": total_recorded,
             "retention": self.retention,
-            "observations": [observation.as_dict() for observation in self._observations],
+            "observations": [observation.as_dict() for observation in retained],
         }
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the retained observations to ``path`` as versioned JSON."""
-        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        """Write the retained observations to ``path`` as versioned JSON.
+
+        The write is atomic (temp file in the same directory +
+        ``os.replace``): a crash mid-write leaves the previous artifact
+        intact, and a concurrent reader never observes a torn file.
+        """
+        atomic_write_text(path, json.dumps(self.as_dict(), indent=2) + "\n")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TelemetryLog":

@@ -29,6 +29,11 @@ Run the quick grid on the dense NumPy SLen backend (or ``auto``, which
 picks dense above a node-count threshold)::
 
     ua-gpnm table-xi --slen-backend dense
+
+Serve a dataset as a streaming update service (JSON lines over TCP;
+see :mod:`repro.service.server` for the wire protocol)::
+
+    ua-gpnm serve --dataset email-EU-core --port 8765 --deadline 0.05
 """
 
 from __future__ import annotations
@@ -245,7 +250,83 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=dataset_names(),
         help="dataset / figure to regenerate",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the streaming update service (JSON lines over TCP)",
+    )
+    _add_common_options(serve, suppress=True)
+    serve.add_argument(
+        "--dataset",
+        default="email-EU-core",
+        choices=dataset_names(),
+        help="dataset to register as the served graph",
+    )
+    serve.add_argument(
+        "--pattern-nodes", type=int, default=6, metavar="N",
+        help="generated pattern size: nodes (default 6)",
+    )
+    serve.add_argument(
+        "--pattern-edges", type=int, default=6, metavar="N",
+        help="generated pattern size: edges (default 6)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral port; default 8765)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "max time an accepted delta may sit buffered before the "
+            "batch is cut regardless of the planner (default 0.05)"
+        ),
+    )
+    serve.add_argument(
+        "--max-buffer", type=int, default=None, metavar="N",
+        help="cut the buffered batch unconditionally at this size (default 1024)",
+    )
     return parser
+
+
+def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """The ``serve`` subcommand: register the dataset and serve forever."""
+    import asyncio
+
+    from repro.service import ServiceConfig, ServiceServer, StreamingUpdateService
+    from repro.workloads.datasets import load_dataset
+    from repro.workloads.pattern_gen import pattern_for_dataset
+
+    if args.deadline is not None:
+        config = dataclasses.replace(config, service_deadline_seconds=args.deadline)
+    if args.max_buffer is not None:
+        config = dataclasses.replace(config, service_max_buffer=args.max_buffer)
+    data = load_dataset(args.dataset, scale=config.dataset_scale)
+    pattern = pattern_for_dataset(
+        sorted(data.labels()), args.pattern_nodes, args.pattern_edges, seed=config.seed
+    )
+
+    async def _serve() -> None:
+        service = StreamingUpdateService(ServiceConfig.from_experiment(config))
+        await service.register_graph(args.dataset, pattern, data)
+        server = ServiceServer(service, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(
+            f"[serve] graph {args.dataset!r} "
+            f"({data.number_of_nodes} nodes, {data.number_of_edges} edges) "
+            f"on {host}:{port}",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+            await service.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] shutting down", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -273,6 +354,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = dataclasses.replace(config, recalibrate_every=args.recalibrate_every)
     if getattr(args, "cost_model", None) is not None:
         config = dataclasses.replace(config, cost_model_path=args.cost_model)
+
+    if args.command == "serve":
+        return _run_serve(args, config)
 
     def progress(message: str) -> None:
         print(f"[run] {message}", file=sys.stderr)

@@ -85,6 +85,15 @@ class ExperimentConfig:
         Load the planner's starting
         :class:`~repro.batching.planner.CostModel` from this JSON file
         instead of the shipped calibration (CLI: ``--cost-model``).
+    service_deadline_seconds:
+        Streaming-service latency deadline: how long an accepted delta
+        may sit buffered before the service cuts the batch even though
+        the planner's coalescing crossover has not been reached (CLI:
+        ``ua-gpnm serve --deadline``).
+    service_max_buffer:
+        Streaming-service capacity backstop: the buffered batch is cut
+        unconditionally at this size (CLI: ``ua-gpnm serve
+        --max-buffer``).
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -102,6 +111,8 @@ class ExperimentConfig:
     telemetry_path: Optional[str] = None
     recalibrate_every: int = 0
     cost_model_path: Optional[str] = None
+    service_deadline_seconds: float = 0.05
+    service_max_buffer: int = 1024
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -123,6 +134,10 @@ class ExperimentConfig:
             )
         if self.recalibrate_every < 0:
             raise ValueError("recalibrate_every must be non-negative")
+        if self.service_deadline_seconds < 0:
+            raise ValueError("service_deadline_seconds must be non-negative")
+        if self.service_max_buffer < 1:
+            raise ValueError("service_max_buffer must be at least 1")
 
     @property
     def number_of_cells(self) -> int:

@@ -1,0 +1,47 @@
+"""Small filesystem helpers shared across subsystems.
+
+The one that matters: :func:`atomic_write_text`.  Several artifacts in
+this repository are *consumed while they are being produced* — the
+calibration job reads telemetry logs another process is still appending
+to, and the streaming service hot-reloads cost-model JSON written by a
+periodic refit.  A plain ``Path.write_text`` truncates the file first,
+so a reader (or a crash) mid-write observes a corrupt artifact.  Writing
+to a temporary file in the same directory and :func:`os.replace`-ing it
+over the target makes the swap atomic on POSIX and Windows alike:
+readers see either the old complete file or the new complete file,
+never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The text is written to a uniquely-named temporary file in the same
+    directory (same filesystem, so the final :func:`os.replace` is a
+    rename, not a copy) and moved over ``path`` only once fully flushed.
+    On any failure the temporary file is removed and ``path`` is left
+    untouched — a crash mid-write can no longer corrupt the artifact.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already gone / never created
+            pass
+        raise

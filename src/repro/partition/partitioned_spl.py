@@ -54,7 +54,10 @@ PARTITIONED_RECOMPUTE_FRACTION: float = 1.0 / 3.0
 # Exact partition-aware construction (used by UA-GPNM)
 # ----------------------------------------------------------------------
 def build_slen_partitioned(
-    graph: DataGraph, partition: Optional[LabelPartition] = None
+    graph: DataGraph,
+    partition: Optional[LabelPartition] = None,
+    backend: str = "sparse",
+    dense_block_size: Optional[int] = None,
 ) -> SLenMatrix:
     """Build the all-pairs ``SLen`` matrix using the label partition.
 
@@ -65,6 +68,10 @@ def build_slen_partitioned(
     partition:
         A precomputed :class:`LabelPartition`; computed from ``graph``
         when omitted.
+    backend / dense_block_size:
+        Storage backend of the produced matrix and — when it resolves to
+        dense — the blocked layout's block edge (``None`` = the default;
+        see :meth:`SLenMatrix.from_rows`).
 
     Returns
     -------
@@ -74,11 +81,10 @@ def build_slen_partitioned(
     """
     if partition is None:
         partition = LabelPartition.from_graph(graph)
-    matrix = SLenMatrix(graph.nodes())
     rows = _partitioned_rows(graph, partition, set(graph.nodes()), trusted=None)
-    for source, row in rows.items():
-        matrix.set_row(source, row)
-    return matrix
+    return SLenMatrix.from_rows(
+        graph.nodes(), rows, backend=backend, dense_block_size=dense_block_size
+    )
 
 
 def partitioned_recompute_rows(

@@ -1,0 +1,53 @@
+"""Asyncio streaming ingestion + query service over the GPNM algorithms.
+
+The package turns the batch-oriented algorithm state machine into a
+continuously-available service (ROADMAP item: streaming service layer):
+
+* :mod:`repro.service.delta` — the structured insert/delete payload
+  vocabulary (:class:`~repro.service.delta.UpdateData`);
+* :mod:`repro.service.queue` — per-graph serialized action queues with
+  fire-and-forget scheduling and graceful drain;
+* :mod:`repro.service.service` — the
+  :class:`~repro.service.service.StreamingUpdateService` core: staged
+  validation, planner-driven batch admission, deadline cuts, executor
+  settles, snapshot reads;
+* :mod:`repro.service.server` — a stdlib JSON-lines TCP front end
+  (``ua-gpnm serve``).
+"""
+
+from repro.service.delta import DeltaDelete, DeltaError, DeltaInsert, UpdateData
+from repro.service.queue import ActionQueue, ActionScheduler, QueueClosedError
+from repro.service.server import ServiceServer
+from repro.service.service import (
+    CUT_CAPACITY,
+    CUT_CROSSOVER,
+    CUT_DEADLINE,
+    CUT_DRAIN,
+    GraphSnapshot,
+    IngestReceipt,
+    ServiceConfig,
+    ServiceError,
+    StreamingUpdateService,
+    default_algorithm_factory,
+)
+
+__all__ = [
+    "ActionQueue",
+    "ActionScheduler",
+    "QueueClosedError",
+    "DeltaInsert",
+    "DeltaDelete",
+    "DeltaError",
+    "UpdateData",
+    "ServiceConfig",
+    "ServiceError",
+    "GraphSnapshot",
+    "IngestReceipt",
+    "StreamingUpdateService",
+    "ServiceServer",
+    "default_algorithm_factory",
+    "CUT_CROSSOVER",
+    "CUT_CAPACITY",
+    "CUT_DEADLINE",
+    "CUT_DRAIN",
+]

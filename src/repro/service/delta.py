@@ -1,0 +1,214 @@
+"""Structured insert/delete delta payloads for the streaming service.
+
+The wire shape follows the mu-swarm delta idiom (SNIPPETS.md §1–2): a
+payload names a **graph key** and carries two lists of delta specs,
+
+.. code-block:: python
+
+    {
+        "graph": "social",
+        "inserts": [
+            {"type": "edge", "source": "u7", "target": "u9"},
+            {"type": "node", "node": "u99", "labels": ["SE"],
+             "edges": [["u99", "u7"]]},
+        ],
+        "deletes": [
+            {"type": "edge", "source": "u1", "target": "u2"},
+        ],
+    }
+
+(the nested ``{"graph": ..., "delta": {"inserts": ..., "deletes": ...}}``
+variant is accepted too).  :class:`UpdateData` validates the envelope,
+turns every spec into a :class:`DeltaInsert` / :class:`DeltaDelete`, and
+:meth:`UpdateData.updates` lowers the payload to the repository's
+:class:`~repro.graph.updates.Update` vocabulary — **deletes first, then
+inserts**, so a delete+insert of the same edge in one payload reads as a
+replace and a delete-then-reinsert of a node is a well-formed
+resurrection for the batch compiler.
+
+Only *data*-graph deltas stream through the service (patterns are
+registered, not streamed), so every produced update targets
+:data:`~repro.graph.updates.GraphKind.DATA`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.graph.updates import (
+    Update,
+    delete_data_edge,
+    delete_data_node,
+    insert_data_edge,
+    insert_data_node,
+)
+
+
+class DeltaError(ValueError):
+    """A malformed delta payload (bad envelope or bad spec)."""
+
+
+#: Spec discriminators accepted in ``inserts`` / ``deletes`` lists.
+DELTA_TYPES: tuple[str, ...] = ("edge", "node")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise DeltaError(message)
+
+
+@dataclass(frozen=True)
+class _DeltaSpec:
+    """One parsed delta spec (an edge or a node, see ``type``)."""
+
+    type: str
+    source: Optional[str] = None
+    target: Optional[str] = None
+    node: Optional[str] = None
+    labels: tuple[str, ...] = ()
+    edges: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def parse(cls, raw: object, *, inserting: bool) -> "_DeltaSpec":
+        """Validate one raw spec dict into a :class:`_DeltaSpec`."""
+        _require(isinstance(raw, Mapping), f"delta spec must be a mapping, got {raw!r}")
+        kind = raw.get("type", "edge")
+        _require(
+            kind in DELTA_TYPES,
+            f"unknown delta spec type {kind!r}; expected one of {DELTA_TYPES}",
+        )
+        if kind == "edge":
+            _require(
+                "source" in raw and "target" in raw,
+                f"edge delta spec needs 'source' and 'target': {raw!r}",
+            )
+            _require(
+                "node" not in raw, f"edge delta spec cannot name a 'node': {raw!r}"
+            )
+            return cls(type="edge", source=raw["source"], target=raw["target"])
+        _require("node" in raw, f"node delta spec needs 'node': {raw!r}")
+        labels = raw.get("labels", ())
+        if isinstance(labels, str):
+            labels = (labels,)
+        _require(
+            isinstance(labels, Sequence)
+            and all(isinstance(label, str) for label in labels),
+            f"node delta spec 'labels' must be a list of strings: {raw!r}",
+        )
+        _require(
+            not inserting or len(tuple(labels)) > 0,
+            f"node insert spec needs at least one label: {raw!r}",
+        )
+        edges = raw.get("edges", ())
+        _require(
+            isinstance(edges, Sequence) and not isinstance(edges, str),
+            f"node delta spec 'edges' must be a list of [source, target] pairs: {raw!r}",
+        )
+        parsed_edges = []
+        for edge in edges:
+            _require(
+                isinstance(edge, Sequence)
+                and not isinstance(edge, str)
+                and len(edge) == 2,
+                f"node delta spec edge must be a [source, target] pair: {edge!r}",
+            )
+            parsed_edges.append((edge[0], edge[1]))
+        return cls(
+            type="node",
+            node=raw["node"],
+            labels=tuple(labels),
+            edges=tuple(parsed_edges),
+        )
+
+
+@dataclass(frozen=True)
+class DeltaInsert:
+    """One insertion spec of a delta payload."""
+
+    spec: _DeltaSpec = field(repr=False)
+
+    def to_update(self) -> Update:
+        """Lower to an :class:`~repro.graph.updates.Update` (data graph)."""
+        if self.spec.type == "edge":
+            return insert_data_edge(self.spec.source, self.spec.target)
+        return insert_data_node(self.spec.node, self.spec.labels, self.spec.edges)
+
+    def __repr__(self) -> str:
+        if self.spec.type == "edge":
+            return f"DeltaInsert(edge {self.spec.source!r}->{self.spec.target!r})"
+        return f"DeltaInsert(node {self.spec.node!r})"
+
+
+@dataclass(frozen=True)
+class DeltaDelete:
+    """One deletion spec of a delta payload."""
+
+    spec: _DeltaSpec = field(repr=False)
+
+    def to_update(self) -> Update:
+        """Lower to an :class:`~repro.graph.updates.Update` (data graph)."""
+        if self.spec.type == "edge":
+            return delete_data_edge(self.spec.source, self.spec.target)
+        return delete_data_node(self.spec.node, self.spec.labels, self.spec.edges)
+
+    def __repr__(self) -> str:
+        if self.spec.type == "edge":
+            return f"DeltaDelete(edge {self.spec.source!r}->{self.spec.target!r})"
+        return f"DeltaDelete(node {self.spec.node!r})"
+
+
+class UpdateData:
+    """One validated delta payload: a graph key plus insert/delete lists.
+
+    Accepts the flat mu-swarm shape (``inserts`` / ``deletes`` at the top
+    level) and the nested one (under a ``delta`` key).  ``graph`` may be
+    omitted when the service call already names the graph key.
+    """
+
+    __slots__ = ("graph", "inserts", "deletes")
+
+    def __init__(self, data: Mapping, default_graph: Optional[str] = None) -> None:
+        _require(isinstance(data, Mapping), f"delta payload must be a mapping, got {data!r}")
+        envelope = data
+        if "delta" in data:
+            envelope = data["delta"]
+            _require(
+                isinstance(envelope, Mapping),
+                f"'delta' must be a mapping of inserts/deletes, got {envelope!r}",
+            )
+        graph = data.get("graph", default_graph)
+        _require(
+            graph is None or isinstance(graph, str),
+            f"'graph' must be a string graph key, got {graph!r}",
+        )
+        inserts = envelope.get("inserts", [])
+        deletes = envelope.get("deletes", [])
+        for name, specs in (("inserts", inserts), ("deletes", deletes)):
+            _require(
+                isinstance(specs, Sequence) and not isinstance(specs, str),
+                f"{name!r} must be a list of delta specs, got {specs!r}",
+            )
+        self.graph: Optional[str] = graph
+        self.inserts: list[DeltaInsert] = [
+            DeltaInsert(_DeltaSpec.parse(raw, inserting=True)) for raw in inserts
+        ]
+        self.deletes: list[DeltaDelete] = [
+            DeltaDelete(_DeltaSpec.parse(raw, inserting=False)) for raw in deletes
+        ]
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+    def updates(self) -> list[Update]:
+        """Lower the payload to updates — deletes first, then inserts."""
+        return [delta.to_update() for delta in self.deletes] + [
+            delta.to_update() for delta in self.inserts
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<UpdateData graph={self.graph!r} inserts={len(self.inserts)} "
+            f"deletes={len(self.deletes)}>"
+        )

@@ -1,0 +1,220 @@
+"""A stdlib JSON-lines TCP front end for the streaming service.
+
+One request per line, one JSON object per response line.  The protocol
+is deliberately minimal — it exists so ``ua-gpnm serve`` can expose a
+registered graph to external producers/consumers without any dependency
+beyond the standard library:
+
+.. code-block:: text
+
+    -> {"op": "update", "graph": "g", "inserts": [...], "deletes": [...]}
+    <- {"ok": true, "accepted": 2, "rejected": 0, "pending": 2, "cut": null}
+
+    -> {"op": "matches", "graph": "g", "pattern_node": "p0"}
+    <- {"ok": true, "matches": ["u3", "u7"]}
+
+    -> {"op": "top-k", "graph": "g", "k": 3}
+    <- {"ok": true, "top_k": {"p0": [{"node": "u3", "score": 0.91}, ...]}}
+
+    -> {"op": "slen", "graph": "g", "source": "u1", "target": "u9"}
+    <- {"ok": true, "distance": 3}            # null when unreachable
+
+    -> {"op": "stats", "graph": "g"}          / {"op": "graphs"} / {"op": "ping"}
+    <- {"ok": true, ...}
+
+Failures come back as ``{"ok": false, "error": "..."}`` on the same
+line; a malformed line never kills the connection.  ``update`` requests
+ride the service's per-graph serialized queues, so two clients writing
+to one graph are ordered exactly as their requests are read; read
+requests answer from the last settled snapshot immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Optional
+
+from repro.service.delta import DeltaError
+from repro.service.service import ServiceError, StreamingUpdateService
+
+#: Upper bound on one request line (protects the reader from unbounded
+#: buffering on a misbehaving client).
+MAX_LINE_BYTES: int = 1 << 20
+
+
+class ServiceServer:
+    """Serve a :class:`StreamingUpdateService` over JSON lines on TCP."""
+
+    def __init__(
+        self,
+        service: StreamingUpdateService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        Port ``0`` binds an ephemeral port (the tests' idiom); the bound
+        port is reflected into :attr:`port`.
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled (the CLI entry point's mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._reply(writer, {"ok": False, "error": "request line too long"})
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                response = await self._dispatch(text)
+                await self._reply(writer, response)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, text: str) -> dict:
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"invalid JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            known = ", ".join(sorted(self._HANDLERS))
+            return {"ok": False, "error": f"unknown op {op!r}; expected one of: {known}"}
+        try:
+            return await handler(self, request)
+        except (DeltaError, ServiceError, ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _graph_key(self, request: dict) -> str:
+        key = request.get("graph")
+        if not isinstance(key, str):
+            raise ServiceError("request needs a 'graph' key naming the graph")
+        return key
+
+    async def _op_update(self, request: dict) -> dict:
+        key = self._graph_key(request)
+        receipt = await self.service.submit(key, request)
+        return {
+            "ok": True,
+            "accepted": receipt.accepted,
+            "rejected": receipt.rejected,
+            "pending": receipt.pending,
+            "cut": receipt.cut,
+            "errors": list(receipt.errors),
+        }
+
+    async def _op_matches(self, request: dict) -> dict:
+        key = self._graph_key(request)
+        pattern_node = request.get("pattern_node")
+        if pattern_node is not None:
+            matched = self.service.matches(key, pattern_node)
+            return {"ok": True, "matches": sorted(str(node) for node in matched)}
+        all_matches = self.service.matches(key)
+        return {
+            "ok": True,
+            "matches": {
+                str(p): sorted(str(node) for node in nodes)
+                for p, nodes in all_matches.items()
+            },
+        }
+
+    async def _op_top_k(self, request: dict) -> dict:
+        key = self._graph_key(request)
+        k = int(request.get("k", 10))
+        ranked = self.service.top_k(key, k, pattern_node=request.get("pattern_node"))
+        return {
+            "ok": True,
+            "top_k": {
+                str(p): [
+                    {"node": str(match.data_node), "score": match.score}
+                    for match in matches
+                ]
+                for p, matches in ranked.items()
+            },
+        }
+
+    async def _op_slen(self, request: dict) -> dict:
+        key = self._graph_key(request)
+        distance = self.service.slen_distance(
+            key, request["source"], request["target"]
+        )
+        finite = not (isinstance(distance, float) and math.isinf(distance))
+        return {"ok": True, "distance": int(distance) if finite else None}
+
+    async def _op_stats(self, request: dict) -> dict:
+        key = self._graph_key(request)
+        return {"ok": True, **self.service.stats(key)}
+
+    async def _op_graphs(self, request: dict) -> dict:
+        return {"ok": True, "graphs": list(self.service.graphs)}
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    _HANDLERS = {
+        "update": _op_update,
+        "matches": _op_matches,
+        "top-k": _op_top_k,
+        "slen": _op_slen,
+        "stats": _op_stats,
+        "graphs": _op_graphs,
+        "ping": _op_ping,
+    }

@@ -1,0 +1,642 @@
+"""Asyncio streaming ingestion + query layer over the GPNM algorithms.
+
+:class:`StreamingUpdateService` turns the batch-oriented
+:class:`~repro.algorithms.base.GPNMAlgorithm` state machine into a
+continuously-available service:
+
+* **Ingestion** — :meth:`~StreamingUpdateService.submit` accepts one
+  delta payload (:class:`~repro.service.delta.UpdateData`), validates
+  every delta against the graph's *staged* state (settled state plus the
+  not-yet-settled buffer), and appends the valid ones to the graph's
+  buffer.  All mutation runs as actions on the graph's serialized
+  :class:`~repro.service.queue.ActionQueue`, so concurrent submitters
+  to one graph are applied in a single well-defined order while distinct
+  graphs proceed independently.
+* **Admission** — after every ingest the service consults the batch
+  planner (:func:`~repro.batching.planner.plan_batch`) on the buffered
+  batch's :class:`~repro.batching.planner.BatchStatistics`.  The buffer
+  is *cut* — swapped out and handed to the algorithm's
+  ``subsequent_query`` — when the planner's coalescing crossover is
+  reached (strategy ≠ per-update: the batch is now cheaper settled as a
+  whole than as it trickles), when the buffer hits ``max_buffer``
+  (capacity backstop), or when the configured latency ``deadline``
+  expires with deltas still buffered (bounded staleness for small
+  trickles).
+* **Settling** — the cut batch settles via the algorithm on an executor
+  thread (the event loop keeps serving), scheduled on the *same*
+  per-graph queue, so maintenance is serialized with ingestion and a
+  graph's batches settle in cut order.  When the settle finishes, the
+  service publishes a fresh immutable :class:`GraphSnapshot` by plain
+  attribute assignment.
+* **Reads** — :meth:`~StreamingUpdateService.matches`,
+  :meth:`~StreamingUpdateService.top_k` and
+  :meth:`~StreamingUpdateService.slen_distance` answer from the last
+  published snapshot.  They are plain synchronous methods that never
+  enter the action queue, so a read never blocks behind an in-flight
+  settle — it simply sees the last settled version.
+* **Shutdown** — :meth:`~StreamingUpdateService.drain` cuts every
+  non-empty buffer and waits for all queues to go quiescent;
+  :meth:`~StreamingUpdateService.close` then stops the workers.  Every
+  accepted delta is settled before ``close`` returns — nothing accepted
+  is ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.algorithms import GPNMAlgorithm, UAGPNM
+from repro.batching.coalesce import DEFAULT_COALESCE_MIN_BATCH
+from repro.batching.planner import (
+    PLAN_CHOICES,
+    STRATEGY_AUTO,
+    STRATEGY_PER_UPDATE,
+    BatchStatistics,
+    CostModel,
+    plan_batch,
+)
+from repro.batching.telemetry import TelemetryLog
+from repro.graph import DataGraph, PatternGraph
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+    UpdateBatch,
+    UpdateError,
+)
+from repro.matching import MatchResult, RankedMatch, top_k_matches
+from repro.service.delta import DeltaError, UpdateData
+from repro.service.queue import ActionScheduler, QueueClosedError
+from repro.spl.matrix import SLenMatrix
+
+#: Cut reasons reported in receipts and per-graph statistics.
+CUT_CROSSOVER = "crossover"
+CUT_CAPACITY = "capacity"
+CUT_DEADLINE = "deadline"
+CUT_DRAIN = "drain"
+
+
+class ServiceError(RuntimeError):
+    """Service-level failure (unknown graph, duplicate registration...)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of a :class:`StreamingUpdateService`.
+
+    Attributes
+    ----------
+    deadline_seconds:
+        Maximum time an accepted delta may sit buffered before the
+        service cuts the batch anyway.  ``0`` cuts after every payload
+        (lowest staleness, least coalescing benefit).
+    max_buffer:
+        Capacity backstop: the buffer is cut as soon as it holds this
+        many deltas regardless of planner or deadline.
+    coalesce_min_batch:
+        The planner's crossover batch size (rule 1 of
+        :func:`~repro.batching.planner.plan_batch`).
+    batch_plan:
+        Plan handed to the underlying algorithm (``"auto"`` routes per
+        batch through the cost model).
+    use_partition:
+        Whether the default algorithm factory builds UA-GPNM with the
+        label partition (Section V).
+    slen_backend / dense_block_size:
+        ``SLen`` storage knobs, passed through to the algorithm.
+    telemetry_path:
+        When set, the service's shared telemetry log is saved here on
+        :meth:`StreamingUpdateService.close`.
+    recalibrate_every / cost_model_path:
+        Planner calibration knobs, passed through to the algorithm.
+    """
+
+    deadline_seconds: float = 0.05
+    max_buffer: int = 1024
+    coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH
+    batch_plan: str = STRATEGY_AUTO
+    use_partition: bool = True
+    slen_backend: str = "sparse"
+    dense_block_size: Optional[int] = None
+    telemetry_path: Optional[str] = None
+    recalibrate_every: int = 0
+    cost_model_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be non-negative")
+        if self.max_buffer < 1:
+            raise ValueError("max_buffer must be at least 1")
+        if self.coalesce_min_batch < 0:
+            raise ValueError("coalesce_min_batch must be non-negative")
+        if self.batch_plan not in PLAN_CHOICES:
+            raise ValueError(
+                f"unknown batch_plan {self.batch_plan!r}; expected one of {PLAN_CHOICES}"
+            )
+        if self.recalibrate_every < 0:
+            raise ValueError("recalibrate_every must be non-negative")
+
+    @classmethod
+    def from_experiment(cls, config) -> "ServiceConfig":
+        """Derive service tunables from an ``ExperimentConfig``."""
+        return cls(
+            deadline_seconds=config.service_deadline_seconds,
+            max_buffer=config.service_max_buffer,
+            coalesce_min_batch=config.coalesce_min_batch,
+            batch_plan=config.batch_plan or STRATEGY_AUTO,
+            slen_backend=config.slen_backend,
+            dense_block_size=config.dense_block_size,
+            telemetry_path=config.telemetry_path,
+            recalibrate_every=config.recalibrate_every,
+            cost_model_path=config.cost_model_path,
+        )
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """One settled, immutable state of a registered graph.
+
+    Reads answer from a snapshot without coordination: every field is a
+    private copy taken when the settle finished, and the service only
+    ever *replaces* the published snapshot (never mutates it).
+    """
+
+    version: int
+    result: MatchResult
+    pattern: PatternGraph
+    data: DataGraph
+    slen: SLenMatrix
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """The outcome of one submitted delta payload.
+
+    Attributes
+    ----------
+    accepted / rejected:
+        How many of the payload's deltas were buffered vs. refused
+        (stale or conflicting against the staged state).
+    pending:
+        Buffered-but-unsettled deltas on the graph right after this
+        payload (0 means the payload triggered a cut).
+    cut:
+        Why this payload triggered a batch cut (``"crossover"``,
+        ``"capacity"`` or ``"deadline"``), or ``None`` if the deltas
+        remain buffered.
+    errors:
+        One message per rejected delta, in payload order.
+    """
+
+    accepted: int
+    rejected: int
+    pending: int
+    cut: Optional[str] = None
+    errors: tuple[str, ...] = ()
+
+
+@dataclass
+class _GraphSession:
+    """Mutable per-graph state, touched only from the graph's queue."""
+
+    key: str
+    algorithm: GPNMAlgorithm
+    #: Settled state plus the buffered-but-unsettled deltas; the
+    #: submit-time validation target.
+    staged: DataGraph
+    snapshot: GraphSnapshot
+    buffer: UpdateBatch = field(default_factory=UpdateBatch)
+    #: Bumped on every cut; lets an expired deadline recognise that the
+    #: buffer it armed for was already cut.
+    generation: int = 0
+    deadline_handle: Optional[asyncio.TimerHandle] = None
+    accepted: int = 0
+    rejected: int = 0
+    settled: int = 0
+    settles: int = 0
+    settle_failures: int = 0
+    settle_seconds: float = 0.0
+    cut_reasons: Counter = field(default_factory=Counter)
+
+
+#: Builds the per-graph algorithm; injectable for tests (e.g. a slow
+#: settle wrapper proving reads do not block).
+AlgorithmFactory = Callable[[PatternGraph, DataGraph, "ServiceConfig", Optional[TelemetryLog]], GPNMAlgorithm]
+
+
+def default_algorithm_factory(
+    pattern: PatternGraph,
+    data: DataGraph,
+    config: ServiceConfig,
+    telemetry: Optional[TelemetryLog],
+) -> GPNMAlgorithm:
+    """The stock factory: UA-GPNM wired to the service's tunables."""
+    cost_model = None
+    if config.cost_model_path:
+        cost_model = CostModel.load_json(config.cost_model_path)
+    return UAGPNM(
+        pattern,
+        data,
+        use_partition=config.use_partition,
+        batch_plan=config.batch_plan,
+        coalesce_min_batch=config.coalesce_min_batch,
+        slen_backend=config.slen_backend,
+        dense_block_size=config.dense_block_size,
+        cost_model=cost_model,
+        telemetry=telemetry,
+        recalibrate_every=config.recalibrate_every,
+    )
+
+
+class StreamingUpdateService:
+    """Per-graph serialized streaming ingestion over GPNM algorithms.
+
+    See the module docstring for the architecture.  All coroutine
+    methods must run on the service's event loop; the read methods are
+    synchronous and loop-free.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        algorithm_factory: AlgorithmFactory = default_algorithm_factory,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._factory = algorithm_factory
+        self._scheduler = ActionScheduler()
+        self._sessions: dict[str, _GraphSession] = {}
+        #: One log shared by every graph's algorithm — the reason
+        #: TelemetryLog.record is lock-guarded.
+        self.telemetry = TelemetryLog()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    async def register_graph(
+        self, key: str, pattern: PatternGraph, data: DataGraph
+    ) -> GraphSnapshot:
+        """Register ``key`` and run its initial query (off-loop).
+
+        Returns the initial snapshot.  Raises :class:`ServiceError` on a
+        duplicate key.
+        """
+        self._ensure_open()
+        if key in self._sessions:
+            raise ServiceError(f"graph {key!r} is already registered")
+        # Reserve the key before the (slow) initial query so concurrent
+        # registrations of the same key fail fast instead of racing.
+        self._sessions[key] = None  # type: ignore[assignment]
+        loop = asyncio.get_running_loop()
+        try:
+            algorithm = await loop.run_in_executor(
+                None, self._factory, pattern, data, self.config, self.telemetry
+            )
+            snapshot = await loop.run_in_executor(
+                None, self._initial_snapshot, algorithm
+            )
+        except BaseException:
+            del self._sessions[key]
+            raise
+        self._sessions[key] = _GraphSession(
+            key=key,
+            algorithm=algorithm,
+            staged=snapshot.data.copy(),
+            snapshot=snapshot,
+        )
+        return snapshot
+
+    @staticmethod
+    def _initial_snapshot(algorithm: GPNMAlgorithm) -> GraphSnapshot:
+        return GraphSnapshot(
+            version=0,
+            result=algorithm.initial_result,
+            pattern=algorithm.pattern,
+            data=algorithm.data,
+            slen=algorithm.slen,
+        )
+
+    @property
+    def graphs(self) -> tuple[str, ...]:
+        """The registered graph keys (registration order)."""
+        return tuple(key for key, session in self._sessions.items() if session is not None)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def submit(self, key: str, payload) -> IngestReceipt:
+        """Validate and buffer one delta payload for graph ``key``.
+
+        ``payload`` is either an :class:`~repro.service.delta.UpdateData`
+        or a raw mapping in the wire shape (parsed here, so parse errors
+        surface as :class:`~repro.service.delta.DeltaError` before
+        anything is enqueued).  The returned receipt reports how many
+        deltas were accepted and whether the payload triggered a cut.
+        """
+        session = self._session(key)
+        data = payload if isinstance(payload, UpdateData) else UpdateData(payload, default_graph=key)
+        if data.graph is not None and data.graph != key:
+            raise DeltaError(
+                f"payload addresses graph {data.graph!r} but was submitted to {key!r}"
+            )
+        return await self._scheduler.schedule(
+            key, lambda: self._ingest(session, data)
+        )
+
+    def submit_nowait(self, key: str, payload) -> "asyncio.Future[IngestReceipt]":
+        """Fire-and-forget :meth:`submit`; the receipt future may be dropped."""
+        session = self._session(key)
+        data = payload if isinstance(payload, UpdateData) else UpdateData(payload, default_graph=key)
+        if data.graph is not None and data.graph != key:
+            raise DeltaError(
+                f"payload addresses graph {data.graph!r} but was submitted to {key!r}"
+            )
+        return self._scheduler.schedule(key, lambda: self._ingest(session, data))
+
+    async def _ingest(self, session: _GraphSession, data: UpdateData) -> IngestReceipt:
+        """Queue action: validate, buffer, and maybe cut.  Serialized."""
+        accepted = 0
+        errors: list[str] = []
+        for update in data.updates():
+            problem = _stage_conflict(session.staged, update)
+            if problem is None:
+                try:
+                    session.buffer.append(update)
+                except UpdateError as exc:
+                    problem = str(exc)
+            if problem is not None:
+                errors.append(f"{update!r}: {problem}")
+                continue
+            # Preconditions passed and the batch accepted it — applying
+            # to the staged graph cannot fail now.
+            update.apply(session.staged)
+            accepted += 1
+        session.accepted += accepted
+        session.rejected += len(errors)
+        cut_reason = self._admit(session)
+        return IngestReceipt(
+            accepted=accepted,
+            rejected=len(errors),
+            pending=len(session.buffer),
+            cut=cut_reason,
+            errors=tuple(errors),
+        )
+
+    def _admit(self, session: _GraphSession) -> Optional[str]:
+        """Decide whether the buffered batch should settle now."""
+        if not len(session.buffer):
+            return None
+        algorithm = session.algorithm
+        if len(session.buffer) >= self.config.max_buffer:
+            return self._cut(session, CUT_CAPACITY)
+        statistics = BatchStatistics.from_updates(
+            session.buffer,
+            node_count=session.staged.number_of_nodes,
+            backend=algorithm.slen_backend,
+            partition_available=algorithm.uses_partition,
+        )
+        plan = plan_batch(
+            statistics,
+            requested=STRATEGY_AUTO,
+            min_batch=self.config.coalesce_min_batch,
+            model=algorithm.cost_model,
+        )
+        if plan.strategy != STRATEGY_PER_UPDATE:
+            # Past the coalescing crossover: the batch is now cheaper
+            # settled as a whole than it would be growing further.
+            return self._cut(session, CUT_CROSSOVER)
+        if self.config.deadline_seconds <= 0:
+            return self._cut(session, CUT_DEADLINE)
+        if session.deadline_handle is None:
+            self._arm_deadline(session)
+        return None
+
+    def _arm_deadline(self, session: _GraphSession) -> None:
+        generation = session.generation
+        loop = asyncio.get_running_loop()
+        session.deadline_handle = loop.call_later(
+            self.config.deadline_seconds,
+            self._deadline_expired,
+            session,
+            generation,
+        )
+
+    def _deadline_expired(self, session: _GraphSession, generation: int) -> None:
+        """Timer callback: schedule the deadline cut on the graph's queue."""
+        session.deadline_handle = None
+        if session.generation != generation:
+            return  # the armed-for buffer was already cut
+        try:
+            self._scheduler.schedule(
+                session.key, lambda: self._deadline_cut(session, generation)
+            )
+        except QueueClosedError:
+            # Shutdown raced the timer; drain() already cut the buffer.
+            pass
+
+    async def _deadline_cut(self, session: _GraphSession, generation: int) -> None:
+        """Queue action: cut if the armed-for buffer is still pending."""
+        if session.generation == generation and len(session.buffer):
+            self._cut(session, CUT_DEADLINE)
+
+    def _cut(self, session: _GraphSession, reason: str) -> str:
+        """Swap the buffer out and schedule its settle.  Serialized."""
+        batch = session.buffer
+        session.buffer = UpdateBatch()
+        session.generation += 1
+        if session.deadline_handle is not None:
+            session.deadline_handle.cancel()
+            session.deadline_handle = None
+        session.cut_reasons[reason] += 1
+        self._scheduler.schedule(session.key, lambda: self._settle(session, batch))
+        return reason
+
+    async def _settle(self, session: _GraphSession, batch: UpdateBatch) -> None:
+        """Queue action: run the algorithm's maintenance off-loop."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            outcome = await loop.run_in_executor(
+                None, session.algorithm.subsequent_query, batch
+            )
+            snapshot = await loop.run_in_executor(
+                None, self._settled_snapshot, session, outcome.result
+            )
+        except BaseException:
+            session.settle_failures += 1
+            await loop.run_in_executor(None, self._resync_staged, session)
+            raise
+        session.snapshot = snapshot
+        session.settled += len(batch)
+        session.settles += 1
+        session.settle_seconds += loop.time() - started
+
+    @staticmethod
+    def _settled_snapshot(session: _GraphSession, result: MatchResult) -> GraphSnapshot:
+        algorithm = session.algorithm
+        return GraphSnapshot(
+            version=session.snapshot.version + 1,
+            result=result,
+            pattern=algorithm.pattern,
+            data=algorithm.data,
+            slen=algorithm.slen,
+        )
+
+    @staticmethod
+    def _resync_staged(session: _GraphSession) -> None:
+        """Rebuild the staged graph after a failed settle.
+
+        The algorithm's state is authoritative; the still-buffered
+        deltas are re-validated against it and survivors re-applied
+        (a failed settle can invalidate deltas that were accepted
+        against state that never materialised).
+        """
+        staged = session.algorithm.data
+        survivors = UpdateBatch()
+        for update in session.buffer:
+            if _stage_conflict(staged, update) is None:
+                try:
+                    survivors.append(update)
+                except UpdateError:
+                    continue
+                update.apply(staged)
+        session.buffer = survivors
+        session.staged = staged
+
+    # ------------------------------------------------------------------
+    # Reads — synchronous, snapshot-backed, never enter the queue
+    # ------------------------------------------------------------------
+    def snapshot(self, key: str) -> GraphSnapshot:
+        """The graph's last settled state."""
+        return self._session(key).snapshot
+
+    def matches(self, key: str, pattern_node=None):
+        """Settled match sets: all of them, or one pattern node's."""
+        result = self._session(key).snapshot.result
+        if pattern_node is None:
+            return result.as_dict()
+        return result.matches(pattern_node)
+
+    def top_k(
+        self, key: str, k: int, pattern_node=None
+    ) -> dict[object, list[RankedMatch]]:
+        """Settled top-``k`` ranked matches (optionally one pattern node's)."""
+        snapshot = self._session(key).snapshot
+        return top_k_matches(
+            snapshot.result,
+            snapshot.pattern,
+            snapshot.data,
+            snapshot.slen,
+            k,
+            pattern_node=pattern_node,
+        )
+
+    def slen_distance(self, key: str, source, target) -> float | int:
+        """Settled shortest-path length (``INF`` when unreachable)."""
+        return self._session(key).snapshot.slen.distance(source, target)
+
+    def stats(self, key: str) -> dict:
+        """Per-graph counters: ingestion, cuts, settles."""
+        session = self._session(key)
+        return {
+            "graph": key,
+            "snapshot_version": session.snapshot.version,
+            "accepted": session.accepted,
+            "rejected": session.rejected,
+            "settled": session.settled,
+            "pending": len(session.buffer),
+            "settles": session.settles,
+            "settle_failures": session.settle_failures,
+            "settle_seconds": session.settle_seconds,
+            "cut_reasons": dict(session.cut_reasons),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Cut every non-empty buffer and wait for full quiescence."""
+        for session in self._sessions.values():
+            if session is None:
+                continue
+
+            async def _drain_cut(session=session) -> None:
+                if len(session.buffer):
+                    self._cut(session, CUT_DRAIN)
+
+            self._scheduler.schedule(session.key, _drain_cut)
+        await self._scheduler.drain()
+
+    async def close(self) -> None:
+        """Drain, stop all queue workers, persist telemetry.  Idempotent."""
+        if self._closed:
+            return
+        await self.drain()
+        await self._scheduler.close()
+        self._closed = True
+        if self.config.telemetry_path and len(self.telemetry):
+            self.telemetry.save(self.config.telemetry_path)
+
+    @property
+    def errors(self) -> list[tuple[str, BaseException]]:
+        """Failures from fire-and-forget actions (settles included)."""
+        return self._scheduler.errors
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def _session(self, key: str) -> _GraphSession:
+        session = self._sessions.get(key)
+        if session is None:
+            raise ServiceError(f"unknown graph {key!r}")
+        return session
+
+
+def _stage_conflict(staged: DataGraph, update: Update) -> Optional[str]:
+    """Why ``update`` cannot apply to ``staged`` (``None`` when it can).
+
+    These are exactly the preconditions of
+    :meth:`~repro.graph.updates.Update.apply`, checked up front so an
+    accepted delta is guaranteed to apply and a conflicting one is
+    rejected with a message instead of poisoning the batch.
+    """
+    if isinstance(update, EdgeInsertion):
+        if not staged.has_node(update.source):
+            return f"source node {update.source!r} does not exist"
+        if not staged.has_node(update.target):
+            return f"target node {update.target!r} does not exist"
+        if staged.has_edge(update.source, update.target):
+            return "edge already exists"
+        return None
+    if isinstance(update, EdgeDeletion):
+        if not staged.has_edge(update.source, update.target):
+            return "edge does not exist"
+        return None
+    if isinstance(update, NodeInsertion):
+        if staged.has_node(update.node):
+            return f"node {update.node!r} already exists"
+        seen: set[tuple] = set()
+        for source, target in update.edges:
+            if update.node not in (source, target):
+                return f"payload edge ({source!r}, {target!r}) does not touch the new node"
+            other = target if source == update.node else source
+            if other != update.node and not staged.has_node(other):
+                return f"payload edge endpoint {other!r} does not exist"
+            if (source, target) in seen:
+                return f"duplicate payload edge ({source!r}, {target!r})"
+            seen.add((source, target))
+        return None
+    if isinstance(update, NodeDeletion):
+        if not staged.has_node(update.node):
+            return f"node {update.node!r} does not exist"
+        return None
+    return f"unsupported update kind {type(update).__name__}"

@@ -166,9 +166,15 @@ class SLenMatrix:
         nodes: Iterable[NodeId],
         rows: Mapping[NodeId, Mapping[NodeId, int]],
         backend: str = "sparse",
+        dense_block_size: Optional[int] = None,
     ) -> "SLenMatrix":
-        """Build a matrix from precomputed BFS rows (used by the partition layer)."""
-        matrix = cls(nodes, backend=backend)
+        """Build a matrix from precomputed BFS rows (used by the partition layer).
+
+        ``dense_block_size`` sets the blocked dense layout's block edge
+        when ``backend`` resolves to dense (``None`` = the default edge);
+        the sparse backend ignores it.
+        """
+        matrix = cls(nodes, backend=backend, dense_block_size=dense_block_size)
         store = matrix._backend
         for source, row in rows.items():
             if source not in store:
@@ -184,12 +190,20 @@ class SLenMatrix:
         """Return a copy of this matrix stored in ``backend``.
 
         A no-op copy when the resolved backend matches the current one
-        (which also preserves the current block size); a conversion to
-        dense honours ``dense_block_size``.
+        *and* no different block size was requested (``dense_block_size``
+        of ``None`` preserves the current block size); a dense matrix
+        asked for a different ``dense_block_size`` is re-blocked, and a
+        conversion to dense honours ``dense_block_size``.
         """
         resolved = resolve_backend_name(backend, self.number_of_nodes)
         if resolved == self._backend.name:
-            return self.copy()
+            current_block_size = getattr(self._backend, "block_size", None)
+            if (
+                dense_block_size is None
+                or current_block_size is None
+                or int(dense_block_size) == current_block_size
+            ):
+                return self.copy()
         converted = SLenMatrix(
             self.nodes(),
             horizon=self.horizon,

@@ -1,0 +1,54 @@
+"""Regression: the once-per-process deprecation warning is thread-safe.
+
+The streaming service constructs algorithms on executor threads; the
+check-then-set on the module-level flag used to race, letting two
+threads both emit the warning (or, with unfortunate interleaving,
+neither be first).  Exactly one warning must escape no matter how many
+threads hit it at once.
+"""
+
+import threading
+import warnings
+
+from repro.algorithms.base import (
+    reset_coalesce_deprecation_warning,
+    warn_coalesce_updates_deprecated,
+)
+
+
+def test_exactly_one_warning_across_threads():
+    reset_coalesce_deprecation_warning()
+    threads = 16
+    barrier = threading.Barrier(threads)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+
+        def hit() -> None:
+            barrier.wait()
+            warn_coalesce_updates_deprecated(stacklevel=1)
+
+        workers = [threading.Thread(target=hit) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    reset_coalesce_deprecation_warning()
+
+
+def test_reset_allows_the_warning_again():
+    reset_coalesce_deprecation_warning()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_coalesce_updates_deprecated(stacklevel=1)
+        warn_coalesce_updates_deprecated(stacklevel=1)
+    assert len(caught) == 1
+    reset_coalesce_deprecation_warning()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_coalesce_updates_deprecated(stacklevel=1)
+    assert len(caught) == 1
+    reset_coalesce_deprecation_warning()

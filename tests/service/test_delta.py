@@ -1,0 +1,113 @@
+"""Delta payload parsing: wire shapes, validation, lowering order."""
+
+import pytest
+
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+)
+from repro.service import DeltaError, UpdateData
+
+
+def test_flat_shape_parses():
+    payload = UpdateData(
+        {
+            "graph": "g",
+            "inserts": [{"type": "edge", "source": "a", "target": "b"}],
+            "deletes": [{"type": "edge", "source": "c", "target": "d"}],
+        }
+    )
+    assert payload.graph == "g"
+    assert len(payload.inserts) == 1
+    assert len(payload.deletes) == 1
+    assert len(payload) == 2
+
+
+def test_nested_delta_shape_parses():
+    payload = UpdateData(
+        {
+            "graph": "g",
+            "delta": {
+                "inserts": [{"type": "edge", "source": "a", "target": "b"}],
+                "deletes": [],
+            },
+        }
+    )
+    assert len(payload.inserts) == 1
+    assert len(payload.deletes) == 0
+
+
+def test_default_graph_key_applies_when_payload_omits_it():
+    payload = UpdateData({"inserts": []}, default_graph="social")
+    assert payload.graph == "social"
+    explicit = UpdateData({"graph": "other", "inserts": []}, default_graph="social")
+    assert explicit.graph == "other"
+
+
+def test_updates_lower_deletes_before_inserts():
+    payload = UpdateData(
+        {
+            "inserts": [{"type": "edge", "source": "a", "target": "b"}],
+            "deletes": [{"type": "edge", "source": "a", "target": "b"}],
+        }
+    )
+    updates = payload.updates()
+    assert isinstance(updates[0], EdgeDeletion)
+    assert isinstance(updates[1], EdgeInsertion)
+
+
+def test_node_specs_lower_to_node_updates():
+    payload = UpdateData(
+        {
+            "inserts": [
+                {
+                    "type": "node",
+                    "node": "n9",
+                    "labels": ["SE"],
+                    "edges": [["n9", "a"], ["b", "n9"]],
+                }
+            ],
+            "deletes": [{"type": "node", "node": "n1"}],
+        }
+    )
+    delete, insert = payload.updates()
+    assert isinstance(delete, NodeDeletion) and delete.node == "n1"
+    assert isinstance(insert, NodeInsertion)
+    assert insert.node == "n9"
+    assert insert.labels == ("SE",)
+    assert insert.edges == (("n9", "a"), ("b", "n9"))
+
+
+def test_edge_spec_is_the_default_type():
+    payload = UpdateData({"inserts": [{"source": "a", "target": "b"}]})
+    assert isinstance(payload.updates()[0], EdgeInsertion)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "not a mapping",
+        {"inserts": "nope"},
+        {"deletes": {"source": "a"}},
+        {"graph": 7, "inserts": []},
+        {"delta": "nope"},
+        {"inserts": [{"type": "mystery"}]},
+        {"inserts": [{"type": "edge", "source": "a"}]},
+        {"inserts": [{"type": "edge", "source": "a", "target": "b", "node": "x"}]},
+        {"inserts": [{"type": "node"}]},
+        {"inserts": [{"type": "node", "node": "x"}]},  # insert needs labels
+        {"inserts": [{"type": "node", "node": "x", "labels": [7]}]},
+        {"inserts": [{"type": "node", "node": "x", "labels": ["L"], "edges": [["a"]]}]},
+        {"inserts": [{"type": "node", "node": "x", "labels": ["L"], "edges": "ab"}]},
+    ],
+)
+def test_malformed_payloads_raise(bad):
+    with pytest.raises(DeltaError):
+        UpdateData(bad)
+
+
+def test_delete_node_spec_needs_no_labels():
+    payload = UpdateData({"deletes": [{"type": "node", "node": "x"}]})
+    assert isinstance(payload.updates()[0], NodeDeletion)

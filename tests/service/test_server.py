@@ -1,0 +1,155 @@
+"""JSON-lines TCP server round trips against a live service."""
+
+import asyncio
+import json
+
+from repro.graph import DataGraph, PatternGraph
+from repro.service import ServiceConfig, ServiceServer, StreamingUpdateService
+
+
+def make_data() -> DataGraph:
+    data = DataGraph()
+    for i in range(6):
+        data.add_node(f"n{i}", "A" if i % 2 == 0 else "B")
+    for i in range(6):
+        data.add_edge(f"n{i}", f"n{(i + 1) % 6}")
+    data.add_node("island", "A")  # unreachable from the ring
+    return data
+
+
+def make_pattern() -> PatternGraph:
+    pattern = PatternGraph()
+    pattern.add_node("p0", "A")
+    pattern.add_node("p1", "B")
+    pattern.add_edge("p0", "p1", 2)
+    return pattern
+
+
+class Client:
+    """One JSON-lines connection."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    async def call(self, request: dict) -> dict:
+        self.writer.write(json.dumps(request).encode() + b"\n")
+        await self.writer.drain()
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10)
+        return json.loads(line)
+
+    async def send_raw(self, raw: bytes) -> dict:
+        self.writer.write(raw)
+        await self.writer.drain()
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10)
+        return json.loads(line)
+
+    async def close(self):
+        self.writer.close()
+        await self.writer.wait_closed()
+
+
+def test_server_round_trip():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=0.0, max_buffer=10_000, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        server = ServiceServer(service, port=0)
+        host, port = await server.start()
+        assert port != 0  # ephemeral port was bound and reflected
+
+        reader, writer = await asyncio.open_connection(host, port)
+        client = Client(reader, writer)
+
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+        assert (await client.call({"op": "graphs"}))["graphs"] == ["g"]
+
+        update = await client.call(
+            {
+                "op": "update",
+                "graph": "g",
+                "inserts": [{"type": "edge", "source": "n0", "target": "n2"}],
+            }
+        )
+        assert update["ok"] and update["accepted"] == 1
+        assert update["cut"] == "deadline"  # zero deadline cuts every payload
+        await service.drain()
+
+        stats = await client.call({"op": "stats", "graph": "g"})
+        assert stats["ok"] and stats["settled"] == 1
+
+        slen = await client.call(
+            {"op": "slen", "graph": "g", "source": "n0", "target": "n2"}
+        )
+        assert slen == {"ok": True, "distance": 1}
+        unreachable = await client.call(
+            {"op": "slen", "graph": "g", "source": "n0", "target": "island"}
+        )
+        assert unreachable == {"ok": True, "distance": None}
+        unknown_node = await client.call(
+            {"op": "slen", "graph": "g", "source": "n0", "target": "missing"}
+        )
+        assert unknown_node["ok"] is False
+
+        matches = await client.call({"op": "matches", "graph": "g"})
+        assert matches["ok"] and set(matches["matches"]) == {"p0", "p1"}
+
+        one = await client.call(
+            {"op": "matches", "graph": "g", "pattern_node": "p0"}
+        )
+        assert one["ok"] and isinstance(one["matches"], list)
+
+        ranked = await client.call({"op": "top-k", "graph": "g", "k": 2})
+        assert ranked["ok"] and set(ranked["top_k"]) == {"p0", "p1"}
+        for entries in ranked["top_k"].values():
+            assert len(entries) <= 2
+            for entry in entries:
+                assert set(entry) == {"node", "score"}
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_server_error_paths_keep_the_connection_alive():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        server = ServiceServer(service, port=0)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        client = Client(reader, writer)
+
+        bad_json = await client.send_raw(b"{nope\n")
+        assert bad_json["ok"] is False and "invalid JSON" in bad_json["error"]
+
+        not_object = await client.send_raw(b"[1, 2]\n")
+        assert not_object["ok"] is False
+
+        unknown_op = await client.call({"op": "mystery"})
+        assert unknown_op["ok"] is False and "unknown op" in unknown_op["error"]
+
+        missing_graph = await client.call({"op": "stats"})
+        assert missing_graph["ok"] is False
+
+        unknown_graph = await client.call({"op": "stats", "graph": "nope"})
+        assert unknown_graph["ok"] is False and "unknown graph" in unknown_graph["error"]
+
+        bad_delta = await client.call(
+            {"op": "update", "graph": "g", "inserts": [{"type": "mystery"}]}
+        )
+        assert bad_delta["ok"] is False
+
+        # The connection survived all of it.
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())

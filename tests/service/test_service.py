@@ -1,0 +1,435 @@
+"""StreamingUpdateService: serialization, admission, drain, non-blocking reads."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.graph import DataGraph, PatternGraph
+from repro.matching import bounded_simulation
+from repro.service import (
+    CUT_CAPACITY,
+    CUT_CROSSOVER,
+    CUT_DEADLINE,
+    CUT_DRAIN,
+    DeltaError,
+    ServiceConfig,
+    ServiceError,
+    StreamingUpdateService,
+)
+from repro.service.service import default_algorithm_factory
+from repro.spl.matrix import SLenMatrix
+
+
+def make_data(num_nodes: int = 10) -> DataGraph:
+    """A deterministic ring over ``num_nodes`` labelled nodes."""
+    data = DataGraph()
+    for i in range(num_nodes):
+        data.add_node(f"n{i}", "A" if i % 2 == 0 else "B")
+    for i in range(num_nodes):
+        data.add_edge(f"n{i}", f"n{(i + 1) % num_nodes}")
+    return data
+
+
+def make_pattern() -> PatternGraph:
+    pattern = PatternGraph()
+    pattern.add_node("p0", "A")
+    pattern.add_node("p1", "B")
+    pattern.add_edge("p0", "p1", 2)
+    return pattern
+
+
+def edge_spec(source: str, target: str) -> dict:
+    return {"type": "edge", "source": source, "target": target}
+
+
+#: A config whose deadline/crossover/capacity triggers all stay out of
+#: the way, so tests trigger cuts explicitly (via drain) or pick one
+#: trigger deliberately.
+QUIET = dict(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Queue serialization: concurrent writers == sequential oracle
+# ----------------------------------------------------------------------
+def test_concurrent_writers_settle_to_the_sequential_oracle():
+    async def scenario():
+        data = make_data(12)
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("g", make_pattern(), data)
+
+        # Each writer owns a disjoint set of non-ring pairs and toggles
+        # them an odd number of times, so the expected final graph is
+        # the initial one plus every owned pair — independent of how the
+        # writers' submissions interleave.
+        owned = {
+            0: [("n0", "n2"), ("n0", "n3")],
+            1: [("n1", "n4"), ("n1", "n5")],
+            2: [("n2", "n6"), ("n2", "n7")],
+        }
+
+        async def writer(pairs):
+            for source, target in pairs:
+                for _ in range(3):  # insert, delete, insert
+                    await service.submit("g", {"inserts": [edge_spec(source, target)]})
+                    await service.submit("g", {"deletes": [edge_spec(source, target)]})
+                await service.submit("g", {"inserts": [edge_spec(source, target)]})
+
+        await asyncio.gather(*(writer(pairs) for pairs in owned.values()))
+        await service.drain()
+
+        expected = data.copy()
+        for pairs in owned.values():
+            for source, target in pairs:
+                expected.add_edge(source, target)
+        snapshot = service.snapshot("g")
+        assert snapshot.data == expected
+        # The settled SLen and match result agree with a from-scratch
+        # recomputation on the expected graph (the oracle).
+        oracle_slen = SLenMatrix.from_graph(expected)
+        assert snapshot.slen == oracle_slen
+        oracle_result = bounded_simulation(make_pattern(), expected, oracle_slen)
+        assert snapshot.result.as_dict() == dict(oracle_result)
+
+        stats = service.stats("g")
+        # 3 writers x 2 owned pairs x 7 toggles per pair, none rejected.
+        assert stats["rejected"] == 0
+        assert stats["accepted"] == stats["settled"] == 3 * 2 * 7
+        await service.close()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Admission triggers
+# ----------------------------------------------------------------------
+def test_deadline_expiry_cuts_the_buffer():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=0.05, max_buffer=10_000, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        receipt = await service.submit("g", {"inserts": [edge_spec("n0", "n2")]})
+        assert receipt.cut is None
+        assert receipt.pending == 1
+        assert service.snapshot("g").version == 0
+
+        deadline = time.monotonic() + 5.0
+        while service.stats("g")["settles"] < 1:
+            assert time.monotonic() < deadline, "deadline cut never settled"
+            await asyncio.sleep(0.01)
+        stats = service.stats("g")
+        assert stats["cut_reasons"] == {CUT_DEADLINE: 1}
+        assert stats["pending"] == 0
+        snapshot = service.snapshot("g")
+        assert snapshot.version == 1
+        assert snapshot.data.has_edge("n0", "n2")
+        await service.close()
+
+    run(scenario())
+
+
+def test_planner_crossover_cuts_immediately():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=4)
+        )
+        await service.register_graph("g", make_pattern(), make_data(40))
+        # A deletion-heavy batch past the cost model's coalescing
+        # crossover routes off per-update maintenance, which is the
+        # service's cut signal (32 deletions on 40 nodes prices
+        # coalesced below per-update under the shipped calibration).
+        receipt = await service.submit(
+            "g",
+            {"deletes": [edge_spec(f"n{i}", f"n{i + 1}") for i in range(32)]},
+        )
+        assert receipt.cut == CUT_CROSSOVER
+        assert receipt.pending == 0
+        await service.drain()
+        assert service.stats("g")["cut_reasons"] == {CUT_CROSSOVER: 1}
+        assert not service.snapshot("g").data.has_edge("n0", "n1")
+        await service.close()
+
+    run(scenario())
+
+
+def test_capacity_backstop_cuts_when_buffer_fills():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=30.0, max_buffer=3, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        receipt = await service.submit(
+            "g",
+            {
+                "inserts": [
+                    edge_spec("n0", "n2"),
+                    edge_spec("n0", "n3"),
+                    edge_spec("n0", "n4"),
+                ]
+            },
+        )
+        assert receipt.cut == CUT_CAPACITY
+        await service.drain()
+        assert service.stats("g")["cut_reasons"] == {CUT_CAPACITY: 1}
+        await service.close()
+
+    run(scenario())
+
+
+def test_zero_deadline_cuts_every_payload():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=0.0, max_buffer=10_000, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        receipt = await service.submit("g", {"inserts": [edge_spec("n0", "n2")]})
+        assert receipt.cut == CUT_DEADLINE
+        await service.drain()
+        assert service.snapshot("g").version == 1
+        await service.close()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: nothing accepted is ever lost
+# ----------------------------------------------------------------------
+def test_close_settles_every_accepted_delta():
+    async def scenario():
+        data = make_data(12)
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("g", make_pattern(), data)
+        pairs = [("n0", f"n{i}") for i in range(2, 11)]
+        for source, target in pairs:
+            receipt = await service.submit("g", {"inserts": [edge_spec(source, target)]})
+            assert receipt.accepted == 1
+            assert receipt.cut is None  # nothing triggers; close must flush
+        assert service.snapshot("g").version == 0
+        await service.close()
+        stats = service.stats("g")
+        assert stats["settled"] == stats["accepted"] == len(pairs)
+        assert stats["pending"] == 0
+        assert stats["cut_reasons"] == {CUT_DRAIN: 1}
+        snapshot = service.snapshot("g")
+        for source, target in pairs:
+            assert snapshot.data.has_edge(source, target)
+        assert not service.errors
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Reads never block behind a settling batch
+# ----------------------------------------------------------------------
+def test_reads_answer_from_last_snapshot_while_settle_is_in_flight():
+    async def scenario():
+        settle_started = asyncio.Event()
+        release_settle = None  # threading.Event, created below
+        import threading
+
+        release_settle = threading.Event()
+        loop = asyncio.get_running_loop()
+
+        def slow_factory(pattern, data, config, telemetry):
+            algorithm = default_algorithm_factory(pattern, data, config, telemetry)
+            inner = algorithm.subsequent_query
+
+            def slow(batch):
+                loop.call_soon_threadsafe(settle_started.set)
+                assert release_settle.wait(timeout=10), "test never released settle"
+                return inner(batch)
+
+            algorithm.subsequent_query = slow
+            return algorithm
+
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=0.0, max_buffer=10_000, coalesce_min_batch=10_000),
+            algorithm_factory=slow_factory,
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        baseline = service.snapshot("g")
+
+        receipt = await service.submit("g", {"inserts": [edge_spec("n0", "n2")]})
+        assert receipt.cut == CUT_DEADLINE
+        await asyncio.wait_for(settle_started.wait(), timeout=10)
+
+        # The settle is now provably in flight (and blocked).  Reads
+        # must return promptly from the last published snapshot.
+        started = time.perf_counter()
+        snapshot = service.snapshot("g")
+        matched = service.matches("g")
+        distance = service.slen_distance("g", "n0", "n1")
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.5, f"reads stalled {elapsed:.3f}s behind the settle"
+        assert snapshot.version == baseline.version == 0
+        assert not snapshot.data.has_edge("n0", "n2")
+        assert set(matched) == set(baseline.result.as_dict())
+        assert distance == 1
+
+        release_settle.set()
+        await service.drain()
+        settled = service.snapshot("g")
+        assert settled.version == 1
+        assert settled.data.has_edge("n0", "n2")
+        await service.close()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Validation: staged state, rejections, addressing
+# ----------------------------------------------------------------------
+def test_validation_sees_buffered_but_unsettled_deltas():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("g", make_pattern(), make_data())
+        first = await service.submit("g", {"inserts": [edge_spec("n0", "n2")]})
+        assert (first.accepted, first.rejected) == (1, 0)
+        # Still buffered — yet the duplicate must be rejected against
+        # the staged state, not the settled one.
+        second = await service.submit("g", {"inserts": [edge_spec("n0", "n2")]})
+        assert (second.accepted, second.rejected) == (0, 1)
+        assert "already exists" in second.errors[0]
+        await service.close()
+        assert service.stats("g")["settled"] == 1
+
+    run(scenario())
+
+
+def test_invalid_deltas_are_rejected_with_reasons_and_valid_ones_kept():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("g", make_pattern(), make_data())
+        receipt = await service.submit(
+            "g",
+            {
+                "inserts": [
+                    edge_spec("n0", "n1"),      # already exists (ring edge)
+                    edge_spec("n0", "ghost"),   # missing endpoint
+                    edge_spec("n0", "n2"),      # fine
+                    {"type": "node", "node": "n0", "labels": ["A"]},  # exists
+                ],
+                "deletes": [
+                    edge_spec("n0", "n5"),      # no such edge
+                    {"type": "node", "node": "ghost"},  # no such node
+                ],
+            },
+        )
+        assert receipt.accepted == 1
+        assert receipt.rejected == 5
+        assert len(receipt.errors) == 5
+        await service.close()
+        snapshot = service.snapshot("g")
+        assert snapshot.data.has_edge("n0", "n2")
+
+    run(scenario())
+
+
+def test_node_insert_payload_edges_are_validated():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("g", make_pattern(), make_data())
+        bad = await service.submit(
+            "g",
+            {
+                "inserts": [
+                    {
+                        "type": "node",
+                        "node": "fresh",
+                        "labels": ["A"],
+                        "edges": [["fresh", "ghost"]],
+                    }
+                ]
+            },
+        )
+        assert (bad.accepted, bad.rejected) == (0, 1)
+        good = await service.submit(
+            "g",
+            {
+                "inserts": [
+                    {
+                        "type": "node",
+                        "node": "fresh",
+                        "labels": ["A"],
+                        "edges": [["fresh", "n0"], ["n1", "fresh"]],
+                    }
+                ]
+            },
+        )
+        assert (good.accepted, good.rejected) == (1, 0)
+        await service.close()
+        snapshot = service.snapshot("g")
+        assert snapshot.data.has_node("fresh")
+        assert snapshot.data.has_edge("fresh", "n0")
+        assert snapshot.data.has_edge("n1", "fresh")
+
+    run(scenario())
+
+
+def test_unknown_graph_and_duplicate_registration_raise():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        with pytest.raises(ServiceError, match="unknown graph"):
+            await service.submit("nope", {"inserts": []})
+        with pytest.raises(ServiceError, match="unknown graph"):
+            service.snapshot("nope")
+        await service.register_graph("g", make_pattern(), make_data())
+        with pytest.raises(ServiceError, match="already registered"):
+            await service.register_graph("g", make_pattern(), make_data())
+        await service.close()
+
+    run(scenario())
+
+
+def test_payload_addressed_to_a_different_graph_is_refused():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("g", make_pattern(), make_data())
+        with pytest.raises(DeltaError, match="addresses graph"):
+            await service.submit("g", {"graph": "other", "inserts": []})
+        await service.close()
+
+    run(scenario())
+
+
+def test_graphs_are_independent():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(**QUIET))
+        await service.register_graph("a", make_pattern(), make_data())
+        await service.register_graph("b", make_pattern(), make_data())
+        await service.submit("a", {"inserts": [edge_spec("n0", "n2")]})
+        await service.close()
+        assert service.snapshot("a").data.has_edge("n0", "n2")
+        assert not service.snapshot("b").data.has_edge("n0", "n2")
+        assert service.stats("b")["accepted"] == 0
+        assert sorted(service.graphs) == ["a", "b"]
+
+    run(scenario())
+
+
+def test_telemetry_is_saved_on_close(tmp_path):
+    async def scenario():
+        path = tmp_path / "service_telemetry.json"
+        service = StreamingUpdateService(
+            ServiceConfig(
+                deadline_seconds=0.0,
+                max_buffer=10_000,
+                coalesce_min_batch=10_000,
+                telemetry_path=str(path),
+            )
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        await service.submit("g", {"inserts": [edge_spec("n0", "n2")]})
+        await service.close()
+        assert path.exists()
+
+        from repro.batching.telemetry import TelemetryLog
+
+        assert len(TelemetryLog.load(path)) >= 1
+
+    run(scenario())
