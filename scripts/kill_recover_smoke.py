@@ -1,0 +1,168 @@
+"""End-to-end kill -9 / recover smoke test for ``ua-gpnm serve``.
+
+The one durability claim a unit test cannot make: a *real* server
+process, killed with an uncatchable SIGKILL mid-flight, loses nothing
+that was acknowledged.  The script
+
+1. starts ``ua-gpnm serve --journal-dir`` on an ephemeral port,
+2. submits one payload (two new nodes and an edge between them) and
+   waits for the acknowledgement — the durability promise,
+3. kills the process with SIGKILL (no drain, no atexit, no flush),
+4. restarts the server on the same journal directory,
+5. asserts the recovery banner reports the journaled deltas and that
+   the recovered, settled graph answers ``slen`` for the new edge,
+6. shuts the second server down gracefully and expects exit code 0.
+
+Exits non-zero with a diagnostic on any failure.  Used by the CI
+``faults`` job; run locally with::
+
+    python scripts/kill_recover_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+READY_TIMEOUT = 60.0
+SETTLE_TIMEOUT = 30.0
+
+
+def start_serve(journal_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--preset",
+            "tiny",
+            "--dataset",
+            "email-EU-core",
+            "--port",
+            "0",
+            "--journal-dir",
+            journal_dir,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO),
+    )
+
+
+def wait_for_ready(process: subprocess.Popen) -> tuple[int, str]:
+    """Read stderr until the ready banner; return (port, journal banner)."""
+    deadline = time.monotonic() + READY_TIMEOUT
+    lines: list[str] = []
+    port = None
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            if process.poll() is not None:
+                raise AssertionError(
+                    f"serve exited early ({process.returncode}): {''.join(lines)}"
+                )
+            continue
+        lines.append(line)
+        if port is None and " on " in line and line.startswith("[serve] graph"):
+            port = int(line.rsplit(":", 1)[1].strip())
+            continue
+        if port is not None and line.startswith("[serve] journal"):
+            return port, line
+    raise AssertionError(f"serve never became ready: {''.join(lines)}")
+
+
+def call(port: int, request: dict, timeout: float = 10.0) -> dict:
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as conn:
+        conn.sendall(json.dumps(request).encode() + b"\n")
+        reply = conn.makefile().readline()
+    return json.loads(reply)
+
+
+def wait_for_settle(port: int, source: str, target: str) -> None:
+    """Poll slen until the recovered edge is visible in the settled state."""
+    deadline = time.monotonic() + SETTLE_TIMEOUT
+    last = None
+    while time.monotonic() < deadline:
+        last = call(port, {"op": "slen", "graph": "email-EU-core", "source": source, "target": target})
+        if last.get("ok") and last.get("distance") == 1:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"recovered edge never settled: {last}")
+
+
+def main() -> int:
+    with TemporaryDirectory(prefix="kill-recover-smoke-") as scratch:
+        journal_dir = str(Path(scratch) / "journals")
+
+        # --- first life: accept a payload, then die without warning ----
+        victim = start_serve(journal_dir)
+        try:
+            port, banner = wait_for_ready(victim)
+            assert "recovered 0 delta(s)" in banner, f"fresh journal not empty: {banner}"
+            receipt = call(
+                port,
+                {
+                    "op": "update",
+                    "graph": "email-EU-core",
+                    "inserts": [
+                        {"type": "node", "node": "smoke-a", "labels": ["0"]},
+                        {"type": "node", "node": "smoke-b", "labels": ["0"]},
+                        {"type": "edge", "source": "smoke-a", "target": "smoke-b"},
+                    ],
+                },
+            )
+            assert receipt.get("ok") and receipt.get("accepted") == 3, (
+                f"payload not acknowledged: {receipt}"
+            )
+            print(f"[smoke] payload acknowledged by pid {victim.pid}; sending SIGKILL")
+        finally:
+            victim.kill()  # SIGKILL: no drain, no cleanup
+            victim.communicate()
+
+        # --- second life: recover from the journal --------------------
+        survivor = start_serve(journal_dir)
+        try:
+            port, banner = wait_for_ready(survivor)
+            print(f"[smoke] {banner.strip()}")
+            assert "recovered 3 delta(s)" in banner, (
+                f"journal tail not replayed: {banner}"
+            )
+            wait_for_settle(port, "smoke-a", "smoke-b")
+            stats = call(port, {"op": "stats", "graph": "email-EU-core"})
+            assert stats.get("ok") and stats.get("recovered") == 3, (
+                f"recovery counters wrong: {stats}"
+            )
+            survivor.terminate()
+            _, stderr = survivor.communicate(timeout=30)
+            assert survivor.returncode == 0, (
+                f"graceful shutdown failed ({survivor.returncode}): {stderr}"
+            )
+        finally:
+            if survivor.poll() is None:
+                survivor.kill()
+                survivor.communicate()
+
+    print("[smoke] kill -9 / recover smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as failure:
+        print(f"[smoke] FAILED: {failure}", file=sys.stderr)
+        sys.exit(1)

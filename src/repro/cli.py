@@ -31,9 +31,12 @@ picks dense above a node-count threshold)::
     ua-gpnm table-xi --slen-backend dense
 
 Serve a dataset as a streaming update service (JSON lines over TCP;
-see :mod:`repro.service.server` for the wire protocol)::
+see :mod:`repro.service.server` for the wire protocol), durably — every
+accepted delta is journaled before its receipt returns and recovered on
+the next start::
 
-    ua-gpnm serve --dataset email-EU-core --port 8765 --deadline 0.05
+    ua-gpnm serve --dataset email-EU-core --port 8765 --deadline 0.05 \
+        --journal-dir ./journals
 """
 
 from __future__ import annotations
@@ -285,12 +288,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-buffer", type=int, default=None, metavar="N",
         help="cut the buffered batch unconditionally at this size (default 1024)",
     )
+    serve.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help=(
+            "write-ahead journal directory: every accepted delta is "
+            "fsynced here before its receipt is returned, and on startup "
+            "any journal found for the graph is recovered (the "
+            "uncheckpointed tail is replayed); omit to run without "
+            "durability"
+        ),
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help=(
+            "refuse updates with an 'overloaded' + retry_after response "
+            "once the graph's backlog reaches this size (default 4096)"
+        ),
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close connections that send nothing for this long (default: never)",
+    )
     return parser
 
 
 def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
-    """The ``serve`` subcommand: register the dataset and serve forever."""
+    """The ``serve`` subcommand: register the dataset and serve forever.
+
+    SIGINT and SIGTERM trigger a graceful shutdown: the listener stops
+    accepting, open connections are closed, every buffered delta drains
+    (settles or is durably quarantined) and the process exits 0.  With
+    ``--journal-dir``, a journal left by a previous (possibly killed)
+    process is recovered before the server starts answering.
+    """
     import asyncio
+    import signal
 
     from repro.service import ServiceConfig, ServiceServer, StreamingUpdateService
     from repro.workloads.datasets import load_dataset
@@ -300,6 +332,8 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
         config = dataclasses.replace(config, service_deadline_seconds=args.deadline)
     if args.max_buffer is not None:
         config = dataclasses.replace(config, service_max_buffer=args.max_buffer)
+    if args.journal_dir is not None:
+        config = dataclasses.replace(config, journal_dir=args.journal_dir)
     data = load_dataset(args.dataset, scale=config.dataset_scale)
     pattern = pattern_for_dataset(
         sorted(data.labels()), args.pattern_nodes, args.pattern_edges, seed=config.seed
@@ -308,7 +342,12 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     async def _serve() -> None:
         service = StreamingUpdateService(ServiceConfig.from_experiment(config))
         await service.register_graph(args.dataset, pattern, data)
-        server = ServiceServer(service, host=args.host, port=args.port)
+        server_kwargs = {}
+        if args.max_pending is not None:
+            server_kwargs["max_pending"] = args.max_pending
+        if args.idle_timeout is not None:
+            server_kwargs["idle_timeout"] = args.idle_timeout
+        server = ServiceServer(service, host=args.host, port=args.port, **server_kwargs)
         host, port = await server.start()
         print(
             f"[serve] graph {args.dataset!r} "
@@ -316,15 +355,51 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
             f"on {host}:{port}",
             file=sys.stderr,
         )
+        if config.journal_dir:
+            stats = service.stats(args.dataset)
+            journal = stats.get("journal") or {}
+            print(
+                f"[serve] journal {journal.get('path')} "
+                f"(recovered {stats.get('recovered', 0)} delta(s), "
+                f"skipped {stats.get('recovery_skipped', 0)})",
+                file=sys.stderr,
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loop
+                pass
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stop.wait())
         try:
-            await server.serve_forever()
+            done, _ = await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if serve_task in done:
+                serve_task.result()
         finally:
+            print("[serve] shutting down: draining buffered deltas", file=sys.stderr)
+            serve_task.cancel()
+            stop_task.cancel()
+            for task in (serve_task, stop_task):
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.remove_signal_handler(signum)
+                except NotImplementedError:  # pragma: no cover
+                    pass
             await server.close()
             await service.close()
+            print("[serve] shutdown complete", file=sys.stderr)
 
     try:
         asyncio.run(_serve())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
         print("[serve] shutting down", file=sys.stderr)
     return 0
 

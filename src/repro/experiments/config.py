@@ -94,6 +94,14 @@ class ExperimentConfig:
         Streaming-service capacity backstop: the buffered batch is cut
         unconditionally at this size (CLI: ``ua-gpnm serve
         --max-buffer``).
+    journal_dir:
+        Directory for the streaming service's per-graph write-ahead
+        journals; ``None`` disables durability (CLI: ``ua-gpnm serve
+        --journal-dir``).
+    service_settle_retries:
+        How many times the streaming service retries a failed settle
+        (with capped exponential backoff) before bisecting the batch
+        and quarantining its poison deltas.
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -113,6 +121,8 @@ class ExperimentConfig:
     cost_model_path: Optional[str] = None
     service_deadline_seconds: float = 0.05
     service_max_buffer: int = 1024
+    journal_dir: Optional[str] = None
+    service_settle_retries: int = 2
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -138,6 +148,8 @@ class ExperimentConfig:
             raise ValueError("service_deadline_seconds must be non-negative")
         if self.service_max_buffer < 1:
             raise ValueError("service_max_buffer must be at least 1")
+        if self.service_settle_retries < 0:
+            raise ValueError("service_settle_retries must be non-negative")
 
     @property
     def number_of_cells(self) -> int:

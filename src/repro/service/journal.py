@@ -1,0 +1,490 @@
+"""Per-graph write-ahead delta journal for the streaming service.
+
+The :class:`~repro.service.service.StreamingUpdateService` promises in
+its :class:`~repro.service.service.IngestReceipt` that an accepted delta
+will be settled.  Without persistence that promise dies with the
+process.  The journal closes the gap with the classic write-ahead
+discipline (the durable half of the KBase delta-load design,
+SNIPPETS.md §3):
+
+* **Append before receipt** — every accepted payload's updates are
+  serialized and fsync-appended as one ``delta`` record *before* the
+  ingest receipt is returned.  Once a client holds a receipt, the delta
+  survives a crash.
+* **Checkpoint after settle** — when a batch settles, a ``checkpoint``
+  record (highest settled delta ``seq`` + graph version + batch id) is
+  appended.  Recovery replays only the records *after* the last
+  checkpoint.
+* **Size-bounded compaction** — when the journal grows past
+  ``compact_bytes`` and a checkpoint has advanced past the current
+  base, the whole file is atomically rewritten as one ``snapshot``
+  record (the settled graph, with its seq/version) followed by the
+  still-uncheckpointed ``delta`` tail.  The journal is therefore
+  bounded by snapshot size + uncheckpointed tail, not by history.
+* **Torn-tail tolerance** — an fsync'd append can still be interrupted
+  mid-record (power loss, the fault injector's torn writes).  Recovery
+  accepts a malformed *final* line, truncates it away, and counts it;
+  malformed interior lines are real corruption and raise
+  :class:`JournalError`.
+
+File format: one JSON object per line.
+
+.. code-block:: text
+
+    {"t": "snapshot",   "seq": 40, "version": 7, "graph": {...}}
+    {"t": "delta",      "seq": 41, "updates": [{"op": "insert_edge", ...}]}
+    {"t": "checkpoint", "seq": 41, "version": 8, "batch": 5}
+
+Replay idempotence is structural: recovery rebuilds state as *snapshot
+base + every delta after it*, exactly once each.  A ``snapshot`` at seq
+``K`` makes recovery drop every delta record with ``seq <= K`` (their
+effect is inside the snapshot graph) plus duplicate seqs; every later
+delta — including ones whose ``checkpoint`` was written, because the
+settled graph that checkpoint described died with the process — is
+replayed exactly once against that base.  Checkpoints, in turn, bound
+*compaction*: they mark which deltas the next snapshot may absorb.
+
+Quarantined deltas go to a separate :class:`DeadLetterJournal`
+(``<graph>.deadletter.jsonl``), durably appended before the checkpoint
+that supersedes them, so "removed from the stream" never means "lost".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from hashlib import blake2s
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.graph.digraph import DataGraph
+from repro.graph.io import data_graph_from_dict, data_graph_to_dict
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+    delete_data_edge,
+    delete_data_node,
+    insert_data_edge,
+    insert_data_node,
+)
+from repro.ioutil import append_line_durable, atomic_write_text, fsync_directory
+from repro.service.faults import NULL_INJECTOR, POST_APPEND, PRE_APPEND, FaultInjector, InjectedCrash
+
+#: Default compaction threshold: rewrite the journal once it exceeds
+#: this many bytes (and a checkpoint has advanced past the base).
+DEFAULT_COMPACT_BYTES: int = 1 << 20
+
+
+class JournalError(RuntimeError):
+    """An unrecoverable journal problem (interior corruption, bad record)."""
+
+
+# ----------------------------------------------------------------------
+# Update (de)serialization — the journal's wire vocabulary
+# ----------------------------------------------------------------------
+def update_to_doc(update: Update) -> dict:
+    """Serialize one *data-graph* update to a JSON-able record."""
+    if isinstance(update, EdgeInsertion):
+        return {"op": "insert_edge", "source": update.source, "target": update.target}
+    if isinstance(update, EdgeDeletion):
+        return {"op": "delete_edge", "source": update.source, "target": update.target}
+    if isinstance(update, NodeInsertion):
+        return {
+            "op": "insert_node",
+            "node": update.node,
+            "labels": list(update.labels),
+            "edges": [list(edge) for edge in update.edges],
+        }
+    if isinstance(update, NodeDeletion):
+        return {
+            "op": "delete_node",
+            "node": update.node,
+            "labels": list(update.labels),
+            "edges": [list(edge) for edge in update.edges],
+        }
+    raise JournalError(f"cannot journal update of type {type(update).__name__}")
+
+
+def update_from_doc(doc: dict) -> Update:
+    """Rebuild a data-graph update from :func:`update_to_doc` output."""
+    try:
+        op = doc["op"]
+        if op == "insert_edge":
+            return insert_data_edge(_freeze(doc["source"]), _freeze(doc["target"]))
+        if op == "delete_edge":
+            return delete_data_edge(_freeze(doc["source"]), _freeze(doc["target"]))
+        if op == "insert_node":
+            return insert_data_node(
+                _freeze(doc["node"]),
+                tuple(doc.get("labels", ())),
+                tuple(tuple(_freeze(end) for end in edge) for edge in doc.get("edges", ())),
+            )
+        if op == "delete_node":
+            return delete_data_node(
+                _freeze(doc["node"]),
+                tuple(doc.get("labels", ())),
+                tuple(tuple(_freeze(end) for end in edge) for edge in doc.get("edges", ())),
+            )
+    except (KeyError, TypeError) as exc:
+        raise JournalError(f"malformed update record {doc!r}: {exc}") from exc
+    raise JournalError(f"unknown journal update op {doc.get('op')!r}")
+
+
+def _freeze(raw: object):
+    """JSON round-trips tuple node ids as lists; re-freeze them."""
+    if isinstance(raw, list):
+        return tuple(_freeze(item) for item in raw)
+    return raw
+
+
+def journal_slug(key: str) -> str:
+    """A filesystem-safe, collision-free file stem for a graph key."""
+    sanitized = re.sub(r"[^A-Za-z0-9._-]", "_", key) or "graph"
+    if sanitized == key:
+        return sanitized
+    return f"{sanitized}-{blake2s(key.encode('utf-8'), digest_size=4).hexdigest()}"
+
+
+# ----------------------------------------------------------------------
+# Recovery state
+# ----------------------------------------------------------------------
+class RecoveredState:
+    """What :meth:`GraphJournal.open` found on disk.
+
+    Attributes
+    ----------
+    base_graph:
+        The compaction snapshot's graph, or ``None`` when the journal
+        has no snapshot record (recovery then starts from the graph the
+        caller registers).
+    base_seq / base_version:
+        The snapshot's delta seq and graph version (0/0 without one).
+    checkpoint_seq / checkpoint_version:
+        The highest checkpoint observed (>= the base's).
+    tail:
+        ``(seq, [Update, ...])`` pairs for every delta record with
+        ``seq > base_seq`` — exactly what recovery must replay against
+        the base, in seq order.  Checkpointed-but-unsnapshotted deltas
+        are *included*: their checkpoint proved they settled, but the
+        settled graph died with the process, so only replay can
+        reproduce their effect.
+    last_seq:
+        The highest seq seen anywhere (appends resume after it).
+    torn_line:
+        Whether a malformed final line was found (and truncated away).
+    dropped_duplicates:
+        Delta records ignored because their seq was already covered by
+        a snapshot/checkpoint or seen twice.
+    """
+
+    def __init__(self) -> None:
+        self.base_graph: Optional[DataGraph] = None
+        self.base_seq: int = 0
+        self.base_version: int = 0
+        self.checkpoint_seq: int = 0
+        self.checkpoint_version: int = 0
+        self.tail: list[tuple[int, list[Update]]] = []
+        self.last_seq: int = 0
+        self.torn_line: bool = False
+        self.dropped_duplicates: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecoveredState base_seq={self.base_seq} checkpoint_seq={self.checkpoint_seq} "
+            f"tail={len(self.tail)} last_seq={self.last_seq} torn={self.torn_line}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# The write-ahead journal
+# ----------------------------------------------------------------------
+class GraphJournal:
+    """Append-only JSON-lines write-ahead journal for one graph.
+
+    All methods that touch the file are synchronous and blocking (they
+    fsync); the service runs them on an executor thread, serialized on
+    the graph's action queue, so the journal itself needs no locking.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        compact_bytes: int = DEFAULT_COMPACT_BYTES,
+        faults: FaultInjector = NULL_INJECTOR,
+    ) -> None:
+        self.path = Path(path)
+        self.compact_bytes = compact_bytes
+        self._faults = faults
+        self._handle = None
+        self._bytes = 0
+        self._next_seq = 1
+        self._checkpoint_seq = 0
+        self._base_seq = 0
+        #: Uncheckpointed delta records (seq -> serialized updates),
+        #: retained so compaction can rewrite the tail without
+        #: re-reading the file.  Bounded by the uncheckpointed tail.
+        self._pending: dict[int, list[dict]] = {}
+        # Counters surfaced through the service's stats.
+        self.appends = 0
+        self.checkpoints = 0
+        self.compactions = 0
+        self.torn_lines = 0
+
+    # ------------------------------------------------------------------
+    # Opening / recovery
+    # ------------------------------------------------------------------
+    def open(self) -> RecoveredState:
+        """Read (and repair) the journal, then position it for appends.
+
+        Returns the :class:`RecoveredState` the service replays.  A
+        missing file is a fresh journal; a malformed final line is
+        truncated away and counted; malformed interior lines raise
+        :class:`JournalError`.
+        """
+        state = RecoveredState()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            self._read_into(state)
+        self._base_seq = state.base_seq
+        self._checkpoint_seq = state.checkpoint_seq
+        self._next_seq = state.last_seq + 1
+        # Compaction bookkeeping only needs the *uncheckpointed* part of
+        # the tail: the next snapshot (at checkpoint_seq) absorbs the
+        # checkpointed part.
+        self._pending = {
+            seq: [update_to_doc(u) for u in updates]
+            for seq, updates in state.tail
+            if seq > state.checkpoint_seq
+        }
+        self._handle = open(self.path, "ab")
+        self._bytes = self._handle.tell()
+        fsync_directory(self.path.parent)
+        return state
+
+    def _read_into(self, state: RecoveredState) -> None:
+        raw = self.path.read_bytes()
+        good_bytes = 0
+        lines = raw.split(b"\n")
+        # A file ending in "\n" splits to [.., b""]; anything else has a
+        # candidate torn tail as its final element.
+        records: list[tuple[bytes, bool]] = []  # (line, is_final_and_unterminated)
+        for index, line in enumerate(lines):
+            if index == len(lines) - 1:
+                if line:
+                    records.append((line, True))
+            elif line:
+                records.append((line, False))
+        deltas: dict[int, list[Update]] = {}
+        for position, (line, unterminated) in enumerate(records):
+            is_final = position == len(records) - 1
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+                self._apply_record(record, state, deltas)
+            except (ValueError, JournalError) as exc:
+                if is_final and (unterminated or isinstance(exc, ValueError)):
+                    # Torn tail: the crash interrupted this append.
+                    state.torn_line = True
+                    self.torn_lines += 1
+                    break
+                raise JournalError(
+                    f"corrupt journal record at line {position + 1} of {self.path}: {exc}"
+                ) from exc
+            good_bytes += len(line) + 1
+        if state.torn_line:
+            with open(self.path, "ab") as handle:
+                handle.truncate(good_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        # Everything past the snapshot base needs replaying — the base
+        # graph is the only settled state that survived the crash.
+        state.tail = sorted(
+            ((seq, updates) for seq, updates in deltas.items() if seq > state.base_seq),
+        )
+        dropped = sum(1 for seq in deltas if seq <= state.base_seq)
+        state.dropped_duplicates += dropped
+
+    def _apply_record(
+        self,
+        record: dict,
+        state: RecoveredState,
+        deltas: dict[int, list[Update]],
+    ) -> None:
+        kind = record.get("t")
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            raise JournalError(f"record lacks an integer seq: {record!r}")
+        state.last_seq = max(state.last_seq, seq)
+        if kind == "snapshot":
+            state.base_graph = data_graph_from_dict(record["graph"])
+            state.base_seq = seq
+            state.base_version = int(record.get("version", 0))
+            state.checkpoint_seq = max(state.checkpoint_seq, seq)
+            state.checkpoint_version = max(state.checkpoint_version, state.base_version)
+            # Anything journaled at or before the snapshot is inside it.
+            stale = [s for s in deltas if s <= seq]
+            for s in stale:
+                del deltas[s]
+            state.dropped_duplicates += len(stale)
+        elif kind == "delta":
+            if seq in deltas or seq <= state.base_seq:
+                state.dropped_duplicates += 1
+                return
+            updates = record.get("updates")
+            if not isinstance(updates, list):
+                raise JournalError(f"delta record lacks an updates list: {record!r}")
+            deltas[seq] = [update_from_doc(doc) for doc in updates]
+        elif kind == "checkpoint":
+            state.checkpoint_seq = max(state.checkpoint_seq, seq)
+            state.checkpoint_version = max(
+                state.checkpoint_version, int(record.get("version", 0))
+            )
+        else:
+            raise JournalError(f"unknown journal record type {kind!r}")
+
+    # ------------------------------------------------------------------
+    # The write-ahead path
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """The seq of the most recently appended delta record."""
+        return self._next_seq - 1
+
+    @property
+    def checkpoint_seq(self) -> int:
+        """The highest checkpointed delta seq."""
+        return self._checkpoint_seq
+
+    def append_delta(self, updates: list[Update]) -> int:
+        """Durably append one accepted payload's updates; returns its seq.
+
+        When this returns, the record is fsynced — the service may issue
+        the receipt.  Crash points: ``pre-append`` fires before any
+        bytes are written (the delta is lost, which is allowed because
+        no receipt exists yet); ``post-append`` fires after the fsync
+        (the delta is durable, recovery must replay it); a torn append
+        writes a record prefix and "dies", leaving the tail recovery
+        must truncate.
+        """
+        self._ensure_open()
+        self._faults.hit(PRE_APPEND)
+        docs = [update_to_doc(update) for update in updates]
+        seq = self._next_seq
+        record = {"t": "delta", "seq": seq, "updates": docs}
+        payload = (json.dumps(record) + "\n").encode("utf-8")
+        if self._faults.take_torn_append():
+            # Simulate the power failing mid-write: a prefix of the
+            # record reaches the disk, the newline never does.
+            self._handle.write(payload[: max(1, len(payload) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise InjectedCrash("torn-append")
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._next_seq = seq + 1
+        self._bytes += len(payload)
+        self._pending[seq] = docs
+        self.appends += 1
+        self._faults.hit(POST_APPEND)
+        return seq
+
+    def checkpoint(self, seq: int, version: int, batch_id: int) -> None:
+        """Record that every delta up to ``seq`` is settled (durably)."""
+        self._ensure_open()
+        record = {"t": "checkpoint", "seq": seq, "version": version, "batch": batch_id}
+        payload = (json.dumps(record) + "\n").encode("utf-8")
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._bytes += len(payload)
+        self._checkpoint_seq = max(self._checkpoint_seq, seq)
+        for pending_seq in [s for s in self._pending if s <= seq]:
+            del self._pending[pending_seq]
+        self.checkpoints += 1
+
+    def should_compact(self) -> bool:
+        """Whether the log is both oversized and compactable."""
+        return self._bytes > self.compact_bytes and self._checkpoint_seq > self._base_seq
+
+    def compact(self, graph: DataGraph, version: int) -> None:
+        """Atomically rewrite the log as snapshot + uncheckpointed tail.
+
+        ``graph`` must be the settled state as of :attr:`checkpoint_seq`
+        (the service passes the snapshot it just checkpointed, from the
+        serialized settle action, so nothing can be mutating it).
+        """
+        self._ensure_open()
+        lines = [
+            json.dumps(
+                {
+                    "t": "snapshot",
+                    "seq": self._checkpoint_seq,
+                    "version": version,
+                    "graph": data_graph_to_dict(graph),
+                }
+            )
+        ]
+        for seq in sorted(self._pending):
+            lines.append(json.dumps({"t": "delta", "seq": seq, "updates": self._pending[seq]}))
+        self._handle.close()
+        text = "\n".join(lines) + "\n"
+        atomic_write_text(self.path, text)
+        self._handle = open(self.path, "ab")
+        self._bytes = self._handle.tell()
+        self._base_seq = self._checkpoint_seq
+        self.compactions += 1
+
+    def close(self) -> None:
+        """Close the append handle (the file stays valid).  Idempotent."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is not open")
+
+    def __repr__(self) -> str:
+        return (
+            f"<GraphJournal {self.path.name} last_seq={self.last_seq} "
+            f"checkpoint_seq={self._checkpoint_seq} bytes={self._bytes}>"
+        )
+
+
+class DeadLetterJournal:
+    """Durable append-only record of quarantined (poison) deltas.
+
+    Every entry is an update the service gave up settling (its batch
+    failed bounded retries and bisection isolated it) or an accepted
+    delta invalidated by such a quarantine (``cascade``).  The file is
+    the operator's repair queue: nothing in it was silently dropped.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, update: Update, error: str, *, kind: str = "poison") -> None:
+        """Durably record one quarantined update and why it failed."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"kind": kind, "update": update_to_doc(update), "error": error}
+        append_line_durable(self.path, json.dumps(record))
+
+    def load(self) -> list[dict]:
+        """All quarantine records (empty when the file does not exist)."""
+        if not self.path.exists():
+            return []
+        records = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -21,8 +21,11 @@ logs a "Future exception was never retrieved" warning).
 from __future__ import annotations
 
 import asyncio
+import logging
 from collections.abc import Awaitable, Callable
 from typing import Any, Optional
+
+logger = logging.getLogger("repro.service")
 
 #: An action: a zero-argument callable returning an awaitable.  Factories
 #: (rather than bare coroutines) let the queue create the coroutine only
@@ -135,6 +138,33 @@ class ActionQueue:
             await self._worker
             self._worker = None
 
+    async def abort(self) -> None:
+        """Stop immediately: cancel the worker and every queued action.
+
+        Unlike :meth:`close` this does **not** run the backlog — queued
+        actions are cancelled and the in-flight one (if any) receives a
+        :class:`asyncio.CancelledError`.  This is the in-process stand-in
+        for ``kill -9``, used by the fault-injection tests to abandon a
+        "crashed" service instance.  Idempotent.
+        """
+        self._closed = True
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is None:
+                continue
+            _, future = item
+            if not future.done():
+                future.cancel()
+        self._unfinished = 0
+        self._idle.set()
+
 
 class ActionScheduler:
     """A map of per-key :class:`ActionQueue` instances, created on demand.
@@ -178,6 +208,9 @@ class ActionScheduler:
         exc = future.exception()
         if exc is not None:
             self.errors.append((key, exc))
+            logger.error(
+                "action on queue %r failed: %r", key, exc, exc_info=exc
+            )
 
     @property
     def pending(self) -> int:
@@ -196,7 +229,14 @@ class ActionScheduler:
             for queue in queues:
                 await queue.drain()
             if self.pending == 0 and len(self._queues) == len(queues):
-                return
+                # Idle — but done-callbacks (error recording, outcome
+                # consumption) scheduled via call_soon may still be
+                # queued behind us.  Yield once so "drained" also means
+                # "bookkeeping settled", then re-check in case one of
+                # them scheduled new work.
+                await asyncio.sleep(0)
+                if self.pending == 0 and len(self._queues) == len(queues):
+                    return
 
     async def close(self) -> None:
         """Drain everything, then stop all workers.  Idempotent."""
@@ -204,6 +244,16 @@ class ActionScheduler:
         self._closed = True
         for queue in self._queues.values():
             await queue.close()
+
+    async def abort(self) -> None:
+        """Cancel every queue's worker and backlog without draining.
+
+        See :meth:`ActionQueue.abort` — the simulated ``kill -9`` used
+        when a fault-injection test abandons a crashed service instance.
+        """
+        self._closed = True
+        for queue in self._queues.values():
+            await queue.abort()
 
     def __repr__(self) -> str:
         return (

@@ -27,6 +27,19 @@ line; a malformed line never kills the connection.  ``update`` requests
 ride the service's per-graph serialized queues, so two clients writing
 to one graph are ordered exactly as their requests are read; read
 requests answer from the last settled snapshot immediately.
+
+Two protection mechanisms keep a slow consumer (of settles) or an idle
+producer from degrading the whole server:
+
+* **Overload** — an ``update`` for a graph whose backlog (buffered
+  deltas + queued actions) is at ``max_pending`` is *refused* with
+  ``{"ok": false, "error": "overloaded", "overloaded": true,
+  "retry_after": s}`` instead of queueing without bound.  The client
+  owns the retry; the server's memory stays bounded.
+* **Idle timeout** — a connection that sends nothing for
+  ``idle_timeout`` seconds gets a best-effort
+  ``{"ok": false, "error": "idle timeout"}`` line and is closed, so
+  abandoned sockets do not accumulate.
 """
 
 from __future__ import annotations
@@ -43,6 +56,9 @@ from repro.service.service import ServiceError, StreamingUpdateService
 #: buffering on a misbehaving client).
 MAX_LINE_BYTES: int = 1 << 20
 
+#: Default cap on a graph's backlog before updates are refused.
+DEFAULT_MAX_PENDING: int = 4096
+
 
 class ServiceServer:
     """Serve a :class:`StreamingUpdateService` over JSON lines on TCP."""
@@ -52,11 +68,24 @@ class ServiceServer:
         service: StreamingUpdateService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        idle_timeout: Optional[float] = None,
     ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive when set")
         self.service = service
         self.host = host
         self.port = port
+        self.max_pending = max_pending
+        self.idle_timeout = idle_timeout
         self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        #: Observability for tests and operators.
+        self.overload_rejections = 0
+        self.idle_closes = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -75,11 +104,19 @@ class ServiceServer:
         return self.host, self.port
 
     async def close(self) -> None:
-        """Stop accepting connections and close the listener."""
+        """Stop accepting, close the listener and every open connection."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        for writer in list(self._connections):
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        self._connections.clear()
 
     async def serve_forever(self) -> None:
         """Block serving until cancelled (the CLI entry point's mode)."""
@@ -95,12 +132,27 @@ class ServiceServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if self.idle_timeout is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self.idle_timeout
+                        )
+                    else:
+                        line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
                     await self._reply(writer, {"ok": False, "error": "request line too long"})
+                    break
+                except asyncio.TimeoutError:
+                    self.idle_closes += 1
+                    try:
+                        await self._reply(
+                            writer, {"ok": False, "error": "idle timeout", "idle_timeout": True}
+                        )
+                    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                        pass
                     break
                 if not line:
                     break
@@ -112,6 +164,7 @@ class ServiceServer:
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -151,6 +204,17 @@ class ServiceServer:
 
     async def _op_update(self, request: dict) -> dict:
         key = self._graph_key(request)
+        if self.service.backlog(key) >= self.max_pending:
+            # Refuse rather than queue without bound: the client owns
+            # the retry, the server's memory stays bounded.  The hint is
+            # one deadline period — by then the buffered batch has cut.
+            self.overload_rejections += 1
+            return {
+                "ok": False,
+                "error": "overloaded",
+                "overloaded": True,
+                "retry_after": max(self.service.config.deadline_seconds, 0.05),
+            }
         receipt = await self.service.submit(key, request)
         return {
             "ok": True,

@@ -2,7 +2,8 @@
 
 :class:`StreamingUpdateService` turns the batch-oriented
 :class:`~repro.algorithms.base.GPNMAlgorithm` state machine into a
-continuously-available service:
+continuously-available — and, with a journal directory configured,
+*durable* and *fault-tolerant* — service:
 
 * **Ingestion** — :meth:`~StreamingUpdateService.submit` accepts one
   delta payload (:class:`~repro.service.delta.UpdateData`), validates
@@ -12,40 +13,53 @@ continuously-available service:
   :class:`~repro.service.queue.ActionQueue`, so concurrent submitters
   to one graph are applied in a single well-defined order while distinct
   graphs proceed independently.
+* **Durability** — with :attr:`ServiceConfig.journal_dir` set, every
+  accepted payload is fsync-appended to the graph's write-ahead
+  :class:`~repro.service.journal.GraphJournal` *before* its receipt is
+  returned; settles append a checkpoint record and trigger size-bounded
+  compaction.  :meth:`register_graph` recovers any journal found for
+  the key: the compaction snapshot becomes the base graph and the
+  uncheckpointed tail is replayed through the normal admission path, so
+  a crash loses nothing a receipt was issued for.
 * **Admission** — after every ingest the service consults the batch
   planner (:func:`~repro.batching.planner.plan_batch`) on the buffered
   batch's :class:`~repro.batching.planner.BatchStatistics`.  The buffer
   is *cut* — swapped out and handed to the algorithm's
   ``subsequent_query`` — when the planner's coalescing crossover is
-  reached (strategy ≠ per-update: the batch is now cheaper settled as a
-  whole than as it trickles), when the buffer hits ``max_buffer``
-  (capacity backstop), or when the configured latency ``deadline``
-  expires with deltas still buffered (bounded staleness for small
-  trickles).
-* **Settling** — the cut batch settles via the algorithm on an executor
-  thread (the event loop keeps serving), scheduled on the *same*
-  per-graph queue, so maintenance is serialized with ingestion and a
-  graph's batches settle in cut order.  When the settle finishes, the
-  service publishes a fresh immutable :class:`GraphSnapshot` by plain
-  attribute assignment.
+  reached, when the buffer hits ``max_buffer`` (capacity backstop), or
+  when the configured latency ``deadline`` expires.
+* **Settling, and what happens when it fails** — the cut batch settles
+  via the algorithm on an executor thread, serialized on the graph's
+  queue.  A settle that raises is retried with capped exponential
+  backoff against a restored copy of the last good state; if the batch
+  still fails, it is bisected to isolate the *poison* deltas, which are
+  durably recorded in the graph's
+  :class:`~repro.service.journal.DeadLetterJournal` while every
+  innocent delta settles normally.  Reads keep answering from the last
+  good snapshot throughout.
 * **Reads** — :meth:`~StreamingUpdateService.matches`,
   :meth:`~StreamingUpdateService.top_k` and
   :meth:`~StreamingUpdateService.slen_distance` answer from the last
   published snapshot.  They are plain synchronous methods that never
   enter the action queue, so a read never blocks behind an in-flight
-  settle — it simply sees the last settled version.
+  settle.
 * **Shutdown** — :meth:`~StreamingUpdateService.drain` cuts every
   non-empty buffer and waits for all queues to go quiescent;
   :meth:`~StreamingUpdateService.close` then stops the workers.  Every
-  accepted delta is settled before ``close`` returns — nothing accepted
-  is ever dropped.
+  accepted delta is settled (or durably dead-lettered) before ``close``
+  returns.  :meth:`~StreamingUpdateService.abort` is the opposite: a
+  simulated ``kill -9`` that stops everything *without* settling, used
+  by the fault-injection tests to prove journal recovery.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
+import logging
 from collections import Counter
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional
 
 from repro.algorithms import GPNMAlgorithm, UAGPNM
@@ -71,8 +85,23 @@ from repro.graph.updates import (
 )
 from repro.matching import MatchResult, RankedMatch, top_k_matches
 from repro.service.delta import DeltaError, UpdateData
+from repro.service.faults import (
+    MID_SETTLE,
+    PRE_CHECKPOINT,
+    PRE_SETTLE,
+    NULL_INJECTOR,
+    FaultInjector,
+)
+from repro.service.journal import (
+    DEFAULT_COMPACT_BYTES,
+    DeadLetterJournal,
+    GraphJournal,
+    journal_slug,
+)
 from repro.service.queue import ActionScheduler, QueueClosedError
 from repro.spl.matrix import SLenMatrix
+
+logger = logging.getLogger("repro.service")
 
 #: Cut reasons reported in receipts and per-graph statistics.
 CUT_CROSSOVER = "crossover"
@@ -114,6 +143,22 @@ class ServiceConfig:
         :meth:`StreamingUpdateService.close`.
     recalibrate_every / cost_model_path:
         Planner calibration knobs, passed through to the algorithm.
+    journal_dir:
+        Directory for per-graph write-ahead journals.  ``None`` (the
+        default) disables durability: accepted-but-unsettled deltas die
+        with the process, exactly the pre-journal behaviour.
+    journal_compact_bytes:
+        Compaction threshold: once a graph's journal exceeds this many
+        bytes (and a checkpoint has advanced), it is rewritten as a
+        snapshot plus the uncheckpointed tail.
+    settle_retries:
+        How many times a failed settle is retried (against a restored
+        copy of the last good state) before the batch is bisected and
+        its poison deltas quarantined.  ``0`` goes straight to
+        bisection.
+    settle_backoff_seconds / settle_backoff_cap_seconds:
+        Capped exponential backoff between settle retries: retry ``n``
+        waits ``min(backoff * 2**(n-1), cap)`` seconds.
     """
 
     deadline_seconds: float = 0.05
@@ -126,6 +171,11 @@ class ServiceConfig:
     telemetry_path: Optional[str] = None
     recalibrate_every: int = 0
     cost_model_path: Optional[str] = None
+    journal_dir: Optional[str] = None
+    journal_compact_bytes: int = DEFAULT_COMPACT_BYTES
+    settle_retries: int = 2
+    settle_backoff_seconds: float = 0.05
+    settle_backoff_cap_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.deadline_seconds < 0:
@@ -140,6 +190,12 @@ class ServiceConfig:
             )
         if self.recalibrate_every < 0:
             raise ValueError("recalibrate_every must be non-negative")
+        if self.journal_compact_bytes < 1:
+            raise ValueError("journal_compact_bytes must be positive")
+        if self.settle_retries < 0:
+            raise ValueError("settle_retries must be non-negative")
+        if self.settle_backoff_seconds < 0 or self.settle_backoff_cap_seconds < 0:
+            raise ValueError("settle backoff values must be non-negative")
 
     @classmethod
     def from_experiment(cls, config) -> "ServiceConfig":
@@ -154,6 +210,8 @@ class ServiceConfig:
             telemetry_path=config.telemetry_path,
             recalibrate_every=config.recalibrate_every,
             cost_model_path=config.cost_model_path,
+            journal_dir=config.journal_dir,
+            settle_retries=config.service_settle_retries,
         )
 
 
@@ -161,9 +219,8 @@ class ServiceConfig:
 class GraphSnapshot:
     """One settled, immutable state of a registered graph.
 
-    Reads answer from a snapshot without coordination: every field is a
-    private copy taken when the settle finished, and the service only
-    ever *replaces* the published snapshot (never mutates it).
+    Reads answer from a snapshot without coordination: the service only
+    ever *replaces* the published snapshot (never mutates it in place).
     """
 
     version: int
@@ -191,6 +248,10 @@ class IngestReceipt:
         remain buffered.
     errors:
         One message per rejected delta, in payload order.
+
+    When the service runs with a journal, a receipt with ``accepted >
+    0`` is a *durability* promise: the accepted deltas were fsynced to
+    the write-ahead journal before this receipt was created.
     """
 
     accepted: int
@@ -210,22 +271,33 @@ class _GraphSession:
     #: submit-time validation target.
     staged: DataGraph
     snapshot: GraphSnapshot
+    journal: Optional[GraphJournal] = None
+    dead_letter: Optional[DeadLetterJournal] = None
     buffer: UpdateBatch = field(default_factory=UpdateBatch)
     #: Bumped on every cut; lets an expired deadline recognise that the
     #: buffer it armed for was already cut.
     generation: int = 0
     deadline_handle: Optional[asyncio.TimerHandle] = None
+    #: Journal seq of the most recently appended (or replayed) payload;
+    #: captured at cut time as the batch's checkpoint high-water mark.
+    last_seq: int = 0
     accepted: int = 0
     rejected: int = 0
     settled: int = 0
     settles: int = 0
     settle_failures: int = 0
+    settle_retries: int = 0
     settle_seconds: float = 0.0
+    quarantined: int = 0
+    rebuilds: int = 0
+    recovered: int = 0
+    recovery_skipped: int = 0
     cut_reasons: Counter = field(default_factory=Counter)
 
 
 #: Builds the per-graph algorithm; injectable for tests (e.g. a slow
-#: settle wrapper proving reads do not block).
+#: settle wrapper proving reads do not block, or the fault harness's
+#: flaky wrapper proving retry and quarantine).
 AlgorithmFactory = Callable[[PatternGraph, DataGraph, "ServiceConfig", Optional[TelemetryLog]], GPNMAlgorithm]
 
 
@@ -265,9 +337,11 @@ class StreamingUpdateService:
         self,
         config: Optional[ServiceConfig] = None,
         algorithm_factory: AlgorithmFactory = default_algorithm_factory,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._factory = algorithm_factory
+        self._faults = faults if faults is not None else NULL_INJECTOR
         self._scheduler = ActionScheduler()
         self._sessions: dict[str, _GraphSession] = {}
         #: One log shared by every graph's algorithm — the reason
@@ -276,14 +350,20 @@ class StreamingUpdateService:
         self._closed = False
 
     # ------------------------------------------------------------------
-    # Registration
+    # Registration and recovery
     # ------------------------------------------------------------------
     async def register_graph(
         self, key: str, pattern: PatternGraph, data: DataGraph
     ) -> GraphSnapshot:
-        """Register ``key`` and run its initial query (off-loop).
+        """Register ``key``, run its initial query, recover its journal.
 
-        Returns the initial snapshot.  Raises :class:`ServiceError` on a
+        With :attr:`ServiceConfig.journal_dir` set, an existing journal
+        for ``key`` takes precedence over ``data``: its compaction
+        snapshot (when present) becomes the base graph, and the
+        uncheckpointed delta tail is replayed through the normal
+        admission path before this coroutine returns (replayed batches
+        may still be settling; :meth:`drain` flushes them).  Returns
+        the initial snapshot.  Raises :class:`ServiceError` on a
         duplicate key.
         """
         self._ensure_open()
@@ -293,28 +373,62 @@ class StreamingUpdateService:
         # registrations of the same key fail fast instead of racing.
         self._sessions[key] = None  # type: ignore[assignment]
         loop = asyncio.get_running_loop()
+        journal: Optional[GraphJournal] = None
+        dead_letter: Optional[DeadLetterJournal] = None
+        recovered = None
         try:
+            if self.config.journal_dir:
+                slug = journal_slug(key)
+                directory = Path(self.config.journal_dir)
+                journal = GraphJournal(
+                    directory / f"{slug}.journal.jsonl",
+                    compact_bytes=self.config.journal_compact_bytes,
+                    faults=self._faults,
+                )
+                dead_letter = DeadLetterJournal(directory / f"{slug}.deadletter.jsonl")
+                recovered = await loop.run_in_executor(None, journal.open)
+                if recovered.base_graph is not None:
+                    data = recovered.base_graph
             algorithm = await loop.run_in_executor(
                 None, self._factory, pattern, data, self.config, self.telemetry
             )
+            base_version = recovered.checkpoint_version if recovered is not None else 0
             snapshot = await loop.run_in_executor(
-                None, self._initial_snapshot, algorithm
+                None, self._initial_snapshot, algorithm, base_version
             )
         except BaseException:
+            if journal is not None:
+                journal.close()
             del self._sessions[key]
             raise
-        self._sessions[key] = _GraphSession(
+        session = _GraphSession(
             key=key,
             algorithm=algorithm,
             staged=snapshot.data.copy(),
             snapshot=snapshot,
+            journal=journal,
+            dead_letter=dead_letter,
         )
-        return snapshot
+        if recovered is not None:
+            session.last_seq = recovered.checkpoint_seq
+        self._sessions[key] = session
+        if recovered is not None and recovered.tail:
+            logger.info(
+                "graph %r: replaying %d journaled payload(s) past checkpoint seq %d",
+                key,
+                len(recovered.tail),
+                recovered.checkpoint_seq,
+            )
+            for seq, updates in recovered.tail:
+                await self._scheduler.schedule(
+                    key, functools.partial(self._replay_ingest, session, updates, seq)
+                )
+        return session.snapshot
 
     @staticmethod
-    def _initial_snapshot(algorithm: GPNMAlgorithm) -> GraphSnapshot:
+    def _initial_snapshot(algorithm: GPNMAlgorithm, version: int = 0) -> GraphSnapshot:
         return GraphSnapshot(
-            version=0,
+            version=version,
             result=algorithm.initial_result,
             pattern=algorithm.pattern,
             data=algorithm.data,
@@ -330,13 +444,15 @@ class StreamingUpdateService:
     # Ingestion
     # ------------------------------------------------------------------
     async def submit(self, key: str, payload) -> IngestReceipt:
-        """Validate and buffer one delta payload for graph ``key``.
+        """Validate, journal, and buffer one delta payload for ``key``.
 
         ``payload`` is either an :class:`~repro.service.delta.UpdateData`
         or a raw mapping in the wire shape (parsed here, so parse errors
         surface as :class:`~repro.service.delta.DeltaError` before
         anything is enqueued).  The returned receipt reports how many
-        deltas were accepted and whether the payload triggered a cut.
+        deltas were accepted and whether the payload triggered a cut;
+        with a journal configured, accepted deltas are durable before
+        the receipt exists.
         """
         session = self._session(key)
         data = payload if isinstance(payload, UpdateData) else UpdateData(payload, default_graph=key)
@@ -358,9 +474,19 @@ class StreamingUpdateService:
             )
         return self._scheduler.schedule(key, lambda: self._ingest(session, data))
 
+    def backlog(self, key: str) -> int:
+        """Pending work on ``key``: buffered deltas + queued actions.
+
+        The TCP front end uses this as its overload signal — it refuses
+        new update requests with a ``retry_after`` hint instead of
+        queueing without bound.
+        """
+        session = self._session(key)
+        return len(session.buffer) + self._scheduler.queue(key).pending
+
     async def _ingest(self, session: _GraphSession, data: UpdateData) -> IngestReceipt:
-        """Queue action: validate, buffer, and maybe cut.  Serialized."""
-        accepted = 0
+        """Queue action: validate, journal, buffer, and maybe cut."""
+        accepted: list[Update] = []
         errors: list[str] = []
         for update in data.updates():
             problem = _stage_conflict(session.staged, update)
@@ -375,17 +501,52 @@ class StreamingUpdateService:
             # Preconditions passed and the batch accepted it — applying
             # to the staged graph cannot fail now.
             update.apply(session.staged)
-            accepted += 1
-        session.accepted += accepted
+            accepted.append(update)
+        if accepted and session.journal is not None:
+            # Write-ahead: the receipt below must not exist before the
+            # deltas are on disk.  (A crash between buffer mutation and
+            # journal append loses in-memory state only, and no receipt
+            # was issued for it.)
+            session.last_seq = await asyncio.get_running_loop().run_in_executor(
+                None, session.journal.append_delta, accepted
+            )
+        session.accepted += len(accepted)
         session.rejected += len(errors)
         cut_reason = self._admit(session)
         return IngestReceipt(
-            accepted=accepted,
+            accepted=len(accepted),
             rejected=len(errors),
             pending=len(session.buffer),
             cut=cut_reason,
             errors=tuple(errors),
         )
+
+    async def _replay_ingest(
+        self, session: _GraphSession, updates: list[Update], seq: int
+    ) -> None:
+        """Queue action: re-admit one journaled payload during recovery.
+
+        The updates were accepted (and journaled) by a previous
+        incarnation, so they are *not* re-appended.  Validation still
+        runs against the staged state: a delta whose effect is already
+        present in the recovered base (it settled into a snapshot whose
+        checkpoint was lost) is skipped, not double-applied.
+        """
+        for update in updates:
+            problem = _stage_conflict(session.staged, update)
+            if problem is None:
+                try:
+                    session.buffer.append(update)
+                except UpdateError as exc:
+                    problem = str(exc)
+            if problem is not None:
+                session.recovery_skipped += 1
+                continue
+            update.apply(session.staged)
+            session.accepted += 1
+            session.recovered += 1
+        session.last_seq = seq
+        self._admit(session)
 
     def _admit(self, session: _GraphSession) -> Optional[str]:
         """Decide whether the buffered batch should settle now."""
@@ -447,34 +608,196 @@ class StreamingUpdateService:
     def _cut(self, session: _GraphSession, reason: str) -> str:
         """Swap the buffer out and schedule its settle.  Serialized."""
         batch = session.buffer
+        seq_high = session.last_seq
         session.buffer = UpdateBatch()
         session.generation += 1
         if session.deadline_handle is not None:
             session.deadline_handle.cancel()
             session.deadline_handle = None
         session.cut_reasons[reason] += 1
-        self._scheduler.schedule(session.key, lambda: self._settle(session, batch))
+        self._scheduler.schedule(
+            session.key, functools.partial(self._settle, session, batch, seq_high)
+        )
         return reason
 
-    async def _settle(self, session: _GraphSession, batch: UpdateBatch) -> None:
-        """Queue action: run the algorithm's maintenance off-loop."""
+    # ------------------------------------------------------------------
+    # Settling: retries, bisection, quarantine, checkpointing
+    # ------------------------------------------------------------------
+    async def _settle(
+        self, session: _GraphSession, batch: UpdateBatch, seq_high: int
+    ) -> None:
+        """Queue action: settle ``batch``, surviving kernel failures.
+
+        Every path out of here (plain success, retry success, or
+        bisection + quarantine) leaves the algorithm consistent and the
+        snapshot published; the checkpoint then covers ``seq_high``
+        because every delta up to it either settled or was durably
+        dead-lettered.  Only an injected crash (a
+        :class:`BaseException`) escapes, exactly like process death.
+        """
         loop = asyncio.get_running_loop()
         started = loop.time()
+        self._faults.hit(PRE_SETTLE)
+        try:
+            await self._settle_with_recovery(session, batch)
+        finally:
+            session.settle_seconds += loop.time() - started
+        if session.journal is not None and seq_high > session.journal.checkpoint_seq:
+            self._faults.hit(PRE_CHECKPOINT)
+            await loop.run_in_executor(
+                None,
+                session.journal.checkpoint,
+                seq_high,
+                session.snapshot.version,
+                session.settles,
+            )
+            if session.journal.should_compact():
+                await loop.run_in_executor(
+                    None,
+                    session.journal.compact,
+                    session.snapshot.data,
+                    session.snapshot.version,
+                )
+
+    async def _settle_with_recovery(
+        self, session: _GraphSession, batch: UpdateBatch
+    ) -> None:
+        """Retry the batch with capped backoff, then bisect if still failing."""
+        config = self.config
+        last_error: Optional[Exception] = None
+        for attempt in range(config.settle_retries + 1):
+            if attempt:
+                session.settle_retries += 1
+                delay = min(
+                    config.settle_backoff_seconds * (2 ** (attempt - 1)),
+                    config.settle_backoff_cap_seconds,
+                )
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            try:
+                await self._attempt_settle(session, batch)
+                return
+            except Exception as exc:  # noqa: BLE001 - InjectedCrash passes through
+                last_error = exc
+                logger.warning(
+                    "graph %r: settle attempt %d/%d failed: %r",
+                    session.key,
+                    attempt + 1,
+                    config.settle_retries + 1,
+                    exc,
+                )
+        # Bounded retries exhausted: the batch contains at least one
+        # poison delta.  Isolate it so the rest of the graph lives on.
+        await self._bisect(session, list(batch), last_error)
+        dropped = await asyncio.get_running_loop().run_in_executor(
+            None, self._resync_staged, session
+        )
+        for update in dropped:
+            await self._quarantine(
+                session,
+                update,
+                f"invalidated by quarantine of {last_error!r}",
+                kind="cascade",
+            )
+
+    async def _attempt_settle(self, session: _GraphSession, batch: UpdateBatch) -> None:
+        """One all-or-nothing settle attempt; raises the kernel's error.
+
+        The settled graph is copied first, so on failure the algorithm
+        is rebuilt from the last good state instead of being left
+        half-mutated — the property that makes retrying sound at all.
+        """
+        loop = asyncio.get_running_loop()
+        restore_point = await loop.run_in_executor(None, session.algorithm.data.copy)
         try:
             outcome = await loop.run_in_executor(
                 None, session.algorithm.subsequent_query, batch
             )
-            snapshot = await loop.run_in_executor(
-                None, self._settled_snapshot, session, outcome.result
-            )
-        except BaseException:
+        except Exception:
             session.settle_failures += 1
-            await loop.run_in_executor(None, self._resync_staged, session)
+            await loop.run_in_executor(None, self._rebuild_algorithm, session, restore_point)
             raise
+        self._faults.hit(MID_SETTLE)
+        snapshot = await loop.run_in_executor(
+            None, self._settled_snapshot, session, outcome.result
+        )
         session.snapshot = snapshot
-        session.settled += len(batch)
         session.settles += 1
-        session.settle_seconds += loop.time() - started
+        session.settled += len(batch)
+
+    async def _bisect(
+        self,
+        session: _GraphSession,
+        updates: list[Update],
+        error: Optional[Exception],
+        *,
+        try_whole: bool = False,
+    ) -> None:
+        """Recursively isolate the poison updates of a failed batch.
+
+        Sub-batches preserve arrival order, so the surviving updates
+        settle with exactly the semantics they were accepted under.  A
+        single update that still fails is quarantined: durably appended
+        to the dead-letter journal, then dropped from the stream.
+        """
+        if not updates:
+            return
+        if try_whole:
+            sub: Optional[UpdateBatch]
+            try:
+                sub = UpdateBatch(updates)
+            except UpdateError as exc:
+                # The slice lost an update (a sibling quarantine) it
+                # depended on; treat it like a failing settle.
+                sub, error = None, exc
+            if sub is not None:
+                try:
+                    await self._attempt_settle(session, sub)
+                    return
+                except Exception as exc:  # noqa: BLE001 - isolated below
+                    error = exc
+        if len(updates) == 1:
+            await self._quarantine(session, updates[0], repr(error))
+            return
+        mid = len(updates) // 2
+        await self._bisect(session, updates[:mid], error, try_whole=True)
+        await self._bisect(session, updates[mid:], error, try_whole=True)
+
+    async def _quarantine(
+        self, session: _GraphSession, update: Update, error: str, *, kind: str = "poison"
+    ) -> None:
+        """Durably dead-letter one update the service gave up settling."""
+        session.quarantined += 1
+        logger.warning(
+            "graph %r: quarantined %s delta %r: %s", session.key, kind, update, error
+        )
+        if session.dead_letter is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None,
+                functools.partial(session.dead_letter.append, update, error, kind=kind),
+            )
+
+    def _rebuild_algorithm(self, session: _GraphSession, base: DataGraph) -> None:
+        """Rebuild the algorithm from the last good graph after a failure.
+
+        A failed ``subsequent_query`` may leave the algorithm's graph,
+        SLen and match state arbitrarily half-mutated; the only sound
+        recovery is a fresh initial query on the pre-attempt state.  The
+        published snapshot is re-pointed at the rebuilt objects so reads
+        never touch the corrupted ones.
+        """
+        algorithm = self._factory(
+            session.algorithm.pattern, base, self.config, self.telemetry
+        )
+        session.algorithm = algorithm
+        session.rebuilds += 1
+        session.snapshot = GraphSnapshot(
+            version=session.snapshot.version,
+            result=algorithm.initial_result,
+            pattern=algorithm.pattern,
+            data=algorithm.data,
+            slen=algorithm.slen,
+        )
 
     @staticmethod
     def _settled_snapshot(session: _GraphSession, result: MatchResult) -> GraphSnapshot:
@@ -488,25 +811,33 @@ class StreamingUpdateService:
         )
 
     @staticmethod
-    def _resync_staged(session: _GraphSession) -> None:
-        """Rebuild the staged graph after a failed settle.
+    def _resync_staged(session: _GraphSession) -> list[Update]:
+        """Rebuild the staged graph after a quarantine; returns the drops.
 
         The algorithm's state is authoritative; the still-buffered
-        deltas are re-validated against it and survivors re-applied
-        (a failed settle can invalidate deltas that were accepted
-        against state that never materialised).
+        deltas are re-validated against a *copy* of it and survivors
+        re-applied (a quarantined delta can invalidate deltas that were
+        accepted against state that never materialised).  Returns the
+        invalidated updates so the caller can dead-letter them — an
+        accepted delta is never silently dropped.
         """
-        staged = session.algorithm.data
+        staged = session.algorithm.data.copy()
         survivors = UpdateBatch()
+        dropped: list[Update] = []
         for update in session.buffer:
-            if _stage_conflict(staged, update) is None:
+            problem = _stage_conflict(staged, update)
+            if problem is None:
                 try:
                     survivors.append(update)
                 except UpdateError:
+                    dropped.append(update)
                     continue
                 update.apply(staged)
+            else:
+                dropped.append(update)
         session.buffer = survivors
         session.staged = staged
+        return dropped
 
     # ------------------------------------------------------------------
     # Reads — synchronous, snapshot-backed, never enter the queue
@@ -541,8 +872,19 @@ class StreamingUpdateService:
         return self._session(key).snapshot.slen.distance(source, target)
 
     def stats(self, key: str) -> dict:
-        """Per-graph counters: ingestion, cuts, settles."""
+        """Per-graph counters: ingestion, cuts, settles, faults, journal."""
         session = self._session(key)
+        journal_stats = None
+        if session.journal is not None:
+            journal_stats = {
+                "path": str(session.journal.path),
+                "last_seq": session.journal.last_seq,
+                "checkpoint_seq": session.journal.checkpoint_seq,
+                "appends": session.journal.appends,
+                "checkpoints": session.journal.checkpoints,
+                "compactions": session.journal.compactions,
+                "torn_lines": session.journal.torn_lines,
+            }
         return {
             "graph": key,
             "snapshot_version": session.snapshot.version,
@@ -552,8 +894,17 @@ class StreamingUpdateService:
             "pending": len(session.buffer),
             "settles": session.settles,
             "settle_failures": session.settle_failures,
+            "settle_retries": session.settle_retries,
             "settle_seconds": session.settle_seconds,
+            "quarantined": session.quarantined,
+            "rebuilds": session.rebuilds,
+            "recovered": session.recovered,
+            "recovery_skipped": session.recovery_skipped,
+            "queue_errors": sum(
+                1 for error_key, _ in self._scheduler.errors if error_key == key
+            ),
             "cut_reasons": dict(session.cut_reasons),
+            "journal": journal_stats,
         }
 
     # ------------------------------------------------------------------
@@ -572,6 +923,15 @@ class StreamingUpdateService:
             self._scheduler.schedule(session.key, _drain_cut)
         await self._scheduler.drain()
 
+    async def quiesce(self) -> None:
+        """Wait for all already-scheduled actions — without cutting.
+
+        Unlike :meth:`drain` this leaves buffered deltas buffered; it
+        exists so tests (and the fault harness) can wait for in-flight
+        settles and their journal writes to finish.
+        """
+        await self._scheduler.drain()
+
     async def close(self) -> None:
         """Drain, stop all queue workers, persist telemetry.  Idempotent."""
         if self._closed:
@@ -579,8 +939,31 @@ class StreamingUpdateService:
         await self.drain()
         await self._scheduler.close()
         self._closed = True
+        for session in self._sessions.values():
+            if session is not None and session.journal is not None:
+                session.journal.close()
         if self.config.telemetry_path and len(self.telemetry):
             self.telemetry.save(self.config.telemetry_path)
+
+    async def abort(self) -> None:
+        """Simulated ``kill -9``: stop everything without settling.
+
+        No buffers are cut, no settles run, no checkpoints are written —
+        the journal is left exactly as the "crash" found it, which is
+        the state recovery must cope with.  The fault-injection tests
+        call this after an :class:`~repro.service.faults.InjectedCrash`
+        to abandon the dead instance cleanly.  Idempotent.
+        """
+        self._closed = True
+        await self._scheduler.abort()
+        for session in self._sessions.values():
+            if session is None:
+                continue
+            if session.deadline_handle is not None:
+                session.deadline_handle.cancel()
+                session.deadline_handle = None
+            if session.journal is not None:
+                session.journal.close()
 
     @property
     def errors(self) -> list[tuple[str, BaseException]]:

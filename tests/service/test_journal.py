@@ -1,0 +1,354 @@
+"""GraphJournal: recovery edge cases, compaction, dead letters.
+
+The service-level (replay-through-admission) side of recovery is
+covered by ``test_faults.py``; this module exercises the journal file
+format directly: empty and checkpoint-only journals, torn final lines,
+duplicate-seq idempotence, and the compaction rewrite.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.graph import DataGraph, PatternGraph
+from repro.graph.updates import (
+    delete_data_edge,
+    delete_data_node,
+    insert_data_edge,
+    insert_data_node,
+)
+from repro.service import ServiceConfig, StreamingUpdateService
+from repro.service.journal import (
+    DeadLetterJournal,
+    GraphJournal,
+    JournalError,
+    journal_slug,
+    update_from_doc,
+    update_to_doc,
+)
+
+
+def make_graph(num_nodes: int = 6) -> DataGraph:
+    data = DataGraph()
+    for i in range(num_nodes):
+        data.add_node(f"n{i}", "A" if i % 2 == 0 else "B")
+    for i in range(num_nodes):
+        data.add_edge(f"n{i}", f"n{(i + 1) % num_nodes}")
+    return data
+
+
+def make_pattern() -> PatternGraph:
+    pattern = PatternGraph()
+    pattern.add_node("p0", "A")
+    pattern.add_node("p1", "B")
+    pattern.add_edge("p0", "p1", 2)
+    return pattern
+
+
+QUIET = dict(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Update (de)serialization
+# ----------------------------------------------------------------------
+def test_update_doc_round_trip_covers_every_op():
+    updates = [
+        insert_data_edge("a", "b"),
+        delete_data_edge("a", "b"),
+        insert_data_node("c", ("A", "B"), (("c", "a"), ("b", "c"))),
+        delete_data_node("c", ("A",), (("c", "a"),)),
+    ]
+    for update in updates:
+        assert update_from_doc(update_to_doc(update)) == update
+
+
+def test_update_doc_round_trip_refreezes_tuple_ids():
+    update = insert_data_edge(("u", 1), ("v", 2))
+    doc = json.loads(json.dumps(update_to_doc(update)))  # tuples -> lists
+    assert update_from_doc(doc) == update
+
+
+def test_update_from_doc_rejects_malformed_records():
+    with pytest.raises(JournalError):
+        update_from_doc({"op": "teleport", "node": "x"})
+    with pytest.raises(JournalError):
+        update_from_doc({"op": "insert_edge", "source": "a"})  # no target
+
+
+def test_journal_slug_is_filesystem_safe_and_collision_free():
+    assert journal_slug("email-EU-core") == "email-EU-core"
+    slashy = journal_slug("a/b")
+    dotty = journal_slug("a.b")
+    assert "/" not in slashy
+    # Sanitisation alone would collide ("a/b" vs "a_b"); the hash suffix
+    # keeps them distinct.
+    assert slashy != journal_slug("a_b")
+    assert slashy != dotty
+
+
+# ----------------------------------------------------------------------
+# Recovery edge cases
+# ----------------------------------------------------------------------
+def test_missing_journal_recovers_to_a_fresh_state(tmp_path):
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    state = journal.open()
+    assert state.base_graph is None
+    assert state.tail == []
+    assert state.last_seq == 0
+    assert not state.torn_line
+    assert journal.append_delta([insert_data_edge("a", "b")]) == 1
+    journal.close()
+
+
+def test_empty_journal_file_recovers_to_a_fresh_state(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    path.write_text("")
+    journal = GraphJournal(path)
+    state = journal.open()
+    assert state.tail == [] and state.last_seq == 0 and not state.torn_line
+    journal.close()
+
+
+def test_checkpoint_only_journal_recovers_with_empty_tail(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.checkpoint(1, version=1, batch_id=1)
+    journal.close()
+    # Strip the delta record, keeping only its checkpoint — the shape a
+    # compaction interrupted between rewrite and first append leaves.
+    lines = [l for l in path.read_text().splitlines() if json.loads(l)["t"] == "checkpoint"]
+    path.write_text("\n".join(lines) + "\n")
+    reopened = GraphJournal(path)
+    state = reopened.open()
+    assert state.tail == []
+    assert state.checkpoint_seq == 1
+    assert state.base_graph is None
+    # Appends resume after the checkpointed seq.
+    assert reopened.append_delta([insert_data_edge("c", "d")]) == 2
+    reopened.close()
+
+
+def test_torn_final_line_is_truncated_and_counted(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.append_delta([insert_data_edge("c", "d")])
+    journal.close()
+    intact = path.read_bytes()
+    path.write_bytes(intact + b'{"t": "delta", "seq": 3, "upd')  # torn mid-record
+    reopened = GraphJournal(path)
+    state = reopened.open()
+    assert state.torn_line
+    assert reopened.torn_lines == 1
+    assert [seq for seq, _ in state.tail] == [1, 2]
+    # The torn bytes are gone: the file is valid JSON lines again.
+    reopened.close()
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_torn_terminated_final_line_is_also_tolerated(tmp_path):
+    # A torn write can also leave a *complete* line of garbage (half a
+    # record, newline flushed): still the final line, still truncated.
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.close()
+    path.write_bytes(path.read_bytes() + b'{"t": "delta", "broken\n')
+    reopened = GraphJournal(path)
+    state = reopened.open()
+    assert state.torn_line
+    assert [seq for seq, _ in state.tail] == [1]
+    reopened.close()
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.append_delta([insert_data_edge("c", "d")])
+    journal.close()
+    lines = path.read_text().splitlines()
+    lines[0] = lines[0][: len(lines[0]) // 2]  # corrupt a *non-final* record
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt journal record"):
+        GraphJournal(path).open()
+
+
+def test_duplicate_seq_records_are_dropped_once(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.close()
+    line = path.read_text().splitlines()[0]
+    path.write_text(line + "\n" + line + "\n")  # the same seq twice
+    state = GraphJournal(path).open()
+    assert [seq for seq, _ in state.tail] == [1]
+    assert state.dropped_duplicates == 1
+
+
+def test_checkpointed_deltas_stay_in_the_replay_tail(tmp_path):
+    # A checkpoint proves its deltas settled — but the settled graph
+    # died with the process, so recovery must still replay them against
+    # the base.  Only a *snapshot* removes deltas from the tail.
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.checkpoint(1, version=1, batch_id=1)
+    journal.append_delta([insert_data_edge("c", "d")])
+    journal.close()
+    state = GraphJournal(path).open()
+    assert [seq for seq, _ in state.tail] == [1, 2]
+    assert state.checkpoint_seq == 1
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def test_compaction_rewrites_to_snapshot_plus_uncheckpointed_tail(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path, compact_bytes=1)  # always oversized
+    journal.open()
+    graph = make_graph()
+    journal.append_delta([insert_data_edge("n0", "n2")])
+    journal.append_delta([insert_data_edge("n0", "n3")])
+    settled = graph.copy()
+    settled.add_edge("n0", "n2")
+    settled.add_edge("n0", "n3")
+    journal.checkpoint(2, version=1, batch_id=1)
+    journal.append_delta([insert_data_edge("n1", "n4")])  # uncheckpointed
+    assert journal.should_compact()
+    journal.compact(settled, version=1)
+    journal.close()
+
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [r["t"] for r in records] == ["snapshot", "delta"]
+    assert records[0]["seq"] == 2 and records[1]["seq"] == 3
+
+    state = GraphJournal(path).open()
+    assert state.base_graph == settled
+    assert state.base_seq == 2
+    assert [seq for seq, _ in state.tail] == [3]
+
+
+def test_appends_continue_after_compaction(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path, compact_bytes=1)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.checkpoint(1, version=1, batch_id=1)
+    journal.compact(make_graph(), version=1)
+    assert journal.append_delta([insert_data_edge("c", "d")]) == 2
+    journal.checkpoint(2, version=2, batch_id=2)
+    journal.close()
+    state = GraphJournal(path).open()
+    assert state.last_seq == 2
+    assert [seq for seq, _ in state.tail] == [2]
+
+
+def test_should_compact_requires_checkpoint_progress(tmp_path):
+    journal = GraphJournal(tmp_path / "g.journal.jsonl", compact_bytes=1)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    # Oversized but nothing checkpointed past the base: compacting now
+    # would snapshot a state that does not cover the tail.
+    assert not journal.should_compact()
+    journal.checkpoint(1, version=1, batch_id=1)
+    assert journal.should_compact()
+    journal.close()
+
+
+# ----------------------------------------------------------------------
+# Dead letters
+# ----------------------------------------------------------------------
+def test_dead_letter_journal_round_trip(tmp_path):
+    dead = DeadLetterJournal(tmp_path / "g.deadletter.jsonl")
+    assert dead.load() == [] and len(dead) == 0
+    dead.append(insert_data_edge("a", "b"), "kernel exploded")
+    dead.append(delete_data_edge("c", "d"), "cascade", kind="cascade")
+    records = dead.load()
+    assert len(dead) == 2
+    assert records[0]["kind"] == "poison"
+    assert records[0]["update"]["op"] == "insert_edge"
+    assert records[0]["error"] == "kernel exploded"
+    assert records[1]["kind"] == "cascade"
+
+
+# ----------------------------------------------------------------------
+# Service-level replay idempotence
+# ----------------------------------------------------------------------
+def test_replay_is_idempotent_across_repeated_recoveries(tmp_path):
+    # Boot -> accept -> crash (no checkpoint) -> recover -> recover
+    # again: the delta must be applied exactly once each boot, never
+    # doubled, and survive an arbitrary number of recovery cycles.
+    async def scenario():
+        config = ServiceConfig(journal_dir=str(tmp_path), **QUIET)
+        service = StreamingUpdateService(config)
+        await service.register_graph("g", make_pattern(), make_graph())
+        receipt = await service.submit(
+            "g", {"inserts": [{"type": "edge", "source": "n0", "target": "n3"}]}
+        )
+        assert receipt.accepted == 1
+        # Abandon without settling: the journal holds an uncheckpointed
+        # delta, exactly what a crash after the receipt leaves.
+        await service.abort()
+
+        for boot in range(3):
+            revived = StreamingUpdateService(config)
+            await revived.register_graph("g", make_pattern(), make_graph())
+            await revived.drain()
+            stats = revived.stats("g")
+            snapshot = revived.snapshot("g")
+            assert snapshot.data.has_edge("n0", "n3")
+            # Exactly one application per boot: replayed once, never
+            # double-applied (the ring edge count proves no duplicates).
+            assert stats["recovered"] + stats["recovery_skipped"] >= 1
+            assert snapshot.data.number_of_edges == make_graph().number_of_edges + 1
+            if boot < 2:
+                await revived.abort()
+            else:
+                await revived.close()
+
+    run(scenario())
+
+
+def test_recovery_skips_deltas_already_present_in_the_base(tmp_path):
+    # A journaled delta whose effect is already in the recovered base
+    # (settled into a snapshot, checkpoint lost) must be skipped by
+    # validation, not double-applied.
+    async def scenario():
+        config = ServiceConfig(journal_dir=str(tmp_path), **QUIET)
+        service = StreamingUpdateService(config)
+        await service.register_graph("g", make_pattern(), make_graph())
+        await service.submit(
+            "g", {"inserts": [{"type": "edge", "source": "n0", "target": "n3"}]}
+        )
+        await service.abort()
+
+        # Register with a base that already contains the edge — the
+        # stand-in for "it settled into a snapshot before the crash".
+        base = make_graph()
+        base.add_edge("n0", "n3")
+        revived = StreamingUpdateService(config)
+        await revived.register_graph("g", make_pattern(), base)
+        await revived.drain()
+        stats = revived.stats("g")
+        assert stats["recovery_skipped"] == 1
+        assert stats["recovered"] == 0
+        snapshot = revived.snapshot("g")
+        assert snapshot.data.number_of_edges == base.number_of_edges
+        await revived.close()
+
+    run(scenario())

@@ -1,0 +1,109 @@
+"""``ua-gpnm serve`` signal handling: SIGTERM/SIGINT drain and exit 0."""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def start_serve(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--preset",
+            "tiny",
+            "--dataset",
+            "email-EU-core",
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return process
+
+
+def wait_for_ready(process, timeout=60.0):
+    """Read stderr until the '[serve] ... on host:port' banner; return the port."""
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            if process.poll() is not None:
+                raise AssertionError(
+                    f"serve exited early ({process.returncode}): {''.join(lines)}"
+                )
+            continue
+        lines.append(line)
+        if " on " in line and line.startswith("[serve] graph"):
+            return int(line.rsplit(":", 1)[1].strip())
+    raise AssertionError(f"serve never became ready: {''.join(lines)}")
+
+
+def finish(process, timeout=30.0):
+    try:
+        _, stderr = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.communicate()
+        raise AssertionError("serve did not exit after the signal")
+    return stderr
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_serve_signal_drains_and_exits_zero(signum):
+    process = start_serve()
+    try:
+        port = wait_for_ready(process)
+        # The server is actually answering before we shoot it.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            conn.sendall(b'{"op": "ping"}\n')
+            reply = conn.makefile().readline()
+            assert '"pong": true' in reply
+        process.send_signal(signum)
+        stderr = finish(process)
+        assert process.returncode == 0, stderr
+        assert "shutting down" in stderr
+        assert "shutdown complete" in stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+
+def test_serve_with_journal_reports_recovery(tmp_path):
+    journal_dir = str(tmp_path / "journals")
+    process = start_serve("--journal-dir", journal_dir)
+    try:
+        port = wait_for_ready(process)
+        # The recovery banner prints right after the ready banner.
+        journal_line = process.stderr.readline()
+        assert journal_line.startswith("[serve] journal")
+        assert "recovered 0 delta(s)" in journal_line  # fresh journal
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            conn.sendall(b'{"op": "stats", "graph": "email-EU-core"}\n')
+            reply = conn.makefile().readline()
+            assert '"journal"' in reply
+        process.send_signal(signal.SIGTERM)
+        stderr = finish(process)
+        assert process.returncode == 0, stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()

@@ -153,3 +153,74 @@ def test_server_error_paths_keep_the_connection_alive():
         await service.close()
 
     asyncio.run(scenario())
+
+
+def test_server_refuses_updates_when_overloaded():
+    async def scenario():
+        # Quiet config: accepted deltas pile up in the buffer, so the
+        # backlog grows by one per update and the cap is easy to hit.
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        server = ServiceServer(service, port=0, max_pending=2)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        client = Client(reader, writer)
+
+        def update(source, target):
+            return {
+                "op": "update",
+                "graph": "g",
+                "inserts": [{"type": "edge", "source": source, "target": target}],
+            }
+
+        assert (await client.call(update("n0", "n2")))["ok"]
+        assert (await client.call(update("n0", "n3")))["ok"]
+        refused = await client.call(update("n1", "n4"))
+        assert refused["ok"] is False
+        assert refused["error"] == "overloaded"
+        assert refused["overloaded"] is True
+        assert refused["retry_after"] > 0
+        assert server.overload_rejections == 1
+        # Reads are never refused — the graph still answers.
+        assert (await client.call({"op": "stats", "graph": "g"}))["ok"]
+
+        # Once the backlog settles, updates are accepted again — the
+        # retry_after contract.
+        await service.drain()
+        accepted = await client.call(update("n1", "n4"))
+        assert accepted["ok"] and accepted["accepted"] == 1
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_server_closes_idle_connections():
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        server = ServiceServer(service, port=0, idle_timeout=0.1)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        client = Client(reader, writer)
+
+        # An active connection is not cut off...
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+        # ...but one that goes quiet is told why and closed.
+        line = await asyncio.wait_for(reader.readline(), timeout=5)
+        notice = json.loads(line)
+        assert notice["ok"] is False and notice["idle_timeout"] is True
+        assert await asyncio.wait_for(reader.readline(), timeout=5) == b""  # EOF
+        assert server.idle_closes == 1
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
