@@ -71,6 +71,23 @@ DELTAS_PER_PAYLOAD = 4
 #: "reads are instant on a loaded event loop".
 READ_P99_BOUND_SECONDS = 0.25
 
+#: Graph sizes for the snapshot-publish scaling probe (dense backend).
+PUBLISH_SCALING_SIZES = (320, 1280)
+#: Publish cost may grow with the graph copy (linear in |V|) but not
+#: with the SLen matrix (quadratic in |V|): allowed growth is the
+#: node-count ratio times this slack factor, which keeps the bound well
+#: under the matrix's quadratic growth while tolerating timing noise.
+PUBLISH_FLATNESS_FACTOR = 3.0
+#: At the largest probed size a whole SLen copy must cost at least this
+#: multiple of a CoW fork (the memcpy the publish path no longer pays).
+FORK_SPEEDUP_BOUND = 4.0
+#: A full publish (graph copy + fork + bookkeeping) may cost at most
+#: this multiple of one bare SLen memcpy at the largest probed size —
+#: the old whole-copy path paid the graph copy AND the memcpy.
+PUBLISH_VS_COPY_BOUND = 2.0
+#: Settles measured per probed size.
+PUBLISH_SETTLES = 8
+
 
 def percentile(values: list[float], fraction: float) -> float:
     """The ``fraction`` quantile of ``values`` (0 when empty)."""
@@ -245,6 +262,89 @@ async def run_benchmark(duration: float, writers: int, readers: int) -> dict:
     }
 
 
+async def measure_publish_scaling() -> list[dict]:
+    """Per-settle snapshot publish cost at growing graph sizes.
+
+    Each probe registers a dense-backend graph, settles a handful of
+    single-toggle payloads (deadline 0 cuts after every submit) and
+    reads the service's own ``publish_seconds`` accounting, plus a
+    direct fork-vs-copy timing of the settled SLen.  The gate: publish
+    cost tracks the linear graph copy, not the quadratic matrix copy.
+    """
+    results = []
+    for num_nodes in PUBLISH_SCALING_SIZES:
+        data = generate_social_graph(
+            SocialGraphSpec(
+                name=f"bench-publish-{num_nodes}",
+                num_nodes=num_nodes,
+                num_edges=4 * num_nodes,
+                seed=SEED,
+            )
+        )
+        pattern = generate_pattern(
+            PatternSpec(
+                num_nodes=PATTERN_NODES,
+                num_edges=PATTERN_EDGES,
+                labels=sorted(data.labels()),
+                seed=SEED,
+            )
+        )
+        config = ServiceConfig(
+            deadline_seconds=0.0,
+            max_buffer=512,
+            coalesce_min_batch=10_000,
+            slen_backend="dense",
+            snapshot_history=4,
+        )
+        service = StreamingUpdateService(config)
+        await service.register_graph("g", pattern, data)
+        shadow = data.copy()
+        rng = random.Random(SEED + num_nodes)
+        nodes = sorted(shadow.nodes())
+        for _ in range(PUBLISH_SETTLES):
+            source, target = rng.sample(nodes, 2)
+            spec = {"type": "edge", "source": source, "target": target}
+            if shadow.has_edge(source, target):
+                shadow.remove_edge(source, target)
+                payload = {"deletes": [spec]}
+            else:
+                shadow.add_edge(source, target)
+                payload = {"inserts": [spec]}
+            await service.submit("g", payload)
+            await service.drain()
+        stats = service.stats("g")
+        slen = service.snapshot("g").slen
+
+        def best_of(thunk, repeats: int = 5) -> float:
+            # One-shot ms-scale timings swing wildly under CPU
+            # contention; the minimum is the honest cost.
+            samples = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                thunk()
+                samples.append(time.perf_counter() - started)
+            return min(samples)
+
+        fork_seconds = best_of(slen.fork)
+        copy_seconds = best_of(slen.copy)
+        results.append(
+            {
+                "num_nodes": num_nodes,
+                "settles": stats["settles"],
+                "publish_seconds": stats["snapshot"]["publish_seconds"],
+                "publish_per_settle_seconds": (
+                    stats["snapshot"]["publish_seconds"] / max(1, stats["settles"])
+                ),
+                "slen_fork_seconds": fork_seconds,
+                "slen_copy_seconds": copy_seconds,
+                "slen_shared_blocks": stats["snapshot"].get("slen_shared_blocks"),
+                "slen_owned_blocks": stats["snapshot"].get("slen_owned_blocks"),
+            }
+        )
+        await service.close()
+    return results
+
+
 def evaluate_gates(report: dict, quick: bool) -> list[str]:
     """Check the run's gates; returns failure messages (fatal ones first)."""
     failures = []
@@ -277,6 +377,39 @@ def evaluate_gates(report: dict, quick: bool) -> list[str]:
             f"{READ_P99_BOUND_SECONDS * 1000:.0f} ms — reads are stalling "
             "behind maintenance"
         )
+    scaling = report.get("publish_scaling") or []
+    if len(scaling) >= 2:
+        first, last = scaling[0], scaling[-1]
+        node_growth = last["num_nodes"] / first["num_nodes"]
+        publish_growth = last["publish_per_settle_seconds"] / max(
+            first["publish_per_settle_seconds"], 1e-9
+        )
+        if publish_growth > node_growth * PUBLISH_FLATNESS_FACTOR:
+            failures.append(
+                f"{prefix}: per-settle publish cost grew {publish_growth:.1f}x "
+                f"from |V|={first['num_nodes']} to |V|={last['num_nodes']} "
+                f"(bound {node_growth * PUBLISH_FLATNESS_FACTOR:.1f}x = linear "
+                "in |V| with slack) — snapshot publishing is copying the matrix"
+            )
+        fork_speedup = last["slen_copy_seconds"] / max(last["slen_fork_seconds"], 1e-9)
+        if fork_speedup < FORK_SPEEDUP_BOUND:
+            failures.append(
+                f"{prefix}: SLen fork is only {fork_speedup:.1f}x faster than a "
+                f"whole copy at |V|={last['num_nodes']} "
+                f"(bound ≥ {FORK_SPEEDUP_BOUND:.0f}x) — copy-on-write sharing "
+                "is not engaged"
+            )
+        publish_vs_copy = last["publish_per_settle_seconds"] / max(
+            last["slen_copy_seconds"], 1e-9
+        )
+        if publish_vs_copy > PUBLISH_VS_COPY_BOUND:
+            failures.append(
+                f"{prefix}: at |V|={last['num_nodes']} a full publish "
+                f"({last['publish_per_settle_seconds'] * 1000:.1f} ms) costs "
+                f"{publish_vs_copy:.1f}x the bare SLen memcpy it avoids "
+                f"({last['slen_copy_seconds'] * 1000:.1f} ms; bound "
+                f"{PUBLISH_VS_COPY_BOUND:.0f}x)"
+            )
     return failures
 
 
@@ -302,6 +435,7 @@ def main(argv=None) -> int:
     # doing.  A shorter interval keeps the loop responsive.
     sys.setswitchinterval(0.001)
     report = asyncio.run(run_benchmark(duration, args.writers, args.readers))
+    report["publish_scaling"] = asyncio.run(measure_publish_scaling())
 
     # --quick produces reduced-fidelity data; never overwrite the
     # tracked artifact with it.
@@ -320,6 +454,13 @@ def main(argv=None) -> int:
         f"p50 {reads['p50_seconds'] * 1000:.2f} ms, p99 {reads['p99_seconds'] * 1000:.2f} ms; "
         f"during settles p99 {reads['during_settle_p99_seconds'] * 1000:.2f} ms"
     )
+    for probe in report["publish_scaling"]:
+        print(
+            f"publish at |V|={probe['num_nodes']}: "
+            f"{probe['publish_per_settle_seconds'] * 1000:.2f} ms/settle; "
+            f"slen fork {probe['slen_fork_seconds'] * 1000:.2f} ms vs copy "
+            f"{probe['slen_copy_seconds'] * 1000:.2f} ms"
+        )
 
     failures = evaluate_gates(report, quick=args.quick)
     fatal = [message for message in failures if not message.startswith("WARN")]

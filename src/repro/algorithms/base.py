@@ -364,6 +364,26 @@ class GPNMAlgorithm(abc.ABC):
         """A copy of the maintained shortest path length matrix."""
         return self._slen.copy()
 
+    def fork_state(self) -> tuple[DataGraph, SLenMatrix, Optional[LabelPartition]]:
+        """A consistent ``(data, slen, partition)`` snapshot of internal state.
+
+        The graph and (warm) partition are deep-copied — they are
+        O(|V| + |E|) — while the ``SLen`` matrix is **forked**
+        (copy-on-write on the blocked dense backend, so the O(|V|²)
+        payload is shared until a later batch writes a block).  This is
+        the cheap snapshot-publication primitive behind
+        :mod:`repro.versioning`; the returned triple never mutates, and
+        the algorithm stays fully usable.  The partition is ``None``
+        when partitioned maintenance is disabled or the cache is cold.
+        """
+        partition: Optional[LabelPartition] = None
+        if (
+            self._partition_cache is not None
+            and self._partition_version == self._data.version
+        ):
+            partition = self._partition_cache.copy()
+        return self._data.copy(), self._slen.fork(), partition
+
     @property
     def uses_partition(self) -> bool:
         """Whether the label partition is in use."""

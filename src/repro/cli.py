@@ -299,6 +299,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--snapshot-history", type=int, default=None, metavar="N",
+        help=(
+            "settled snapshot versions retained per graph for "
+            "time-travel reads (the 'as_of' request field); older "
+            "versions answer with an 'expired' error (default 8)"
+        ),
+    )
+    serve.add_argument(
         "--max-pending", type=int, default=None, metavar="N",
         help=(
             "refuse updates with an 'overloaded' + retry_after response "
@@ -334,6 +342,8 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
         config = dataclasses.replace(config, service_max_buffer=args.max_buffer)
     if args.journal_dir is not None:
         config = dataclasses.replace(config, journal_dir=args.journal_dir)
+    if args.snapshot_history is not None:
+        config = dataclasses.replace(config, service_snapshot_history=args.snapshot_history)
     data = load_dataset(args.dataset, scale=config.dataset_scale)
     pattern = pattern_for_dataset(
         sorted(data.labels()), args.pattern_nodes, args.pattern_edges, seed=config.seed

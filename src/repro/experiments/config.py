@@ -102,6 +102,10 @@ class ExperimentConfig:
         How many times the streaming service retries a failed settle
         (with capped exponential backoff) before bisecting the batch
         and quarantining its poison deltas.
+    service_snapshot_history:
+        How many settled snapshot versions the streaming service
+        retains per graph for time-travel (``as_of``) reads; older
+        versions are evicted and raise ``VersionExpiredError``.
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -123,6 +127,7 @@ class ExperimentConfig:
     service_max_buffer: int = 1024
     journal_dir: Optional[str] = None
     service_settle_retries: int = 2
+    service_snapshot_history: int = 8
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -150,6 +155,8 @@ class ExperimentConfig:
             raise ValueError("service_max_buffer must be at least 1")
         if self.service_settle_retries < 0:
             raise ValueError("service_settle_retries must be non-negative")
+        if self.service_snapshot_history < 1:
+            raise ValueError("service_snapshot_history must be at least 1")
 
     @property
     def number_of_cells(self) -> int:

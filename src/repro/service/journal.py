@@ -179,6 +179,13 @@ class RecoveredState:
     dropped_duplicates:
         Delta records ignored because their seq was already covered by
         a snapshot/checkpoint or seen twice.
+    stamps:
+        The snapshot record's serialized
+        :class:`~repro.versioning.history.GraphHistory` document
+        (created/expired lifetime stamps), or ``None`` when the
+        snapshot predates stamping or no snapshot exists.  Recovery
+        hands it back to the service so time-travel metadata survives
+        compaction.
     """
 
     def __init__(self) -> None:
@@ -191,6 +198,7 @@ class RecoveredState:
         self.last_seq: int = 0
         self.torn_line: bool = False
         self.dropped_duplicates: int = 0
+        self.stamps: Optional[dict] = None
 
     def __repr__(self) -> str:
         return (
@@ -325,6 +333,8 @@ class GraphJournal:
             state.base_graph = data_graph_from_dict(record["graph"])
             state.base_seq = seq
             state.base_version = int(record.get("version", 0))
+            stamps = record.get("stamps")
+            state.stamps = stamps if isinstance(stamps, dict) else None
             state.checkpoint_seq = max(state.checkpoint_seq, seq)
             state.checkpoint_version = max(state.checkpoint_version, state.base_version)
             # Anything journaled at or before the snapshot is inside it.
@@ -413,24 +423,30 @@ class GraphJournal:
         """Whether the log is both oversized and compactable."""
         return self._bytes > self.compact_bytes and self._checkpoint_seq > self._base_seq
 
-    def compact(self, graph: DataGraph, version: int) -> None:
+    def compact(
+        self, graph: DataGraph, version: int, stamps: Optional[dict] = None
+    ) -> None:
         """Atomically rewrite the log as snapshot + uncheckpointed tail.
 
         ``graph`` must be the settled state as of :attr:`checkpoint_seq`
         (the service passes the snapshot it just checkpointed, from the
-        serialized settle action, so nothing can be mutating it).
+        serialized settle action; with copy-on-write snapshots that
+        graph is frozen by construction, so nothing can be mutating
+        it).  ``stamps`` optionally embeds the graph's serialized
+        lifetime history (``GraphHistory.to_doc``) in the snapshot
+        record so time-travel metadata survives compaction; old
+        journals without it recover with ``stamps=None``.
         """
         self._ensure_open()
-        lines = [
-            json.dumps(
-                {
-                    "t": "snapshot",
-                    "seq": self._checkpoint_seq,
-                    "version": version,
-                    "graph": data_graph_to_dict(graph),
-                }
-            )
-        ]
+        snapshot_record = {
+            "t": "snapshot",
+            "seq": self._checkpoint_seq,
+            "version": version,
+            "graph": data_graph_to_dict(graph),
+        }
+        if stamps is not None:
+            snapshot_record["stamps"] = stamps
+        lines = [json.dumps(snapshot_record)]
         for seq in sorted(self._pending):
             lines.append(json.dumps({"t": "delta", "seq": seq, "updates": self._pending[seq]}))
         self._handle.close()

@@ -51,6 +51,7 @@ from typing import Optional
 
 from repro.service.delta import DeltaError
 from repro.service.service import ServiceError, StreamingUpdateService
+from repro.versioning import VersionExpiredError
 
 #: Upper bound on one request line (protects the reader from unbounded
 #: buffering on a misbehaving client).
@@ -190,6 +191,11 @@ class ServiceServer:
             return {"ok": False, "error": f"unknown op {op!r}; expected one of: {known}"}
         try:
             return await handler(self, request)
+        except VersionExpiredError as exc:
+            # Time-travel reads outside the retained window fail loudly
+            # and distinguishably: clients asked for history the server
+            # no longer (or does not yet) holds, never a wrong answer.
+            return {"ok": False, "error": str(exc), "expired": True}
         except (DeltaError, ServiceError, ValueError, KeyError, TypeError) as exc:
             return {"ok": False, "error": str(exc)}
 
@@ -201,6 +207,16 @@ class ServiceServer:
         if not isinstance(key, str):
             raise ServiceError("request needs a 'graph' key naming the graph")
         return key
+
+    @staticmethod
+    def _as_of(request: dict) -> "Optional[int]":
+        """The optional ``as_of`` snapshot version of a read request."""
+        as_of = request.get("as_of")
+        if as_of is None:
+            return None
+        if isinstance(as_of, bool) or not isinstance(as_of, int):
+            raise ServiceError("'as_of' must be an integer snapshot version")
+        return as_of
 
     async def _op_update(self, request: dict) -> dict:
         key = self._graph_key(request)
@@ -227,11 +243,12 @@ class ServiceServer:
 
     async def _op_matches(self, request: dict) -> dict:
         key = self._graph_key(request)
+        as_of = self._as_of(request)
         pattern_node = request.get("pattern_node")
         if pattern_node is not None:
-            matched = self.service.matches(key, pattern_node)
+            matched = self.service.matches(key, pattern_node, as_of=as_of)
             return {"ok": True, "matches": sorted(str(node) for node in matched)}
-        all_matches = self.service.matches(key)
+        all_matches = self.service.matches(key, as_of=as_of)
         return {
             "ok": True,
             "matches": {
@@ -243,7 +260,9 @@ class ServiceServer:
     async def _op_top_k(self, request: dict) -> dict:
         key = self._graph_key(request)
         k = int(request.get("k", 10))
-        ranked = self.service.top_k(key, k, pattern_node=request.get("pattern_node"))
+        ranked = self.service.top_k(
+            key, k, pattern_node=request.get("pattern_node"), as_of=self._as_of(request)
+        )
         return {
             "ok": True,
             "top_k": {
@@ -258,7 +277,7 @@ class ServiceServer:
     async def _op_slen(self, request: dict) -> dict:
         key = self._graph_key(request)
         distance = self.service.slen_distance(
-            key, request["source"], request["target"]
+            key, request["source"], request["target"], as_of=self._as_of(request)
         )
         finite = not (isinstance(distance, float) and math.isinf(distance))
         return {"ok": True, "distance": int(distance) if finite else None}

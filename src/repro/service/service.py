@@ -99,7 +99,14 @@ from repro.service.journal import (
     journal_slug,
 )
 from repro.service.queue import ActionScheduler, QueueClosedError
+from repro.partition.label_partition import LabelPartition
 from repro.spl.matrix import SLenMatrix
+from repro.versioning import (
+    DEFAULT_SNAPSHOT_HISTORY,
+    GraphHistory,
+    SnapshotHandle,
+    VersionStore,
+)
 
 logger = logging.getLogger("repro.service")
 
@@ -159,6 +166,12 @@ class ServiceConfig:
     settle_backoff_seconds / settle_backoff_cap_seconds:
         Capped exponential backoff between settle retries: retry ``n``
         waits ``min(backoff * 2**(n-1), cap)`` seconds.
+    snapshot_history:
+        How many settled snapshot versions each graph retains for
+        time-travel reads (``as_of``).  Older versions are evicted from
+        the :class:`~repro.versioning.store.VersionStore` (reads of them
+        raise :class:`~repro.versioning.store.VersionExpiredError`), but
+        stay alive for readers that already pinned them.
     """
 
     deadline_seconds: float = 0.05
@@ -176,6 +189,7 @@ class ServiceConfig:
     settle_retries: int = 2
     settle_backoff_seconds: float = 0.05
     settle_backoff_cap_seconds: float = 1.0
+    snapshot_history: int = DEFAULT_SNAPSHOT_HISTORY
 
     def __post_init__(self) -> None:
         if self.deadline_seconds < 0:
@@ -196,6 +210,8 @@ class ServiceConfig:
             raise ValueError("settle_retries must be non-negative")
         if self.settle_backoff_seconds < 0 or self.settle_backoff_cap_seconds < 0:
             raise ValueError("settle backoff values must be non-negative")
+        if self.snapshot_history < 1:
+            raise ValueError("snapshot_history must retain at least one version")
 
     @classmethod
     def from_experiment(cls, config) -> "ServiceConfig":
@@ -212,6 +228,7 @@ class ServiceConfig:
             cost_model_path=config.cost_model_path,
             journal_dir=config.journal_dir,
             settle_retries=config.service_settle_retries,
+            snapshot_history=config.service_snapshot_history,
         )
 
 
@@ -220,7 +237,13 @@ class GraphSnapshot:
     """One settled, immutable state of a registered graph.
 
     Reads answer from a snapshot without coordination: the service only
-    ever *replaces* the published snapshot (never mutates it in place).
+    ever *replaces* the published snapshot (never mutates it in place) —
+    the red-green switch.  ``slen`` is a copy-on-write fork of the
+    algorithm's matrix (see :meth:`repro.spl.matrix.SLenMatrix.fork`),
+    so publishing a snapshot shares every unmodified block with the
+    live state instead of deep-copying the whole grid.  ``partition``
+    carries the label partition pinned with the same version (``None``
+    when partitioned maintenance is off or its cache was cold).
     """
 
     version: int
@@ -228,6 +251,7 @@ class GraphSnapshot:
     pattern: PatternGraph
     data: DataGraph
     slen: SLenMatrix
+    partition: Optional[LabelPartition] = None
 
 
 @dataclass(frozen=True)
@@ -293,6 +317,12 @@ class _GraphSession:
     recovered: int = 0
     recovery_skipped: int = 0
     cut_reasons: Counter = field(default_factory=Counter)
+    #: Bounded ring of retained snapshot versions (time-travel reads).
+    versions: VersionStore = field(default_factory=VersionStore)
+    #: created/expired lifetime stamps per node/edge (KBase idiom).
+    history: GraphHistory = field(default_factory=GraphHistory)
+    #: Cumulative wall time spent building + publishing snapshots.
+    publish_seconds: float = 0.0
 
 
 #: Builds the per-graph algorithm; injectable for tests (e.g. a slow
@@ -408,7 +438,13 @@ class StreamingUpdateService:
             snapshot=snapshot,
             journal=journal,
             dead_letter=dead_letter,
+            versions=VersionStore(self.config.snapshot_history),
         )
+        session.versions.publish(snapshot)
+        if recovered is not None and recovered.stamps is not None:
+            session.history = GraphHistory.from_doc(recovered.stamps)
+        else:
+            session.history.observe_base(snapshot.data, snapshot.version)
         if recovered is not None:
             session.last_seq = recovered.checkpoint_seq
         self._sessions[key] = session
@@ -427,12 +463,14 @@ class StreamingUpdateService:
 
     @staticmethod
     def _initial_snapshot(algorithm: GPNMAlgorithm, version: int = 0) -> GraphSnapshot:
+        data, slen, partition = algorithm.fork_state()
         return GraphSnapshot(
             version=version,
             result=algorithm.initial_result,
             pattern=algorithm.pattern,
-            data=algorithm.data,
-            slen=algorithm.slen,
+            data=data,
+            slen=slen,
+            partition=partition,
         )
 
     @property
@@ -654,9 +692,12 @@ class StreamingUpdateService:
             if session.journal.should_compact():
                 await loop.run_in_executor(
                     None,
-                    session.journal.compact,
-                    session.snapshot.data,
-                    session.snapshot.version,
+                    functools.partial(
+                        session.journal.compact,
+                        session.snapshot.data,
+                        session.snapshot.version,
+                        stamps=session.history.to_doc(),
+                    ),
                 )
 
     async def _settle_with_recovery(
@@ -703,25 +744,35 @@ class StreamingUpdateService:
     async def _attempt_settle(self, session: _GraphSession, batch: UpdateBatch) -> None:
         """One all-or-nothing settle attempt; raises the kernel's error.
 
-        The settled graph is copied first, so on failure the algorithm
-        is rebuilt from the last good state instead of being left
-        half-mutated — the property that makes retrying sound at all.
+        On failure the algorithm is rebuilt from the published
+        snapshot's graph — immutable and value-equal to the pre-attempt
+        state, because settles are serialized on the graph's queue — so
+        no per-attempt restore copy is needed (the PR-7 restore point
+        deep-copied the graph before every attempt).  On success the
+        copy-on-write snapshot is published red-green style: the store
+        gains the new version and the session pointer swaps atomically,
+        while readers holding older handles keep them.
         """
         loop = asyncio.get_running_loop()
-        restore_point = await loop.run_in_executor(None, session.algorithm.data.copy)
         try:
             outcome = await loop.run_in_executor(
                 None, session.algorithm.subsequent_query, batch
             )
         except Exception:
             session.settle_failures += 1
-            await loop.run_in_executor(None, self._rebuild_algorithm, session, restore_point)
+            await loop.run_in_executor(
+                None, self._rebuild_algorithm, session, session.snapshot.data
+            )
             raise
         self._faults.hit(MID_SETTLE)
+        publish_started = loop.time()
         snapshot = await loop.run_in_executor(
             None, self._settled_snapshot, session, outcome.result
         )
+        session.versions.publish(snapshot)
+        session.history.record(batch, snapshot.version)
         session.snapshot = snapshot
+        session.publish_seconds += loop.time() - publish_started
         session.settles += 1
         session.settled += len(batch)
 
@@ -783,31 +834,39 @@ class StreamingUpdateService:
         A failed ``subsequent_query`` may leave the algorithm's graph,
         SLen and match state arbitrarily half-mutated; the only sound
         recovery is a fresh initial query on the pre-attempt state.  The
-        published snapshot is re-pointed at the rebuilt objects so reads
-        never touch the corrupted ones.
+        published snapshot is re-pointed at the rebuilt objects (and
+        re-published into the version store at the same version) so
+        reads never touch the corrupted ones.  ``base`` may be the
+        published snapshot's own graph: the algorithm constructor
+        copies its data argument, so the frozen snapshot stays frozen.
         """
         algorithm = self._factory(
             session.algorithm.pattern, base, self.config, self.telemetry
         )
         session.algorithm = algorithm
         session.rebuilds += 1
-        session.snapshot = GraphSnapshot(
-            version=session.snapshot.version,
-            result=algorithm.initial_result,
-            pattern=algorithm.pattern,
-            data=algorithm.data,
-            slen=algorithm.slen,
-        )
+        snapshot = self._initial_snapshot(algorithm, session.snapshot.version)
+        session.versions.publish(snapshot)
+        session.snapshot = snapshot
 
     @staticmethod
     def _settled_snapshot(session: _GraphSession, result: MatchResult) -> GraphSnapshot:
-        algorithm = session.algorithm
+        """Build the next version's snapshot from the settled algorithm.
+
+        ``fork_state`` makes this cheap: the SLen matrix is shared
+        block-by-block with the live state (copy-on-write), only the
+        O(|V| + |E|) graph and partition are copied.  The pattern is
+        reused from the previous snapshot — patterns are registered,
+        never streamed, so it cannot have changed.
+        """
+        data, slen, partition = session.algorithm.fork_state()
         return GraphSnapshot(
             version=session.snapshot.version + 1,
             result=result,
-            pattern=algorithm.pattern,
-            data=algorithm.data,
-            slen=algorithm.slen,
+            pattern=session.snapshot.pattern,
+            data=data,
+            slen=slen,
+            partition=partition,
         )
 
     @staticmethod
@@ -842,22 +901,45 @@ class StreamingUpdateService:
     # ------------------------------------------------------------------
     # Reads — synchronous, snapshot-backed, never enter the queue
     # ------------------------------------------------------------------
-    def snapshot(self, key: str) -> GraphSnapshot:
-        """The graph's last settled state."""
-        return self._session(key).snapshot
+    def snapshot(self, key: str, as_of: Optional[int] = None) -> GraphSnapshot:
+        """The graph's last settled state (or the retained ``as_of`` version).
 
-    def matches(self, key: str, pattern_node=None):
+        With ``as_of`` set, answers from the version store: raises
+        :class:`~repro.versioning.store.VersionExpiredError` when that
+        version was evicted from the history window (or never
+        published) instead of answering from the wrong state.
+        """
+        session = self._session(key)
+        if as_of is None:
+            return session.snapshot
+        return session.versions.get(as_of).snapshot
+
+    def pin(self, key: str, version: Optional[int] = None) -> SnapshotHandle:
+        """Pin a retained version (``None`` = latest) for repeated reads.
+
+        The returned handle keeps its ``(graph, SLen, partition)``
+        triple alive across later settles and evictions until released
+        (use it as a context manager).  This is the red-green reader
+        side: pinning is wait-free with respect to the writer.
+        """
+        return self._session(key).versions.pin(version)
+
+    def graph_history(self, key: str) -> GraphHistory:
+        """The graph's created/expired lifetime stamps (time travel)."""
+        return self._session(key).history
+
+    def matches(self, key: str, pattern_node=None, as_of: Optional[int] = None):
         """Settled match sets: all of them, or one pattern node's."""
-        result = self._session(key).snapshot.result
+        result = self.snapshot(key, as_of=as_of).result
         if pattern_node is None:
             return result.as_dict()
         return result.matches(pattern_node)
 
     def top_k(
-        self, key: str, k: int, pattern_node=None
+        self, key: str, k: int, pattern_node=None, as_of: Optional[int] = None
     ) -> dict[object, list[RankedMatch]]:
         """Settled top-``k`` ranked matches (optionally one pattern node's)."""
-        snapshot = self._session(key).snapshot
+        snapshot = self.snapshot(key, as_of=as_of)
         return top_k_matches(
             snapshot.result,
             snapshot.pattern,
@@ -867,9 +949,11 @@ class StreamingUpdateService:
             pattern_node=pattern_node,
         )
 
-    def slen_distance(self, key: str, source, target) -> float | int:
+    def slen_distance(
+        self, key: str, source, target, as_of: Optional[int] = None
+    ) -> float | int:
         """Settled shortest-path length (``INF`` when unreachable)."""
-        return self._session(key).snapshot.slen.distance(source, target)
+        return self.snapshot(key, as_of=as_of).slen.distance(source, target)
 
     def stats(self, key: str) -> dict:
         """Per-graph counters: ingestion, cuts, settles, faults, journal."""
@@ -885,9 +969,22 @@ class StreamingUpdateService:
                 "compactions": session.journal.compactions,
                 "torn_lines": session.journal.torn_lines,
             }
+        backend = session.snapshot.slen.backend
+        snapshot_stats = {
+            "version": session.snapshot.version,
+            "retained_versions": list(session.versions.versions()),
+            "history_limit": session.versions.history,
+            "publish_seconds": session.publish_seconds,
+            "store_allocated_bytes": session.versions.allocated_bytes(),
+            "stamped_latest": session.history.latest_version,
+        }
+        if hasattr(backend, "shared_blocks"):
+            snapshot_stats["slen_shared_blocks"] = backend.shared_blocks()
+            snapshot_stats["slen_owned_blocks"] = backend.owned_blocks()
         return {
             "graph": key,
             "snapshot_version": session.snapshot.version,
+            "snapshot": snapshot_stats,
             "accepted": session.accepted,
             "rejected": session.rejected,
             "settled": session.settled,

@@ -151,6 +151,17 @@ class SLenBackend(abc.ABC):
     def copy(self) -> "SLenBackend":
         """An independent deep copy (same backend kind and horizon)."""
 
+    def fork(self) -> "SLenBackend":
+        """A snapshot clone optimised for structural sharing.
+
+        Backends with copy-on-write storage (the blocked dense grid)
+        override this to share unmodified storage between the clone and
+        the live instance; the generic fallback is a deep
+        :meth:`copy`, so ``fork`` is always safe to use for snapshot
+        publication regardless of backend kind.
+        """
+        return self.copy()
+
     def finite_entries(self) -> Iterator[tuple[NodeId, NodeId, int]]:
         """Iterate over ``(source, target, distance)`` finite entries."""
         for source in self.node_set():

@@ -147,6 +147,7 @@ class DenseSLenBackend(SLenBackend):
         "_slots",
         "_free",
         "_blocks",
+        "_owned",
         "_row_cache",
         "_csr_cache",
     )
@@ -177,6 +178,12 @@ class DenseSLenBackend(SLenBackend):
         #: (block_row, block_col) -> (block_size, block_size) int32 block;
         #: absent blocks are all-SENTINEL by definition (INF-block elision).
         self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        #: keys of blocks this instance may mutate in place.  Keys in
+        #: ``_blocks`` but not here are **shared** with a :meth:`fork`
+        #: relative and must be copied before the first write
+        #: (copy-on-write; every write path funnels through
+        #: :meth:`_ensure_block` / :meth:`_writable_block`).
+        self._owned: set[tuple[int, int]] = set()
         size = self.block_size
         n = len(order)
         for block_row in range((n + size - 1) // size):
@@ -217,11 +224,38 @@ class DenseSLenBackend(SLenBackend):
         return self._num_block_rows * self.block_size
 
     def _ensure_block(self, block_row: int, block_col: int) -> np.ndarray:
-        """The block at grid position, allocating it if absent."""
-        block = self._blocks.get((block_row, block_col))
+        """A **writable** block at grid position, allocating it if absent.
+
+        This is the single copy-on-write choke point: a block shared
+        with a :meth:`fork` relative is copied (and marked owned) before
+        being returned, so in-place writes can never leak into a pinned
+        snapshot.  Every mutation path obtains its block through here or
+        through :meth:`_writable_block`.
+        """
+        key = (block_row, block_col)
+        block = self._blocks.get(key)
         if block is None:
             block = np.full((self.block_size, self.block_size), SENTINEL, dtype=np.int32)
-            self._blocks[(block_row, block_col)] = block
+            self._blocks[key] = block
+            self._owned.add(key)
+        elif key not in self._owned:
+            block = block.copy()
+            self._blocks[key] = block
+            self._owned.add(key)
+        return block
+
+    def _writable_block(self, key: tuple[int, int]) -> Optional[np.ndarray]:
+        """The block at ``key`` made safe for in-place writes, or ``None``.
+
+        Unlike :meth:`_ensure_block` an absent block stays absent — used
+        by write paths that only mutate existing blocks.
+        """
+        block = self._blocks.get(key)
+        if block is None or key in self._owned:
+            return block
+        block = block.copy()
+        self._blocks[key] = block
+        self._owned.add(key)
         return block
 
     # ------------------------------------------------------------------
@@ -235,8 +269,29 @@ class DenseSLenBackend(SLenBackend):
         """Grid size: blocks the dense-full layout would allocate."""
         return self._num_block_rows**2
 
+    def owned_blocks(self) -> int:
+        """Blocks this instance may write in place (exclusively held)."""
+        return len(self._owned)
+
+    def shared_blocks(self) -> int:
+        """Blocks shared with a :meth:`fork` relative (copy-on-write)."""
+        return len(self._blocks) - len(self._owned)
+
+    def block_arrays(self) -> Iterator[np.ndarray]:
+        """Iterate over the allocated block arrays (introspection only).
+
+        Callers deduplicate by ``id()`` to account bytes shared across
+        forks exactly once; mutating a yielded array is undefined.
+        """
+        return iter(self._blocks.values())
+
     def allocated_bytes(self) -> int:
-        """Bytes held by allocated blocks (the matrix's real footprint)."""
+        """Bytes held by allocated blocks (the matrix's real footprint).
+
+        Blocks shared with a fork relative are counted here in full —
+        use :meth:`block_arrays` with ``id()`` deduplication for
+        unique-byte accounting across a snapshot family.
+        """
         return sum(block.nbytes for block in self._blocks.values())
 
     def dense_full_bytes(self) -> int:
@@ -297,10 +352,15 @@ class DenseSLenBackend(SLenBackend):
         block_row, offset = divmod(slot, size)
         for block_col in range(self._num_block_rows):
             chunk = values[block_col * size : (block_col + 1) * size]
-            block = self._blocks.get((block_row, block_col))
-            if block is not None:
+            key = (block_row, block_col)
+            block = self._blocks.get(key)
+            if block is None:
+                if (chunk < SENTINEL).any():
+                    self._ensure_block(block_row, block_col)[offset] = chunk
+            elif key in self._owned:
                 block[offset] = chunk
-            elif (chunk < SENTINEL).any():
+            elif (block[offset] != chunk).any():
+                # Shared block: copy only when the row actually changes.
                 self._ensure_block(block_row, block_col)[offset] = chunk
 
     def _gather_pairs_matrix(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
@@ -396,10 +456,13 @@ class DenseSLenBackend(SLenBackend):
         key = (i // size, j // size)
         if value == INF or value > self.horizon:
             block = self._blocks.get(key)
-            if block is not None:
-                block[i % size, j % size] = SENTINEL
+            if block is not None and block[i % size, j % size] < SENTINEL:
+                self._writable_block(key)[i % size, j % size] = SENTINEL
         else:
-            self._ensure_block(*key)[i % size, j % size] = int(value)
+            value = int(value)
+            block = self._blocks.get(key)
+            if block is None or block[i % size, j % size] != value:
+                self._ensure_block(*key)[i % size, j % size] = value
         self._row_cache.pop(source, None)
 
     def set_row(self, source: NodeId, row: Mapping[NodeId, int]) -> None:
@@ -456,22 +519,23 @@ class DenseSLenBackend(SLenBackend):
                 continue
             # Scrub (and pay the whole-block emptiness scan) only when
             # the node's row/column segment actually held finite entries
-            # — an O(block_size) probe per block otherwise.
-            cleared = False
-            if key[0] == block_index:
-                segment = block[offset, :]
-                if (segment < SENTINEL).any():
-                    segment[:] = SENTINEL
-                    cleared = True
-            if key[1] == block_index:
-                segment = block[:, offset]
-                if (segment < SENTINEL).any():
-                    segment[:] = SENTINEL
-                    cleared = True
-            if cleared and not (block < SENTINEL).any():
+            # — an O(block_size) probe per block otherwise.  The probe
+            # reads the (possibly shared) block; the write goes through
+            # the copy-on-write path.
+            scrub_row = key[0] == block_index and (block[offset, :] < SENTINEL).any()
+            scrub_col = key[1] == block_index and (block[:, offset] < SENTINEL).any()
+            if not (scrub_row or scrub_col):
+                continue
+            block = self._writable_block(key)
+            if scrub_row:
+                block[offset, :] = SENTINEL
+            if scrub_col:
+                block[:, offset] = SENTINEL
+            if not (block < SENTINEL).any():
                 emptied.append(key)
         for key in emptied:
             del self._blocks[key]
+            self._owned.discard(key)
         # Every remaining row lost a column entry; drop all cached rows.
         self._row_cache.clear()
 
@@ -486,6 +550,34 @@ class DenseSLenBackend(SLenBackend):
         clone._slots = list(self._slots)
         clone._free = list(self._free)
         clone._blocks = {key: block.copy() for key, block in self._blocks.items()}
+        clone._owned = set(clone._blocks)
+        return clone
+
+    def fork(self) -> "DenseSLenBackend":
+        """A copy-on-write clone sharing every unmodified block.
+
+        Only the node→slot map and the block-*pointer* grid are copied
+        (O(occupied blocks) pointers, no block payload).  Afterwards
+        **both** relatives hold every block as shared: the first
+        in-place write on either side copies just the touched block, so
+        a published snapshot stays frozen while the writer keeps
+        settling — the MVCC primitive behind
+        :mod:`repro.versioning`.  Caches are not shared; the fork
+        starts with cold row/CSR caches.
+        """
+        clone = DenseSLenBackend(
+            horizon=self.horizon,
+            block_size=self.block_size,
+            frontier_mode=self.frontier_mode,
+        )
+        clone._index = dict(self._index)
+        clone._slots = list(self._slots)
+        clone._free = list(self._free)
+        clone._blocks = dict(self._blocks)
+        clone._owned = set()
+        # The parent loses ownership too: its next write to any shared
+        # block must copy, keeping the fork's view immutable.
+        self._owned.clear()
         return clone
 
     def finite_count(self) -> int:
@@ -680,12 +772,11 @@ class DenseSLenBackend(SLenBackend):
             offsets = stripe % size
             for block_col in range(self._num_block_rows):
                 chunk = rows[:, block_col * size : (block_col + 1) * size]
-                block = self._blocks.get((block_row, block_col))
-                if block is None:
-                    if not (chunk < SENTINEL).any():
-                        continue
-                    block = self._ensure_block(block_row, block_col)
-                block[offsets] = chunk
+                if (block_row, block_col) not in self._blocks and not (
+                    chunk < SENTINEL
+                ).any():
+                    continue
+                self._ensure_block(block_row, block_col)[offsets] = chunk
         self._row_cache.clear()
 
     def recompute_rows(self, graph: DataGraph, sources: Iterable[NodeId]) -> set[NodeId]:
@@ -780,6 +871,7 @@ class DenseSLenBackend(SLenBackend):
                     a, b = np.nonzero(mask)
                     if a.size == 0:
                         continue
+                    block = self._ensure_block(block_row, block_col)
                 changed_old.append(block[a, b])
                 new_values = candidate[a, b].astype(np.int32)
                 block[a, b] = new_values

@@ -346,6 +346,16 @@ class SLenMatrix:
         """Return a deep copy of the matrix (preserving horizon and backend)."""
         return SLenMatrix._from_backend(self._backend.copy())
 
+    def fork(self) -> "SLenMatrix":
+        """Return a copy-on-write snapshot clone (see ``SLenBackend.fork``).
+
+        On the blocked dense backend this copies only the block-pointer
+        grid and shares every block until one side writes it; on
+        backends without structural sharing it falls back to a deep
+        copy.  Both the fork and the live matrix stay fully usable.
+        """
+        return SLenMatrix._from_backend(self._backend.fork())
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SLenMatrix):
             return NotImplemented

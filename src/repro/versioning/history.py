@@ -1,0 +1,223 @@
+"""KBase-style ``created``/``expired`` version stamps for time travel.
+
+Every node and edge of a served graph carries a list of half-open
+**lifetime intervals** ``[created, expired)`` in settle-version space
+(``expired is None`` = still alive).  The service records one stamp
+batch per settle, so "what did the graph contain at version ``v``?" is
+answerable long after the full snapshot payload for ``v`` was evicted
+from the :class:`~repro.versioning.store.VersionStore` — the stamps are
+the bounded, replayable half of time travel, and they serialize into
+the journal's compaction snapshot so recovery restores them.
+
+An element is **alive at** ``v`` iff some interval has
+``created <= v`` and (``expired is None`` or ``v < expired``).  A
+delete-then-reinsert across settles yields two intervals; a create and
+delete *within* one settled batch yields the empty interval
+``[v, v)``, which is correctly alive at no version (versions stamp
+post-settle states, never mid-batch ones).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable, Optional
+
+from repro.graph.digraph import DataGraph
+from repro.graph.updates import Update, UpdateKind
+
+NodeId = Hashable
+Edge = tuple[NodeId, NodeId]
+Interval = list  # [created: int, expired: Optional[int]]
+
+
+def _alive(intervals: list[Interval], version: int) -> bool:
+    """Whether any interval covers ``version``."""
+    for created, expired in intervals:
+        if created <= version and (expired is None or version < expired):
+            return True
+    return False
+
+
+class GraphHistory:
+    """Lifetime stamps for one served graph's nodes and edges."""
+
+    __slots__ = ("_nodes", "_edges", "_incident", "_latest")
+
+    def __init__(self) -> None:
+        """Create an empty history (no base observed yet)."""
+        self._nodes: dict[NodeId, list[Interval]] = {}
+        self._edges: dict[Edge, list[Interval]] = {}
+        #: node -> alive edges touching it, for node-deletion expiry
+        #: (a node deletion implicitly deletes its incident edges, and
+        #: the :class:`~repro.graph.updates.NodeDeletion` payload is not
+        #: required to enumerate them).
+        self._incident: dict[NodeId, set[Edge]] = {}
+        self._latest: int = -1
+
+    # ------------------------------------------------------------------
+    # Recording (writer side)
+    # ------------------------------------------------------------------
+    def observe_base(self, graph: DataGraph, version: int = 0) -> None:
+        """Stamp every current element of ``graph`` as created at ``version``."""
+        for node in graph.nodes():
+            self._create_node(node, version)
+        for source, target in graph.edges():
+            self._create_edge((source, target), version)
+        self._latest = max(self._latest, version)
+
+    def record(self, updates: Iterable[Update], version: int) -> None:
+        """Stamp one settled batch's ``updates`` at ``version``.
+
+        Updates are stamped in batch order (the service applies deletes
+        before inserts within a payload, so delete+insert reads as a
+        reopened lifetime).
+        """
+        for update in updates:
+            kind = update.kind
+            if kind is UpdateKind.EDGE_INSERT:
+                self._create_edge((update.source, update.target), version)
+            elif kind is UpdateKind.EDGE_DELETE:
+                self._expire_edge((update.source, update.target), version)
+            elif kind is UpdateKind.NODE_INSERT:
+                self._create_node(update.node, version)
+                for edge in update.edges:
+                    self._create_edge((edge[0], edge[1]), version)
+            elif kind is UpdateKind.NODE_DELETE:
+                # Expire the node's alive incident edges first — the
+                # graph drops them implicitly with the node.
+                for edge in tuple(self._incident.get(update.node, ())):
+                    self._expire_edge(edge, version)
+                self._expire_node(update.node, version)
+        self._latest = max(self._latest, version)
+
+    def _create_node(self, node: NodeId, version: int) -> None:
+        self._nodes.setdefault(node, []).append([version, None])
+
+    def _expire_node(self, node: NodeId, version: int) -> None:
+        intervals = self._nodes.get(node, ())
+        for interval in reversed(intervals):
+            if interval[1] is None:
+                interval[1] = version
+                return
+
+    def _create_edge(self, edge: Edge, version: int) -> None:
+        self._edges.setdefault(edge, []).append([version, None])
+        self._incident.setdefault(edge[0], set()).add(edge)
+        self._incident.setdefault(edge[1], set()).add(edge)
+
+    def _expire_edge(self, edge: Edge, version: int) -> None:
+        intervals = self._edges.get(edge, ())
+        for interval in reversed(intervals):
+            if interval[1] is None:
+                interval[1] = version
+                break
+        for endpoint in edge:
+            alive = self._incident.get(endpoint)
+            if alive is not None:
+                alive.discard(edge)
+                if not alive:
+                    del self._incident[endpoint]
+
+    # ------------------------------------------------------------------
+    # Time-travel queries (reader side)
+    # ------------------------------------------------------------------
+    @property
+    def latest_version(self) -> int:
+        """Newest stamped version (``-1`` before any recording)."""
+        return self._latest
+
+    def node_alive(self, node: NodeId, version: int) -> bool:
+        """Whether ``node`` existed in the graph at ``version``."""
+        return _alive(self._nodes.get(node, ()), version)
+
+    def edge_alive(self, source: NodeId, target: NodeId, version: int) -> bool:
+        """Whether edge ``source -> target`` existed at ``version``."""
+        return _alive(self._edges.get((source, target), ()), version)
+
+    def nodes_as_of(self, version: int) -> set[NodeId]:
+        """The node set the graph held at ``version``."""
+        return {
+            node
+            for node, intervals in self._nodes.items()
+            if _alive(intervals, version)
+        }
+
+    def edges_as_of(self, version: int) -> set[Edge]:
+        """The edge set the graph held at ``version``."""
+        return {
+            edge
+            for edge, intervals in self._edges.items()
+            if _alive(intervals, version)
+        }
+
+    def node_intervals(self, node: NodeId) -> tuple[tuple[int, Optional[int]], ...]:
+        """The recorded lifetime intervals of ``node`` (possibly empty)."""
+        return tuple(
+            (created, expired) for created, expired in self._nodes.get(node, ())
+        )
+
+    def edge_intervals(
+        self, source: NodeId, target: NodeId
+    ) -> tuple[tuple[int, Optional[int]], ...]:
+        """The recorded lifetime intervals of an edge (possibly empty)."""
+        return tuple(
+            (created, expired)
+            for created, expired in self._edges.get((source, target), ())
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance / serialization
+    # ------------------------------------------------------------------
+    def prune(self, floor: int) -> None:
+        """Drop intervals fully expired at or before version ``floor``.
+
+        Bounds the stamp tables on churn-heavy streams once the version
+        window below ``floor`` is no longer queryable anyway.
+        """
+        for table in (self._nodes, self._edges):
+            dead = []
+            for key, intervals in table.items():
+                intervals[:] = [
+                    interval
+                    for interval in intervals
+                    if interval[1] is None or interval[1] > floor
+                ]
+                if not intervals:
+                    dead.append(key)
+            for key in dead:
+                del table[key]
+
+    def to_doc(self) -> dict:
+        """A JSON-serializable document (see :meth:`from_doc`)."""
+        return {
+            "latest": self._latest,
+            "nodes": [
+                [node, [list(interval) for interval in intervals]]
+                for node, intervals in self._nodes.items()
+            ],
+            "edges": [
+                [source, target, [list(interval) for interval in intervals]]
+                for (source, target), intervals in self._edges.items()
+            ],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "GraphHistory":
+        """Rebuild a history from :meth:`to_doc` output (journal recovery)."""
+        history = cls()
+        history._latest = int(doc.get("latest", -1))
+        for node, intervals in doc.get("nodes", ()):
+            history._nodes[node] = [
+                [int(created), None if expired is None else int(expired)]
+                for created, expired in intervals
+            ]
+        for source, target, intervals in doc.get("edges", ()):
+            edge = (source, target)
+            history._edges[edge] = [
+                [int(created), None if expired is None else int(expired)]
+                for created, expired in intervals
+            ]
+            if any(expired is None for _, expired in history._edges[edge]):
+                history._incident.setdefault(source, set()).add(edge)
+                history._incident.setdefault(target, set()).add(edge)
+        return history

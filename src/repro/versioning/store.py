@@ -1,0 +1,186 @@
+"""The bounded ring of retained snapshot versions.
+
+A :class:`VersionStore` is the red-green switchboard: the writer
+publishes each settled version into it, readers pin whatever retained
+version they need (``None`` = latest), and the ring keeps the newest
+``history`` versions — older handles lose the store's reference and are
+freed as soon as their last reader releases.  Requests for versions the
+ring no longer (or does not yet) hold raise
+:class:`VersionExpiredError`, never a stale or wrong answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.versioning.handle import SnapshotHandle
+
+#: Default number of retained versions (``--snapshot-history``): deep
+#: enough for stragglers reading a few settles behind the writer,
+#: shallow enough that time travel never holds more than a handful of
+#: copy-on-write deltas alive.
+DEFAULT_SNAPSHOT_HISTORY: int = 8
+
+
+class VersionExpiredError(LookupError):
+    """A time-travel read named a version outside the retained window."""
+
+    def __init__(self, version: int, message: str) -> None:
+        """Record the requested ``version`` alongside the reason."""
+        super().__init__(message)
+        self.version = version
+
+
+class VersionStore:
+    """Retains the newest ``history`` published snapshot versions.
+
+    Thread-safe: the service's event loop publishes while reader
+    threads pin.  Publication must be monotone in ``version``; the one
+    exception is *re*-publishing the current latest version, which
+    replaces it in place (the settle-failure path rebuilds the same
+    version after a rollback).
+    """
+
+    def __init__(self, history: int = DEFAULT_SNAPSHOT_HISTORY) -> None:
+        """Create an empty store retaining ``history`` versions (≥ 1)."""
+        if history < 1:
+            raise ValueError("snapshot history must retain at least one version")
+        self.history = int(history)
+        self._lock = threading.Lock()
+        self._handles: "OrderedDict[int, SnapshotHandle]" = OrderedDict()
+        self._evicted_below: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Publication (writer side)
+    # ------------------------------------------------------------------
+    def publish(self, snapshot: Any) -> SnapshotHandle:
+        """Publish ``snapshot`` (an object with a ``version``) as a handle.
+
+        Evicts beyond the retention window; eviction drops only the
+        store's own pin, so handles readers still hold stay alive until
+        they release.  Returns the new handle (the store's reference —
+        callers wanting an independent pin must ``acquire`` it).
+        """
+        version = int(snapshot.version)
+        evicted: list[SnapshotHandle] = []
+        with self._lock:
+            if self._handles:
+                latest = next(reversed(self._handles))
+                if version < latest:
+                    raise ValueError(
+                        f"cannot publish version {version} after version {latest}"
+                    )
+                if version == latest:
+                    evicted.append(self._handles.pop(latest))
+            handle = SnapshotHandle(snapshot)
+            self._handles[version] = handle
+            while len(self._handles) > self.history:
+                oldest, old_handle = self._handles.popitem(last=False)
+                self._evicted_below = oldest + 1
+                evicted.append(old_handle)
+        for old_handle in evicted:
+            old_handle.release()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Reads (reader side)
+    # ------------------------------------------------------------------
+    def _lookup(self, version: Optional[int]) -> SnapshotHandle:
+        """Resolve ``version`` to a retained handle; caller holds the lock."""
+        if not self._handles:
+            raise VersionExpiredError(
+                -1 if version is None else int(version),
+                "no snapshot has been published yet",
+            )
+        if version is None:
+            return next(reversed(self._handles.values()))
+        version = int(version)
+        handle = self._handles.get(version)
+        if handle is not None:
+            return handle
+        latest = next(reversed(self._handles))
+        oldest = next(iter(self._handles))
+        if version > latest:
+            reason = f"version {version} has not been published (latest is {latest})"
+        elif version < oldest:
+            reason = (
+                f"version {version} was evicted from the snapshot history "
+                f"(retained: {oldest}..{latest}, history={self.history})"
+            )
+        else:
+            reason = f"version {version} is not retained"
+        raise VersionExpiredError(version, reason)
+
+    def get(self, version: Optional[int] = None) -> SnapshotHandle:
+        """The retained handle for ``version`` (``None`` = latest).
+
+        Does not change the refcount — use :meth:`pin` to hold the
+        version across statements.  Raises :class:`VersionExpiredError`
+        for evicted, unpublished, or unknown versions.
+        """
+        with self._lock:
+            return self._lookup(version)
+
+    def pin(self, version: Optional[int] = None) -> SnapshotHandle:
+        """Acquire and return the handle for ``version`` (``None`` = latest).
+
+        Acquisition happens under the store lock, so a concurrent
+        eviction cannot free the version between lookup and pin.
+        """
+        with self._lock:
+            return self._lookup(version).acquire()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def latest_version(self) -> Optional[int]:
+        """Newest retained version, or ``None`` before first publish."""
+        with self._lock:
+            if not self._handles:
+                return None
+            return next(reversed(self._handles))
+
+    def versions(self) -> tuple[int, ...]:
+        """The retained versions, oldest first."""
+        with self._lock:
+            return tuple(self._handles)
+
+    def __len__(self) -> int:
+        """Number of retained versions."""
+        with self._lock:
+            return len(self._handles)
+
+    def __contains__(self, version: object) -> bool:
+        """Whether ``version`` is currently retained."""
+        with self._lock:
+            return version in self._handles
+
+    def allocated_bytes(self) -> int:
+        """Unique bytes held by the retained snapshots' SLen storage.
+
+        Copy-on-write blocks shared by several retained versions are
+        counted once (deduplicated by array identity), so this is the
+        real marginal footprint of keeping the history — the number the
+        CoW garbage-collection tests assert shrinks on eviction.
+        Backends without block introspection contribute their reported
+        ``allocated_bytes`` under the same identity dedup when they
+        expose ``block_arrays``; otherwise they are skipped.
+        """
+        with self._lock:
+            handles = list(self._handles.values())
+        seen: set[int] = set()
+        total = 0
+        for handle in handles:
+            slen = getattr(handle.snapshot, "slen", None)
+            backend = getattr(slen, "backend", None)
+            block_arrays = getattr(backend, "block_arrays", None)
+            if block_arrays is None:
+                continue
+            for block in block_arrays():
+                if id(block) not in seen:
+                    seen.add(id(block))
+                    total += block.nbytes
+        return total

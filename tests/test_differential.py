@@ -20,13 +20,18 @@ crank :data:`EXTRA_SEEDS` locally for a deeper sweep.
 
 from __future__ import annotations
 
+import asyncio
+import random
+
 import pytest
 
 from repro.algorithms.eh_gpnm import EHGPNM
 from repro.algorithms.inc_gpnm import IncGPNM
 from repro.algorithms.scratch import BatchGPNM
 from repro.algorithms.ua_gpnm import UAGPNM
+from repro.matching import top_k_matches
 from repro.matching.gpnm import gpnm_query
+from repro.service import StreamingUpdateService
 from repro.spl.backend import dense_available
 from repro.spl.matrix import SLenMatrix
 from repro.workloads.generators import DEFAULT_LABEL_ORDER, SocialGraphSpec, generate_social_graph
@@ -167,3 +172,125 @@ def test_chained_batches_match_oracle(seed, backend):
                 f"{name} (backend={backend}, plan={plan}, seed={seed}, "
                 f"step={step}) diverged"
             )
+
+
+# ----------------------------------------------------------------------
+# Time-travel differential: ``as_of`` reads vs. per-version checkpoints
+# ----------------------------------------------------------------------
+#: Seeds for the MVCC time-travel sweep (each runs a streaming service).
+TIME_TRAVEL_SEEDS = tuple(range(10))
+
+
+def _time_travel_instance(seed: int):
+    """One (data, pattern, payloads, per-version graphs) service instance.
+
+    Data-only delta payloads (the service's wire vocabulary carries no
+    pattern updates), generated by toggling edges against a shadow
+    replica so every delta is valid by construction.
+    """
+    from tests.versioning.test_isolation import random_payloads
+
+    data, pattern, _ = _random_instance(seed)
+    payloads, states = random_payloads(
+        data, random.Random(7000 + seed), count=5, node_churn=seed % 2 == 0
+    )
+    return data, pattern, payloads, states
+
+
+def _expected_reads(pattern, graph, k: int = 5):
+    """The checkpointed oracle for one version: matches, top-k, slen."""
+    slen = SLenMatrix.from_graph(graph)
+    result = gpnm_query(pattern, graph, slen)
+    ranked = top_k_matches(result, pattern, graph, slen, k)
+    top_k = {
+        p: [(match.data_node, match.score) for match in matches]
+        for p, matches in ranked.items()
+    }
+    return result.as_dict(), top_k, slen
+
+
+@pytest.mark.parametrize("seed", TIME_TRAVEL_SEEDS)
+def test_as_of_reads_match_every_checkpointed_version(seed):
+    """Replaying out of order, every ``as_of`` read equals its checkpoint."""
+    requires_backend["dense"]()
+    from tests.versioning.test_isolation import stress_config
+
+    data, pattern, payloads, states = _time_travel_instance(seed)
+
+    async def scenario():
+        service = StreamingUpdateService(stress_config())
+        await service.register_graph("g", pattern, data)
+        try:
+            checkpoints = {0: _expected_reads(pattern, data)}
+            for version, (payload, graph) in enumerate(zip(payloads, states), start=1):
+                receipt = await service.submit("g", payload)
+                assert not receipt.errors, receipt.errors
+                await service.drain()
+                checkpoints[version] = _expected_reads(pattern, graph)
+            assert service.snapshot("g").version == len(payloads)
+
+            versions = list(checkpoints)
+            random.Random(seed).shuffle(versions)  # deterministic disorder
+            for version in versions:
+                matches, top_k, slen = checkpoints[version]
+                label = f"seed={seed}, as_of={version}"
+                assert service.matches("g", as_of=version) == matches, label
+                got_top_k = {
+                    p: [(match.data_node, match.score) for match in ranked]
+                    for p, ranked in service.top_k("g", 5, as_of=version).items()
+                }
+                assert got_top_k == top_k, label
+                nodes = sorted(str(node) for node in slen.nodes())[:6]
+                for source in nodes:
+                    for target in nodes:
+                        assert service.slen_distance(
+                            "g", source, target, as_of=version
+                        ) == slen.distance(source, target), label
+                # The lifetime stamps answer membership for the same
+                # version, even though they never store a snapshot.
+                history = service.graph_history("g")
+                graph = data if version == 0 else states[version - 1]
+                assert history.nodes_as_of(version) == set(graph.nodes()), label
+                assert history.edges_as_of(version) == set(graph.edges()), label
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_as_of_past_eviction_raises_clean_version_expired():
+    """Evicted versions answer with ``VersionExpiredError``, never wrongly."""
+    requires_backend["dense"]()
+    from repro.versioning import VersionExpiredError
+    from tests.versioning.test_isolation import stress_config
+
+    data, pattern, payloads, states = _time_travel_instance(3)
+
+    async def scenario():
+        service = StreamingUpdateService(stress_config(history=2))
+        await service.register_graph("g", pattern, data)
+        try:
+            for payload in payloads:
+                await service.submit("g", payload)
+                await service.drain()
+            latest = len(payloads)
+            for stale in range(latest - 1):  # only the last 2 are retained
+                with pytest.raises(VersionExpiredError) as excinfo:
+                    service.matches("g", as_of=stale)
+                assert excinfo.value.version == stale
+                some_node = sorted(str(node) for node in data.nodes())[0]
+                with pytest.raises(VersionExpiredError):
+                    service.top_k("g", 3, as_of=stale)
+                with pytest.raises(VersionExpiredError):
+                    service.slen_distance("g", some_node, some_node, as_of=stale)
+            # Unpublished future versions fail the same clean way.
+            with pytest.raises(VersionExpiredError):
+                service.matches("g", as_of=latest + 1)
+            # Retained versions still answer exactly.
+            for version in (latest - 1, latest):
+                matches, _, _ = _expected_reads(pattern, states[version - 1])
+                assert service.matches("g", as_of=version) == matches
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())

@@ -1,0 +1,266 @@
+"""Copy-on-write structural sharing: fork, mutate, refcount, GC.
+
+Property tests for the block-granular CoW machinery underneath MVCC
+snapshots: a ``fork()`` must share every block by pointer
+(``np.shares_memory``), a write must copy *only* the touched block on
+the writing side, and the :class:`~repro.versioning.store.VersionStore`
+must free superseded blocks once the last handle drops (asserted
+through ``allocated_bytes``).  Also the regression for the slot
+free-list aliasing class: slot reuse on the writer can never leak into
+a live snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.spl.matrix import SLenMatrix
+from repro.versioning import SnapshotHandle, VersionExpiredError, VersionStore
+
+from tests.conftest import make_random_graph
+
+BLOCK = 8
+
+
+def dense_matrix(seed: int = 0, num_nodes: int = 40) -> SLenMatrix:
+    """A blocked dense SLen over a small random graph (several blocks)."""
+    graph = make_random_graph(num_nodes=num_nodes, num_edges=3 * num_nodes, seed=seed)
+    return SLenMatrix.from_graph(graph, backend="dense", dense_block_size=BLOCK)
+
+
+def block_map(matrix: SLenMatrix) -> dict:
+    """Key -> ndarray for every materialised block of a dense matrix."""
+    return dict(matrix.backend._blocks)
+
+
+@dataclasses.dataclass
+class FakeSnapshot:
+    """Minimal snapshot payload for store-level tests."""
+
+    version: int
+    slen: SLenMatrix
+
+
+# ----------------------------------------------------------------------
+# fork(): structural sharing
+# ----------------------------------------------------------------------
+def test_fork_shares_every_block_by_pointer():
+    parent = dense_matrix()
+    child = parent.fork()
+    parent_blocks = block_map(parent)
+    child_blocks = block_map(child)
+    assert parent_blocks.keys() == child_blocks.keys()
+    assert len(parent_blocks) > 1, "need multiple blocks for the test to mean anything"
+    for key, block in parent_blocks.items():
+        assert np.shares_memory(block, child_blocks[key]), key
+    backend = parent.backend
+    assert backend.owned_blocks() == 0
+    assert backend.shared_blocks() == len(parent_blocks)
+    assert child.backend.owned_blocks() == 0
+
+
+def test_fork_preserves_values_bit_identically():
+    parent = dense_matrix(seed=3)
+    expected = parent.copy()
+    child = parent.fork()
+    assert child == expected
+    assert parent == expected
+
+
+@pytest.mark.parametrize("writer_side", ["parent", "child"])
+def test_write_copies_only_the_touched_block(writer_side):
+    parent = dense_matrix(seed=1)
+    child = parent.fork()
+    writer, reader = (parent, child) if writer_side == "parent" else (child, parent)
+    frozen = reader.copy()
+
+    nodes = sorted(writer.nodes())
+    source, target = nodes[0], nodes[-1]
+    old = writer.distance(source, target)
+    new_value = 1 if old != 1 else 2
+    writer.set_distance(source, target, new_value)
+
+    # The reader saw nothing.
+    assert reader == frozen
+    assert reader.distance(source, target) == frozen.distance(source, target)
+
+    # Exactly the touched block diverged; every other block is still
+    # the same array object on both sides.
+    writer_blocks = block_map(writer)
+    reader_blocks = block_map(reader)
+    copied = [
+        key
+        for key, block in writer_blocks.items()
+        if not np.shares_memory(block, reader_blocks[key])
+    ]
+    assert len(copied) == 1
+    assert writer.backend.owned_blocks() == 1
+
+
+def test_redundant_write_to_shared_block_does_not_copy():
+    parent = dense_matrix(seed=2)
+    child = parent.fork()
+    source, target = sorted(parent.nodes())[:2]
+    parent.set_distance(source, target, parent.distance(source, target))
+    assert parent.backend.owned_blocks() == 0
+    assert child.backend.shared_blocks() == parent.backend.total_blocks()
+
+
+def test_chained_forks_isolate_every_generation():
+    v0 = dense_matrix(seed=4)
+    v1 = v0.fork()
+    v2 = v1.fork()
+    frozen_v0 = v0.copy()
+    frozen_v2 = v2.copy()
+
+    nodes = sorted(v1.nodes())
+    v1.set_distance(nodes[0], nodes[1], 1)
+    v1.set_distance(nodes[2], nodes[3], 2)
+    v1.remove_node(nodes[4])
+
+    assert v0 == frozen_v0
+    assert v2 == frozen_v2
+    assert v1 != frozen_v0
+
+
+def test_copy_returns_fully_owned_blocks():
+    parent = dense_matrix(seed=5)
+    parent.fork()  # parent's blocks are now shared
+    clone = parent.copy()
+    assert clone.backend.owned_blocks() == clone.backend.total_blocks()
+    for key, block in block_map(clone).items():
+        assert not np.shares_memory(block, parent.backend._blocks[key]), key
+
+
+# ----------------------------------------------------------------------
+# Slot free-list reuse cannot leak into a live snapshot
+# ----------------------------------------------------------------------
+def test_slot_reuse_after_remove_cannot_leak_into_snapshot():
+    """Regression guard for the ``_resync_staged``-era aliasing class.
+
+    Removing a node frees its slot; a later ``add_node`` reuses it.  If
+    the writer's scrub or the new node's writes landed in blocks a
+    snapshot still shares, the snapshot would see a foreign node's
+    distances under the old node's identity.
+    """
+    writer = dense_matrix(seed=6)
+    snapshot = writer.fork()
+    frozen = snapshot.copy()
+    graph = make_random_graph(num_nodes=40, num_edges=120, seed=6)
+
+    victims = sorted(writer.nodes())[:4]
+    for victim in victims:
+        writer.remove_node(victim)
+        graph.remove_node(victim)
+    for i, victim in enumerate(victims):  # slots come back off the free list
+        fresh = f"fresh{i}"
+        graph.add_node(fresh, "A")
+        graph.add_edge(fresh, sorted(graph.nodes())[0])
+        writer.add_node(fresh)
+    writer.recompute_rows(graph, [f"fresh{i}" for i in range(len(victims))])
+
+    assert snapshot == frozen
+    for victim in victims:
+        assert victim in snapshot.nodes()
+        assert victim not in writer.nodes()
+
+
+# ----------------------------------------------------------------------
+# VersionStore: refcounted GC via allocated_bytes
+# ----------------------------------------------------------------------
+def publish_chain(store: VersionStore, length: int, seed: int = 7) -> list[SLenMatrix]:
+    """Publish ``length`` CoW-forked versions, each touching one block."""
+    matrix = dense_matrix(seed=seed)
+    published = []
+    for version in range(length):
+        store.publish(FakeSnapshot(version=version, slen=matrix))
+        published.append(matrix)
+        nodes = sorted(matrix.nodes())
+        successor = matrix.fork()
+        successor.set_distance(nodes[version % len(nodes)], nodes[0], 1 + version)
+        matrix = successor
+    return published
+
+
+def test_store_eviction_frees_superseded_blocks():
+    store = VersionStore(history=2)
+    total_blocks = None
+    for _ in publish_chain(store, length=6):
+        if total_blocks is None:
+            total_blocks = store.allocated_bytes()
+    # Two retained versions differing in a handful of CoW'd blocks: the
+    # footprint is far below six full copies, and bounded by the base
+    # grid plus the retained versions' private blocks.
+    block_bytes = BLOCK * BLOCK * 4
+    assert store.allocated_bytes() <= total_blocks + 2 * 6 * block_bytes
+    assert len(store) == 2
+    with pytest.raises(VersionExpiredError):
+        store.get(0)
+
+
+def test_allocated_bytes_drops_when_history_evicts_divergent_versions():
+    store = VersionStore(history=4)
+    publish_chain(store, length=4, seed=8)
+    high_water = store.allocated_bytes()
+    # Publishing further versions evicts the oldest; once every retained
+    # version shares the same base and the evicted ones' private blocks
+    # die, the footprint must not keep growing linearly with versions.
+    matrix = store.get().snapshot.slen
+    for version in range(4, 10):
+        successor = matrix.fork()
+        nodes = sorted(successor.nodes())
+        successor.set_distance(nodes[version % len(nodes)], nodes[1], version)
+        store.publish(FakeSnapshot(version=version, slen=successor))
+        matrix = successor
+    block_bytes = BLOCK * BLOCK * 4
+    assert store.allocated_bytes() <= high_water + 4 * 2 * block_bytes
+
+
+def test_pinned_handle_survives_eviction_and_counts_bytes_until_release():
+    store = VersionStore(history=1)
+    matrix = dense_matrix(seed=9)
+    store.publish(FakeSnapshot(version=0, slen=matrix))
+    pinned = store.pin(0)
+
+    successor = matrix.fork()
+    nodes = sorted(successor.nodes())
+    successor.set_distance(nodes[0], nodes[1], 1)
+    store.publish(FakeSnapshot(version=1, slen=successor))
+
+    # Version 0 is out of the store's window but alive through the pin.
+    with pytest.raises(VersionExpiredError):
+        store.get(0)
+    assert pinned.version == 0
+    assert pinned.slen.distance(nodes[0], nodes[1]) == matrix.distance(nodes[0], nodes[1])
+
+    assert pinned.release() is True
+    with pytest.raises(RuntimeError):
+        _ = pinned.snapshot
+
+
+def test_handle_refcounting_is_exact():
+    handle = SnapshotHandle(FakeSnapshot(version=3, slen=dense_matrix(seed=10)))
+    assert handle.refcount == 1
+    handle.acquire()
+    assert handle.refcount == 2
+    assert handle.release() is False
+    assert handle.release() is True
+    with pytest.raises(RuntimeError):
+        handle.acquire()
+    with pytest.raises(RuntimeError):
+        handle.release()
+
+
+def test_store_rejects_non_monotone_publication():
+    store = VersionStore(history=4)
+    matrix = dense_matrix(seed=11)
+    store.publish(FakeSnapshot(version=5, slen=matrix))
+    with pytest.raises(ValueError):
+        store.publish(FakeSnapshot(version=4, slen=matrix))
+    # Re-publishing the latest version replaces it (settle-failure path).
+    replacement = matrix.copy()
+    store.publish(FakeSnapshot(version=5, slen=replacement))
+    assert store.get(5).slen is replacement

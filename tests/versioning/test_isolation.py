@@ -1,0 +1,246 @@
+"""Snapshot-isolation stress: concurrent readers vs. a settling writer.
+
+Reader threads pin MVCC handles (latest and random retained versions)
+while the writer settles delta payloads through the streaming service.
+Afterwards every pinned handle is compared bit-for-bit against a
+*sequential oracle replay* — a from-scratch graph / SLen / match
+recomputation at that exact version — across many seeds.  A reader may
+observe an older version than the newest settle (that is the point of
+MVCC), but never a torn or mixed one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.graph.digraph import DataGraph
+from repro.matching.gpnm import gpnm_query
+from repro.service import ServiceConfig, StreamingUpdateService
+from repro.spl.matrix import SLenMatrix
+from repro.versioning import VersionExpiredError
+
+from tests.conftest import make_random_graph, make_random_pattern
+
+SEEDS = tuple(range(32))
+
+#: Settle after every payload (deadline 0 cuts the buffer on submit),
+#: keep all versions retained for the post-hoc sweep, and store SLen in
+#: small dense blocks so copy-on-write sharing is actually exercised.
+def stress_config(history: int = 64) -> ServiceConfig:
+    """Service config for the isolation scenarios."""
+    return ServiceConfig(
+        deadline_seconds=0.0,
+        max_buffer=4096,
+        coalesce_min_batch=10_000,
+        slen_backend="dense",
+        dense_block_size=8,
+        snapshot_history=history,
+    )
+
+
+def random_payloads(
+    base: DataGraph, rng: random.Random, count: int, node_churn: bool
+) -> tuple[list[dict], list[DataGraph]]:
+    """``count`` always-valid delta payloads plus the graph after each.
+
+    Validity is guaranteed by toggling against a shadow replica: an
+    edge pair is inserted only when absent and deleted only when
+    present, and each pair is touched at most once per payload (the
+    service applies deletes before inserts within one payload).
+    """
+    shadow = base.copy()
+    payloads: list[dict] = []
+    states: list[DataGraph] = []
+    fresh_serial = 0
+    for index in range(count):
+        inserts: list[dict] = []
+        deletes: list[dict] = []
+        nodes = sorted(str(node) for node in shadow.nodes())
+        if node_churn and index % 3 == 2:
+            # A pure node-churn payload: drop one node (incident edges
+            # go with it) and add a fresh one — exercises the SLen slot
+            # free list under the service.  Kept free of edge toggles so
+            # no same-payload delta can reference the deleted node.
+            victim = rng.choice(nodes)
+            deletes.append({"type": "node", "node": victim})
+            shadow.remove_node(victim)
+            fresh = f"fresh{fresh_serial}"
+            fresh_serial += 1
+            anchor = rng.choice(sorted(str(node) for node in shadow.nodes()))
+            inserts.append(
+                {"type": "node", "node": fresh, "labels": ["A"], "edges": [[fresh, anchor]]}
+            )
+            shadow.add_node(fresh, "A")
+            shadow.add_edge(fresh, anchor)
+        else:
+            touched: set[tuple[str, str]] = set()
+            for _ in range(rng.randint(1, 4)):
+                source, target = rng.sample(nodes, 2)
+                if (source, target) in touched:
+                    continue
+                touched.add((source, target))
+                spec = {"type": "edge", "source": source, "target": target}
+                if shadow.has_edge(source, target):
+                    deletes.append(spec)
+                    shadow.remove_edge(source, target)
+                else:
+                    inserts.append(spec)
+                    shadow.add_edge(source, target)
+        payloads.append({"deletes": deletes, "inserts": inserts})
+        states.append(shadow.copy())
+    return payloads, states
+
+
+def oracle_check(handle, pattern, expected: DataGraph) -> None:
+    """Assert a pinned handle is bit-identical to the sequential oracle.
+
+    The match oracle is :func:`gpnm_query` with the paper's totality
+    rule on — the same semantics every GPNM algorithm implements.
+    """
+    assert handle.data == expected
+    oracle_slen = SLenMatrix.from_graph(expected)
+    assert handle.slen == oracle_slen
+    oracle_result = gpnm_query(pattern, expected, oracle_slen)
+    assert handle.result.as_dict() == oracle_result.as_dict()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concurrent_readers_always_see_a_consistent_version(seed):
+    async def scenario():
+        rng = random.Random(10_000 + seed)
+        base = make_random_graph(
+            num_nodes=18 + seed % 5, num_edges=40 + seed % 7, seed=seed
+        )
+        pattern = make_random_pattern(
+            num_nodes=3 + seed % 2, num_edges=3 + seed % 2, seed=500 + seed
+        )
+        payloads, states = random_payloads(
+            base, rng, count=6, node_churn=seed % 2 == 0
+        )
+
+        service = StreamingUpdateService(stress_config())
+        await service.register_graph("g", pattern, base)
+
+        pinned: list = []
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader(reader_seed: int) -> None:
+            reader_rng = random.Random(reader_seed)
+            while not stop.is_set():
+                try:
+                    if reader_rng.random() < 0.5:
+                        pinned.append(service.pin("g"))
+                    else:
+                        version = reader_rng.randrange(len(payloads) + 1)
+                        try:
+                            pinned.append(service.pin("g", version))
+                        except VersionExpiredError:
+                            pass  # not settled yet — never a wrong answer
+                    stop.wait(0.001)  # yield; pins per settle stay bounded
+                except BaseException as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=reader, args=(seed * 100 + i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            try:
+                for payload in payloads:
+                    receipt = await service.submit("g", payload)
+                    assert not receipt.errors, receipt.errors
+                    await service.drain()
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+            assert not errors, errors
+
+            # Every version the readers pinned, plus every retained
+            # version swept out of order, matches the sequential oracle.
+            versions_by_state = {
+                0: base, **{v + 1: graph for v, graph in enumerate(states)}
+            }
+            assert service.snapshot("g").version == len(payloads)
+            for version in rng.sample(
+                sorted(versions_by_state), len(versions_by_state)
+            ):
+                with service.pin("g", version) as handle:
+                    oracle_check(handle, pattern, versions_by_state[version])
+            # Pins on one version share one immutable snapshot object,
+            # so verifying each distinct snapshot covers every pin.
+            distinct = {id(handle.snapshot): handle for handle in pinned}
+            seen_versions = set()
+            for handle in distinct.values():
+                oracle_check(handle, pattern, versions_by_state[handle.version])
+                seen_versions.add(handle.version)
+            assert seen_versions, "readers never caught a single version"
+            for handle in pinned:
+                handle.release()
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_pinned_handle_outlives_history_eviction():
+    async def scenario():
+        base = make_random_graph(num_nodes=16, num_edges=40, seed=99)
+        pattern = make_random_pattern(seed=99)
+        service = StreamingUpdateService(stress_config(history=3))
+        await service.register_graph("g", pattern, base)
+
+        pinned_base = service.pin("g", 0)
+        rng = random.Random(99)
+        payloads, states = random_payloads(base, rng, count=6, node_churn=False)
+        for payload in payloads:
+            await service.submit("g", payload)
+            await service.drain()
+
+        # Version 0 fell out of the 3-deep window: the store refuses it…
+        with pytest.raises(VersionExpiredError):
+            service.snapshot("g", as_of=0)
+        with pytest.raises(VersionExpiredError):
+            service.matches("g", as_of=0)
+        # …but the pinned handle still answers from the original state.
+        oracle_check(pinned_base, pattern, base)
+        pinned_base.release()
+
+        stats = service.stats("g")["snapshot"]
+        assert stats["retained_versions"] == [4, 5, 6]
+        assert stats["history_limit"] == 3
+        oracle_check(service.pin("g", 6), pattern, states[-1])
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_reader_pin_is_wait_free_during_a_slow_settle():
+    """A pin taken mid-settle answers from the old version immediately."""
+
+    async def scenario():
+        base = make_random_graph(num_nodes=16, num_edges=40, seed=7)
+        pattern = make_random_pattern(seed=7)
+        service = StreamingUpdateService(stress_config())
+        await service.register_graph("g", pattern, base)
+
+        payloads, states = random_payloads(base, random.Random(7), 1, False)
+        submit = asyncio.ensure_future(service.submit("g", payloads[0]))
+        # Pin while the settle may still be in flight on the executor.
+        with service.pin("g") as handle:
+            assert handle.version in (0, 1)
+            expected = base if handle.version == 0 else states[0]
+            oracle_check(handle, pattern, expected)
+        await submit
+        await service.drain()
+        oracle_check(service.pin("g"), pattern, states[0])
+        await service.close()
+
+    asyncio.run(scenario())
