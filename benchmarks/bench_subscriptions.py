@@ -1,0 +1,274 @@
+"""Marginal cost of standing patterns under shared-maintenance fan-out.
+
+The claim under test (ISSUE 9 / ROADMAP item 4): a settle runs the
+pattern-independent work — batch application, ``SLen`` maintenance, the
+affected-region computation — **once**, and each standing pattern adds
+only a label-intersection filter plus (when touched) one amendment
+pass.  The marginal cost of a subscription must therefore be a small
+fraction of the shared pass, not a multiple of it.
+
+The benchmark replays the *same* balanced edge-toggle stream into fresh
+services carrying 1, 8 and 32 standing patterns (generated over the
+graph's own label set, so the skip filter faces realistic traffic) and
+times every settle end to end — shared maintenance, fan-out, snapshot
+publish.  Gates:
+
+* **fan-out gate (fatal, every mode):** the mean settle with 32
+  patterns costs at most ``FANOUT_BOUND``x the 1-pattern settle.  A
+  per-pattern implementation would pay ~32x.
+* **shared-pass gate (fatal):** the service's own counters show exactly
+  one maintenance / SLen pass per settle at every pattern count.
+* **equivalence gate (fatal):** every subscription's settled matches
+  equal a from-scratch ``bounded_simulation`` oracle at the end of the
+  stream.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_subscriptions.py [--quick]
+        [--payloads N]
+
+``--quick`` shortens the stream for CI and writes
+``BENCH_subscriptions_quick.json`` (never the tracked artifact); all
+three gates stay fatal — the fan-out bound is a ratio, so it holds at
+any stream length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.matching import MatchResult, bounded_simulation  # noqa: E402
+from repro.service import ServiceConfig, StreamingUpdateService  # noqa: E402
+from repro.spl.matrix import SLenMatrix  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    PatternSpec,
+    SocialGraphSpec,
+    generate_pattern,
+    generate_social_graph,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_subscriptions.json"
+
+NUM_NODES = 240
+NUM_EDGES = 1100
+SEED = 2024
+
+#: Standing-pattern counts probed (the first is the baseline).
+PATTERN_COUNTS = (1, 8, 32)
+#: Edge toggles per submitted payload (a balanced insert/delete mix —
+#: every payload flips, so roughly half of each over the stream).
+DELTAS_PER_PAYLOAD = 4
+
+#: The fan-out gate: 32 standing patterns may cost at most this multiple
+#: of the single-pattern settle.  Fatal in every mode.
+FANOUT_BOUND = 4.0
+
+
+def build_graph():
+    return generate_social_graph(
+        SocialGraphSpec(
+            name="bench-subscriptions",
+            num_nodes=NUM_NODES,
+            num_edges=NUM_EDGES,
+            seed=SEED,
+        )
+    )
+
+
+def build_patterns(count: int, labels: list[str]) -> list:
+    """``count`` distinct patterns over the graph's own labels."""
+    patterns = []
+    for position in range(count):
+        size = 3 + position % 4
+        patterns.append(
+            generate_pattern(
+                PatternSpec(
+                    num_nodes=size,
+                    num_edges=size,
+                    labels=labels,
+                    seed=SEED + position,
+                )
+            )
+        )
+    return patterns
+
+
+def build_payload_stream(data, payloads: int) -> list[dict]:
+    """A deterministic balanced toggle stream, valid from ``data``."""
+    shadow = data.copy()
+    rng = random.Random(SEED)
+    nodes = sorted(shadow.nodes())
+    stream = []
+    for _ in range(payloads):
+        inserts, deletes = [], []
+        for _ in range(DELTAS_PER_PAYLOAD):
+            source, target = rng.sample(nodes, 2)
+            spec = {"type": "edge", "source": source, "target": target}
+            if shadow.has_edge(source, target):
+                shadow.remove_edge(source, target)
+                deletes.append(spec)
+            else:
+                shadow.add_edge(source, target)
+                inserts.append(spec)
+        stream.append({"inserts": inserts, "deletes": deletes})
+    return stream
+
+
+async def run_probe(pattern_count: int, stream: list[dict]) -> dict:
+    """Replay ``stream`` against ``pattern_count`` standing patterns."""
+    data = build_graph()
+    patterns = build_patterns(pattern_count, sorted(data.labels()))
+    config = ServiceConfig(
+        deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000,
+        max_subscriptions=max(PATTERN_COUNTS),
+    )
+    service = StreamingUpdateService(config)
+    await service.register("bench", data)
+    for position, pattern in enumerate(patterns):
+        await service.subscribe("bench", f"q{position}", pattern)
+
+    settle_seconds: list[float] = []
+    for payload in stream:
+        receipt = await service.submit("bench", payload)
+        started = time.perf_counter()
+        await service.drain()  # cut + settle: shared pass + fan-out
+        settle_seconds.append(time.perf_counter() - started)
+        if receipt.rejected:
+            raise RuntimeError(f"payload rejected: {receipt.errors}")
+
+    stats = service.stats("bench")
+    snapshot = service.snapshot("bench")
+
+    # Equivalence gate inputs: settled matches vs. from-scratch oracle.
+    oracle_slen = SLenMatrix.from_graph(snapshot.data)
+    mismatches = 0
+    for pattern_id, state in snapshot.subscriptions.items():
+        oracle = MatchResult(
+            bounded_simulation(state.pattern, snapshot.data, oracle_slen),
+            enforce_totality=True,
+        )
+        if service.matches("bench", pattern_id=pattern_id) != oracle.as_dict():
+            mismatches += 1
+    await service.close()
+
+    return {
+        "patterns": pattern_count,
+        "settles": stats["settles"],
+        "settle_mean_seconds": statistics.fmean(settle_seconds),
+        "settle_p50_seconds": statistics.median(settle_seconds),
+        "settle_total_seconds": sum(settle_seconds),
+        "maintenance_passes": stats["shared"]["maintenance_passes"],
+        "slen_update_passes": stats["shared"]["slen_update_passes"],
+        "fanout_amend_passes": stats["shared"]["fanout_amend_passes"],
+        "fanout_skips": stats["shared"]["fanout_skips"],
+        "oracle_mismatches": mismatches,
+    }
+
+
+async def run_benchmark(payloads: int) -> dict:
+    data = build_graph()
+    stream = build_payload_stream(data, payloads)
+    probes = [await run_probe(count, stream) for count in PATTERN_COUNTS]
+    baseline = probes[0]
+    heaviest = probes[-1]
+    marginal = (
+        heaviest["settle_mean_seconds"] - baseline["settle_mean_seconds"]
+    ) / max(1, heaviest["patterns"] - baseline["patterns"])
+    return {
+        "config": {
+            "num_nodes": NUM_NODES,
+            "num_edges": NUM_EDGES,
+            "payloads": payloads,
+            "deltas_per_payload": DELTAS_PER_PAYLOAD,
+            "pattern_counts": list(PATTERN_COUNTS),
+            "fanout_bound": FANOUT_BOUND,
+            "seed": SEED,
+        },
+        "probes": probes,
+        "fanout_ratio": heaviest["settle_mean_seconds"]
+        / max(baseline["settle_mean_seconds"], 1e-9),
+        "marginal_per_pattern_seconds": marginal,
+    }
+
+
+def evaluate_gates(report: dict) -> list[str]:
+    """All three gates are fatal in every mode (the bound is a ratio)."""
+    failures = []
+    ratio = report["fanout_ratio"]
+    if ratio > FANOUT_BOUND:
+        failures.append(
+            f"FATAL: {PATTERN_COUNTS[-1]} standing patterns cost {ratio:.2f}x the "
+            f"single-pattern settle (bound {FANOUT_BOUND:.0f}x) — the fan-out is "
+            "paying per-pattern maintenance"
+        )
+    for probe in report["probes"]:
+        if probe["maintenance_passes"] != probe["settles"]:
+            failures.append(
+                f"FATAL: {probe['patterns']} patterns ran "
+                f"{probe['maintenance_passes']} maintenance passes over "
+                f"{probe['settles']} settles — the shared pass is not shared"
+            )
+        if probe["slen_update_passes"] != probe["settles"]:
+            failures.append(
+                f"FATAL: {probe['patterns']} patterns ran "
+                f"{probe['slen_update_passes']} SLen passes over "
+                f"{probe['settles']} settles"
+            )
+        if probe["oracle_mismatches"]:
+            failures.append(
+                f"FATAL: {probe['oracle_mismatches']} subscriptions diverged "
+                f"from the from-scratch oracle at {probe['patterns']} patterns"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--payloads", type=int, default=None, metavar="N",
+        help="toggle payloads streamed per probe (default 40, or 10 with --quick)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short CI run: writes BENCH_subscriptions_quick.json; gates stay fatal",
+    )
+    args = parser.parse_args(argv)
+    payloads = args.payloads if args.payloads is not None else (10 if args.quick else 40)
+
+    sys.setswitchinterval(0.001)
+    report = asyncio.run(run_benchmark(payloads))
+
+    output = OUTPUT.with_name("BENCH_subscriptions_quick.json") if args.quick else OUTPUT
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    for probe in report["probes"]:
+        print(
+            f"{probe['patterns']:>3} patterns: settle mean "
+            f"{probe['settle_mean_seconds'] * 1000:.2f} ms over {probe['settles']} "
+            f"settles; {probe['fanout_amend_passes']} amends + "
+            f"{probe['fanout_skips']} skips; "
+            f"{probe['maintenance_passes']} maintenance passes"
+        )
+    print(
+        f"fan-out ratio {report['fanout_ratio']:.2f}x (bound {FANOUT_BOUND:.0f}x); "
+        f"marginal cost {report['marginal_per_pattern_seconds'] * 1e6:.0f} us/pattern"
+    )
+
+    failures = evaluate_gates(report)
+    for message in failures:
+        print(message, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""End-to-end multi-pattern smoke test for ``ua-gpnm serve --patterns``.
+
+A *real* server process exercising the whole subscription surface over
+TCP, which no unit test covers end to end.  The script
+
+1. writes a pattern-set file and starts ``ua-gpnm serve --patterns`` on
+   an ephemeral port, asserting the standing-pattern banner,
+2. reads the standing pattern through the pattern-addressed ``matches``
+   op,
+3. subscribes a fresh pattern (inline doc, over labels the dataset does
+   not use) on a persistent connection, streams an update that creates
+   its first match, and waits for the per-pattern ``notify`` push,
+4. unsubscribes with ``drop`` and asserts the pattern stops serving,
+5. shuts down with SIGTERM and expects exit code 0.
+
+Exits non-zero with a diagnostic on any failure.  Used by the CI
+``subscriptions`` job; run locally with::
+
+    python scripts/subscriptions_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+READY_TIMEOUT = 60.0
+NOTIFY_TIMEOUT = 30.0
+
+PATTERN_SET = {
+    "patterns": [
+        {
+            "pattern_id": "standing",
+            "pattern": {
+                "kind": "pattern_graph",
+                "nodes": [{"id": "p0", "label": "0"}, {"id": "p1", "label": "1"}],
+                "edges": [["p0", "p1", 2]],
+            },
+            "k": 3,
+        }
+    ]
+}
+
+#: The subscribed-at-runtime pattern uses labels the dataset does not
+#: carry, so its relation starts empty and the smoke update below
+#: creates its very first match — a guaranteed non-empty push delta.
+INLINE_PATTERN = {
+    "kind": "pattern_graph",
+    "nodes": [{"id": "p0", "label": "smokeA"}, {"id": "p1", "label": "smokeB"}],
+    "edges": [["p0", "p1", 1]],
+}
+
+
+def start_serve(patterns_file: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--preset",
+            "tiny",
+            "--dataset",
+            "email-EU-core",
+            "--port",
+            "0",
+            "--patterns",
+            patterns_file,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO),
+    )
+
+
+def wait_for_ready(process: subprocess.Popen) -> int:
+    """Read stderr until the address banner; assert the patterns banner."""
+    deadline = time.monotonic() + READY_TIMEOUT
+    lines: list[str] = []
+    saw_patterns = False
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            if process.poll() is not None:
+                raise AssertionError(
+                    f"serve exited early ({process.returncode}): {''.join(lines)}"
+                )
+            continue
+        lines.append(line)
+        if "standing pattern(s) subscribed" in line:
+            assert line.startswith("[serve] 1 "), f"wrong pattern count: {line}"
+            saw_patterns = True
+        if line.startswith("[serve] graph") and " on " in line:
+            assert saw_patterns, f"no standing-pattern banner before: {''.join(lines)}"
+            return int(line.rsplit(":", 1)[1].strip())
+    raise AssertionError(f"serve never became ready: {''.join(lines)}")
+
+
+def call(port: int, request: dict, timeout: float = 10.0) -> dict:
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as conn:
+        conn.sendall(json.dumps(request).encode() + b"\n")
+        reply = conn.makefile().readline()
+    return json.loads(reply)
+
+
+class Connection:
+    """A persistent JSON-lines connection (subscribe + notify)."""
+
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=NOTIFY_TIMEOUT)
+        self.reader = self.sock.makefile()
+
+    def call(self, request: dict) -> dict:
+        self.sock.sendall(json.dumps(request).encode() + b"\n")
+        return self.read_line()
+
+    def read_line(self) -> dict:
+        line = self.reader.readline()
+        assert line, "connection closed by server"
+        return json.loads(line)
+
+    def close(self) -> None:
+        self.reader.close()
+        self.sock.close()
+
+
+def main() -> int:
+    with TemporaryDirectory(prefix="subscriptions-smoke-") as scratch:
+        patterns_file = Path(scratch) / "patterns.json"
+        patterns_file.write_text(json.dumps(PATTERN_SET))
+
+        server = start_serve(str(patterns_file))
+        try:
+            port = wait_for_ready(server)
+            print(f"[smoke] serve ready on port {port} with 1 standing pattern")
+
+            # 1. The file's standing pattern answers pattern-addressed reads.
+            matches = call(
+                port,
+                {"op": "matches", "graph": "email-EU-core", "pattern_id": "standing"},
+            )
+            assert matches.get("ok"), f"standing pattern does not serve: {matches}"
+
+            # 2. Subscribe a fresh pattern and receive its first push.
+            conn = Connection(port)
+            subscribed = conn.call(
+                {
+                    "op": "subscribe",
+                    "graph": "email-EU-core",
+                    "pattern_id": "smoke",
+                    "pattern": INLINE_PATTERN,
+                    "k": 2,
+                }
+            )
+            assert subscribed.get("ok"), f"subscribe failed: {subscribed}"
+
+            receipt = call(
+                port,
+                {
+                    "op": "update",
+                    "graph": "email-EU-core",
+                    "inserts": [
+                        {"type": "node", "node": "smoke-a", "labels": ["smokeA"]},
+                        {"type": "node", "node": "smoke-b", "labels": ["smokeB"]},
+                        {"type": "edge", "source": "smoke-a", "target": "smoke-b"},
+                    ],
+                },
+            )
+            assert receipt.get("ok") and receipt.get("accepted") == 3, (
+                f"update not acknowledged: {receipt}"
+            )
+
+            notify = conn.read_line()
+            assert notify.get("kind") == "notify", f"expected notify, got: {notify}"
+            assert notify.get("pattern_id") == "smoke", f"wrong pattern: {notify}"
+            assert notify["added"].get("p0") == ["smoke-a"], f"wrong delta: {notify}"
+            assert notify["added"].get("p1") == ["smoke-b"], f"wrong delta: {notify}"
+            print(f"[smoke] notify received at version {notify.get('version')}")
+
+            # 3. Drop the subscription; it must stop serving.
+            dropped = conn.call(
+                {
+                    "op": "unsubscribe",
+                    "graph": "email-EU-core",
+                    "pattern_id": "smoke",
+                    "drop": True,
+                }
+            )
+            assert dropped.get("ok") and dropped.get("dropped"), (
+                f"unsubscribe failed: {dropped}"
+            )
+            gone = call(
+                port,
+                {"op": "matches", "graph": "email-EU-core", "pattern_id": "smoke"},
+            )
+            assert gone.get("ok") is False, f"dropped pattern still serves: {gone}"
+            conn.close()
+
+            # 4. Graceful shutdown.
+            server.terminate()
+            _, stderr = server.communicate(timeout=30)
+            assert server.returncode == 0, (
+                f"graceful shutdown failed ({server.returncode}): {stderr}"
+            )
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate()
+
+    print("[smoke] multi-pattern subscription smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as failure:
+        print(f"[smoke] FAILED: {failure}", file=sys.stderr)
+        sys.exit(1)

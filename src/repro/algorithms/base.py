@@ -41,6 +41,7 @@ from repro.matching.amend import amend_match
 from repro.matching.bgs import bounded_simulation
 from repro.matching.candidates import CandidateSet, candidate_set
 from repro.matching.gpnm import MatchResult
+from repro.matching.shared import SharedDelta, shared_delta_from_batch
 from repro.partition.label_partition import LabelPartition
 from repro.partition.partitioned_spl import (
     build_slen_partitioned,
@@ -289,6 +290,12 @@ class GPNMAlgorithm(abc.ABC):
                 recalibrate_every, cost_model, observed=telemetry.total_recorded
             )
         self._last_plan: Optional[PlanReport] = None
+        #: Pattern-independent outcome of the most recent batch (the
+        #: maintained data updates + their affected region), consumed by
+        #: the multi-pattern subscription fan-out.
+        self._last_shared_delta: Optional[SharedDelta] = None
+        self._last_affected_sets: tuple[AffectedSet, ...] = ()
+        self._last_maintained_updates: tuple[Update, ...] = ()
         #: Cross-batch LabelPartition cache for the partitioned route,
         #: trusted only while ``_partition_version`` matches the data
         #: graph's mutation counter.
@@ -363,6 +370,26 @@ class GPNMAlgorithm(abc.ABC):
     def slen(self) -> SLenMatrix:
         """A copy of the maintained shortest path length matrix."""
         return self._slen.copy()
+
+    def shared_state(self) -> tuple[DataGraph, SLenMatrix]:
+        """Borrowed references to the live ``(data, slen)`` state.
+
+        Unlike :attr:`data` / :attr:`slen` (which copy) this hands out
+        the algorithm's own objects, so pattern-independent state can be
+        shared read-only across many standing patterns.  Callers must
+        treat both as immutable and must not hold them across a later
+        ``subsequent_query`` (which mutates them in place).
+        """
+        return self._data, self._slen
+
+    @property
+    def last_shared_delta(self) -> Optional[SharedDelta]:
+        """The :class:`~repro.matching.shared.SharedDelta` of the most
+        recent :meth:`subsequent_query` (``None`` before the first batch).
+        The delta's updates are the *maintained* stream — post batch
+        compilation on coalesced routes — which has the same net effect
+        as the submitted batch."""
+        return self._last_shared_delta
 
     def fork_state(self) -> tuple[DataGraph, SLenMatrix, Optional[LabelPartition]]:
         """A consistent ``(data, slen, partition)`` snapshot of internal state.
@@ -444,9 +471,14 @@ class GPNMAlgorithm(abc.ABC):
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
         stats = QueryStats(updates_processed=len(batch))
         self._last_plan = None
+        self._last_affected_sets = ()
+        self._last_maintained_updates = ()
         started = time.perf_counter()
         relation, eh_tree = self._process_batch(batch, stats)
         stats.elapsed_seconds = time.perf_counter() - started
+        self._last_shared_delta = shared_delta_from_batch(
+            self._last_maintained_updates, self._last_affected_sets, self._data
+        )
         self._relation = relation
         self._record_plan_observation(stats)
         return SubsequentResult(
@@ -552,12 +584,18 @@ class GPNMAlgorithm(abc.ABC):
     ) -> list[AffectedSet]:
         """Apply ``data_updates`` along the planner's chosen route."""
         if plan.strategy != STRATEGY_PER_UPDATE and data_updates:
-            return self._apply_data_updates_coalesced(
+            affected = self._apply_data_updates_coalesced(
                 data_updates,
                 stats,
                 partitioned=plan.strategy == STRATEGY_PARTITIONED,
             )
-        return [self._apply_data_update(update, stats) for update in data_updates]
+        else:
+            affected = [self._apply_data_update(update, stats) for update in data_updates]
+        # Stash the maintained stream + its affected region so the batch's
+        # SharedDelta can be assembled once maintenance is done.
+        self._last_maintained_updates = tuple(data_updates)
+        self._last_affected_sets = tuple(affected)
+        return affected
 
     def _apply_data_updates_coalesced(
         self,

@@ -230,6 +230,32 @@ planner telemetry and recalibration:
   --recalibrate-every N does the same online: after every N new
   observations the runner refits mid-run and all subsequent cells are
   routed with the refit model.
+
+multi-pattern subscription serving (serve --patterns):
+  One served graph can hold many standing patterns.  Each settle runs
+  the shared, pattern-independent maintenance (graph application, SLen
+  update, affected-region computation) exactly once, then fans the
+  delta out to every subscription: patterns provably untouched by the
+  batch are skipped, touched ones pay one amendment pass.  --patterns
+  FILE subscribes the pattern set in FILE at startup:
+
+    [{"pattern_id": "fraud",
+      "pattern": {"kind": "pattern_graph",
+                  "nodes": [{"id": "p0", "label": "A"},
+                            {"id": "p1", "label": "B"}],
+                  "edges": [["p0", "p1", 2]]},
+      "k": 3},
+     ...]
+
+  ("bound" is an integer or "*"; "k" arms a standing top-k ranking for
+  the push channel).  Without --patterns a single pattern is generated
+  (--pattern-nodes/--pattern-edges) and subscribed as "default".
+  Clients manage further patterns over the wire ({"op": "subscribe",
+  ...} / {"op": "unsubscribe", ...}) and receive per-pattern
+  {"kind": "notify", ...} deltas after each settle; reads address one
+  pattern with "pattern_id" (omitted: "default").  Subscriptions are
+  journaled with --journal-dir and recovered on restart; --no-push
+  disables the push channel; --max-subscriptions caps the registry.
 """
 
 
@@ -271,6 +297,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--pattern-edges", type=int, default=6, metavar="N",
         help="generated pattern size: edges (default 6)",
+    )
+    serve.add_argument(
+        "--patterns", default=None, metavar="FILE",
+        help=(
+            "subscribe the standing patterns in this JSON file instead "
+            "of generating one: a list (or {'patterns': [...]}) of "
+            "{'pattern_id', 'pattern': <pattern-graph doc>, 'k': "
+            "optional} entries; see the epilog for the doc shape"
+        ),
+    )
+    serve.add_argument(
+        "--max-subscriptions", type=int, default=None, metavar="N",
+        help="cap on standing patterns per graph (default 64)",
+    )
+    serve.add_argument(
+        "--no-push", action="store_true",
+        help=(
+            "disable per-pattern push notifications; subscriptions "
+            "still settle and serve reads (clients poll)"
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -330,9 +376,16 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     process is recovered before the server starts answering.
     """
     import asyncio
+    import json
     import signal
 
-    from repro.service import ServiceConfig, ServiceServer, StreamingUpdateService
+    from repro.service import (
+        DEFAULT_PATTERN_ID,
+        ServiceConfig,
+        ServiceServer,
+        StreamingUpdateService,
+        parse_pattern_set,
+    )
     from repro.workloads.datasets import load_dataset
     from repro.workloads.pattern_gen import pattern_for_dataset
 
@@ -344,14 +397,35 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
         config = dataclasses.replace(config, journal_dir=args.journal_dir)
     if args.snapshot_history is not None:
         config = dataclasses.replace(config, service_snapshot_history=args.snapshot_history)
+    if args.max_subscriptions is not None:
+        config = dataclasses.replace(config, service_max_subscriptions=args.max_subscriptions)
+    if args.no_push:
+        config = dataclasses.replace(config, service_push_notifications=False)
     data = load_dataset(args.dataset, scale=config.dataset_scale)
-    pattern = pattern_for_dataset(
-        sorted(data.labels()), args.pattern_nodes, args.pattern_edges, seed=config.seed
-    )
+    if args.patterns is not None:
+        with open(args.patterns, encoding="utf-8") as handle:
+            subscriptions = parse_pattern_set(json.load(handle))
+    else:
+        pattern = pattern_for_dataset(
+            sorted(data.labels()), args.pattern_nodes, args.pattern_edges, seed=config.seed
+        )
+        from repro.service import Subscription
+
+        subscriptions = [Subscription(DEFAULT_PATTERN_ID, pattern)]
 
     async def _serve() -> None:
         service = StreamingUpdateService(ServiceConfig.from_experiment(config))
-        await service.register_graph(args.dataset, pattern, data)
+        await service.register(args.dataset, data)
+        for subscription in subscriptions:
+            # replace=True keeps a journal-recovered subscription with
+            # the same definition instead of erroring on the duplicate.
+            await service.subscribe(
+                args.dataset,
+                subscription.pattern_id,
+                subscription.pattern,
+                k=subscription.k,
+                replace=True,
+            )
         server_kwargs = {}
         if args.max_pending is not None:
             server_kwargs["max_pending"] = args.max_pending
@@ -359,6 +433,11 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
             server_kwargs["idle_timeout"] = args.idle_timeout
         server = ServiceServer(service, host=args.host, port=args.port, **server_kwargs)
         host, port = await server.start()
+        print(
+            f"[serve] {len(service.subscription_docs(args.dataset))} "
+            "standing pattern(s) subscribed",
+            file=sys.stderr,
+        )
         print(
             f"[serve] graph {args.dataset!r} "
             f"({data.number_of_nodes} nodes, {data.number_of_edges} edges) "

@@ -106,6 +106,13 @@ class ExperimentConfig:
         How many settled snapshot versions the streaming service
         retains per graph for time-travel (``as_of``) reads; older
         versions are evicted and raise ``VersionExpiredError``.
+    service_max_subscriptions:
+        Cap on standing patterns per streaming-service graph session
+        (CLI: ``ua-gpnm serve --max-subscriptions``).
+    service_push_notifications:
+        Whether streaming-service settles push per-pattern match/top-k
+        deltas to attached listeners (CLI: ``ua-gpnm serve
+        --no-push`` disables).
     """
 
     datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
@@ -128,6 +135,8 @@ class ExperimentConfig:
     journal_dir: Optional[str] = None
     service_settle_retries: int = 2
     service_snapshot_history: int = 8
+    service_max_subscriptions: int = 64
+    service_push_notifications: bool = True
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.methods if m not in METHOD_ORDER]
@@ -157,6 +166,8 @@ class ExperimentConfig:
             raise ValueError("service_settle_retries must be non-negative")
         if self.service_snapshot_history < 1:
             raise ValueError("service_snapshot_history must be at least 1")
+        if self.service_max_subscriptions < 1:
+            raise ValueError("service_max_subscriptions must be at least 1")
 
     @property
     def number_of_cells(self) -> int:

@@ -9,7 +9,10 @@
 * :mod:`repro.matching.affected` — affected nodes ``Aff_N(UDi)`` for data
   updates (DER-II);
 * :mod:`repro.matching.amend` — the incremental amendment pass shared by
-  INC-GPNM, EH-GPNM and UA-GPNM.
+  INC-GPNM, EH-GPNM and UA-GPNM;
+* :mod:`repro.matching.shared` — the pattern-independent per-batch delta
+  (touched region + labels) that multi-pattern subscription serving fans
+  out to every standing pattern.
 """
 
 from repro.matching.affected import AffectedSet, affected_set_from_delta
@@ -17,6 +20,12 @@ from repro.matching.amend import amend_match, growable_pattern_nodes
 from repro.matching.bgs import bounded_simulation, label_candidates, simulation_fixpoint
 from repro.matching.candidates import CandidateSet, candidate_set
 from repro.matching.gpnm import MatchResult, gpnm_query
+from repro.matching.shared import (
+    SharedDelta,
+    delta_touches_pattern,
+    pattern_label_set,
+    shared_delta_from_batch,
+)
 from repro.matching.topk import RankedMatch, top_k_matches
 
 __all__ = [
@@ -33,4 +42,8 @@ __all__ = [
     "affected_set_from_delta",
     "amend_match",
     "growable_pattern_nodes",
+    "SharedDelta",
+    "shared_delta_from_batch",
+    "delta_touches_pattern",
+    "pattern_label_set",
 ]

@@ -1,0 +1,121 @@
+"""Shared per-batch delta for multi-pattern fan-out (ROADMAP item 4).
+
+A settle in the streaming service maintains the data graph and its
+``SLen`` matrix exactly once per batch — that work is pattern-independent.
+What *is* pattern-dependent is cheap: deciding whether the batch can have
+touched a given standing pattern at all, and if so re-running the
+amendment pass for that pattern's match relation.
+
+:class:`SharedDelta` is the record handed from the shared maintenance
+pass to every subscription.  It carries the batch itself plus the
+*touched region*: every node whose shortest-path lengths changed (the
+union of the per-update ``Aff_N`` sets) together with the endpoints named
+by the updates themselves, and the set of labels those nodes carry.
+
+:func:`delta_touches_pattern` is the sound skip filter built on top of
+it.  A pattern's match relation ``M(GP, GD)`` depends only on (a) which
+data nodes carry the pattern's labels and (b) shortest-path lengths
+*between* nodes carrying those labels.  If no touched node carries a
+label used by the pattern, neither can have changed — any distance change
+between pattern-labelled nodes puts both endpoints into ``Aff_N``, and
+any structural change to a pattern-labelled node puts it into the update
+endpoints — so the amendment pass can be skipped outright.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.graph.updates import NodeDeletion, NodeInsertion, Update
+from repro.matching.affected import AffectedSet
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class SharedDelta:
+    """The pattern-independent outcome of one settled batch.
+
+    Attributes
+    ----------
+    updates:
+        The data-graph updates of the settled batch, in arrival order.
+    touched_nodes:
+        Every node whose shortest-path lengths changed (union of the
+        per-update ``Aff_N`` sets) plus every node named by an update.
+    touched_labels:
+        The labels carried by ``touched_nodes`` — looked up in the
+        post-batch graph for surviving nodes and taken from the update
+        payloads for deleted ones.
+    """
+
+    updates: tuple[Update, ...]
+    touched_nodes: frozenset[NodeId]
+    touched_labels: frozenset[str]
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the batch touched nothing."""
+        return not self.updates
+
+
+def _update_endpoints(update: Update) -> Iterable[NodeId]:
+    """Every node an update names: edge endpoints, the node, carried edges."""
+    if update.is_edge_update:
+        yield update.source
+        yield update.target
+        return
+    yield update.node
+    for edge in update.edges:
+        yield edge[0]
+        yield edge[1]
+
+
+def shared_delta_from_batch(
+    updates: Sequence[Update],
+    affected_sets: Iterable[AffectedSet],
+    data: DataGraph,
+) -> SharedDelta:
+    """Build the :class:`SharedDelta` for a settled batch.
+
+    ``data`` is the *post-batch* graph; labels of nodes the batch deleted
+    are recovered from the deletion payloads instead.
+    """
+    touched: set[NodeId] = set()
+    labels: set[str] = set()
+    for affected in affected_sets:
+        touched.update(affected.nodes)
+    for update in updates:
+        touched.update(_update_endpoints(update))
+        if isinstance(update, (NodeInsertion, NodeDeletion)):
+            labels.update(update.labels)
+    for node in touched:
+        if data.has_node(node):
+            labels.update(data.labels_of(node))
+    return SharedDelta(
+        updates=tuple(updates),
+        touched_nodes=frozenset(touched),
+        touched_labels=frozenset(labels),
+    )
+
+
+def pattern_label_set(pattern: PatternGraph) -> frozenset[str]:
+    """The set of labels a pattern constrains its matches with."""
+    return frozenset(pattern.label_of(node) for node in pattern.nodes())
+
+
+def delta_touches_pattern(delta: SharedDelta, pattern: PatternGraph) -> bool:
+    """Sound skip filter: can ``delta`` have changed ``pattern``'s matches?
+
+    Returns ``False`` only when the match relation (and every match's
+    ranking features) provably did not change: no touched node carries a
+    label the pattern uses.  Erring on the side of ``True`` is always
+    safe — the amendment pass converges to the exact relation from any
+    over-approximation.
+    """
+    if delta.is_empty:
+        return False
+    return bool(delta.touched_labels & pattern_label_set(pattern))

@@ -15,13 +15,18 @@ service layer, crash recovery):
 * :mod:`repro.service.faults` — the deterministic fault-injection
   switchboard (named crash points, torn writes, flaky kernels) the
   durability claims are tested with;
+* :mod:`repro.service.subscriptions` — multi-pattern subscriptions:
+  per-pattern state machines fed by one shared maintenance pass per
+  settle, with push deltas to attached listeners;
 * :mod:`repro.service.service` — the
   :class:`~repro.service.service.StreamingUpdateService` core: staged
   validation, write-ahead journaling, planner-driven batch admission,
   deadline cuts, executor settles with retry/bisect/quarantine,
-  snapshot reads, journal recovery on registration;
+  subscription fan-out, pattern-addressed snapshot reads, journal
+  recovery on registration;
 * :mod:`repro.service.server` — a stdlib JSON-lines TCP front end
-  (``ua-gpnm serve``) with overload refusal and idle timeouts.
+  (``ua-gpnm serve``) with overload refusal, idle timeouts, and the
+  ``subscribe`` / ``notify`` push channel.
 """
 
 from repro.service.delta import DeltaDelete, DeltaError, DeltaInsert, UpdateData
@@ -58,6 +63,15 @@ from repro.service.service import (
     StreamingUpdateService,
     default_algorithm_factory,
 )
+from repro.service.subscriptions import (
+    DEFAULT_PATTERN_ID,
+    PushListener,
+    Subscription,
+    SubscriptionDelta,
+    SubscriptionState,
+    parse_pattern_set,
+    reset_register_deprecation_warning,
+)
 
 __all__ = [
     "ActionQueue",
@@ -74,6 +88,13 @@ __all__ = [
     "StreamingUpdateService",
     "ServiceServer",
     "default_algorithm_factory",
+    "DEFAULT_PATTERN_ID",
+    "PushListener",
+    "Subscription",
+    "SubscriptionDelta",
+    "SubscriptionState",
+    "parse_pattern_set",
+    "reset_register_deprecation_warning",
     "CUT_CROSSOVER",
     "CUT_CAPACITY",
     "CUT_DEADLINE",

@@ -27,8 +27,11 @@ replace and a delete-then-reinsert of a node is a well-formed
 resurrection for the batch compiler.
 
 Only *data*-graph deltas stream through the service (patterns are
-registered, not streamed), so every produced update targets
-:data:`~repro.graph.updates.GraphKind.DATA`.
+subscribed, not streamed), so every produced update targets
+:data:`~repro.graph.updates.GraphKind.DATA`.  A payload carrying a
+``"pattern"`` key is rejected outright with a pointer at the
+subscription API — standing patterns change via ``subscribe`` /
+``unsubscribe``, never mid-stream.
 """
 
 from __future__ import annotations
@@ -177,6 +180,13 @@ class UpdateData:
             _require(
                 isinstance(envelope, Mapping),
                 f"'delta' must be a mapping of inserts/deletes, got {envelope!r}",
+            )
+        for scope in (data, envelope):
+            _require(
+                "pattern" not in scope and "pattern_updates" not in scope,
+                "delta payloads cannot carry pattern changes; standing "
+                "patterns are managed with subscribe/unsubscribe, not "
+                "streamed as updates",
             )
         graph = data.get("graph", default_graph)
         _require(

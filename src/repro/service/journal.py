@@ -31,9 +31,19 @@ File format: one JSON object per line.
 
 .. code-block:: text
 
-    {"t": "snapshot",   "seq": 40, "version": 7, "graph": {...}}
-    {"t": "delta",      "seq": 41, "updates": [{"op": "insert_edge", ...}]}
-    {"t": "checkpoint", "seq": 41, "version": 8, "batch": 5}
+    {"t": "snapshot",    "seq": 40, "version": 7, "graph": {...},
+                         "subscriptions": [{"pattern_id": ..., ...}]}
+    {"t": "delta",       "seq": 41, "updates": [{"op": "insert_edge", ...}]}
+    {"t": "checkpoint",  "seq": 41, "version": 8, "batch": 5}
+    {"t": "subscribe",   "seq": 42, "sub": {"pattern_id": ..., "pattern": {...}}}
+    {"t": "unsubscribe", "seq": 43, "pattern_id": "..."}
+
+Subscriptions are pattern-aware durability: ``subscribe``/``unsubscribe``
+control records ride the same seq counter as deltas, recovery folds them
+(in file order) into the final registry, and compaction embeds the live
+registry in the snapshot record — so standing patterns survive restarts
+without the client re-subscribing.  Journals written before this record
+vocabulary recover with an empty registry.
 
 Replay idempotence is structural: recovery rebuilds state as *snapshot
 base + every delta after it*, exactly once each.  A ``snapshot`` at seq
@@ -186,6 +196,12 @@ class RecoveredState:
         snapshot predates stamping or no snapshot exists.  Recovery
         hands it back to the service so time-travel metadata survives
         compaction.
+    subscriptions:
+        The final standing-pattern registry: one serialized subscription
+        doc per pattern id, in registration order, after folding the
+        snapshot record's embedded registry and every later
+        ``subscribe``/``unsubscribe`` control record in file order.
+        Empty for journals written before subscriptions existed.
     """
 
     def __init__(self) -> None:
@@ -199,6 +215,7 @@ class RecoveredState:
         self.torn_line: bool = False
         self.dropped_duplicates: int = 0
         self.stamps: Optional[dict] = None
+        self.subscriptions: dict[str, dict] = {}
 
     def __repr__(self) -> str:
         return (
@@ -335,6 +352,16 @@ class GraphJournal:
             state.base_version = int(record.get("version", 0))
             stamps = record.get("stamps")
             state.stamps = stamps if isinstance(stamps, dict) else None
+            # The snapshot's embedded registry replaces anything folded
+            # so far — control records before it are inside it.
+            embedded = record.get("subscriptions", [])
+            if not isinstance(embedded, list):
+                raise JournalError(f"snapshot subscriptions must be a list: {record!r}")
+            state.subscriptions = {}
+            for doc in embedded:
+                if not isinstance(doc, dict) or "pattern_id" not in doc:
+                    raise JournalError(f"malformed snapshot subscription {doc!r}")
+                state.subscriptions[doc["pattern_id"]] = doc
             state.checkpoint_seq = max(state.checkpoint_seq, seq)
             state.checkpoint_version = max(state.checkpoint_version, state.base_version)
             # Anything journaled at or before the snapshot is inside it.
@@ -355,6 +382,16 @@ class GraphJournal:
             state.checkpoint_version = max(
                 state.checkpoint_version, int(record.get("version", 0))
             )
+        elif kind == "subscribe":
+            doc = record.get("sub")
+            if not isinstance(doc, dict) or "pattern_id" not in doc:
+                raise JournalError(f"malformed subscribe record {record!r}")
+            state.subscriptions[doc["pattern_id"]] = doc
+        elif kind == "unsubscribe":
+            pattern_id = record.get("pattern_id")
+            if not isinstance(pattern_id, str):
+                raise JournalError(f"malformed unsubscribe record {record!r}")
+            state.subscriptions.pop(pattern_id, None)
         else:
             raise JournalError(f"unknown journal record type {kind!r}")
 
@@ -419,12 +456,48 @@ class GraphJournal:
             del self._pending[pending_seq]
         self.checkpoints += 1
 
+    def append_subscribe(self, doc: dict) -> int:
+        """Durably record a new standing pattern; returns the record seq.
+
+        ``doc`` is the serialized subscription
+        (:meth:`repro.service.subscriptions.Subscription.to_doc`).  The
+        record shares the delta seq counter so recovery sees one total
+        order; it is not part of the compaction tail — the snapshot
+        record embeds the registry instead.
+        """
+        self._ensure_open()
+        if not isinstance(doc, dict) or "pattern_id" not in doc:
+            raise JournalError(f"subscription doc lacks a pattern_id: {doc!r}")
+        return self._append_control({"t": "subscribe", "sub": doc})
+
+    def append_unsubscribe(self, pattern_id: str) -> int:
+        """Durably record a standing pattern's removal; returns the seq."""
+        self._ensure_open()
+        return self._append_control({"t": "unsubscribe", "pattern_id": pattern_id})
+
+    def _append_control(self, record: dict) -> int:
+        """fsync-append one control record with the next seq."""
+        seq = self._next_seq
+        record = {**record, "seq": seq}
+        payload = (json.dumps(record) + "\n").encode("utf-8")
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._next_seq = seq + 1
+        self._bytes += len(payload)
+        self.appends += 1
+        return seq
+
     def should_compact(self) -> bool:
         """Whether the log is both oversized and compactable."""
         return self._bytes > self.compact_bytes and self._checkpoint_seq > self._base_seq
 
     def compact(
-        self, graph: DataGraph, version: int, stamps: Optional[dict] = None
+        self,
+        graph: DataGraph,
+        version: int,
+        stamps: Optional[dict] = None,
+        subscriptions: Optional[list[dict]] = None,
     ) -> None:
         """Atomically rewrite the log as snapshot + uncheckpointed tail.
 
@@ -436,6 +509,9 @@ class GraphJournal:
         lifetime history (``GraphHistory.to_doc``) in the snapshot
         record so time-travel metadata survives compaction; old
         journals without it recover with ``stamps=None``.
+        ``subscriptions`` embeds the live standing-pattern registry (the
+        serialized docs, in registration order) so subscriptions survive
+        the rewrite that drops their control records.
         """
         self._ensure_open()
         snapshot_record = {
@@ -446,6 +522,8 @@ class GraphJournal:
         }
         if stamps is not None:
             snapshot_record["stamps"] = stamps
+        if subscriptions is not None:
+            snapshot_record["subscriptions"] = subscriptions
         lines = [json.dumps(snapshot_record)]
         for seq in sorted(self._pending):
             lines.append(json.dumps({"t": "delta", "seq": seq, "updates": self._pending[seq]}))

@@ -22,11 +22,39 @@ beyond the standard library:
     -> {"op": "stats", "graph": "g"}          / {"op": "graphs"} / {"op": "ping"}
     <- {"ok": true, ...}
 
+Reads are *pattern-addressed*: ``matches`` and ``top-k`` accept an
+optional ``"pattern_id"`` naming one of the graph's standing patterns
+(omitted, they resolve the ``"default"`` pattern the single-pattern
+registration shim binds).
+
+``subscribe`` attaches a standing pattern — and this connection — to
+the push channel; after every settle that changes the pattern's
+matches (or its standing top-``k``), the server pushes one
+``{"kind": "notify", ...}`` line, interleaved with regular responses:
+
+    -> {"op": "subscribe", "graph": "g", "pattern_id": "fraud",
+        "pattern": {"nodes": [...], "edges": [...]}, "k": 3}
+    <- {"ok": true, "graph": "g", "pattern_id": "fraud", "version": 4}
+    ...
+    <- {"kind": "notify", "graph": "g", "pattern_id": "fraud",
+        "version": 5, "added": {"p0": ["u9"]}, "removed": {}, "top_k": ...}
+
+Omit ``"pattern"`` to attach to an already-subscribed pattern id
+without (re)defining it.  ``unsubscribe`` detaches this connection;
+with ``"drop": true`` it also removes the standing pattern from the
+service (affecting every client):
+
+    -> {"op": "unsubscribe", "graph": "g", "pattern_id": "fraud"}
+    <- {"ok": true, "graph": "g", "pattern_id": "fraud",
+        "detached": true, "dropped": false}
+
 Failures come back as ``{"ok": false, "error": "..."}`` on the same
 line; a malformed line never kills the connection.  ``update`` requests
 ride the service's per-graph serialized queues, so two clients writing
 to one graph are ordered exactly as their requests are read; read
-requests answer from the last settled snapshot immediately.
+requests answer from the last settled snapshot immediately.  Pushed
+``notify`` lines and request responses are serialized per connection,
+so lines never interleave mid-JSON.
 
 Two protection mechanisms keep a slow consumer (of settles) or an idle
 producer from degrading the whole server:
@@ -49,8 +77,10 @@ import json
 import math
 from typing import Optional
 
+from repro.graph.io import pattern_graph_from_dict
 from repro.service.delta import DeltaError
 from repro.service.service import ServiceError, StreamingUpdateService
+from repro.service.subscriptions import SubscriptionDelta
 from repro.versioning import VersionExpiredError
 
 #: Upper bound on one request line (protects the reader from unbounded
@@ -59,6 +89,23 @@ MAX_LINE_BYTES: int = 1 << 20
 
 #: Default cap on a graph's backlog before updates are refused.
 DEFAULT_MAX_PENDING: int = 4096
+
+
+class _Connection:
+    """Per-connection state: the writer, its lock, and attached pushes.
+
+    The lock serializes pushed ``notify`` lines with request responses
+    on one socket; ``listeners`` maps ``(graph, pattern_id)`` to the
+    service-side detach token so the connection's push attachments are
+    cleaned up on disconnect.
+    """
+
+    __slots__ = ("writer", "lock", "listeners")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.listeners: dict[tuple[str, str], int] = {}
 
 
 class ServiceServer:
@@ -134,6 +181,7 @@ class ServiceServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
+        connection = _Connection(writer)
         try:
             while True:
                 try:
@@ -144,13 +192,14 @@ class ServiceServer:
                     else:
                         line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    await self._reply(writer, {"ok": False, "error": "request line too long"})
+                    await self._reply(connection, {"ok": False, "error": "request line too long"})
                     break
                 except asyncio.TimeoutError:
                     self.idle_closes += 1
                     try:
                         await self._reply(
-                            writer, {"ok": False, "error": "idle timeout", "idle_timeout": True}
+                            connection,
+                            {"ok": False, "error": "idle timeout", "idle_timeout": True},
                         )
                     except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                         pass
@@ -160,11 +209,12 @@ class ServiceServer:
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
                     continue
-                response = await self._dispatch(text)
-                await self._reply(writer, response)
+                response = await self._dispatch(text, connection)
+                await self._reply(connection, response)
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
+            self._detach_connection(connection)
             self._connections.discard(writer)
             writer.close()
             try:
@@ -172,12 +222,41 @@ class ServiceServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    @staticmethod
-    async def _reply(writer: asyncio.StreamWriter, response: dict) -> None:
-        writer.write(json.dumps(response).encode("utf-8") + b"\n")
-        await writer.drain()
+    def _detach_connection(self, connection: _Connection) -> None:
+        """Drop every push attachment the connection holds."""
+        for (key, pattern_id), token in connection.listeners.items():
+            self.service.detach_listener(key, pattern_id, token)
+        connection.listeners.clear()
 
-    async def _dispatch(self, text: str) -> dict:
+    @staticmethod
+    async def _reply(connection: _Connection, response: dict) -> None:
+        async with connection.lock:
+            connection.writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await connection.writer.drain()
+
+    def _push_listener(self, connection: _Connection) -> "callable":
+        """A service push listener that writes ``notify`` lines here.
+
+        The service calls listeners synchronously on the event loop and
+        requires them not to block, so the actual socket write happens
+        in a spawned task (serialized with responses by the
+        connection's lock).
+        """
+
+        def listener(delta: SubscriptionDelta) -> None:
+            asyncio.get_running_loop().create_task(
+                self._push(connection, delta.to_doc())
+            )
+
+        return listener
+
+    async def _push(self, connection: _Connection, doc: dict) -> None:
+        try:
+            await self._reply(connection, doc)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def _dispatch(self, text: str, connection: _Connection) -> dict:
         try:
             request = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -190,7 +269,7 @@ class ServiceServer:
             known = ", ".join(sorted(self._HANDLERS))
             return {"ok": False, "error": f"unknown op {op!r}; expected one of: {known}"}
         try:
-            return await handler(self, request)
+            return await handler(self, request, connection)
         except VersionExpiredError as exc:
             # Time-travel reads outside the retained window fail loudly
             # and distinguishably: clients asked for history the server
@@ -218,7 +297,19 @@ class ServiceServer:
             raise ServiceError("'as_of' must be an integer snapshot version")
         return as_of
 
-    async def _op_update(self, request: dict) -> dict:
+    @staticmethod
+    def _pattern_id(request: dict, *, required: bool = False) -> "Optional[str]":
+        """The optional (or required) ``pattern_id`` of a request."""
+        pattern_id = request.get("pattern_id")
+        if pattern_id is None:
+            if required:
+                raise ServiceError("request needs a 'pattern_id' key")
+            return None
+        if not isinstance(pattern_id, str) or not pattern_id:
+            raise ServiceError("'pattern_id' must be a non-empty string")
+        return pattern_id
+
+    async def _op_update(self, request: dict, connection: _Connection) -> dict:
         key = self._graph_key(request)
         if self.service.backlog(key) >= self.max_pending:
             # Refuse rather than queue without bound: the client owns
@@ -241,14 +332,17 @@ class ServiceServer:
             "errors": list(receipt.errors),
         }
 
-    async def _op_matches(self, request: dict) -> dict:
+    async def _op_matches(self, request: dict, connection: _Connection) -> dict:
         key = self._graph_key(request)
         as_of = self._as_of(request)
+        pattern_id = self._pattern_id(request)
         pattern_node = request.get("pattern_node")
         if pattern_node is not None:
-            matched = self.service.matches(key, pattern_node, as_of=as_of)
+            matched = self.service.matches(
+                key, pattern_node, as_of=as_of, pattern_id=pattern_id
+            )
             return {"ok": True, "matches": sorted(str(node) for node in matched)}
-        all_matches = self.service.matches(key, as_of=as_of)
+        all_matches = self.service.matches(key, as_of=as_of, pattern_id=pattern_id)
         return {
             "ok": True,
             "matches": {
@@ -257,11 +351,15 @@ class ServiceServer:
             },
         }
 
-    async def _op_top_k(self, request: dict) -> dict:
+    async def _op_top_k(self, request: dict, connection: _Connection) -> dict:
         key = self._graph_key(request)
         k = int(request.get("k", 10))
         ranked = self.service.top_k(
-            key, k, pattern_node=request.get("pattern_node"), as_of=self._as_of(request)
+            key,
+            k,
+            pattern_node=request.get("pattern_node"),
+            as_of=self._as_of(request),
+            pattern_id=self._pattern_id(request),
         )
         return {
             "ok": True,
@@ -274,7 +372,52 @@ class ServiceServer:
             },
         }
 
-    async def _op_slen(self, request: dict) -> dict:
+    async def _op_subscribe(self, request: dict, connection: _Connection) -> dict:
+        key = self._graph_key(request)
+        pattern_id = self._pattern_id(request, required=True)
+        pattern_doc = request.get("pattern")
+        if pattern_doc is not None:
+            k = request.get("k")
+            if k is not None and (isinstance(k, bool) or not isinstance(k, int) or k < 1):
+                raise ServiceError("'k' must be a positive integer when given")
+            await self.service.subscribe(
+                key,
+                pattern_id,
+                pattern_graph_from_dict(pattern_doc),
+                k=k,
+                replace=bool(request.get("replace", False)),
+            )
+        if (key, pattern_id) not in connection.listeners:
+            token = self.service.attach_listener(
+                key, pattern_id, self._push_listener(connection)
+            )
+            connection.listeners[(key, pattern_id)] = token
+        return {
+            "ok": True,
+            "graph": key,
+            "pattern_id": pattern_id,
+            "version": self.service.snapshot(key).version,
+        }
+
+    async def _op_unsubscribe(self, request: dict, connection: _Connection) -> dict:
+        key = self._graph_key(request)
+        pattern_id = self._pattern_id(request, required=True)
+        token = connection.listeners.pop((key, pattern_id), None)
+        detached = False
+        if token is not None:
+            detached = self.service.detach_listener(key, pattern_id, token)
+        dropped = False
+        if request.get("drop"):
+            dropped = await self.service.unsubscribe(key, pattern_id)
+        return {
+            "ok": True,
+            "graph": key,
+            "pattern_id": pattern_id,
+            "detached": detached,
+            "dropped": dropped,
+        }
+
+    async def _op_slen(self, request: dict, connection: _Connection) -> dict:
         key = self._graph_key(request)
         distance = self.service.slen_distance(
             key, request["source"], request["target"], as_of=self._as_of(request)
@@ -282,20 +425,22 @@ class ServiceServer:
         finite = not (isinstance(distance, float) and math.isinf(distance))
         return {"ok": True, "distance": int(distance) if finite else None}
 
-    async def _op_stats(self, request: dict) -> dict:
+    async def _op_stats(self, request: dict, connection: _Connection) -> dict:
         key = self._graph_key(request)
         return {"ok": True, **self.service.stats(key)}
 
-    async def _op_graphs(self, request: dict) -> dict:
+    async def _op_graphs(self, request: dict, connection: _Connection) -> dict:
         return {"ok": True, "graphs": list(self.service.graphs)}
 
-    async def _op_ping(self, request: dict) -> dict:
+    async def _op_ping(self, request: dict, connection: _Connection) -> dict:
         return {"ok": True, "pong": True}
 
     _HANDLERS = {
         "update": _op_update,
         "matches": _op_matches,
         "top-k": _op_top_k,
+        "subscribe": _op_subscribe,
+        "unsubscribe": _op_unsubscribe,
         "slen": _op_slen,
         "stats": _op_stats,
         "graphs": _op_graphs,

@@ -37,12 +37,28 @@ continuously-available — and, with a journal directory configured,
   :class:`~repro.service.journal.DeadLetterJournal` while every
   innocent delta settles normally.  Reads keep answering from the last
   good snapshot throughout.
+* **Subscriptions** — a graph session binds *any number* of standing
+  patterns, not one: :meth:`~StreamingUpdateService.subscribe` /
+  :meth:`~StreamingUpdateService.unsubscribe` manage the registry, each
+  subscription owning its own match relation and optional top-k.  A
+  settle runs the pattern-independent work (graph application, ``SLen``
+  maintenance, affected-region computation) **once** through the
+  session's single engine, then fans the resulting
+  :class:`~repro.matching.shared.SharedDelta` out to every
+  subscription: a sound label-intersection filter skips untouched
+  patterns, touched ones get one amendment pass.  Subscriptions are
+  journaled (they ride compaction and recover on restart) and each
+  settle pushes per-pattern match/top-k deltas to attached listeners.
+  The legacy one-pattern :meth:`register_graph` remains as a
+  deprecated shim over ``register`` + ``subscribe`` under the
+  ``"default"`` pattern id.
 * **Reads** — :meth:`~StreamingUpdateService.matches`,
   :meth:`~StreamingUpdateService.top_k` and
   :meth:`~StreamingUpdateService.slen_distance` answer from the last
-  published snapshot.  They are plain synchronous methods that never
-  enter the action queue, so a read never blocks behind an in-flight
-  settle.
+  published snapshot, addressed by ``(key, pattern_id)`` (``None``
+  resolves to the default pattern for backward compatibility).  They
+  are plain synchronous methods that never enter the action queue, so
+  a read never blocks behind an in-flight settle.
 * **Shutdown** — :meth:`~StreamingUpdateService.drain` cuts every
   non-empty buffer and waits for all queues to go quiescent;
   :meth:`~StreamingUpdateService.close` then stops the workers.  Every
@@ -58,6 +74,7 @@ import asyncio
 import functools
 import logging
 from collections import Counter
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
@@ -83,7 +100,7 @@ from repro.graph.updates import (
     UpdateBatch,
     UpdateError,
 )
-from repro.matching import MatchResult, RankedMatch, top_k_matches
+from repro.matching import MatchResult, RankedMatch, amend_match, top_k_matches
 from repro.service.delta import DeltaError, UpdateData
 from repro.service.faults import (
     MID_SETTLE,
@@ -99,6 +116,14 @@ from repro.service.journal import (
     journal_slug,
 )
 from repro.service.queue import ActionScheduler, QueueClosedError
+from repro.service.subscriptions import (
+    DEFAULT_PATTERN_ID,
+    PushListener,
+    Subscription,
+    SubscriptionEvent,
+    SubscriptionState,
+    warn_register_graph_deprecated,
+)
 from repro.partition.label_partition import LabelPartition
 from repro.spl.matrix import SLenMatrix
 from repro.versioning import (
@@ -172,6 +197,15 @@ class ServiceConfig:
         the :class:`~repro.versioning.store.VersionStore` (reads of them
         raise :class:`~repro.versioning.store.VersionExpiredError`), but
         stay alive for readers that already pinned them.
+    max_subscriptions:
+        Cap on standing patterns per graph session.  The marginal cost
+        of a subscription is one filter + amendment per settle, but the
+        cap keeps a misbehaving client from degrading every settle on
+        the graph.
+    push_notifications:
+        Whether settles produce per-pattern push deltas for attached
+        listeners (library callbacks and TCP ``subscribe`` clients).
+        Off, subscriptions still settle and serve reads — clients poll.
     """
 
     deadline_seconds: float = 0.05
@@ -190,6 +224,8 @@ class ServiceConfig:
     settle_backoff_seconds: float = 0.05
     settle_backoff_cap_seconds: float = 1.0
     snapshot_history: int = DEFAULT_SNAPSHOT_HISTORY
+    max_subscriptions: int = 64
+    push_notifications: bool = True
 
     def __post_init__(self) -> None:
         if self.deadline_seconds < 0:
@@ -212,6 +248,8 @@ class ServiceConfig:
             raise ValueError("settle backoff values must be non-negative")
         if self.snapshot_history < 1:
             raise ValueError("snapshot_history must retain at least one version")
+        if self.max_subscriptions < 1:
+            raise ValueError("max_subscriptions must allow at least one pattern")
 
     @classmethod
     def from_experiment(cls, config) -> "ServiceConfig":
@@ -229,6 +267,8 @@ class ServiceConfig:
             journal_dir=config.journal_dir,
             settle_retries=config.service_settle_retries,
             snapshot_history=config.service_snapshot_history,
+            max_subscriptions=config.service_max_subscriptions,
+            push_notifications=config.service_push_notifications,
         )
 
 
@@ -244,14 +284,46 @@ class GraphSnapshot:
     live state instead of deep-copying the whole grid.  ``partition``
     carries the label partition pinned with the same version (``None``
     when partitioned maintenance is off or its cache was cold).
+
+    Snapshots are *pattern-aware*: ``subscriptions`` maps each standing
+    pattern id to its frozen
+    :class:`~repro.service.subscriptions.SubscriptionState` (pattern +
+    match result + optional top-k), all sharing this one ``(data,
+    slen)`` pair.  The legacy single-pattern accessors ``result`` /
+    ``pattern`` resolve the ``"default"`` subscription the
+    :meth:`StreamingUpdateService.register_graph` shim binds.
     """
 
     version: int
-    result: MatchResult
-    pattern: PatternGraph
     data: DataGraph
     slen: SLenMatrix
+    subscriptions: Mapping[str, SubscriptionState] = field(default_factory=dict)
     partition: Optional[LabelPartition] = None
+
+    def state_for(self, pattern_id: Optional[str] = None) -> SubscriptionState:
+        """The subscription state for ``pattern_id`` (``None`` = default)."""
+        resolved = DEFAULT_PATTERN_ID if pattern_id is None else pattern_id
+        try:
+            return self.subscriptions[resolved]
+        except KeyError:
+            raise ServiceError(
+                f"no subscription {resolved!r} in snapshot version {self.version}"
+            ) from None
+
+    @property
+    def pattern_ids(self) -> tuple[str, ...]:
+        """The subscribed pattern ids (registration order)."""
+        return tuple(self.subscriptions)
+
+    @property
+    def result(self) -> MatchResult:
+        """The default subscription's match result (legacy accessor)."""
+        return self.state_for().result
+
+    @property
+    def pattern(self) -> PatternGraph:
+        """The default subscription's pattern (legacy accessor)."""
+        return self.state_for().pattern
 
 
 @dataclass(frozen=True)
@@ -323,6 +395,18 @@ class _GraphSession:
     history: GraphHistory = field(default_factory=GraphHistory)
     #: Cumulative wall time spent building + publishing snapshots.
     publish_seconds: float = 0.0
+    #: Standing patterns, ``pattern_id`` → live state (subscribe order).
+    subscriptions: dict[str, Subscription] = field(default_factory=dict)
+    #: Shared-maintenance accounting.  A settle bumps the first two
+    #: exactly once no matter how many patterns are subscribed — the
+    #: acceptance criterion of shared maintenance — while the fan-out
+    #: counters split per-pattern work into amendments vs. provable
+    #: skips.
+    maintenance_passes: int = 0
+    slen_update_passes: int = 0
+    fanout_amend_passes: int = 0
+    fanout_skips: int = 0
+    notifications_sent: int = 0
 
 
 #: Builds the per-graph algorithm; injectable for tests (e.g. a slow
@@ -382,19 +466,25 @@ class StreamingUpdateService:
     # ------------------------------------------------------------------
     # Registration and recovery
     # ------------------------------------------------------------------
-    async def register_graph(
-        self, key: str, pattern: PatternGraph, data: DataGraph
-    ) -> GraphSnapshot:
-        """Register ``key``, run its initial query, recover its journal.
+    async def register(self, key: str, data: DataGraph) -> GraphSnapshot:
+        """Register ``key``, prepare its engine, recover its journal.
+
+        Registration binds no pattern: standing patterns are attached
+        afterwards with :meth:`subscribe`.  The session's single engine
+        is built over an *empty* pattern — it exists to run the shared
+        per-batch work (graph application, ``SLen`` maintenance,
+        affected-region computation) that every subscription then
+        consumes.
 
         With :attr:`ServiceConfig.journal_dir` set, an existing journal
         for ``key`` takes precedence over ``data``: its compaction
-        snapshot (when present) becomes the base graph, and the
-        uncheckpointed delta tail is replayed through the normal
-        admission path before this coroutine returns (replayed batches
-        may still be settling; :meth:`drain` flushes them).  Returns
-        the initial snapshot.  Raises :class:`ServiceError` on a
-        duplicate key.
+        snapshot (when present) becomes the base graph, subscriptions
+        recorded in the journal are restored (their relations recomputed
+        against the recovered graph), and the uncheckpointed delta tail
+        is replayed through the normal admission path before this
+        coroutine returns (replayed batches may still be settling;
+        :meth:`drain` flushes them).  Returns the initial snapshot.
+        Raises :class:`ServiceError` on a duplicate key.
         """
         self._ensure_open()
         if key in self._sessions:
@@ -420,11 +510,17 @@ class StreamingUpdateService:
                 if recovered.base_graph is not None:
                     data = recovered.base_graph
             algorithm = await loop.run_in_executor(
-                None, self._factory, pattern, data, self.config, self.telemetry
+                None, self._factory, PatternGraph(), data, self.config, self.telemetry
             )
             base_version = recovered.checkpoint_version if recovered is not None else 0
+            restored: dict[str, Subscription] = {}
+            if recovered is not None and recovered.subscriptions:
+                restored = {
+                    pattern_id: Subscription.from_doc(doc)
+                    for pattern_id, doc in recovered.subscriptions.items()
+                }
             snapshot = await loop.run_in_executor(
-                None, self._initial_snapshot, algorithm, base_version
+                None, self._initial_snapshot, algorithm, base_version, restored
             )
         except BaseException:
             if journal is not None:
@@ -439,6 +535,7 @@ class StreamingUpdateService:
             journal=journal,
             dead_letter=dead_letter,
             versions=VersionStore(self.config.snapshot_history),
+            subscriptions=restored,
         )
         session.versions.publish(snapshot)
         if recovered is not None and recovered.stamps is not None:
@@ -461,15 +558,48 @@ class StreamingUpdateService:
                 )
         return session.snapshot
 
+    async def register_graph(
+        self, key: str, pattern: PatternGraph, data: DataGraph
+    ) -> GraphSnapshot:
+        """Deprecated single-pattern registration (shim).
+
+        Equivalent to :meth:`register` followed by :meth:`subscribe`
+        under the ``"default"`` pattern id, which is what every
+        pattern-unaddressed read resolves; returns the snapshot with the
+        default subscription bound.  Journal recovery still works: if
+        the recovered journal already holds a ``"default"``
+        subscription with the same pattern, the re-subscribe is an
+        idempotent no-op.  Emits a :class:`DeprecationWarning` once per
+        process.
+        """
+        warn_register_graph_deprecated()
+        await self.register(key, data)
+        await self.subscribe(key, DEFAULT_PATTERN_ID, pattern, replace=True)
+        return self._session(key).snapshot
+
     @staticmethod
-    def _initial_snapshot(algorithm: GPNMAlgorithm, version: int = 0) -> GraphSnapshot:
+    def _initial_snapshot(
+        algorithm: GPNMAlgorithm,
+        version: int = 0,
+        subscriptions: Optional[Mapping[str, Subscription]] = None,
+    ) -> GraphSnapshot:
+        """Build a registration/rebuild snapshot from a fresh engine.
+
+        Each subscription's relation is recomputed from scratch against
+        the forked state — registration and quarantine rebuilds have no
+        previous relation worth amending from.
+        """
         data, slen, partition = algorithm.fork_state()
+        states: dict[str, SubscriptionState] = {}
+        if subscriptions:
+            for pattern_id, subscription in subscriptions.items():
+                subscription.recompute(data, slen)
+                states[pattern_id] = subscription.state(data, slen)
         return GraphSnapshot(
             version=version,
-            result=algorithm.initial_result,
-            pattern=algorithm.pattern,
             data=data,
             slen=slen,
+            subscriptions=states,
             partition=partition,
         )
 
@@ -477,6 +607,180 @@ class StreamingUpdateService:
     def graphs(self) -> tuple[str, ...]:
         """The registered graph keys (registration order)."""
         return tuple(key for key, session in self._sessions.items() if session is not None)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    async def subscribe(
+        self,
+        key: str,
+        pattern_id: str,
+        pattern: PatternGraph,
+        k: Optional[int] = None,
+        *,
+        replace: bool = False,
+    ) -> SubscriptionState:
+        """Attach a standing pattern to ``key``; returns its initial state.
+
+        Runs as an action on the graph's serialized queue, so it never
+        interleaves with a settle: the subscription's relation is
+        computed against the last published snapshot (value-equal to
+        the live engine state between settles) and the snapshot is
+        republished *at the same version* with the new pattern bound —
+        subscribing is not a settle and does not advance time.  With a
+        journal configured the subscription is durably recorded first
+        and rides compaction, so it survives restarts.  ``k`` arms the
+        subscription's standing top-``k`` ranking (pushed with match
+        deltas to attached listeners).  Raises :class:`ServiceError` on
+        a duplicate ``pattern_id`` unless ``replace`` is given, and
+        when the graph is at :attr:`ServiceConfig.max_subscriptions`.
+        """
+        session = self._session(key)
+        subscription = Subscription(pattern_id, pattern, k=k)
+        return await self._scheduler.schedule(
+            key, functools.partial(self._subscribe, session, subscription, replace)
+        )
+
+    async def _subscribe(
+        self, session: _GraphSession, subscription: Subscription, replace: bool
+    ) -> SubscriptionState:
+        """Queue action: journal, bind, and republish one subscription."""
+        pattern_id = subscription.pattern_id
+        existing = session.subscriptions.get(pattern_id)
+        if existing is not None:
+            if not replace:
+                raise ServiceError(
+                    f"graph {session.key!r} already has subscription {pattern_id!r}"
+                )
+            if existing.to_doc() == subscription.to_doc():
+                # Idempotent re-subscribe (the register_graph shim after
+                # journal recovery): keep the live relation + listeners.
+                return session.snapshot.state_for(pattern_id)
+            for listener in existing.listeners:
+                subscription.attach(listener)
+        elif len(session.subscriptions) >= self.config.max_subscriptions:
+            raise ServiceError(
+                f"graph {session.key!r} is at its subscription cap "
+                f"({self.config.max_subscriptions})"
+            )
+        loop = asyncio.get_running_loop()
+        if session.journal is not None:
+            await loop.run_in_executor(
+                None, session.journal.append_subscribe, subscription.to_doc()
+            )
+        return await loop.run_in_executor(
+            None, self._bind_subscription, session, subscription
+        )
+
+    @staticmethod
+    def _bind_subscription(
+        session: _GraphSession, subscription: Subscription
+    ) -> SubscriptionState:
+        """Executor-side: compute the relation and republish the snapshot."""
+        snapshot = session.snapshot
+        subscription.recompute(snapshot.data, snapshot.slen)
+        state = subscription.state(snapshot.data, snapshot.slen)
+        session.subscriptions[subscription.pattern_id] = subscription
+        states = dict(snapshot.subscriptions)
+        states[subscription.pattern_id] = state
+        session.snapshot = StreamingUpdateService._republish(session, states)
+        return state
+
+    async def unsubscribe(self, key: str, pattern_id: str) -> bool:
+        """Detach a standing pattern; ``True`` when it was subscribed.
+
+        Serialized on the graph's queue: an unsubscribe issued while a
+        settle is in flight takes effect right after it, so the pattern
+        receives that settle's delta (its listeners were attached when
+        the settle published) and nothing afterwards.  Journaled, so
+        the pattern stays gone across restarts.
+        """
+        session = self._session(key)
+        return await self._scheduler.schedule(
+            key, functools.partial(self._unsubscribe, session, pattern_id)
+        )
+
+    async def _unsubscribe(self, session: _GraphSession, pattern_id: str) -> bool:
+        """Queue action: drop the subscription, journal, republish."""
+        if pattern_id not in session.subscriptions:
+            return False
+        del session.subscriptions[pattern_id]
+        if session.journal is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, session.journal.append_unsubscribe, pattern_id
+            )
+        states = {
+            pid: state
+            for pid, state in session.snapshot.subscriptions.items()
+            if pid != pattern_id
+        }
+        session.snapshot = self._republish(session, states)
+        return True
+
+    @staticmethod
+    def _republish(
+        session: _GraphSession, states: Mapping[str, SubscriptionState]
+    ) -> GraphSnapshot:
+        """Replace the latest snapshot in place with new subscription states.
+
+        Subscribe/unsubscribe change *which* patterns are bound, not
+        the graph: the data, SLen and partition are reused and the
+        version is unchanged (the version store supports replacing the
+        latest version, the same mechanism quarantine rebuilds use).
+        """
+        old = session.snapshot
+        snapshot = GraphSnapshot(
+            version=old.version,
+            data=old.data,
+            slen=old.slen,
+            subscriptions=dict(states),
+            partition=old.partition,
+        )
+        session.versions.publish(snapshot)
+        return snapshot
+
+    def attach_listener(self, key: str, pattern_id: str, listener: PushListener) -> int:
+        """Attach a push listener to a subscription; returns a detach token.
+
+        The listener is called on the service's event loop with one
+        :class:`~repro.service.subscriptions.SubscriptionDelta` after
+        each settle that changed the subscription's matches or ranking
+        (when :attr:`ServiceConfig.push_notifications` is on).  It must
+        not block; a raising listener is logged and skipped.
+        """
+        session = self._session(key)
+        subscription = session.subscriptions.get(pattern_id)
+        if subscription is None:
+            raise ServiceError(f"graph {key!r} has no subscription {pattern_id!r}")
+        return subscription.attach(listener)
+
+    def detach_listener(self, key: str, pattern_id: str, token: int) -> bool:
+        """Detach a push listener; ``True`` when it was attached.
+
+        Tolerates the graph or subscription having gone away — the TCP
+        front end detaches on disconnect, which can race an
+        unsubscribe.
+        """
+        session = self._sessions.get(key)
+        if session is None:
+            return False
+        subscription = session.subscriptions.get(pattern_id)
+        if subscription is None:
+            return False
+        return subscription.detach(token)
+
+    def subscription_docs(self, key: str) -> dict[str, dict]:
+        """The standing patterns on ``key`` with per-pattern counters."""
+        session = self._session(key)
+        docs: dict[str, dict] = {}
+        for pattern_id, subscription in session.subscriptions.items():
+            doc = subscription.to_doc()
+            doc["amend_passes"] = subscription.amend_passes
+            doc["skipped_settles"] = subscription.skipped_settles
+            doc["notifications"] = subscription.notifications
+            doc["listeners"] = len(subscription.listeners)
+            docs[pattern_id] = doc
+        return docs
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -697,6 +1001,9 @@ class StreamingUpdateService:
                         session.snapshot.data,
                         session.snapshot.version,
                         stamps=session.history.to_doc(),
+                        subscriptions=[
+                            sub.to_doc() for sub in session.subscriptions.values()
+                        ],
                     ),
                 )
 
@@ -755,8 +1062,8 @@ class StreamingUpdateService:
         """
         loop = asyncio.get_running_loop()
         try:
-            outcome = await loop.run_in_executor(
-                None, session.algorithm.subsequent_query, batch
+            events = await loop.run_in_executor(
+                None, self._execute_settle, session, batch
             )
         except Exception:
             session.settle_failures += 1
@@ -767,7 +1074,7 @@ class StreamingUpdateService:
         self._faults.hit(MID_SETTLE)
         publish_started = loop.time()
         snapshot = await loop.run_in_executor(
-            None, self._settled_snapshot, session, outcome.result
+            None, self._settled_snapshot, session, events
         )
         session.versions.publish(snapshot)
         session.history.record(batch, snapshot.version)
@@ -775,6 +1082,121 @@ class StreamingUpdateService:
         session.publish_seconds += loop.time() - publish_started
         session.settles += 1
         session.settled += len(batch)
+        self._notify(session, events, snapshot.version)
+
+    def _execute_settle(
+        self, session: _GraphSession, batch: UpdateBatch
+    ) -> list[SubscriptionEvent]:
+        """Executor-side settle body: shared maintenance, then fan-out.
+
+        The pattern-independent work — applying the batch, maintaining
+        ``SLen``, computing the affected region — runs **once** through
+        the session's single engine (``subsequent_query``).  Every
+        subscription then pays only its own share: the sound
+        label-intersection filter, and (when the pattern may have been
+        touched) one amendment pass over the shared delta's update
+        stream against the engine's post-batch state.  A subscription
+        the filter clears republishes its previous state unchanged —
+        the skip is provably lossless, see
+        :func:`~repro.matching.shared.delta_touches_pattern`.
+        """
+        session.algorithm.subsequent_query(batch)
+        session.maintenance_passes += 1
+        session.slen_update_passes += 1
+        if not session.subscriptions:
+            return []
+        shared = getattr(session.algorithm, "last_shared_delta", None)
+        data, slen = self._live_state(session.algorithm)
+        # The shared delta carries the *maintained* (possibly compiled)
+        # update stream — same net effect as the raw batch.  An engine
+        # that exposes none (a test double wrapping subsequent_query)
+        # falls back to the raw data updates and amends every pattern.
+        updates = shared.updates if shared is not None else tuple(batch.data_updates())
+        previous = session.snapshot.subscriptions
+        events: list[SubscriptionEvent] = []
+        for pattern_id, subscription in session.subscriptions.items():
+            prev_state = previous.get(pattern_id)
+            if prev_state is not None and not subscription.touched_by(shared):
+                subscription.skipped_settles += 1
+                session.fanout_skips += 1
+                events.append(
+                    SubscriptionEvent(
+                        subscription=subscription,
+                        state=prev_state,
+                        previous=prev_state,
+                        amended=False,
+                    )
+                )
+                continue
+            subscription.relation = amend_match(
+                subscription.relation,
+                subscription.pattern,
+                data,
+                slen,
+                updates,
+                enforce_totality=False,
+            )
+            subscription.amend_passes += 1
+            session.fanout_amend_passes += 1
+            events.append(
+                SubscriptionEvent(
+                    subscription=subscription,
+                    state=subscription.state(data, slen),
+                    previous=prev_state,
+                    amended=True,
+                )
+            )
+        return events
+
+    @staticmethod
+    def _live_state(algorithm: GPNMAlgorithm) -> tuple[DataGraph, SLenMatrix]:
+        """The engine's post-batch ``(data, slen)`` for fan-out amendment.
+
+        Borrowed references when the engine exposes them (cheap; safe
+        because settles are serialized on the graph's queue), a forked
+        copy otherwise.
+        """
+        shared_state = getattr(algorithm, "shared_state", None)
+        if shared_state is not None:
+            return shared_state()
+        data, slen, _ = algorithm.fork_state()
+        return data, slen
+
+    def _notify(
+        self,
+        session: _GraphSession,
+        events: Iterable[SubscriptionEvent],
+        version: int,
+    ) -> None:
+        """Push one settle's per-pattern deltas to attached listeners.
+
+        Runs on the event loop after the snapshot is published, so a
+        listener that immediately reads sees the state its delta
+        describes.  Listener exceptions are logged and swallowed — a
+        broken client must not fail the settle.
+        """
+        if not self.config.push_notifications:
+            return
+        for event in events:
+            if not event.amended:
+                continue
+            listeners = event.subscription.listeners
+            if not listeners:
+                continue
+            delta = event.delta(session.key, version)
+            if delta.is_empty:
+                continue
+            event.subscription.notifications += 1
+            session.notifications_sent += 1
+            for listener in listeners:
+                try:
+                    listener(delta)
+                except Exception:  # noqa: BLE001 - listener bugs must not kill settles
+                    logger.exception(
+                        "graph %r: push listener for %r failed",
+                        session.key,
+                        event.subscription.pattern_id,
+                    )
 
     async def _bisect(
         self,
@@ -833,39 +1255,46 @@ class StreamingUpdateService:
 
         A failed ``subsequent_query`` may leave the algorithm's graph,
         SLen and match state arbitrarily half-mutated; the only sound
-        recovery is a fresh initial query on the pre-attempt state.  The
-        published snapshot is re-pointed at the rebuilt objects (and
+        recovery is a fresh engine on the pre-attempt state, with every
+        subscription's relation recomputed from scratch against it (a
+        half-amended relation is as suspect as the half-mutated graph).
+        The published snapshot is re-pointed at the rebuilt objects (and
         re-published into the version store at the same version) so
         reads never touch the corrupted ones.  ``base`` may be the
         published snapshot's own graph: the algorithm constructor
         copies its data argument, so the frozen snapshot stays frozen.
         """
-        algorithm = self._factory(
-            session.algorithm.pattern, base, self.config, self.telemetry
-        )
+        algorithm = self._factory(PatternGraph(), base, self.config, self.telemetry)
         session.algorithm = algorithm
         session.rebuilds += 1
-        snapshot = self._initial_snapshot(algorithm, session.snapshot.version)
+        snapshot = self._initial_snapshot(
+            algorithm, session.snapshot.version, session.subscriptions
+        )
         session.versions.publish(snapshot)
         session.snapshot = snapshot
 
     @staticmethod
-    def _settled_snapshot(session: _GraphSession, result: MatchResult) -> GraphSnapshot:
+    def _settled_snapshot(
+        session: _GraphSession, events: Iterable[SubscriptionEvent]
+    ) -> GraphSnapshot:
         """Build the next version's snapshot from the settled algorithm.
 
         ``fork_state`` makes this cheap: the SLen matrix is shared
         block-by-block with the live state (copy-on-write), only the
-        O(|V| + |E|) graph and partition are copied.  The pattern is
-        reused from the previous snapshot — patterns are registered,
-        never streamed, so it cannot have changed.
+        O(|V| + |E|) graph and partition are copied.  Subscription
+        states come from the settle's fan-out; a filter-skipped
+        subscription republishes its previous state object unchanged
+        (patterns are subscribed, never streamed, so a pattern cannot
+        change mid-settle).
         """
         data, slen, partition = session.algorithm.fork_state()
         return GraphSnapshot(
             version=session.snapshot.version + 1,
-            result=result,
-            pattern=session.snapshot.pattern,
             data=data,
             slen=slen,
+            subscriptions={
+                event.subscription.pattern_id: event.state for event in events
+            },
             partition=partition,
         )
 
@@ -928,21 +1357,42 @@ class StreamingUpdateService:
         """The graph's created/expired lifetime stamps (time travel)."""
         return self._session(key).history
 
-    def matches(self, key: str, pattern_node=None, as_of: Optional[int] = None):
-        """Settled match sets: all of them, or one pattern node's."""
-        result = self.snapshot(key, as_of=as_of).result
+    def matches(
+        self,
+        key: str,
+        pattern_node=None,
+        as_of: Optional[int] = None,
+        pattern_id: Optional[str] = None,
+    ):
+        """Settled match sets: all of them, or one pattern node's.
+
+        Addressed by ``(key, pattern_id)``; ``pattern_id=None`` resolves
+        the ``"default"`` subscription (the single-pattern shim's).
+        """
+        state = self.snapshot(key, as_of=as_of).state_for(pattern_id)
         if pattern_node is None:
-            return result.as_dict()
-        return result.matches(pattern_node)
+            return state.result.as_dict()
+        return state.result.matches(pattern_node)
 
     def top_k(
-        self, key: str, k: int, pattern_node=None, as_of: Optional[int] = None
+        self,
+        key: str,
+        k: int,
+        pattern_node=None,
+        as_of: Optional[int] = None,
+        pattern_id: Optional[str] = None,
     ) -> dict[object, list[RankedMatch]]:
-        """Settled top-``k`` ranked matches (optionally one pattern node's)."""
+        """Settled top-``k`` ranked matches (optionally one pattern node's).
+
+        Addressed by ``(key, pattern_id)`` like :meth:`matches`; ``k``
+        is free per read and independent of the subscription's standing
+        ``k`` (which only controls the push channel).
+        """
         snapshot = self.snapshot(key, as_of=as_of)
+        state = snapshot.state_for(pattern_id)
         return top_k_matches(
-            snapshot.result,
-            snapshot.pattern,
+            state.result,
+            state.pattern,
             snapshot.data,
             snapshot.slen,
             k,
@@ -985,6 +1435,14 @@ class StreamingUpdateService:
             "graph": key,
             "snapshot_version": session.snapshot.version,
             "snapshot": snapshot_stats,
+            "shared": {
+                "maintenance_passes": session.maintenance_passes,
+                "slen_update_passes": session.slen_update_passes,
+                "fanout_amend_passes": session.fanout_amend_passes,
+                "fanout_skips": session.fanout_skips,
+                "notifications_sent": session.notifications_sent,
+            },
+            "subscriptions": self.subscription_docs(key),
             "accepted": session.accepted,
             "rejected": session.rejected,
             "settled": session.settled,

@@ -7,6 +7,15 @@ version they need (``None`` = latest), and the ring keeps the newest
 freed as soon as their last reader releases.  Requests for versions the
 ring no longer (or does not yet) hold raise
 :class:`VersionExpiredError`, never a stale or wrong answer.
+
+The store duck-types its payload (anything with a ``version``); the
+streaming service publishes pattern-aware
+:class:`~repro.service.service.GraphSnapshot` objects, so a pinned
+version carries *every* subscription's match state along with the
+graph and SLen — time-travel reads are pattern-addressed for free.
+Re-publishing at the latest version replaces it in place, which is how
+subscribe/unsubscribe and quarantine rebuilds amend the published
+state without minting a settle version.
 """
 
 from __future__ import annotations

@@ -45,6 +45,16 @@ _MIX_WEIGHTS: dict[str, tuple[int, int, int, int]] = {
     "delete-heavy": (1, 1, 6, 2),
 }
 
+#: Accepted values of :attr:`UpdateWorkloadSpec.persona`.
+UPDATE_PERSONAS: tuple[str, ...] = ("social-burst", "crawler", "churn-heavy")
+
+#: Per-persona kind weights (same four positions as :data:`_MIX_WEIGHTS`).
+_PERSONA_WEIGHTS: dict[str, tuple[int, int, int, int]] = {
+    "social-burst": (1, 7, 1, 1),
+    "crawler": (5, 4, 1, 0),
+    "churn-heavy": (1, 1, 5, 3),
+}
+
 
 @dataclass(frozen=True)
 class UpdateWorkloadSpec:
@@ -68,6 +78,21 @@ class UpdateWorkloadSpec:
         (~80% deletions).  Deletions are where coalesced maintenance and
         the Ramalingam-Reps settle earn their keep, so the benchmarks
         sweep this axis.  Pattern updates always use the balanced split.
+    persona:
+        Optional workload *shape* on top of the kind split — named after
+        the client behaviours the multi-pattern service benchmarks
+        replay.  A persona overrides ``mix`` for data updates and also
+        changes *where* updates land, not just their kinds:
+
+        * ``"social-burst"`` — insert-dominated, with edge insertions
+          concentrated around a few hub (high-degree) nodes, like a
+          viral post's reply storm;
+        * ``"crawler"`` — node-insert dominated: new nodes wire onto
+          the expanding frontier of previously inserted nodes, like an
+          incremental crawl discovering pages;
+        * ``"churn-heavy"`` — delete-dominated, with deletions
+          clustered in one node's neighbourhood, like an account purge
+          taking a community with it.
     """
 
     num_pattern_updates: int
@@ -76,6 +101,7 @@ class UpdateWorkloadSpec:
     new_node_degree: int = 2
     seed: int = 97
     mix: str = "balanced"
+    persona: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_pattern_updates < 0 or self.num_data_updates < 0:
@@ -86,6 +112,10 @@ class UpdateWorkloadSpec:
             raise ValueError("new_node_degree must be non-negative")
         if self.mix not in UPDATE_MIXES:
             raise ValueError(f"unknown mix {self.mix!r}; expected one of {UPDATE_MIXES}")
+        if self.persona is not None and self.persona not in UPDATE_PERSONAS:
+            raise ValueError(
+                f"unknown persona {self.persona!r}; expected one of {UPDATE_PERSONAS}"
+            )
 
 
 def generate_update_batch(
@@ -106,7 +136,14 @@ def _data_updates(data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random)
     total = spec.num_data_updates
     if total == 0:
         return []
-    node_inserts, edge_inserts, edge_deletes, node_deletes = _split_four_ways(total, spec.mix)
+    if spec.persona is not None:
+        node_inserts, edge_inserts, edge_deletes, node_deletes = _split_weighted(
+            total, _PERSONA_WEIGHTS[spec.persona]
+        )
+    else:
+        node_inserts, edge_inserts, edge_deletes, node_deletes = _split_four_ways(
+            total, spec.mix
+        )
 
     existing_nodes = sorted(data.nodes(), key=repr)
     existing_edges = sorted(data.edges(), key=repr)
@@ -114,22 +151,57 @@ def _data_updates(data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random)
     if not existing_nodes or not labels:
         return []
 
-    # Choose node deletions first so edge updates can avoid them.
+    # Choose node deletions first so edge updates can avoid them.  The
+    # churn-heavy persona deletes a *cluster* (one seed's neighbourhood,
+    # breadth-first) instead of a uniform sample.
     deletable = [node for node in existing_nodes if data.out_degree(node) + data.in_degree(node) > 0]
-    rng.shuffle(deletable)
+    if spec.persona == "churn-heavy" and deletable:
+        deletable = _cluster_order(data, deletable, rng)
+    else:
+        rng.shuffle(deletable)
     nodes_to_delete = deletable[: min(node_deletes, max(0, len(deletable) - 2))]
     doomed = set(nodes_to_delete)
+    #: The doomed cluster's surviving fringe — churn-heavy edge
+    #: deletions concentrate here.
+    fringe: set = set()
+    for node in nodes_to_delete:
+        fringe.update(data.successors(node))
+        fringe.update(data.predecessors(node))
+    fringe -= doomed
 
     updates = []
 
-    # 1. Node insertions, each with a couple of edges to surviving nodes.
+    # 1. Node insertions, each with a couple of edges to surviving
+    # nodes.  The crawler persona wires new nodes onto an expanding
+    # frontier (a breadth-first discovery walk from one seed) instead of
+    # sampling anchors uniformly.
     safe_nodes = [node for node in existing_nodes if node not in doomed]
+    crawl_frontier: list = []
+    crawl_seen: set = set()
+    if spec.persona == "crawler" and safe_nodes:
+        seed_node = rng.choice(safe_nodes)
+        crawl_frontier = [seed_node]
+        crawl_seen = {seed_node}
     for position in range(node_inserts):
         label = rng.choice(labels)
         new_node = f"new:{label}:{spec.seed}:{position}"
         edges = []
         if safe_nodes and spec.new_node_degree:
-            neighbours = rng.sample(safe_nodes, min(spec.new_node_degree, len(safe_nodes)))
+            if crawl_frontier:
+                # Anchor on the most recently discovered frontier slice,
+                # then discover the anchors' own neighbours.
+                pool = crawl_frontier[-min(len(crawl_frontier), 8):]
+                neighbours = rng.sample(pool, min(spec.new_node_degree, len(pool)))
+                for anchor in neighbours:
+                    for discovered in sorted(
+                        data.successors(anchor) | data.predecessors(anchor), key=repr
+                    ):
+                        if discovered not in crawl_seen and discovered not in doomed:
+                            crawl_seen.add(discovered)
+                            crawl_frontier.append(discovered)
+                            break
+            else:
+                neighbours = rng.sample(safe_nodes, min(spec.new_node_degree, len(safe_nodes)))
             for neighbour in neighbours:
                 if rng.random() < 0.5:
                     edges.append((new_node, neighbour))
@@ -137,26 +209,47 @@ def _data_updates(data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random)
                     edges.append((neighbour, new_node))
         updates.append(insert_data_node(new_node, label, edges))
 
-    # 2. Edge insertions between surviving existing nodes.
+    # 2. Edge insertions between surviving existing nodes.  The
+    # social-burst persona concentrates one endpoint on a few hub
+    # (highest-degree) nodes.
+    hubs: list = []
+    if spec.persona == "social-burst" and safe_nodes:
+        ranked = sorted(
+            safe_nodes,
+            key=lambda node: (-(data.out_degree(node) + data.in_degree(node)), repr(node)),
+        )
+        hubs = ranked[: max(1, len(ranked) // 20)]
     inserted_pairs: set[tuple] = set()
     attempts = 0
     while len(inserted_pairs) < edge_inserts and attempts < edge_inserts * 50:
         attempts += 1
         if len(safe_nodes) < 2:
             break
-        source, target = rng.sample(safe_nodes, 2)
+        if hubs and rng.random() < 0.8:
+            hub = rng.choice(hubs)
+            other = rng.choice(safe_nodes)
+            if other == hub:
+                continue
+            source, target = (hub, other) if rng.random() < 0.5 else (other, hub)
+        else:
+            source, target = rng.sample(safe_nodes, 2)
         if data.has_edge(source, target) or (source, target) in inserted_pairs:
             continue
         inserted_pairs.add((source, target))
         updates.append(insert_data_edge(source, target))
 
-    # 3. Edge deletions among pre-existing edges not touching doomed nodes.
+    # 3. Edge deletions among pre-existing edges not touching doomed
+    # nodes; churn-heavy prefers edges on the doomed cluster's fringe.
     deletable_edges = [
         (source, target)
         for source, target in existing_edges
         if source not in doomed and target not in doomed
     ]
     rng.shuffle(deletable_edges)
+    if spec.persona == "churn-heavy" and fringe:
+        deletable_edges.sort(
+            key=lambda edge: edge[0] not in fringe and edge[1] not in fringe
+        )
     for source, target in deletable_edges[:edge_deletes]:
         updates.append(delete_data_edge(source, target))
 
@@ -164,6 +257,31 @@ def _data_updates(data: DataGraph, spec: UpdateWorkloadSpec, rng: random.Random)
     for node in nodes_to_delete:
         updates.append(delete_data_node(node, data.labels_of(node)))
     return updates
+
+
+def _cluster_order(data: DataGraph, nodes: list, rng: random.Random) -> list:
+    """Order ``nodes`` by breadth-first distance from a random seed.
+
+    The churn-heavy persona's deletion targeting: the front of the
+    returned list is one connected neighbourhood, so taking a prefix
+    deletes a cluster rather than a scattering.
+    """
+    pool = set(nodes)
+    seed_node = rng.choice(nodes)
+    ordered: list = []
+    seen = {seed_node}
+    queue = [seed_node]
+    while queue:
+        node = queue.pop(0)
+        if node in pool:
+            ordered.append(node)
+        for neighbour in sorted(data.successors(node) | data.predecessors(node), key=repr):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    rest = [node for node in nodes if node not in set(ordered)]
+    rng.shuffle(rest)
+    return ordered + rest
 
 
 # ----------------------------------------------------------------------
@@ -249,13 +367,23 @@ def _split_four_ways(total: int, mix: str = "balanced") -> tuple[int, int, int, 
         for position in range(remainder):
             parts[order[position]] += 1
         return parts[0], parts[1], parts[2], parts[3]
-    # Skewed mixes: largest-remainder apportionment of the weight vector,
-    # ties broken towards edge updates (positions 1 and 2) like above.
-    weights = _MIX_WEIGHTS[mix]
+    # Skewed mixes: largest-remainder apportionment of the weight vector.
+    return _split_weighted(total, _MIX_WEIGHTS[mix])
+
+
+def _split_weighted(total: int, weights: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+    """Largest-remainder apportionment of ``total`` over ``weights``.
+
+    Ties are broken towards edge updates (positions 1 and 2), which
+    dominate real streams.  A zero weight stays exactly zero.
+    """
     weight_sum = sum(weights)
     quotas = [total * weight / weight_sum for weight in weights]
     parts = [int(quota) for quota in quotas]
-    order = sorted(range(4), key=lambda position: (-(quotas[position] - parts[position]), position != 1, position != 2))
+    order = sorted(
+        (position for position in range(4) if weights[position]),
+        key=lambda position: (-(quotas[position] - parts[position]), position != 1, position != 2),
+    )
     for position in range(total - sum(parts)):
-        parts[order[position % 4]] += 1
+        parts[order[position % len(order)]] += 1
     return parts[0], parts[1], parts[2], parts[3]

@@ -1,0 +1,291 @@
+"""TCP wire protocol for subscriptions: subscribe, notify push, unsubscribe."""
+
+import asyncio
+import json
+
+from repro.graph import DataGraph, PatternGraph
+from repro.service import ServiceConfig, ServiceServer, StreamingUpdateService
+
+QUIET = dict(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+
+
+def make_data() -> DataGraph:
+    data = DataGraph()
+    for i in range(6):
+        data.add_node(f"n{i}", "A" if i % 2 == 0 else "B")
+    for i in range(6):
+        data.add_edge(f"n{i}", f"n{(i + 1) % 6}")
+    data.add_node("x0", "X")
+    data.add_node("x1", "X")
+    return data
+
+
+def pattern_doc(label_a: str = "A", label_b: str = "B", bound: int = 2) -> dict:
+    return {
+        "kind": "pattern_graph",
+        "nodes": [{"id": "p0", "label": label_a}, {"id": "p1", "label": label_b}],
+        "edges": [["p0", "p1", bound]],
+    }
+
+
+class Client:
+    """One JSON-lines connection."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    async def call(self, request: dict) -> dict:
+        self.writer.write(json.dumps(request).encode() + b"\n")
+        await self.writer.drain()
+        return await self.read_line()
+
+    async def read_line(self) -> dict:
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10)
+        return json.loads(line)
+
+    async def close(self):
+        self.writer.close()
+        await self.writer.wait_closed()
+
+
+async def start_stack():
+    service = StreamingUpdateService(ServiceConfig(**QUIET))
+    await service.register("g", make_data())
+    server = ServiceServer(service, port=0)
+    host, port = await server.start()
+    reader, writer = await asyncio.open_connection(host, port)
+    return service, server, Client(reader, writer)
+
+
+def test_subscribe_update_notify_round_trip():
+    async def scenario():
+        service, server, client = await start_stack()
+
+        subscribed = await client.call(
+            {
+                "op": "subscribe",
+                "graph": "g",
+                "pattern_id": "ab",
+                "pattern": pattern_doc(),
+                "k": 2,
+            }
+        )
+        assert subscribed["ok"] is True
+        assert subscribed["graph"] == "g" and subscribed["pattern_id"] == "ab"
+        assert subscribed["version"] == service.snapshot("g").version
+
+        update = await client.call(
+            {
+                "op": "update",
+                "graph": "g",
+                "inserts": [{"type": "edge", "source": "n0", "target": "n3"}],
+            }
+        )
+        assert update["ok"] and update["accepted"] == 1
+        await service.drain()
+
+        notify = await client.read_line()
+        assert notify["kind"] == "notify"
+        assert notify["graph"] == "g" and notify["pattern_id"] == "ab"
+        assert notify["version"] == service.snapshot("g").version
+        assert set(notify) >= {"added", "removed"}
+        # The notify payload matches what the snapshot now serves.
+        published = service.matches("g", pattern_id="ab")
+        for pattern_node, nodes in notify["added"].items():
+            assert set(nodes) <= {str(n) for n in published[pattern_node]}
+
+        # Pattern-addressed reads agree with the library API.
+        matches = await client.call(
+            {"op": "matches", "graph": "g", "pattern_id": "ab"}
+        )
+        assert matches["ok"]
+        assert matches["matches"] == {
+            str(p): sorted(str(n) for n in nodes) for p, nodes in published.items()
+        }
+        ranked = await client.call(
+            {"op": "top-k", "graph": "g", "k": 2, "pattern_id": "ab"}
+        )
+        assert ranked["ok"] and set(ranked["top_k"]) == {"p0", "p1"}
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_unsubscribe_detaches_and_optionally_drops():
+    async def scenario():
+        service, server, client = await start_stack()
+        await client.call(
+            {"op": "subscribe", "graph": "g", "pattern_id": "ab", "pattern": pattern_doc()}
+        )
+
+        # Plain unsubscribe detaches this connection's listener but the
+        # subscription itself keeps serving reads.
+        detached = await client.call(
+            {"op": "unsubscribe", "graph": "g", "pattern_id": "ab"}
+        )
+        assert detached["ok"] and detached["detached"] is True
+        assert detached["dropped"] is False
+        assert "ab" in service.snapshot("g").subscriptions
+
+        # No notify reaches a detached connection: the next line the
+        # client reads is its own ping reply, not a notify.
+        await client.call(
+            {
+                "op": "update",
+                "graph": "g",
+                "inserts": [{"type": "edge", "source": "n1", "target": "n4"}],
+            }
+        )
+        await service.drain()
+        await asyncio.sleep(0.05)
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+
+        # drop=true removes the standing pattern from the service.
+        dropped = await client.call(
+            {"op": "unsubscribe", "graph": "g", "pattern_id": "ab", "drop": True}
+        )
+        assert dropped["ok"] and dropped["dropped"] is True
+        assert "ab" not in service.snapshot("g").subscriptions
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_every_subscribed_connection_gets_the_push():
+    async def scenario():
+        service, server, client_a = await start_stack()
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        client_b = Client(reader, writer)
+
+        # k makes the subscription track a ranking, so the distance shift
+        # from the inserted edge guarantees a non-empty push delta.
+        await client_a.call(
+            {
+                "op": "subscribe",
+                "graph": "g",
+                "pattern_id": "ab",
+                "pattern": pattern_doc(),
+                "k": 2,
+            }
+        )
+        # Second client subscribes to the already-standing pattern by id
+        # alone — no pattern doc needed.
+        joined = await client_b.call(
+            {"op": "subscribe", "graph": "g", "pattern_id": "ab"}
+        )
+        assert joined["ok"] is True
+
+        await client_a.call(
+            {
+                "op": "update",
+                "graph": "g",
+                "inserts": [{"type": "edge", "source": "n0", "target": "n3"}],
+            }
+        )
+        await service.drain()
+        for client in (client_a, client_b):
+            notify = await client.read_line()
+            assert notify["kind"] == "notify" and notify["pattern_id"] == "ab"
+
+        await client_a.close()
+        await client_b.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_untouched_pattern_gets_no_notify():
+    async def scenario():
+        service, server, client = await start_stack()
+        await client.call(
+            {"op": "subscribe", "graph": "g", "pattern_id": "ab", "pattern": pattern_doc()}
+        )
+        # The X-island edge cannot touch the A/B pattern: no notify.
+        await client.call(
+            {
+                "op": "update",
+                "graph": "g",
+                "inserts": [{"type": "edge", "source": "x0", "target": "x1"}],
+            }
+        )
+        await service.drain()
+        await asyncio.sleep(0.05)
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_subscription_wire_error_paths():
+    async def scenario():
+        service, server, client = await start_stack()
+
+        missing_id = await client.call({"op": "subscribe", "graph": "g"})
+        assert missing_id["ok"] is False and "pattern_id" in missing_id["error"]
+
+        unknown = await client.call(
+            {"op": "subscribe", "graph": "g", "pattern_id": "ghost"}
+        )
+        assert unknown["ok"] is False  # no doc, no standing pattern to join
+
+        bad_k = await client.call(
+            {
+                "op": "subscribe",
+                "graph": "g",
+                "pattern_id": "ab",
+                "pattern": pattern_doc(),
+                "k": 0,
+            }
+        )
+        assert bad_k["ok"] is False and "'k'" in bad_k["error"]
+
+        bad_read = await client.call(
+            {"op": "matches", "graph": "g", "pattern_id": "ghost"}
+        )
+        assert bad_read["ok"] is False and "no subscription" in bad_read["error"]
+
+        empty_id = await client.call(
+            {"op": "subscribe", "graph": "g", "pattern_id": ""}
+        )
+        assert empty_id["ok"] is False
+
+        # The connection survived every error.
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_closed_connection_listeners_are_cleaned_up():
+    async def scenario():
+        service, server, client = await start_stack()
+        await client.call(
+            {"op": "subscribe", "graph": "g", "pattern_id": "ab", "pattern": pattern_doc()}
+        )
+        assert service.stats("g")["subscriptions"]["ab"]["listeners"] == 1
+        await client.close()
+        await asyncio.sleep(0.05)
+        # The server detached the dead connection's listener; a settle
+        # that follows pushes to nobody and does not error.
+        assert service.stats("g")["subscriptions"]["ab"]["listeners"] == 0
+        await service.submit(
+            "g", {"inserts": [{"type": "edge", "source": "n0", "target": "n3"}]}
+        )
+        await service.drain()
+        assert service.errors == []
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())

@@ -162,3 +162,98 @@ class TestUpdateGenerator:
     def test_invalid_spec(self):
         with pytest.raises(ValueError):
             UpdateWorkloadSpec(num_pattern_updates=-1, num_data_updates=0)
+
+
+class TestUpdatePersonas:
+    """Skewed persona mixes layered on the update generator."""
+
+    def _generate(self, persona, total=60, seed=7):
+        from repro.workloads.update_gen import generate_update_batch as gen
+
+        data = generate_social_graph(
+            SocialGraphSpec(name="p", num_nodes=80, num_edges=320, seed=seed)
+        )
+        pattern = generate_pattern(
+            PatternSpec(num_nodes=4, num_edges=4, labels=DEFAULT_LABEL_ORDER, seed=seed)
+        )
+        spec = UpdateWorkloadSpec(
+            num_pattern_updates=0, num_data_updates=total, seed=seed, persona=persona
+        )
+        return data, pattern, gen(data, pattern, spec)
+
+    @staticmethod
+    def _histogram(batch):
+        from repro.graph.updates import (
+            EdgeDeletion,
+            EdgeInsertion,
+            NodeDeletion,
+            NodeInsertion,
+        )
+
+        counts = {NodeInsertion: 0, EdgeInsertion: 0, EdgeDeletion: 0, NodeDeletion: 0}
+        for update in batch.data_updates():
+            counts[type(update)] += 1
+        return (
+            counts[NodeInsertion],
+            counts[EdgeInsertion],
+            counts[EdgeDeletion],
+            counts[NodeDeletion],
+        )
+
+    @pytest.mark.parametrize(
+        "persona,expected",
+        [
+            ("social-burst", (6, 42, 6, 6)),  # weights 1:7:1:1
+            ("crawler", (30, 24, 6, 0)),  # weights 5:4:1:0
+            ("churn-heavy", (6, 6, 30, 18)),  # weights 1:1:5:3
+        ],
+    )
+    def test_persona_split_is_exact(self, persona, expected):
+        _data, _pattern, batch = self._generate(persona)
+        assert self._histogram(batch) == expected
+
+    def test_personas_are_listed(self):
+        from repro.workloads.update_gen import UPDATE_PERSONAS
+
+        assert UPDATE_PERSONAS == ("social-burst", "crawler", "churn-heavy")
+
+    def test_persona_batches_apply_cleanly(self):
+        from repro.workloads.update_gen import UPDATE_PERSONAS
+
+        for persona in UPDATE_PERSONAS:
+            data, pattern, batch = self._generate(persona, seed=13)
+            batch.apply_all(data, pattern)  # must not raise
+
+    def test_persona_batches_are_deterministic(self):
+        from repro.workloads.update_gen import UPDATE_PERSONAS
+
+        for persona in UPDATE_PERSONAS:
+            _d1, _p1, batch1 = self._generate(persona, seed=29)
+            _d2, _p2, batch2 = self._generate(persona, seed=29)
+            assert batch1 == batch2
+
+    def test_social_burst_targets_hubs(self):
+        from repro.graph.updates import EdgeInsertion
+
+        data, _pattern, batch = self._generate("social-burst", total=80, seed=3)
+        ranked = sorted(
+            data.nodes(),
+            key=lambda node: data.out_degree(node) + data.in_degree(node),
+            reverse=True,
+        )
+        hubs = set(ranked[: max(1, len(ranked) // 20)])
+        inserts = [u for u in batch.data_updates() if isinstance(u, EdgeInsertion)]
+        touching = sum(1 for u in inserts if u.source in hubs or u.target in hubs)
+        # 80% of burst inserts anchor on a hub; demand well over uniform.
+        assert touching >= len(inserts) // 2
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ValueError, match="persona"):
+            UpdateWorkloadSpec(num_pattern_updates=0, num_data_updates=5, persona="gamer")
+
+    def test_no_persona_keeps_balanced_mix(self):
+        _data, _pattern, batch = self._generate(None)
+        node_ins, edge_ins, edge_del, node_del = self._histogram(batch)
+        # The default split is roughly even across the four kinds.
+        for count in (node_ins, edge_ins, edge_del, node_del):
+            assert 6 <= count <= 24
