@@ -1,0 +1,315 @@
+"""Record/replay fidelity and throughput of the journal replay harness.
+
+Three phases, all deterministic:
+
+* **Record** — a journaled multi-pattern service ingests a 600-update
+  generated stream (mid-run subscribe/unsubscribe control records
+  included), settling on its own cadence; the live ingest throughput is
+  the baseline.
+* **Replay sweep** — the journal's full window is replayed faithfully as
+  the reference, then differentially verified against candidates that
+  override one axis each: dense SLen backend, each explicit batch plan,
+  and re-admitted boundaries.  **Any mismatch is fatal in every mode** —
+  equivalence across configurations is the correctness contract of the
+  whole harness, and a short run has no noise excuse.
+* **Throughput gate** — the faithful reference replay must settle
+  replayed updates at ≥ 0.5x the live ingest rate (replay does strictly
+  more observation work per settle, but an order-of-magnitude collapse
+  would make replay useless as a debugging loop).  Demoted to a warning
+  under ``--quick``, where the window is small enough to be noisy.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py [--quick] [--payloads N]
+
+``--quick`` shortens the run for CI and writes ``BENCH_replay_quick.json``
+(never the tracked artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.replay import ReplayLog, verify_window  # noqa: E402
+from repro.service import ServiceConfig, StreamingUpdateService  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    PatternSpec,
+    SocialGraphSpec,
+    generate_pattern,
+    generate_social_graph,
+)
+from repro.workloads.update_gen import generate_payload_stream  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+
+NUM_NODES = 256
+NUM_EDGES = 1200
+SEED = 2020
+UPDATES_PER_PAYLOAD = 4
+
+#: Replay must keep at least this fraction of the live ingest rate.
+THROUGHPUT_RATIO_FLOOR = 0.5
+
+#: The sweep: one overridden axis per candidate, against a faithful
+#: reference under the recorded configuration.
+CANDIDATES = [
+    {"slen_backend": "dense"},
+    {"batch_plan": "per-update"},
+    {"batch_plan": "coalesced"},
+    {"batch_plan": "partitioned"},
+    {"mode": "readmit"},
+]
+
+
+def build_graph():
+    return generate_social_graph(
+        SocialGraphSpec(
+            name="bench-replay", num_nodes=NUM_NODES, num_edges=NUM_EDGES, seed=SEED
+        )
+    )
+
+
+def build_patterns(count: int = 3):
+    labels = None
+    patterns = []
+    for index in range(count):
+        if labels is None:
+            labels = sorted(build_graph().labels())
+        patterns.append(
+            (
+                f"p{index}",
+                generate_pattern(
+                    PatternSpec(
+                        num_nodes=2 + index,
+                        num_edges=2 + index,
+                        labels=labels,
+                        seed=SEED + index,
+                    )
+                ),
+            )
+        )
+    return patterns
+
+
+async def record(journal_dir: Path, payloads: int) -> dict:
+    """The live run: journaled multi-pattern ingest with control records."""
+    base = build_graph()
+    patterns = build_patterns()
+    config = ServiceConfig(
+        deadline_seconds=0.02,
+        max_buffer=512,
+        coalesce_min_batch=16,
+        journal_dir=str(journal_dir),
+    )
+    service = StreamingUpdateService(config)
+    await service.register("bench", base)
+    for pattern_id, pattern in patterns[:2]:
+        await service.subscribe("bench", pattern_id, pattern, k=3)
+
+    stream = list(
+        generate_payload_stream(
+            base,
+            payloads=payloads,
+            updates_per_payload=UPDATES_PER_PAYLOAD,
+            seed=SEED,
+        )
+    )
+    accepted = rejected = 0
+    started = time.perf_counter()
+    for index, payload in enumerate(stream):
+        receipt = await service.submit("bench", payload)
+        accepted += receipt.accepted
+        rejected += receipt.rejected
+        if index == payloads // 2:
+            # Mid-run control records: the window must reproduce them.
+            await service.unsubscribe("bench", patterns[1][0])
+            await service.subscribe("bench", patterns[2][0], patterns[2][1], k=2)
+    await service.drain()
+    ingest_seconds = time.perf_counter() - started
+    stats = service.stats("bench")
+    errors = [repr(error) for _, error in service.errors]
+    await service.close()
+    return {
+        "base": base,
+        "payloads": payloads,
+        "accepted": accepted,
+        "rejected": rejected,
+        "settles": stats["settles"],
+        "ingest_seconds": ingest_seconds,
+        "accepted_per_second": accepted / ingest_seconds if ingest_seconds else 0.0,
+        "errors": errors,
+    }
+
+
+async def run_benchmark(payloads: int) -> dict:
+    with TemporaryDirectory(prefix="bench-replay-") as scratch:
+        journal_dir = Path(scratch)
+        live = await record(journal_dir, payloads)
+        window = ReplayLog(journal_dir / "bench.journal.jsonl").window(
+            base_graph=live.pop("base")
+        )
+        reference, outcomes = await verify_window(window, CANDIDATES)
+    return {
+        "config": {
+            "num_nodes": NUM_NODES,
+            "num_edges": NUM_EDGES,
+            "payloads": payloads,
+            "updates_per_payload": UPDATES_PER_PAYLOAD,
+            "throughput_ratio_floor": THROUGHPUT_RATIO_FLOOR,
+            "seed": SEED,
+        },
+        "live": live,
+        "window": window.describe(),
+        "reference": {
+            "overrides": reference.overrides,
+            "settles": reference.settle_count,
+            "updates_accepted": reference.updates_accepted,
+            "updates_rejected": reference.updates_rejected,
+            "wall_seconds": reference.wall_seconds,
+            "updates_per_second": reference.throughput,
+        },
+        "throughput_ratio": (
+            reference.throughput / live["accepted_per_second"]
+            if live["accepted_per_second"]
+            else 0.0
+        ),
+        "candidates": [
+            {
+                "overrides": candidate.overrides,
+                "wall_seconds": candidate.wall_seconds,
+                "updates_per_second": candidate.throughput,
+                "verify": {
+                    "ok": report.ok,
+                    "settles_compared": report.settles_compared,
+                    "patterns_compared": report.patterns_compared,
+                    "slen_probes_compared": report.slen_probes_compared,
+                    "as_of_versions_compared": report.as_of_versions_compared,
+                    "mismatches": [m.as_dict() for m in report.mismatches],
+                },
+            }
+            for candidate, report in outcomes
+        ],
+    }
+
+
+def evaluate_gates(report: dict, quick: bool) -> list[str]:
+    """Check the run's gates; returns failure messages (fatal ones first)."""
+    failures = []
+    live = report["live"]
+    if live["rejected"]:
+        failures.append(
+            f"FATAL: {live['rejected']} updates rejected during the live recording "
+            "(the generated stream is whole-stream admissible)"
+        )
+    if live["errors"]:
+        failures.append(f"FATAL: live recording recorded errors: {live['errors']}")
+    window = report["window"]
+    expected_updates = report["config"]["payloads"] * UPDATES_PER_PAYLOAD
+    if window["updates"] != expected_updates:
+        failures.append(
+            f"FATAL: the journal window holds {window['updates']} updates, expected "
+            f"the full {expected_updates}-update stream"
+        )
+    reference = report["reference"]
+    if reference["updates_rejected"]:
+        failures.append(
+            f"FATAL: the faithful reference replay rejected "
+            f"{reference['updates_rejected']} updates it once accepted"
+        )
+    # The equivalence gate — fatal in EVERY mode, including --quick.
+    for candidate in report["candidates"]:
+        verify = candidate["verify"]
+        if not verify["ok"]:
+            details = "; ".join(
+                f"[{m['kind']}] {m['location']}" for m in verify["mismatches"][:5]
+            )
+            failures.append(
+                f"FATAL: candidate {candidate['overrides']} diverged from the "
+                f"reference replay ({len(verify['mismatches'])} mismatch(es): {details})"
+            )
+        elif verify["patterns_compared"] == 0:
+            failures.append(
+                f"FATAL: candidate {candidate['overrides']} verified vacuously — "
+                "no pattern states were compared"
+            )
+    # The throughput gate — demoted under --quick, where the window is
+    # short enough for scheduling noise to dominate.
+    prefix = "WARN" if quick else "FAIL"
+    ratio = report["throughput_ratio"]
+    if ratio < THROUGHPUT_RATIO_FLOOR:
+        failures.append(
+            f"{prefix}: faithful replay settles {ratio:.2f}x the live ingest rate, "
+            f"below the {THROUGHPUT_RATIO_FLOOR:.1f}x floor"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--payloads", type=int, default=None, metavar="N",
+        help="recorded payloads (default 150, or 40 with --quick)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short CI run: writes BENCH_replay_quick.json, throughput gate "
+        "warns; the equivalence gate stays fatal",
+    )
+    args = parser.parse_args(argv)
+    payloads = args.payloads if args.payloads is not None else (40 if args.quick else 150)
+
+    # Settles are CPU-bound pure Python on executor threads; the default
+    # GIL switch interval lets them starve the event loop.
+    sys.setswitchinterval(0.001)
+    report = asyncio.run(run_benchmark(payloads))
+
+    # --quick produces reduced-fidelity data; never overwrite the
+    # tracked artifact with it.
+    output = OUTPUT.with_name("BENCH_replay_quick.json") if args.quick else OUTPUT
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    live, reference = report["live"], report["reference"]
+    print(
+        f"live: {live['accepted']} updates in {live['ingest_seconds']:.3f} s "
+        f"({live['accepted_per_second']:.0f} updates/s, {live['settles']} settles)"
+    )
+    print(
+        f"replay: {reference['updates_accepted']} updates re-settled in "
+        f"{reference['wall_seconds']:.3f} s ({reference['updates_per_second']:.0f} "
+        f"updates/s, ratio {report['throughput_ratio']:.2f}x live)"
+    )
+    for candidate in report["candidates"]:
+        verify = candidate["verify"]
+        label = ", ".join(
+            f"{key}={value}"
+            for key, value in candidate["overrides"].items()
+            if key in ("mode", "slen_backend", "batch_plan")
+        )
+        print(
+            f"verify [{label}]: {'OK' if verify['ok'] else 'MISMATCH'} "
+            f"({verify['settles_compared']} settles, "
+            f"{verify['patterns_compared']} pattern states, "
+            f"{verify['slen_probes_compared']} slen probes, "
+            f"{verify['as_of_versions_compared']} as_of versions compared)"
+        )
+
+    failures = evaluate_gates(report, quick=args.quick)
+    fatal = [message for message in failures if not message.startswith("WARN")]
+    for message in failures:
+        print(message, file=sys.stderr)
+    if failures and args.quick and not fatal:
+        print("throughput gate demoted to a warning (--quick)", file=sys.stderr)
+    return 1 if fatal else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -256,6 +256,29 @@ multi-pattern subscription serving (serve --patterns):
   pattern with "pattern_id" (omitted: "default").  Subscriptions are
   journaled with --journal-dir and recovered on restart; --no-push
   disables the push channel; --max-subscriptions caps the registry.
+
+record & replay (replay):
+  Any write-ahead journal (from serve --journal-dir or a live
+  start_capture) is a deterministic recording: every accepted delta in
+  admission order, every settle boundary (checkpoint), every
+  subscribe/unsubscribe.  `ua-gpnm replay` re-runs a [--from-seq,
+  --to-seq] window of it through a fresh service:
+
+    ua-gpnm replay --journal-dir ./journals --verify
+
+  replays the window faithfully (the recorded settle boundaries are
+  reproduced exactly) under the default configuration as the
+  reference, then re-replays it across the dense SLen backend, all
+  three forced batch plans and re-admission, differentially comparing
+  per-settle matches / top-k / SLen probes, the final graph and
+  lifetime stamps, and as_of reads at every checkpointed version —
+  exit 1 on any mismatch.  Give --slen-backend / --batch-plan /
+  --mode readmit / --patterns FILE to verify one specific candidate
+  configuration instead of the sweep, or drop --verify to just re-run
+  and print the outcome.  A journal that predates its first compaction
+  has no snapshot base; pass --dataset to supply the graph the
+  recorded run started from.  See docs/ARCHITECTURE.md ("Record &
+  replay") for the determinism contract.
 """
 
 
@@ -362,6 +385,57 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
         help="close connections that send nothing for this long (default: never)",
+    )
+    replay_cmd = subparsers.add_parser(
+        "replay",
+        help="re-run a recorded journal window, optionally differentially verified",
+    )
+    _add_common_options(replay_cmd, suppress=True)
+    replay_cmd.add_argument(
+        "--journal-dir", required=True, metavar="DIR",
+        help="directory holding the *.journal.jsonl recording(s)",
+    )
+    replay_cmd.add_argument(
+        "--graph", default=None, metavar="KEY",
+        help=(
+            "which graph's journal to replay (key or file slug); "
+            "defaults to the only journal in --journal-dir"
+        ),
+    )
+    replay_cmd.add_argument(
+        "--from-seq", type=int, default=None, metavar="SEQ",
+        help="first journal seq of the window (default: right after the snapshot base)",
+    )
+    replay_cmd.add_argument(
+        "--to-seq", type=int, default=None, metavar="SEQ",
+        help="last journal seq of the window (default: the journal's last seq)",
+    )
+    replay_cmd.add_argument(
+        "--mode", default="faithful", choices=("faithful", "readmit"),
+        help=(
+            "faithful reproduces the recorded settle boundaries exactly; "
+            "readmit pushes the deltas through the replayed "
+            "configuration's own admission (final state only)"
+        ),
+    )
+    replay_cmd.add_argument(
+        "--patterns", default=None, metavar="FILE",
+        help=(
+            "replay under this pattern set (same file shape as serve "
+            "--patterns) instead of the registry recorded at the window "
+            "start"
+        ),
+    )
+    replay_cmd.add_argument(
+        "--dataset", default=None, choices=dataset_names(),
+        help=(
+            "base graph for a journal recorded before its first "
+            "compaction (no snapshot record to start from)"
+        ),
+    )
+    replay_cmd.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the replay/verification report here as JSON",
     )
     return parser
 
@@ -493,6 +567,139 @@ def _run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     return 0
 
 
+def _run_replay(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """The ``replay`` subcommand: re-run (and verify) a recorded window.
+
+    Without ``--verify`` the window is replayed once under the
+    requested configuration and the run summary is printed.  With
+    ``--verify`` the window is first replayed faithfully under the
+    default configuration (the reference) and then re-replayed under
+    the candidate configuration(s) — the flags given, or the standard
+    sweep (dense backend, the three forced batch plans, re-admission)
+    when none are — with every observation differentially compared.
+    Exits 1 on any mismatch.
+    """
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.replay import ReplayLog, ReplayVerifier, replay
+    from repro.service import parse_pattern_set
+    from repro.service.journal import journal_slug
+
+    directory = Path(args.journal_dir)
+    journals = ReplayLog.discover(directory)
+    if not journals:
+        raise SystemExit(f"no *.journal.jsonl recordings under {directory}")
+    if args.graph is not None:
+        slug = args.graph if args.graph in journals else journal_slug(args.graph)
+        if slug not in journals:
+            raise SystemExit(
+                f"no journal for graph {args.graph!r} under {directory}; "
+                f"recorded: {', '.join(sorted(journals))}"
+            )
+    elif len(journals) == 1:
+        (slug,) = journals
+    else:
+        raise SystemExit(
+            f"{len(journals)} journals under {directory}; pick one with "
+            f"--graph ({', '.join(sorted(journals))})"
+        )
+    base_graph = None
+    if args.dataset is not None:
+        from repro.workloads.datasets import load_dataset
+
+        base_graph = load_dataset(args.dataset, scale=config.dataset_scale)
+    log = ReplayLog(journals[slug])
+    window = log.window(args.from_seq, args.to_seq, base_graph=base_graph)
+    described = window.describe()
+    print(
+        f"[replay] {slug}: seqs [{window.from_seq}, {window.to_seq}] — "
+        f"{window.delta_count} delta(s), {window.update_count} update(s), "
+        f"{len(window.settle_groups())} settle group(s), "
+        f"{len(window.subscriptions)} starting subscription(s)",
+        file=sys.stderr,
+    )
+
+    overrides: dict = {"mode": args.mode}
+    if getattr(args, "slen_backend", "sparse") != "sparse":
+        overrides["slen_backend"] = args.slen_backend
+    if getattr(args, "dense_block_size", None) is not None:
+        overrides["dense_block_size"] = args.dense_block_size
+    if getattr(args, "batch_plan", None) is not None:
+        overrides["batch_plan"] = args.batch_plan
+    if args.patterns is not None:
+        with open(args.patterns, encoding="utf-8") as handle:
+            overrides["subscriptions"] = parse_pattern_set(json.load(handle))
+
+    def _write_report(report_doc: dict) -> None:
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report_doc, handle, indent=2, default=str)
+            print(f"[replay] report written to {args.out}", file=sys.stderr)
+
+    if not args.verify:
+        run = asyncio.run(replay(window, key=slug, **overrides))
+        print(
+            f"[replay] {run.mode}: {run.settle_count} settle(s), "
+            f"{run.updates_accepted} update(s) accepted "
+            f"({run.updates_rejected} rejected) in {run.wall_seconds:.3f}s "
+            f"→ final version {run.final.version}, "
+            f"{len(run.final.nodes)} node(s), {len(run.final.edges)} edge(s)"
+        )
+        _write_report({"window": described, "run": run.as_dict()})
+        return 0
+
+    explicit = {key: value for key, value in overrides.items() if key != "mode"}
+    if explicit or args.mode != "faithful":
+        candidates = [dict(overrides)]
+    else:
+        candidates = [
+            {"slen_backend": "dense"},
+            {"batch_plan": "per-update"},
+            {"batch_plan": "coalesced"},
+            {"batch_plan": "partitioned"},
+            {"mode": "readmit"},
+        ]
+
+    async def _verify() -> tuple[int, dict]:
+        verifier = ReplayVerifier()
+        reference = await replay(window, key=slug)
+        outcomes = []
+        failures = 0
+        for candidate_overrides in candidates:
+            run = await replay(window, key=slug, **candidate_overrides)
+            report = verifier.compare(reference, run)
+            label = ", ".join(
+                f"{key}={value}" for key, value in sorted(candidate_overrides.items())
+            ) or "defaults"
+            status = "OK" if report.ok else f"{len(report.mismatches)} mismatch(es)"
+            print(f"[replay] verify {label}: {status}")
+            if not report.ok:
+                failures += 1
+                print(report.summary(), file=sys.stderr)
+            outcomes.append(
+                {
+                    "overrides": run.overrides,
+                    "report": report.as_dict(),
+                    "wall_seconds": run.wall_seconds,
+                }
+            )
+        return failures, {
+            "window": described,
+            "reference": reference.overrides,
+            "candidates": outcomes,
+        }
+
+    failures, report_doc = asyncio.run(_verify())
+    _write_report(report_doc)
+    if failures:
+        print(f"[replay] FAILED: {failures} candidate(s) diverged", file=sys.stderr)
+        return 1
+    print(f"[replay] all {len(candidates)} candidate(s) equivalent", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``ua-gpnm`` console script."""
     parser = _build_parser()
@@ -521,6 +728,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args, config)
+    if args.command == "replay":
+        return _run_replay(args, config)
 
     def progress(message: str) -> None:
         print(f"[run] {message}", file=sys.stderr)

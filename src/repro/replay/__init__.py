@@ -1,0 +1,60 @@
+"""Deterministic record & replay over the write-ahead journal.
+
+The journal (PR 7) already records everything a run *did* — every
+accepted delta in admission order, every settle boundary (checkpoint),
+every subscription change.  This package closes the loop and re-runs
+it: :class:`ReplayLog` reconstructs a ``[from_seq, to_seq]`` window as
+a deterministic delta stream with the original settle boundaries,
+:func:`replay` drives that window through a fresh service under any
+configuration override, and :class:`ReplayVerifier` differentially
+compares runs — turning any captured trace into a correctness oracle
+(see ``docs/ARCHITECTURE.md``, "Record & replay").
+"""
+
+from repro.replay.driver import (
+    DEFAULT_OBSERVE_K,
+    DEFAULT_SLEN_PROBES,
+    MODE_FAITHFUL,
+    MODE_READMIT,
+    REPLAY_MODES,
+    FinalObservation,
+    ReplayRun,
+    SettleObservation,
+    payload_doc,
+    replay,
+)
+from repro.replay.log import (
+    ReplayError,
+    ReplayLog,
+    ReplayRecord,
+    ReplayWindow,
+    SettleGroup,
+)
+from repro.replay.verify import (
+    Mismatch,
+    ReplayVerifier,
+    VerificationReport,
+    verify_window,
+)
+
+__all__ = [
+    "DEFAULT_OBSERVE_K",
+    "DEFAULT_SLEN_PROBES",
+    "MODE_FAITHFUL",
+    "MODE_READMIT",
+    "REPLAY_MODES",
+    "FinalObservation",
+    "Mismatch",
+    "ReplayError",
+    "ReplayLog",
+    "ReplayRecord",
+    "ReplayRun",
+    "ReplayVerifier",
+    "ReplayWindow",
+    "SettleGroup",
+    "SettleObservation",
+    "VerificationReport",
+    "payload_doc",
+    "replay",
+    "verify_window",
+]

@@ -1,0 +1,291 @@
+"""Differential verification of replayed runs (the oracle side).
+
+The journal records *inputs* (deltas, boundaries, control records), not
+answers — so "the recorded run" is reconstructed by a **faithful replay
+under the recorded configuration**, and that reference run is compared
+against candidate replays under overridden configurations.  Equality of
+the normalized observations is the correctness oracle: a sparse↔dense
+backend swap or a batch-plan change that alters any match set, top-k
+ranking, SLen distance, lifetime stamp, or ``as_of`` read is a bug in
+whichever side diverged.
+
+:class:`ReplayVerifier` compares two :class:`~repro.replay.driver.ReplayRun`
+records settle-by-settle (faithful candidates) or final-state-only
+(re-admitted candidates, whose boundaries are their own) and returns a
+structured :class:`VerificationReport`; :func:`verify_window` is the
+one-call wrapper the CLI and benchmark use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.replay.driver import MODE_FAITHFUL, ReplayRun, replay
+from repro.replay.log import ReplayWindow
+
+#: Longest repr kept for one side of a mismatch — reports stay readable
+#: even when a whole match relation diverges.
+MAX_DETAIL_CHARS = 400
+
+
+def _clip(value: object) -> str:
+    text = repr(value)
+    if len(text) > MAX_DETAIL_CHARS:
+        return text[: MAX_DETAIL_CHARS - 3] + "..."
+    return text
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One observed divergence between the reference and a candidate."""
+
+    kind: str
+    location: str
+    expected: str
+    actual: str
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "location": self.location,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] {self.location}: "
+            f"expected {self.expected}, got {self.actual}"
+        )
+
+
+@dataclass
+class VerificationReport:
+    """The structured outcome of one reference-vs-candidate comparison."""
+
+    reference: dict
+    candidate: dict
+    mismatches: tuple[Mismatch, ...] = ()
+    settles_compared: int = 0
+    patterns_compared: int = 0
+    slen_probes_compared: int = 0
+    as_of_versions_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "mismatches": [mismatch.as_dict() for mismatch in self.mismatches],
+            "settles_compared": self.settles_compared,
+            "patterns_compared": self.patterns_compared,
+            "slen_probes_compared": self.slen_probes_compared,
+            "as_of_versions_compared": self.as_of_versions_compared,
+        }
+
+    def summary(self) -> str:
+        """One human line per divergence (or the all-clear)."""
+        header = (
+            f"{'OK' if self.ok else f'{len(self.mismatches)} MISMATCH(ES)'} — "
+            f"{self.settles_compared} settle(s), "
+            f"{self.patterns_compared} pattern state(s), "
+            f"{self.slen_probes_compared} slen probe(s), "
+            f"{self.as_of_versions_compared} as_of version(s) compared"
+        )
+        lines = [header]
+        lines.extend(mismatch.describe() for mismatch in self.mismatches)
+        return "\n".join(lines)
+
+
+class ReplayVerifier:
+    """Compares two replayed runs of the same window observation-by-observation."""
+
+    def compare(self, reference: ReplayRun, candidate: ReplayRun) -> VerificationReport:
+        """Differential comparison; the reference side is the oracle.
+
+        Per-settle observations are compared only when the candidate
+        ran faithfully (a re-admitted run's boundaries are its own);
+        final graph content and the latest match sets are always
+        compared, while the version-indexed observations — lifetime
+        stamps and the retained ``as_of`` sweep — are restricted to
+        faithful pairs (a re-admitted run has its own version timeline).
+        """
+        report = VerificationReport(
+            reference=dict(reference.overrides), candidate=dict(candidate.overrides)
+        )
+        found: list[Mismatch] = []
+        if candidate.mode == MODE_FAITHFUL and reference.mode == MODE_FAITHFUL:
+            self._compare_settles(reference, candidate, report, found)
+        self._compare_final(reference, candidate, report, found)
+        report.mismatches = tuple(found)
+        return report
+
+    # ------------------------------------------------------------------
+    def _compare_settles(
+        self,
+        reference: ReplayRun,
+        candidate: ReplayRun,
+        report: VerificationReport,
+        found: list[Mismatch],
+    ) -> None:
+        if len(reference.settles) != len(candidate.settles):
+            found.append(
+                Mismatch(
+                    kind="settle.count",
+                    location="run",
+                    expected=_clip(len(reference.settles)),
+                    actual=_clip(len(candidate.settles)),
+                )
+            )
+            return
+        for expected, actual in zip(reference.settles, candidate.settles):
+            where = f"settle {expected.index}"
+            if expected.recorded_seq is not None:
+                where += f" (recorded seq {expected.recorded_seq})"
+            report.settles_compared += 1
+            self._field(found, "settle.version", where, expected.version, actual.version)
+            self._field(found, "settle.nodes", where, expected.node_count, actual.node_count)
+            self._field(found, "settle.edges", where, expected.edge_count, actual.edge_count)
+            self._patterns(found, report, "settle", where, expected.matches, actual.matches)
+            for pattern_id in expected.top_k.keys() & actual.top_k.keys():
+                self._field(
+                    found,
+                    "settle.top_k",
+                    f"{where}, pattern {pattern_id!r}",
+                    expected.top_k[pattern_id],
+                    actual.top_k[pattern_id],
+                )
+            report.slen_probes_compared += len(expected.slen)
+            self._field(found, "settle.slen", where, expected.slen, actual.slen)
+
+    def _compare_final(
+        self,
+        reference: ReplayRun,
+        candidate: ReplayRun,
+        report: VerificationReport,
+        found: list[Mismatch],
+    ) -> None:
+        expected, actual = reference.final, candidate.final
+        faithful_pair = (
+            candidate.mode == MODE_FAITHFUL and reference.mode == MODE_FAITHFUL
+        )
+        self._field(found, "final.nodes", "final", expected.nodes, actual.nodes)
+        self._field(found, "final.edges", "final", expected.edges, actual.edges)
+        # Lifetime stamps are *version*-indexed, and a re-admitted run
+        # picks its own settle cadence (its own version timeline), so
+        # history is only comparable between faithful runs — like the
+        # as_of sweep below.
+        if faithful_pair:
+            self._field(
+                found, "final.history", "final", expected.history, actual.history
+            )
+        self._patterns(
+            found,
+            report,
+            "final.matches",
+            "final",
+            expected.as_of.get(0, {}),
+            actual.as_of.get(0, {}),
+        )
+        # as_of sweep: compare every offset both runs retained.  A
+        # re-admitted candidate settles on its own cadence, so offsets
+        # denote different cut points there — restrict to faithful pairs.
+        if faithful_pair:
+            shared = sorted(set(expected.as_of) & set(actual.as_of))
+            for offset in shared:
+                if offset == 0:
+                    continue  # already compared above
+                report.as_of_versions_compared += 1
+                self._patterns(
+                    found,
+                    report,
+                    "final.as_of",
+                    f"as_of latest-{offset}",
+                    expected.as_of[offset],
+                    actual.as_of[offset],
+                )
+            missing = set(expected.as_of) - set(actual.as_of)
+            if missing:
+                found.append(
+                    Mismatch(
+                        kind="final.as_of.retention",
+                        location="final",
+                        expected=_clip(sorted(expected.as_of)),
+                        actual=_clip(sorted(actual.as_of)),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _patterns(
+        self,
+        found: list[Mismatch],
+        report: VerificationReport,
+        kind: str,
+        where: str,
+        expected,
+        actual,
+    ) -> None:
+        """Compare two ``{pattern_id: matches}`` maps key-by-key."""
+        if set(expected) != set(actual):
+            found.append(
+                Mismatch(
+                    kind=f"{kind}.patterns",
+                    location=where,
+                    expected=_clip(sorted(expected)),
+                    actual=_clip(sorted(actual)),
+                )
+            )
+            return
+        for pattern_id in expected:
+            report.patterns_compared += 1
+            self._field(
+                found,
+                f"{kind}.matches" if not kind.endswith("matches") else kind,
+                f"{where}, pattern {pattern_id!r}",
+                expected[pattern_id],
+                actual[pattern_id],
+            )
+
+    @staticmethod
+    def _field(
+        found: list[Mismatch], kind: str, where: str, expected, actual
+    ) -> None:
+        if expected != actual:
+            found.append(
+                Mismatch(
+                    kind=kind,
+                    location=where,
+                    expected=_clip(expected),
+                    actual=_clip(actual),
+                )
+            )
+
+
+async def verify_window(
+    window: ReplayWindow,
+    candidates: Sequence[dict],
+    *,
+    reference_overrides: Optional[dict] = None,
+    key: str = "replay",
+) -> tuple[ReplayRun, list[tuple[ReplayRun, VerificationReport]]]:
+    """Replay ``window`` once as reference, then verify each candidate.
+
+    ``candidates`` is a list of keyword-argument dicts for
+    :func:`~repro.replay.driver.replay` (e.g. ``{"slen_backend":
+    "dense"}`` or ``{"batch_plan": "coalesced", "mode": "readmit"}``);
+    the reference runs faithfully under ``reference_overrides``
+    (default: the recorded configuration).  Returns the reference run
+    and one ``(candidate_run, report)`` pair per candidate.
+    """
+    verifier = ReplayVerifier()
+    reference = await replay(window, key=key, **(reference_overrides or {}))
+    outcomes: list[tuple[ReplayRun, VerificationReport]] = []
+    for overrides in candidates:
+        candidate = await replay(window, key=key, **overrides)
+        outcomes.append((candidate, verifier.compare(reference, candidate)))
+    return reference, outcomes

@@ -159,6 +159,60 @@ def journal_slug(key: str) -> str:
     return f"{sanitized}-{blake2s(key.encode('utf-8'), digest_size=4).hexdigest()}"
 
 
+def read_journal_records(path: Union[str, Path]) -> tuple[list[dict], bool, int]:
+    """Parse a journal file without modifying it.
+
+    Returns ``(records, torn_line, good_bytes)``: every well-formed
+    record in file order, whether a malformed *final* line was found
+    (the torn tail a crash mid-append leaves), and the byte length of
+    the well-formed prefix.  Callers that own the file (recovery)
+    truncate to ``good_bytes`` when ``torn_line`` is set; read-only
+    callers (the replay log) simply ignore the tail.  A malformed
+    *interior* line is real corruption and raises :class:`JournalError`
+    — a record is never silently dropped from the middle of the file.
+    """
+    raw = Path(path).read_bytes()
+    lines = raw.split(b"\n")
+    # A file ending in "\n" splits to [.., b""]; anything else has a
+    # candidate torn tail as its final element.
+    entries: list[tuple[bytes, bool]] = []  # (line, is_final_and_unterminated)
+    for index, line in enumerate(lines):
+        if index == len(lines) - 1:
+            if line:
+                entries.append((line, True))
+        elif line:
+            entries.append((line, False))
+    records: list[dict] = []
+    torn = False
+    good_bytes = 0
+    for position, (line, unterminated) in enumerate(entries):
+        is_final = position == len(entries) - 1
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except ValueError as exc:
+            if is_final:
+                # Torn tail: the crash interrupted this append.
+                torn = True
+                break
+            raise JournalError(
+                f"corrupt journal record at line {position + 1} of {path}: {exc}"
+            ) from exc
+        if not unterminated:
+            records.append(record)
+            good_bytes += len(line) + 1
+            continue
+        # Well-formed JSON but no trailing newline: the append died
+        # between the payload bytes and the newline, so the fsync never
+        # completed and no receipt was issued.  Dropping the record is
+        # therefore allowed — and *keeping* the unterminated line would
+        # corrupt the journal on the next append, which would glue its
+        # record onto this line.  Treat it as the torn tail it is.
+        torn = True
+    return records, torn, good_bytes
+
+
 # ----------------------------------------------------------------------
 # Recovery state
 # ----------------------------------------------------------------------
@@ -291,38 +345,61 @@ class GraphJournal:
         fsync_directory(self.path.parent)
         return state
 
+    def initialize(
+        self,
+        graph: DataGraph,
+        *,
+        seq: int = 0,
+        version: int = 0,
+        stamps: Optional[dict] = None,
+        subscriptions: Optional[list[dict]] = None,
+    ) -> None:
+        """Start a fresh journal whose base is ``graph`` at ``seq``/``version``.
+
+        The live-capture entry point: unlike :meth:`open` (which reads
+        an existing file) this *writes* one — a single ``snapshot``
+        record of the state being captured — and positions the journal
+        for appends with ``seq`` already consumed, exactly as if the
+        file had just been compacted there.  An existing file at the
+        path is atomically replaced (captures do not resume; recovery
+        does, through :meth:`open`).  Raises :class:`JournalError` when
+        the journal is already open.
+        """
+        if self._handle is not None:
+            raise JournalError(f"journal {self.path} is already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "t": "snapshot",
+            "seq": seq,
+            "version": version,
+            "graph": data_graph_to_dict(graph),
+        }
+        if stamps is not None:
+            record["stamps"] = stamps
+        if subscriptions is not None:
+            record["subscriptions"] = subscriptions
+        atomic_write_text(self.path, json.dumps(record) + "\n")
+        self._handle = open(self.path, "ab")
+        self._bytes = self._handle.tell()
+        self._base_seq = seq
+        self._checkpoint_seq = seq
+        self._next_seq = seq + 1
+        self._pending = {}
+        fsync_directory(self.path.parent)
+
     def _read_into(self, state: RecoveredState) -> None:
-        raw = self.path.read_bytes()
-        good_bytes = 0
-        lines = raw.split(b"\n")
-        # A file ending in "\n" splits to [.., b""]; anything else has a
-        # candidate torn tail as its final element.
-        records: list[tuple[bytes, bool]] = []  # (line, is_final_and_unterminated)
-        for index, line in enumerate(lines):
-            if index == len(lines) - 1:
-                if line:
-                    records.append((line, True))
-            elif line:
-                records.append((line, False))
+        records, torn, good_bytes = read_journal_records(self.path)
         deltas: dict[int, list[Update]] = {}
-        for position, (line, unterminated) in enumerate(records):
-            is_final = position == len(records) - 1
+        for position, record in enumerate(records):
             try:
-                record = json.loads(line.decode("utf-8"))
-                if not isinstance(record, dict):
-                    raise ValueError("record is not an object")
                 self._apply_record(record, state, deltas)
-            except (ValueError, JournalError) as exc:
-                if is_final and (unterminated or isinstance(exc, ValueError)):
-                    # Torn tail: the crash interrupted this append.
-                    state.torn_line = True
-                    self.torn_lines += 1
-                    break
+            except JournalError as exc:
                 raise JournalError(
                     f"corrupt journal record at line {position + 1} of {self.path}: {exc}"
                 ) from exc
-            good_bytes += len(line) + 1
-        if state.torn_line:
+        if torn:
+            state.torn_line = True
+            self.torn_lines += 1
             with open(self.path, "ab") as handle:
                 handle.truncate(good_bytes)
                 handle.flush()

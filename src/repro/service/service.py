@@ -159,6 +159,13 @@ class ServiceConfig:
     max_buffer:
         Capacity backstop: the buffer is cut as soon as it holds this
         many deltas regardless of planner or deadline.
+    autocut:
+        Whether admission cuts batches on its own (planner crossover
+        and latency deadline).  Off, only the ``max_buffer`` capacity
+        backstop and explicit :meth:`StreamingUpdateService.drain`
+        calls cut — the mode the replay driver uses to reproduce a
+        recorded run's settle boundaries exactly instead of letting
+        the replayed configuration pick its own.
     coalesce_min_batch:
         The planner's crossover batch size (rule 1 of
         :func:`~repro.batching.planner.plan_batch`).
@@ -210,6 +217,7 @@ class ServiceConfig:
 
     deadline_seconds: float = 0.05
     max_buffer: int = 1024
+    autocut: bool = True
     coalesce_min_batch: int = DEFAULT_COALESCE_MIN_BATCH
     batch_plan: str = STRATEGY_AUTO
     use_partition: bool = True
@@ -381,6 +389,14 @@ class _GraphSession:
     rejected: int = 0
     settled: int = 0
     settles: int = 0
+    #: ``settles`` split by provenance: a settle whose batch consumed
+    #: at least one journal-replayed delta counts as *recovered*, every
+    #: other as *live* (``settles == recovered_settles + live_settles``).
+    recovered_settles: int = 0
+    live_settles: int = 0
+    #: Journal-replayed deltas accepted but not yet settled; drained by
+    #: the settle classification above.
+    recovery_pending: int = 0
     settle_failures: int = 0
     settle_retries: int = 0
     settle_seconds: float = 0.0
@@ -783,6 +799,116 @@ class StreamingUpdateService:
         return docs
 
     # ------------------------------------------------------------------
+    # Live capture — start/stop journaling without a restart
+    # ------------------------------------------------------------------
+    async def start_capture(self, key: str, directory) -> dict:
+        """Begin journaling a live, so-far-unjournaled graph session.
+
+        Writes a fresh write-ahead journal for ``key`` under
+        ``directory``: one compaction-style snapshot of the current
+        settled state (graph, version, lifetime stamps, subscriptions),
+        then — if deltas are buffered — one delta record holding the
+        accepted-but-unsettled buffer, which is exactly the tail a
+        journal-from-birth would carry at this moment.  From here on
+        every accepted payload is journaled, settles checkpoint and
+        compact, and the file is a valid replay source
+        (:class:`~repro.replay.log.ReplayLog`) — no restart with
+        :attr:`ServiceConfig.journal_dir` needed.
+
+        Serialized on the graph's queue, so the captured snapshot can
+        never miss an in-flight settle: any batch cut before this call
+        settles first.  Returns ``{"path", "base_seq", "last_seq"}``.
+        Raises :class:`ServiceError` if the graph is already journaled
+        (including via ``journal_dir``).
+        """
+        session = self._session(key)
+        return await self._scheduler.schedule(
+            key, functools.partial(self._start_capture, session, Path(directory))
+        )
+
+    async def _start_capture(self, session: _GraphSession, directory: Path) -> dict:
+        """Queue action: snapshot the session into a brand-new journal."""
+        if session.journal is not None:
+            raise ServiceError(f"graph {session.key!r} is already journaled")
+        slug = journal_slug(session.key)
+        journal = GraphJournal(
+            directory / f"{slug}.journal.jsonl",
+            compact_bytes=self.config.journal_compact_bytes,
+            faults=self._faults,
+        )
+        loop = asyncio.get_running_loop()
+        base_seq = session.last_seq
+        await loop.run_in_executor(
+            None,
+            functools.partial(
+                journal.initialize,
+                session.snapshot.data,
+                seq=base_seq,
+                version=session.snapshot.version,
+                stamps=session.history.to_doc(),
+                subscriptions=[
+                    subscription.to_doc()
+                    for subscription in session.subscriptions.values()
+                ],
+            ),
+        )
+        if len(session.buffer):
+            session.last_seq = await loop.run_in_executor(
+                None, journal.append_delta, list(session.buffer)
+            )
+        session.journal = journal
+        session.dead_letter = DeadLetterJournal(
+            directory / f"{slug}.deadletter.jsonl"
+        )
+        logger.info(
+            "graph %r: capture started at seq %d version %d (%s)",
+            session.key,
+            base_seq,
+            session.snapshot.version,
+            journal.path,
+        )
+        return {
+            "path": str(journal.path),
+            "base_seq": base_seq,
+            "last_seq": session.last_seq,
+        }
+
+    async def stop_capture(self, key: str) -> dict:
+        """Stop journaling ``key``; the file stays behind for replay.
+
+        The inverse of :meth:`start_capture` (it also detaches a
+        ``journal_dir`` journal — durability for this graph ends here,
+        which is the point: the recorded window is now immutable).
+        Returns ``{"path", "last_seq", "checkpoint_seq"}``.  Raises
+        :class:`ServiceError` when the graph has no journal.
+        """
+        session = self._session(key)
+        return await self._scheduler.schedule(
+            key, functools.partial(self._stop_capture, session)
+        )
+
+    async def _stop_capture(self, session: _GraphSession) -> dict:
+        """Queue action: close and detach the session's journal."""
+        journal = session.journal
+        if journal is None:
+            raise ServiceError(f"graph {session.key!r} has no journal to stop")
+        info = {
+            "path": str(journal.path),
+            "last_seq": journal.last_seq,
+            "checkpoint_seq": journal.checkpoint_seq,
+        }
+        journal.close()
+        session.journal = None
+        session.dead_letter = None
+        logger.info(
+            "graph %r: capture stopped at seq %d (%s)",
+            session.key,
+            info["last_seq"],
+            info["path"],
+        )
+        return info
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     async def submit(self, key: str, payload) -> IngestReceipt:
@@ -887,6 +1013,7 @@ class StreamingUpdateService:
             update.apply(session.staged)
             session.accepted += 1
             session.recovered += 1
+            session.recovery_pending += 1
         session.last_seq = seq
         self._admit(session)
 
@@ -897,6 +1024,10 @@ class StreamingUpdateService:
         algorithm = session.algorithm
         if len(session.buffer) >= self.config.max_buffer:
             return self._cut(session, CUT_CAPACITY)
+        if not self.config.autocut:
+            # Externally-paced mode (replay): boundaries come from
+            # drain(), never from the planner or a deadline.
+            return None
         statistics = BatchStatistics.from_updates(
             session.buffer,
             node_count=session.staged.number_of_nodes,
@@ -1081,6 +1212,14 @@ class StreamingUpdateService:
         session.snapshot = snapshot
         session.publish_seconds += loop.time() - publish_started
         session.settles += 1
+        if session.recovery_pending > 0:
+            # The batch drained recovery backlog (it may mix replayed
+            # and freshly-live deltas; provenance is per-settle, not
+            # per-delta — documented in stats()).
+            session.recovered_settles += 1
+            session.recovery_pending = max(0, session.recovery_pending - len(batch))
+        else:
+            session.live_settles += 1
         session.settled += len(batch)
         self._notify(session, events, snapshot.version)
 
@@ -1448,6 +1587,8 @@ class StreamingUpdateService:
             "settled": session.settled,
             "pending": len(session.buffer),
             "settles": session.settles,
+            "recovered_settles": session.recovered_settles,
+            "live_settles": session.live_settles,
             "settle_failures": session.settle_failures,
             "settle_retries": session.settle_retries,
             "settle_seconds": session.settle_seconds,

@@ -318,6 +318,28 @@ class SubscriptionEvent:
         )
 
 
+def pattern_set_doc(subscriptions: Any) -> dict[str, Any]:
+    """The inverse of :func:`parse_pattern_set`: serialize a registry.
+
+    Accepts :class:`Subscription` objects or already-serialized entry
+    docs (the replay window carries the latter) and emits the
+    ``{"patterns": [...]}`` shape ``ua-gpnm serve --patterns`` and
+    ``ua-gpnm replay --patterns`` read, so a recorded registry can be
+    exported, edited, and fed back in.
+    """
+    entries: list[dict[str, Any]] = []
+    for subscription in subscriptions:
+        if isinstance(subscription, Subscription):
+            entries.append(subscription.to_doc())
+        elif isinstance(subscription, Mapping):
+            entries.append(dict(subscription))
+        else:
+            raise ValueError(
+                f"expected a Subscription or its doc, got {subscription!r}"
+            )
+    return {"patterns": entries}
+
+
 def parse_pattern_set(doc: Any) -> list[Subscription]:
     """Parse a pattern-set document (the ``ua-gpnm serve --patterns`` file).
 

@@ -201,6 +201,38 @@ class GraphHistory:
             ],
         }
 
+    def canonical_doc(self) -> dict:
+        """A *comparable* serialization: sorted by element, not insertion.
+
+        :meth:`to_doc` preserves insertion order (cheap, round-trips
+        exactly), but two histories that recorded the same lifetimes in
+        a different arrival order serialize differently.  Differential
+        verification (``repro.replay``) needs value equality, so this
+        form sorts nodes, edges and each interval list by their string
+        form.  Intervals keep their recorded order semantics — they are
+        sorted by ``(created, expired)`` which is also chronological.
+        """
+
+        def _intervals(intervals: list[Interval]) -> list[list]:
+            return sorted(
+                ([created, expired] for created, expired in intervals),
+                key=lambda interval: (interval[0], -1 if interval[1] is None else interval[1]),
+            )
+
+        return {
+            "latest": self._latest,
+            "nodes": [
+                [str(node), _intervals(self._nodes[node])]
+                for node in sorted(self._nodes, key=str)
+            ],
+            "edges": [
+                [str(source), str(target), _intervals(self._edges[(source, target)])]
+                for source, target in sorted(
+                    self._edges, key=lambda edge: (str(edge[0]), str(edge[1]))
+                )
+            ],
+        }
+
     @classmethod
     def from_doc(cls, doc: dict) -> "GraphHistory":
         """Rebuild a history from :meth:`to_doc` output (journal recovery)."""

@@ -16,13 +16,19 @@ in which every algorithm in :mod:`repro.algorithms` processes them.
 
 from __future__ import annotations
 
+import hashlib
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import PatternGraph
 from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
     GraphKind,
+    NodeDeletion,
+    NodeInsertion,
     UpdateBatch,
     delete_data_edge,
     delete_data_node,
@@ -33,6 +39,22 @@ from repro.graph.updates import (
     insert_pattern_edge,
     insert_pattern_node,
 )
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a child RNG seed from ``root`` and a label path.
+
+    The repo's seeding contract for multi-case harnesses (stress tests,
+    fault campaigns, benchmark streams): every per-case seed is
+    ``derive_seed(root, case-label...)`` of a **single logged root
+    seed**, so one line in a CI log ("root seed N") reproduces any
+    individual case without re-running the whole sweep.  Blake2s keeps
+    the derivation stable across processes and Python versions (unlike
+    ``hash()``, which is salted).
+    """
+    material = "|".join([str(root), *[str(label) for label in labels]])
+    digest = hashlib.blake2s(material.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 #: Accepted values of :attr:`UpdateWorkloadSpec.mix`.
@@ -127,6 +149,71 @@ def generate_update_batch(
     batch.extend(_data_updates(data, spec, rng))
     batch.extend(_pattern_updates(pattern, data, spec, rng))
     return batch
+
+
+def generate_payload_stream(
+    data: DataGraph,
+    *,
+    payloads: int,
+    updates_per_payload: int,
+    seed: int = 97,
+    mix: str = "balanced",
+    persona: str | None = None,
+    new_node_degree: int = 2,
+) -> Iterator[dict]:
+    """Yield ``payloads`` applicable wire-shaped delta payloads.
+
+    The streaming-service counterpart of :func:`generate_update_batch`:
+    each yielded dict is one ``{"inserts": [...], "deletes": [...]}``
+    payload for :meth:`~repro.service.service.StreamingUpdateService.submit`,
+    generated against a working copy of ``data`` that tracks every
+    previous payload — so the whole stream admits cleanly, which is what
+    the record/replay harness needs (a rejected delta never reaches the
+    journal and would shrink the recorded window).  Per-payload seeds
+    are :func:`derive_seed`\\ (seed, "payload", index): the stream is a
+    pure function of ``seed`` and the knobs.
+    """
+    working = data.copy()
+    for index in range(payloads):
+        spec = UpdateWorkloadSpec(
+            num_pattern_updates=0,
+            num_data_updates=updates_per_payload,
+            new_node_degree=new_node_degree,
+            seed=derive_seed(seed, "payload", index),
+            mix=mix,
+            persona=persona,
+        )
+        updates = _data_updates(working, spec, random.Random(spec.seed))
+        inserts: list[dict] = []
+        deletes: list[dict] = []
+        for update in updates:
+            update.apply(working)
+            if isinstance(update, EdgeInsertion):
+                inserts.append(
+                    {"type": "edge", "source": update.source, "target": update.target}
+                )
+            elif isinstance(update, NodeInsertion):
+                inserts.append(
+                    {
+                        "type": "node",
+                        "node": update.node,
+                        "labels": list(update.labels),
+                        "edges": [list(edge) for edge in update.edges],
+                    }
+                )
+            elif isinstance(update, EdgeDeletion):
+                deletes.append(
+                    {"type": "edge", "source": update.source, "target": update.target}
+                )
+            elif isinstance(update, NodeDeletion):
+                deletes.append(
+                    {
+                        "type": "node",
+                        "node": update.node,
+                        "labels": list(update.labels),
+                    }
+                )
+        yield {"inserts": inserts, "deletes": deletes}
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,113 @@
+"""Shared fixtures for the record/replay suite.
+
+``record_session`` runs a real journaled multi-pattern service session —
+deterministic payload stream, mid-stream subscribe/unsubscribe control
+records, one settle per payload — and hands back the journal path plus
+the live run's observable outcome, which the tests then treat as the
+oracle a replay must reproduce.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import PatternGraph
+from repro.service import ServiceConfig, StreamingUpdateService
+from repro.workloads.update_gen import generate_payload_stream
+
+#: One settle per payload (deadline 0), planner/capacity cuts disarmed.
+EAGER = dict(deadline_seconds=0.0, max_buffer=10_000, coalesce_min_batch=10_000)
+#: Nothing settles until an explicit drain.
+QUIET = dict(deadline_seconds=30.0, max_buffer=10_000, coalesce_min_batch=10_000)
+
+LABELS = ("A", "B", "C", "D")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_graph(num_nodes: int = 36, num_edges: int = 100, seed: int = 1) -> DataGraph:
+    rng = random.Random(seed)
+    graph = DataGraph()
+    for index in range(num_nodes):
+        graph.add_node(f"n{index}", rng.choice(LABELS))
+    edges = set()
+    while len(edges) < num_edges:
+        source, target = rng.sample(range(num_nodes), 2)
+        if (source, target) not in edges:
+            edges.add((source, target))
+            graph.add_edge(f"n{source}", f"n{target}")
+    return graph
+
+
+def make_pattern(source_label: str = "A", target_label: str = "B", bound: int = 2) -> PatternGraph:
+    pattern = PatternGraph()
+    pattern.add_node("u", source_label)
+    pattern.add_node("v", target_label)
+    pattern.add_edge("u", "v", bound)
+    return pattern
+
+
+def observed_matches(service: StreamingUpdateService, key: str, as_of=None) -> dict:
+    """Normalized per-pattern match sets, the cross-run comparison form."""
+    snapshot = service.snapshot(key, as_of=as_of)
+    return {
+        pattern_id: {
+            str(u): sorted(str(v) for v in vs)
+            for u, vs in snapshot.state_for(pattern_id).result.as_dict().items()
+        }
+        for pattern_id in snapshot.pattern_ids
+    }
+
+
+async def record_session(
+    journal_dir,
+    *,
+    payloads: int = 12,
+    updates_per_payload: int = 5,
+    seed: int = 23,
+    control_records: bool = True,
+) -> dict:
+    """Run one journaled session; returns the recording and its outcome."""
+    graph = make_graph()
+    service = StreamingUpdateService(ServiceConfig(journal_dir=str(journal_dir), **EAGER))
+    await service.register("g", graph)
+    await service.subscribe("g", "alpha", make_pattern("A", "B"), k=3)
+    await service.subscribe("g", "beta", make_pattern("B", "C"))
+    stream = generate_payload_stream(
+        graph, payloads=payloads, updates_per_payload=updates_per_payload, seed=seed
+    )
+    for index, payload in enumerate(stream):
+        receipt = await service.submit("g", payload)
+        assert receipt.rejected == 0, receipt.errors
+        if control_records and index == payloads // 2:
+            assert await service.unsubscribe("g", "beta")
+            await service.subscribe("g", "gamma", make_pattern("C", "D"), k=2)
+    await service.drain()
+    stats = service.stats("g")
+    snapshot = service.snapshot("g")
+    outcome = {
+        "matches": observed_matches(service, "g"),
+        "nodes": sorted(str(node) for node in snapshot.data.nodes()),
+        "edges": sorted((str(s), str(t)) for s, t in snapshot.data.edges()),
+        "version": snapshot.version,
+        "settles": stats["settles"],
+        "accepted": stats["accepted"],
+        "history": service.graph_history("g").canonical_doc(),
+    }
+    await service.close()
+    return {
+        "path": journal_dir / "g.journal.jsonl",
+        "graph": graph,
+        "outcome": outcome,
+        "stats": stats,
+    }
+
+
+@pytest.fixture
+def recording(tmp_path):
+    """A recorded 12-payload, 3-pattern session with control records."""
+    return run(record_session(tmp_path))

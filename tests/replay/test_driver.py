@@ -1,0 +1,158 @@
+"""Re-running windows through a fresh service (``repro.replay.driver``).
+
+The central claim under test: a faithful replay of a recorded window is
+an *oracle* — it reproduces the live run's observable outcome (match
+sets, graph content, version, settle count, lifetime stamps) exactly,
+and keeps doing so under configuration overrides.
+"""
+
+import json
+
+import pytest
+
+from repro.graph.io import pattern_graph_to_dict
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    GraphKind,
+    NodeDeletion,
+    NodeInsertion,
+)
+from repro.replay import (
+    MODE_READMIT,
+    ReplayError,
+    ReplayLog,
+    payload_doc,
+    replay,
+)
+from repro.service.delta import UpdateData
+
+from tests.replay.conftest import make_pattern, run
+
+
+def window_of(recording):
+    return ReplayLog(recording["path"]).window(base_graph=recording["graph"])
+
+
+# ----------------------------------------------------------------------
+# Faithful replay is the oracle
+# ----------------------------------------------------------------------
+def test_faithful_replay_reproduces_the_live_run(recording):
+    outcome = recording["outcome"]
+    result = run(replay(window_of(recording)))
+    # One observation per recorded checkpoint, aligned one-to-one.
+    assert len(result.settles) == len(window_of(recording).checkpoints)
+    assert result.settle_count == outcome["settles"]
+    assert result.updates_accepted == outcome["accepted"]
+    assert result.updates_rejected == 0
+    final = result.final
+    assert final.version == outcome["version"]
+    assert list(final.nodes) == outcome["nodes"]
+    assert [tuple(edge) for edge in final.edges] == outcome["edges"]
+    assert final.history == outcome["history"]
+    # Latest matches (as_of offset 0) equal the live run's match sets.
+    latest = {
+        pid: {u: list(vs) for u, vs in per.items()}
+        for pid, per in final.as_of[0].items()
+    }
+    assert latest == outcome["matches"]
+
+
+def test_settle_observations_track_recorded_checkpoints(recording):
+    window = window_of(recording)
+    result = run(replay(window))
+    boundaries = window.checkpoints
+    for observation, checkpoint in zip(result.settles, boundaries):
+        assert observation.recorded_seq == checkpoint.seq
+        # Faithful replay also reproduces the recorded version stamps.
+        assert observation.version == checkpoint.version
+    # The mid-stream control records took effect: gamma appears, beta
+    # disappears between the 7th and 8th settles.
+    assert sorted(result.settles[6].matches) == ["alpha", "beta"]
+    assert sorted(result.settles[7].matches) == ["alpha", "gamma"]
+
+
+def test_faithful_replay_is_reproducible(recording):
+    window = window_of(recording)
+    first = run(replay(window))
+    second = run(replay(window))
+    assert first.as_dict()["settles"] == second.as_dict()["settles"]
+    assert first.as_dict()["final"] == second.as_dict()["final"]
+
+
+def test_readmit_mode_reaches_the_same_final_state(recording):
+    outcome = recording["outcome"]
+    result = run(replay(window_of(recording), mode=MODE_READMIT))
+    # Boundaries are the replayed config's own: no aligned settles.
+    assert result.settles == ()
+    assert list(result.final.nodes) == outcome["nodes"]
+    assert result.final.history == outcome["history"]
+
+
+def test_unknown_mode_is_refused(recording):
+    with pytest.raises(ReplayError, match="unknown replay mode"):
+        run(replay(window_of(recording), mode="speculative"))
+
+
+# ----------------------------------------------------------------------
+# Overrides
+# ----------------------------------------------------------------------
+def test_subscription_override_replaces_the_recorded_registry(recording):
+    doc = {
+        "pattern_id": "delta",
+        "k": 2,
+        "pattern": pattern_graph_to_dict(make_pattern("D", "A", bound=3)),
+    }
+    # Start past the initial subscribe records so the recorded registry
+    # (alpha, beta) is window state the override can replace.
+    window = ReplayLog(recording["path"]).window(
+        from_seq=3, base_graph=recording["graph"]
+    )
+    assert sorted(d["pattern_id"] for d in window.subscriptions) == ["alpha", "beta"]
+    result = run(replay(window, subscriptions=[doc]))
+    assert result.overrides["subscriptions"] == "override"
+    # The recorded control records still apply on top of the override:
+    # gamma subscribes mid-window, beta's unsubscribe is a no-op here.
+    assert sorted(result.final.as_of[0]) == ["delta", "gamma"]
+
+
+def test_overrides_are_recorded_on_the_run(recording):
+    result = run(
+        replay(window_of(recording), slen_backend="dense", batch_plan="coalesced")
+    )
+    assert result.overrides["slen_backend"] == "dense"
+    assert result.overrides["batch_plan"] == "coalesced"
+    assert result.overrides["mode"] == "faithful"
+
+
+def test_run_record_is_json_able(recording):
+    result = run(replay(window_of(recording)))
+    doc = json.dumps(result.as_dict())
+    assert "settles" in doc
+    assert result.throughput > 0
+
+
+# ----------------------------------------------------------------------
+# Payload round-trip
+# ----------------------------------------------------------------------
+def test_payload_doc_round_trips_through_ingestion():
+    updates = (
+        EdgeDeletion(graph=GraphKind.DATA, source="a", target="b"),
+        NodeDeletion(graph=GraphKind.DATA, node="c", labels=("C",), edges=()),
+        EdgeInsertion(graph=GraphKind.DATA, source="b", target="a"),
+        NodeInsertion(
+            graph=GraphKind.DATA, node="d", labels=("D",), edges=(("a", "d"),)
+        ),
+    )
+    doc = payload_doc(updates)
+    assert [entry["type"] for entry in doc["deletes"]] == ["edge", "node"]
+    assert [entry["type"] for entry in doc["inserts"]] == ["edge", "node"]
+    # UpdateData lowers deletes-first in recorded order: the exact
+    # update sequence the journal held comes back out.
+    lowered = UpdateData(doc).updates()
+    assert tuple(lowered) == updates
+
+
+def test_payload_doc_refuses_unknown_updates():
+    with pytest.raises(ReplayError, match="cannot replay"):
+        payload_doc([object()])

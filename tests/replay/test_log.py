@@ -1,0 +1,237 @@
+"""Window reconstruction from journal files (``repro.replay.log``).
+
+These tests parse journals written by real service sessions (via the
+``recording`` fixture) and by :class:`GraphJournal` directly, and check
+that :class:`ReplayLog` rebuilds the exact delta stream — warmup folding,
+settle-group bounding in *sequence* order, snapshot-base awareness, and
+loud refusal of unreconstructable windows.
+"""
+
+import json
+
+import pytest
+
+from repro.graph.updates import EdgeInsertion, GraphKind
+from repro.replay import ReplayError, ReplayLog
+from repro.service.journal import GraphJournal, JournalError
+
+from tests.replay.conftest import make_graph
+
+
+def edge(source: str, target: str) -> EdgeInsertion:
+    return EdgeInsertion(graph=GraphKind.DATA, source=source, target=target)
+
+
+# ----------------------------------------------------------------------
+# Parsing a real recorded session
+# ----------------------------------------------------------------------
+def test_parses_a_recorded_session(recording):
+    log = ReplayLog(recording["path"])
+    # Pre-compaction journal: no snapshot base, seqs start at 1.
+    assert log.base_graph is None
+    assert log.base_seq == 0
+    # 2 initial subscribes + 12 deltas + 1 unsubscribe + 1 subscribe.
+    assert log.last_seq == 16
+    assert not log.torn_tail
+    kinds = [record.kind for record in log.records]
+    assert kinds.count("delta") == 12
+    assert kinds.count("checkpoint") == 12  # EAGER: one settle per payload
+    assert kinds.count("subscribe") == 3
+    assert kinds.count("unsubscribe") == 1
+
+
+def test_discover_finds_journals_by_slug(tmp_path, recording):
+    found = ReplayLog.discover(recording["path"].parent)
+    assert found == {"g": recording["path"]}
+    assert ReplayLog.discover(tmp_path / "nowhere") == {}
+
+
+def test_full_window_reproduces_the_stream(recording):
+    window = ReplayLog(recording["path"]).window(base_graph=recording["graph"])
+    assert window.from_seq == 1
+    assert window.to_seq == 16
+    assert window.delta_count == 12
+    assert window.warmup_deltas == 0
+    assert len(window.checkpoints) == 12
+    # Registry at window start is empty: the subscribes are stream
+    # records (they happened inside the window).
+    assert window.subscriptions == ()
+    groups = window.settle_groups()
+    assert len(groups) == 12  # every checkpoint closes a group, no tail
+    # First group carries the two initial subscribe records.
+    assert [r.kind for r in groups[0].operations] == ["subscribe", "subscribe", "delta"]
+    # The mid-stream control records ride in the group of the next delta.
+    mid = next(
+        g for g in groups if any(r.kind == "unsubscribe" for r in g.operations)
+    )
+    assert [r.kind for r in mid.operations] == ["unsubscribe", "subscribe", "delta"]
+
+
+def test_sub_window_folds_the_prefix_into_the_base(recording):
+    log = ReplayLog(recording["path"])
+    full = log.window(base_graph=recording["graph"])
+    window = log.window(from_seq=9, base_graph=recording["graph"])
+    # Seqs 1-2 are the subscribes, 3-8 the first six deltas.
+    assert window.warmup_deltas == 6
+    assert window.delta_count == 6
+    # The warmed-up base differs from the registered graph: the prefix
+    # deltas were applied to it.
+    assert window.base_graph.number_of_edges != recording["graph"].number_of_edges
+    # The pre-window subscribes fold into the starting registry.
+    assert sorted(doc["pattern_id"] for doc in window.subscriptions) == ["alpha", "beta"]
+    # Prefix + suffix deltas account for the whole stream.
+    assert window.warmup_deltas + window.delta_count == full.delta_count
+
+
+def test_sub_window_honours_to_seq(recording):
+    window = ReplayLog(recording["path"]).window(
+        to_seq=9, base_graph=recording["graph"]
+    )
+    assert window.delta_count == 7  # seqs 3..9
+    assert all(record.seq <= 9 for record in window.entries)
+    # Post-window control records (seqs 10-11) are dropped, not folded.
+    assert window.subscriptions == ()
+
+
+# ----------------------------------------------------------------------
+# Settle-group bounding is by sequence, not file order
+# ----------------------------------------------------------------------
+def test_checkpoint_bounds_by_seq_even_when_file_order_interleaves(tmp_path):
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    journal.initialize(make_graph(num_nodes=6, num_edges=4))
+    seq_a = journal.append_delta([edge("n0", "n1")])
+    seq_b = journal.append_delta([edge("n1", "n2")])
+    # Settles run concurrently with ingestion: the checkpoint covering
+    # seq_a lands in the file *after* the delta at seq_b.
+    journal.checkpoint(seq_a, 1, 1)
+    journal.checkpoint(seq_b, 2, 2)
+    journal.close()
+
+    groups = ReplayLog(tmp_path / "g.journal.jsonl").window().settle_groups()
+    assert len(groups) == 2
+    assert [r.seq for r in groups[0].operations] == [seq_a]
+    assert groups[0].boundary.seq == seq_a
+    assert [r.seq for r in groups[1].operations] == [seq_b]
+    assert groups[1].boundary.seq == seq_b
+
+
+def test_trailing_records_form_a_boundaryless_tail_group(tmp_path):
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    journal.initialize(make_graph(num_nodes=6, num_edges=4))
+    seq_a = journal.append_delta([edge("n0", "n1")])
+    journal.checkpoint(seq_a, 1, 1)
+    journal.append_delta([edge("n1", "n2")])  # crash before its settle
+    journal.close()
+
+    groups = ReplayLog(tmp_path / "g.journal.jsonl").window().settle_groups()
+    assert len(groups) == 2
+    assert groups[0].boundary is not None
+    assert groups[1].boundary is None
+    assert groups[1].delta_count == 1
+
+
+# ----------------------------------------------------------------------
+# Snapshot-base awareness
+# ----------------------------------------------------------------------
+def test_compacted_journal_carries_its_own_base(tmp_path):
+    graph = make_graph(num_nodes=6, num_edges=4)
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    journal.initialize(
+        graph,
+        seq=5,
+        version=3,
+        subscriptions=[{"pattern_id": "p", "k": 2, "pattern": {"nodes": [], "edges": []}}],
+    )
+    seq = journal.append_delta([edge("n0", "n1")])
+    journal.checkpoint(seq, 4, 1)
+    journal.close()
+
+    log = ReplayLog(tmp_path / "g.journal.jsonl")
+    assert log.base_seq == 5
+    assert log.base_version == 3
+    # No base_graph argument needed: the snapshot record supplies it.
+    window = log.window()
+    assert window.from_seq == 6
+    assert window.base_version == 3
+    assert window.base_graph.number_of_nodes == graph.number_of_nodes
+    assert [doc["pattern_id"] for doc in window.subscriptions] == ["p"]
+
+
+def test_window_into_the_snapshot_is_refused(tmp_path):
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    journal.initialize(make_graph(num_nodes=6, num_edges=4), seq=5, version=3)
+    journal.append_delta([edge("n0", "n1")])
+    journal.close()
+
+    log = ReplayLog(tmp_path / "g.journal.jsonl")
+    with pytest.raises(ReplayError, match="inside the compaction snapshot"):
+        log.window(from_seq=3)
+
+
+def test_missing_base_is_refused_with_direction(recording):
+    log = ReplayLog(recording["path"])
+    with pytest.raises(ReplayError, match="no snapshot base"):
+        log.window()
+
+
+def test_inverted_window_is_refused(recording):
+    log = ReplayLog(recording["path"])
+    with pytest.raises(ReplayError, match="empty window"):
+        log.window(from_seq=8, to_seq=4, base_graph=recording["graph"])
+
+
+def test_missing_file_is_refused(tmp_path):
+    with pytest.raises(ReplayError, match="does not exist"):
+        ReplayLog(tmp_path / "absent.journal.jsonl")
+
+
+# ----------------------------------------------------------------------
+# Degraded files
+# ----------------------------------------------------------------------
+def test_torn_tail_is_ignored_and_flagged(recording):
+    path = recording["path"]
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 7])  # crash mid-append
+
+    log = ReplayLog(path)
+    assert log.torn_tail
+    window = log.window(base_graph=recording["graph"])
+    assert window.torn_tail
+    # The stream lost exactly the torn record; the file is untouched.
+    assert path.read_bytes() == data[: len(data) - 7]
+
+
+def test_interior_corruption_raises_with_line_number(tmp_path, recording):
+    path = recording["path"]
+    lines = path.read_text().splitlines()
+    lines[3] = json.dumps({"t": "delta", "seq": "not-an-int"})
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="line 4"):
+        ReplayLog(path)
+
+
+def test_recovered_journal_drops_duplicate_deltas(tmp_path):
+    # A crash-recovered service re-appends deltas it already journaled;
+    # the reader keeps the first copy only.
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    journal.initialize(make_graph(num_nodes=6, num_edges=4))
+    journal.append_delta([edge("n0", "n1")])
+    journal.close()
+    record = json.loads(
+        (tmp_path / "g.journal.jsonl").read_text().splitlines()[1]
+    )
+    with open(tmp_path / "g.journal.jsonl", "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+    log = ReplayLog(tmp_path / "g.journal.jsonl")
+    assert log.dropped_duplicates == 1
+    assert log.window().delta_count == 1
+
+
+def test_describe_is_json_able(recording):
+    window = ReplayLog(recording["path"]).window(base_graph=recording["graph"])
+    doc = window.describe()
+    assert json.dumps(doc)  # no sets/tuples/objects leak through
+    assert doc["deltas"] == 12
+    assert doc["checkpoints"] == 12
+    assert doc["warmup_deltas"] == 0

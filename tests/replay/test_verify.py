@@ -1,0 +1,168 @@
+"""Differential verification (``repro.replay.verify``).
+
+Covers the clean path — every override of a deterministic window
+verifies with zero mismatches — and the dirty path: tampered run
+records must surface as typed mismatches, not pass silently.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.replay import (
+    MODE_READMIT,
+    ReplayLog,
+    ReplayVerifier,
+    replay,
+    verify_window,
+)
+from repro.replay.verify import MAX_DETAIL_CHARS, Mismatch
+
+from tests.replay.conftest import run
+
+
+@pytest.fixture
+def window(recording):
+    return ReplayLog(recording["path"]).window(base_graph=recording["graph"])
+
+
+@pytest.fixture
+def reference(window):
+    return run(replay(window))
+
+
+# ----------------------------------------------------------------------
+# Clean path
+# ----------------------------------------------------------------------
+def test_default_sweep_verifies_clean(window):
+    reference, outcomes = run(
+        verify_window(
+            window,
+            [
+                {"slen_backend": "dense"},
+                {"batch_plan": "per-update"},
+                {"batch_plan": "coalesced"},
+                {"batch_plan": "partitioned"},
+                {"mode": MODE_READMIT},
+            ],
+        )
+    )
+    assert reference.mode == "faithful"
+    assert len(outcomes) == 5
+    for candidate, report in outcomes:
+        assert report.ok, f"{candidate.overrides}: {report.summary()}"
+    # Faithful candidates compare settle-by-settle with real coverage.
+    faithful_reports = [r for c, r in outcomes if c.mode == "faithful"]
+    assert all(r.settles_compared == 12 for r in faithful_reports)
+    assert all(r.patterns_compared > 0 for r in faithful_reports)
+    assert all(r.slen_probes_compared > 0 for r in faithful_reports)
+    assert all(r.as_of_versions_compared > 0 for r in faithful_reports)
+    # The re-admitted candidate is final-state-only.
+    readmit_report = next(r for c, r in outcomes if c.mode == MODE_READMIT)
+    assert readmit_report.settles_compared == 0
+    assert readmit_report.as_of_versions_compared == 0
+
+
+def test_self_comparison_is_clean(reference):
+    report = ReplayVerifier().compare(reference, reference)
+    assert report.ok
+    assert report.summary().startswith("OK")
+    assert json.dumps(report.as_dict())
+
+
+# ----------------------------------------------------------------------
+# Dirty path — tampered runs must be caught
+# ----------------------------------------------------------------------
+def tampered_settle(reference, index, **changes):
+    settles = list(reference.settles)
+    settles[index] = dataclasses.replace(settles[index], **changes)
+    return dataclasses.replace(reference, settles=tuple(settles))
+
+
+def test_settle_match_divergence_is_caught(reference):
+    bad = tampered_settle(
+        reference, 4, matches={**reference.settles[4].matches, "alpha": {"u": ("nX",)}}
+    )
+    report = ReplayVerifier().compare(reference, bad)
+    assert not report.ok
+    assert any(m.kind == "settle.matches" for m in report.mismatches)
+    assert any("settle 4" in m.location for m in report.mismatches)
+
+
+def test_settle_version_and_size_divergence_is_caught(reference):
+    bad = tampered_settle(
+        reference, 0, version=99, node_count=reference.settles[0].node_count + 1
+    )
+    kinds = {m.kind for m in ReplayVerifier().compare(reference, bad).mismatches}
+    assert "settle.version" in kinds
+    assert "settle.nodes" in kinds
+
+
+def test_slen_divergence_is_caught(reference):
+    probe = reference.settles[2].slen[0]
+    bad = tampered_settle(
+        reference,
+        2,
+        slen=((probe[0], probe[1], (probe[2] or 0) + 1.0),)
+        + reference.settles[2].slen[1:],
+    )
+    report = ReplayVerifier().compare(reference, bad)
+    assert any(m.kind == "settle.slen" for m in report.mismatches)
+
+
+def test_settle_count_divergence_short_circuits(reference):
+    bad = dataclasses.replace(reference, settles=reference.settles[:-1])
+    report = ReplayVerifier().compare(reference, bad)
+    assert [m.kind for m in report.mismatches if m.kind.startswith("settle")] == [
+        "settle.count"
+    ]
+    assert report.settles_compared == 0
+
+
+def test_final_history_divergence_is_caught(reference):
+    bad = dataclasses.replace(
+        reference,
+        final=dataclasses.replace(reference.final, history={"tampered": True}),
+    )
+    report = ReplayVerifier().compare(reference, bad)
+    assert any(m.kind == "final.history" for m in report.mismatches)
+
+
+def test_as_of_retention_divergence_is_caught(reference):
+    # Candidate retained fewer versions than the reference: the sweep
+    # must flag the missing offsets rather than skip them quietly.
+    kept = {0: reference.final.as_of[0]}
+    bad = dataclasses.replace(
+        reference, final=dataclasses.replace(reference.final, as_of=kept)
+    )
+    report = ReplayVerifier().compare(reference, bad)
+    assert any(m.kind == "final.as_of.retention" for m in report.mismatches)
+
+
+def test_pattern_set_divergence_is_caught(reference):
+    final = reference.final
+    pruned = {
+        offset: {pid: per for pid, per in patterns.items() if pid != "alpha"}
+        for offset, patterns in final.as_of.items()
+    }
+    bad = dataclasses.replace(
+        reference, final=dataclasses.replace(final, as_of=pruned)
+    )
+    report = ReplayVerifier().compare(reference, bad)
+    assert any(m.kind.endswith(".patterns") for m in report.mismatches)
+
+
+def test_mismatch_details_are_clipped():
+    mismatch = Mismatch(
+        kind="settle.matches",
+        location="settle 0",
+        expected="x" * (MAX_DETAIL_CHARS * 2),
+        actual="y",
+    )
+    # Clipping happens at construction time in the verifier; the report
+    # never carries unbounded reprs.
+    from repro.replay.verify import _clip
+
+    assert len(_clip("x" * (MAX_DETAIL_CHARS * 2))) == MAX_DETAIL_CHARS
+    assert mismatch.describe().startswith("[settle.matches] settle 0")

@@ -118,11 +118,11 @@ def test_injected_crash_is_not_an_exception():
 # ----------------------------------------------------------------------
 # Kill-and-recover differential, every named crash point
 # ----------------------------------------------------------------------
-async def crash_run(journal_dir, arm):
-    """Run WORKLOAD against a journaled service until the armed fault
-    fires, abandon the instance, and return the payloads that must
-    survive recovery (receipted ones, plus a journaled-but-unreceipted
-    one for post-append crashes)."""
+async def crash_run(journal_dir, arm, payloads=WORKLOAD):
+    """Run ``payloads`` against a journaled service until the armed
+    fault fires, abandon the instance, and return the payloads that
+    must survive recovery (receipted ones, plus a
+    journaled-but-unreceipted one for post-append crashes)."""
     faults = FaultInjector()
     arm(faults)
     service = StreamingUpdateService(
@@ -131,7 +131,7 @@ async def crash_run(journal_dir, arm):
     await service.register_graph("g", make_pattern(), make_data())
     durable = []
     crashed = False
-    for payload in WORKLOAD:
+    for payload in payloads:
         try:
             receipt = await service.submit("g", payload)
         except InjectedCrash as crash:
@@ -404,3 +404,108 @@ def test_queue_errors_surface_in_stats_and_log(tmp_path, caplog):
 
     with caplog.at_level(logging.ERROR, logger="repro.service"):
         run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Seeded random workloads, settle provenance, replay as the oracle
+# ----------------------------------------------------------------------
+#: Root seed of the randomized crash differentials below.  Per-case
+#: seeds derive from it via :func:`derive_seed` — the same cross-process
+#: stable contract tests/versioning/test_isolation.py pins — so a
+#: failing crash point reproduces its exact workload in any process.
+ROOT_SEED = 20260807
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_kill_and_recover_differential_under_seeded_workloads(tmp_path, point):
+    from repro.workloads.update_gen import derive_seed, generate_payload_stream
+
+    async def scenario():
+        payloads = list(
+            generate_payload_stream(
+                make_data(),
+                payloads=8,
+                updates_per_payload=3,
+                seed=derive_seed(ROOT_SEED, "faults", point),
+            )
+        )
+        durable = await crash_run(
+            tmp_path, lambda f: f.arm(point, after=2), payloads=payloads
+        )
+        recovered, _stats = await recover_and_snapshot(tmp_path)
+        expected = await oracle_state(durable)
+        assert recovered[0] == expected[0]
+        assert recovered[1] == expected[1]
+        assert recovered[2] == expected[2]
+
+    run(scenario())
+
+
+def test_seeded_workload_derivation_is_pinned():
+    from repro.workloads.update_gen import derive_seed
+
+    # The per-point seed must never silently change between processes
+    # or releases: recorded crash reproductions depend on it.
+    assert derive_seed(ROOT_SEED, "faults", PRE_SETTLE) == 12497881693818095501
+
+
+def test_recovery_splits_settle_provenance(tmp_path):
+    # stats() tells recovered (journal-replayed) settles apart from
+    # live ones — the operator's signal for "how much of this boot was
+    # catch-up".
+    async def scenario():
+        await crash_run(tmp_path, lambda f: f.arm(PRE_SETTLE, after=1))
+        service = StreamingUpdateService(
+            ServiceConfig(journal_dir=str(tmp_path), **QUIET)
+        )
+        await service.register_graph("g", make_pattern(), make_data())
+        await service.drain()
+        stats = service.stats("g")
+        # The journaled-but-unsettled tail settled as *recovered*.
+        assert stats["recovered"] >= 1
+        assert stats["recovered_settles"] >= 1
+        assert stats["live_settles"] == 0
+        assert stats["settles"] == stats["recovered_settles"]
+
+        # Fresh traffic settles as *live*; the split stays exhaustive.
+        receipt = await service.submit("g", {"inserts": [edge_spec("n4", "n6")]})
+        assert receipt.accepted == 1
+        await service.drain()
+        stats = service.stats("g")
+        assert stats["live_settles"] == 1
+        assert stats["settles"] == stats["recovered_settles"] + stats["live_settles"]
+        await service.close()
+
+    run(scenario())
+
+
+def test_replayed_window_is_an_oracle_for_recovery(tmp_path):
+    # The journal a crashed run leaves behind replays — through a fresh
+    # un-journaled service — into exactly the state recovery serves,
+    # including the journaled-but-unreceipted tail payload.  Replay is
+    # the recovery oracle: no scripted second live run required.
+    from repro.replay import ReplayLog, replay
+
+    async def scenario():
+        await crash_run(tmp_path, lambda f: f.arm(POST_APPEND, after=1))
+        recovered, _stats = await recover_and_snapshot(tmp_path)
+
+        window = ReplayLog(
+            tmp_path / f"{journal_slug('g')}.journal.jsonl"
+        ).window(base_graph=make_data())
+        result = await replay(window)
+        assert list(result.final.nodes) == sorted(
+            str(node) for node in recovered[0].nodes()
+        )
+        assert [tuple(edge) for edge in result.final.edges] == sorted(
+            (str(s), str(t)) for s, t in recovered[0].edges()
+        )
+        expected_matches = {
+            str(u): sorted(str(v) for v in vs) for u, vs in recovered[2].items()
+        }
+        replayed = {
+            u: list(vs) for u, vs in result.final.as_of[0]["default"].items()
+        }
+        assert replayed == expected_matches
+
+    run(scenario())

@@ -214,6 +214,111 @@ def test_checkpointed_deltas_stay_in_the_replay_tail(tmp_path):
     assert state.checkpoint_seq == 1
 
 
+def test_torn_tail_fuzz_every_byte_offset(tmp_path):
+    # Byte-granular crash fuzz: truncate a valid journal at *every*
+    # byte offset (not just line granularity) and recover.  The
+    # contract: recovery yields exactly the fully-terminated records of
+    # the surviving prefix — a partial final line is truncated away and
+    # flagged torn, interior records are never silently dropped, and no
+    # offset may raise anything but JournalError.  The offsets inside
+    # the final record are the satellite case; sweeping from zero also
+    # covers torn tails that swallow whole records.
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("n0", "n2")])
+    journal.append_delta([insert_data_node("x", ("A",), (("x", "n0"),))])
+    journal.append_delta([delete_data_edge("n0", "n2")])
+    journal.close()
+    intact = path.read_bytes()
+    lines = intact.splitlines(keepends=True)
+    # Byte offset right after each terminated record (0 = empty file).
+    boundaries = [0]
+    for line in lines:
+        boundaries.append(boundaries[-1] + len(line))
+    assert boundaries[-1] == len(intact)
+    for cut in range(len(intact) + 1):
+        path.write_bytes(intact[:cut])
+        reopened = GraphJournal(path)
+        try:
+            state = reopened.open()
+        except JournalError:
+            # Tolerated by the contract, but pure truncation must never
+            # trigger it (a prefix has no *interior* corruption).
+            pytest.fail(f"truncation at byte {cut} raised JournalError")
+        finally:
+            reopened.close()
+        complete = sum(1 for boundary in boundaries[1:] if boundary <= cut)
+        assert [seq for seq, _ in state.tail] == list(range(1, complete + 1)), (
+            f"cut at byte {cut}: expected records 1..{complete}"
+        )
+        assert state.torn_line == (cut not in boundaries), (
+            f"cut at byte {cut}: torn_line misreported"
+        )
+        # The truncation repair leaves a cleanly appendable file.
+        assert path.stat().st_size == boundaries[complete]
+
+
+def test_unterminated_but_valid_final_record_is_dropped_as_torn(tmp_path):
+    # The subtle fuzz offset: the final record's bytes are all present
+    # *except* the trailing newline, so it parses as valid JSON.  The
+    # fsync that included the newline never completed, so no receipt
+    # was issued for it — recovery must drop it (and truncate), or the
+    # append handle would glue the next record onto the unterminated
+    # line and corrupt the journal for the *next* recovery.
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    journal.open()
+    journal.append_delta([insert_data_edge("a", "b")])
+    journal.append_delta([insert_data_edge("c", "d")])
+    journal.close()
+    intact = path.read_bytes()
+    path.write_bytes(intact[:-1])  # strip only the final newline
+    reopened = GraphJournal(path)
+    state = reopened.open()
+    assert [seq for seq, _ in state.tail] == [1]
+    assert state.torn_line
+    # The repaired file plus a fresh append must recover both records.
+    assert reopened.append_delta([insert_data_edge("e", "f")]) == 2
+    reopened.close()
+    final = GraphJournal(path).open()
+    assert [seq for seq, _ in final.tail] == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# Journal initialization (live capture)
+# ----------------------------------------------------------------------
+def test_initialize_writes_a_replayable_snapshot_base(tmp_path):
+    path = tmp_path / "g.journal.jsonl"
+    journal = GraphJournal(path)
+    graph = make_graph()
+    journal.initialize(
+        graph,
+        seq=7,
+        version=3,
+        stamps={"latest": 3, "nodes": [], "edges": []},
+        subscriptions=[{"pattern_id": "p", "pattern": {"kind": "pattern_graph", "nodes": [], "edges": []}}],
+    )
+    # Appends continue after the base seq, checkpoints cover them.
+    assert journal.append_delta([insert_data_edge("n0", "n2")]) == 8
+    journal.checkpoint(8, version=4, batch_id=1)
+    journal.close()
+    state = GraphJournal(path).open()
+    assert state.base_graph == graph
+    assert state.base_seq == 7
+    assert state.checkpoint_version == 4
+    assert [seq for seq, _ in state.tail] == [8]
+    assert state.subscriptions and "p" in state.subscriptions
+
+
+def test_initialize_refuses_an_already_open_journal(tmp_path):
+    journal = GraphJournal(tmp_path / "g.journal.jsonl")
+    journal.open()
+    with pytest.raises(JournalError):
+        journal.initialize(make_graph())
+    journal.close()
+
+
 # ----------------------------------------------------------------------
 # Compaction
 # ----------------------------------------------------------------------

@@ -224,3 +224,91 @@ def test_server_closes_idle_connections():
         await service.close()
 
     asyncio.run(scenario())
+
+
+def test_server_time_travel_reads_respect_subscription_lifetimes():
+    async def scenario():
+        from repro.graph.io import pattern_graph_to_dict
+
+        service = StreamingUpdateService(
+            ServiceConfig(
+                deadline_seconds=30.0,
+                max_buffer=10_000,
+                coalesce_min_batch=10_000,
+                snapshot_history=8,
+            )
+        )
+        await service.register("g", make_data())
+        server = ServiceServer(service, port=0)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        client = Client(reader, writer)
+
+        subscribed = await client.call(
+            {
+                "op": "subscribe",
+                "graph": "g",
+                "pattern_id": "p",
+                "pattern": pattern_graph_to_dict(make_pattern()),
+            }
+        )
+        assert subscribed["ok"]
+
+        async def settle(source, target):
+            response = await client.call(
+                {
+                    "op": "update",
+                    "graph": "g",
+                    "inserts": [{"type": "edge", "source": source, "target": target}],
+                }
+            )
+            assert response["ok"]
+            await service.drain()
+
+        await settle("n0", "n2")  # version 1 carries "p"
+        at_v1 = await client.call(
+            {"op": "matches", "graph": "g", "pattern_id": "p"}
+        )
+        assert at_v1["ok"]
+        await settle("n0", "n3")  # version 2
+
+        dropped = await client.call(
+            {"op": "unsubscribe", "graph": "g", "pattern_id": "p", "drop": True}
+        )
+        assert dropped["ok"] and dropped["dropped"]
+
+        # Present-time read of the dropped pattern: clean error, the
+        # connection survives.
+        now = await client.call({"op": "matches", "graph": "g", "pattern_id": "p"})
+        assert now["ok"] is False and "no subscription 'p'" in now["error"]
+        # Time travel to the retained version still serves the frozen
+        # state over the wire.
+        then = await client.call(
+            {"op": "matches", "graph": "g", "pattern_id": "p", "as_of": 1}
+        )
+        assert then["ok"] and then["matches"] == at_v1["matches"]
+
+        # A pattern subscribed late is absent from versions that
+        # predate it: clean error naming the version, not a stale read.
+        late = await client.call(
+            {
+                "op": "subscribe",
+                "graph": "g",
+                "pattern_id": "late",
+                "pattern": pattern_graph_to_dict(make_pattern()),
+            }
+        )
+        assert late["ok"]
+        early = await client.call(
+            {"op": "matches", "graph": "g", "pattern_id": "late", "as_of": 1}
+        )
+        assert early["ok"] is False
+        assert "no subscription 'late' in snapshot version 1" in early["error"]
+        # The connection took every error in stride.
+        assert await client.call({"op": "ping"}) == {"ok": True, "pong": True}
+
+        await client.close()
+        await server.close()
+        await service.close()
+
+    asyncio.run(scenario())

@@ -512,3 +512,109 @@ def test_stats_expose_shared_and_per_subscription_sections():
         await service.close()
 
     run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Time travel x subscriptions: history is frozen, the registry is not
+# ----------------------------------------------------------------------
+def test_unsubscribed_pattern_stays_readable_at_retained_versions():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(snapshot_history=8, **QUIET))
+        await service.register("g", make_data())
+        await service.subscribe("g", "p", make_pattern())
+        await service.submit("g", {"inserts": [edge_spec("n0", "n4")]})
+        await service.drain()  # version 1 carries "p"
+        frozen = service.matches("g", pattern_id="p")
+        frozen_top = service.top_k("g", 2, pattern_id="p")
+        await service.submit("g", {"inserts": [edge_spec("n1", "n5")]})
+        await service.drain()  # version 2
+        assert await service.unsubscribe("g", "p")
+
+        # The latest snapshot (v2, republished in place) dropped the
+        # pattern: present-time reads fail cleanly...
+        with pytest.raises(ServiceError, match="no subscription 'p'"):
+            service.matches("g", pattern_id="p")
+        with pytest.raises(ServiceError, match="version 2"):
+            service.matches("g", pattern_id="p", as_of=2)
+        # ...but version 1 was retained with its SubscriptionState
+        # frozen at publish time: time-travel reads still serve the
+        # pattern exactly as it matched then, including top-k.
+        assert service.matches("g", pattern_id="p", as_of=1) == frozen
+        assert service.top_k("g", 2, pattern_id="p", as_of=1) == frozen_top
+        assert "p" in service.snapshot("g", as_of=1).pattern_ids
+        assert "p" not in service.snapshot("g").pattern_ids
+
+        # The frozen state survives further settles while retained.
+        await service.submit("g", {"inserts": [edge_spec("n2", "n6")]})
+        await service.drain()
+        assert service.matches("g", pattern_id="p", as_of=1) == frozen
+        await service.close()
+
+    run(scenario())
+
+
+def test_reading_a_version_before_the_pattern_existed_is_a_clean_error():
+    async def scenario():
+        service = StreamingUpdateService(ServiceConfig(snapshot_history=8, **QUIET))
+        await service.register("g", make_data())
+        await service.submit("g", {"inserts": [edge_spec("n0", "n4")]})
+        await service.drain()  # version 1, no subscriptions yet
+        await service.submit("g", {"inserts": [edge_spec("n1", "n5")]})
+        await service.drain()  # version 2
+        # Subscribing republishes the *latest* version (2) with the new
+        # pattern bound; version 1 predates it and must stay pristine.
+        await service.subscribe("g", "late", make_pattern())
+
+        assert service.matches("g", pattern_id="late")  # latest: bound
+        assert "late" in service.snapshot("g", as_of=2).pattern_ids
+        with pytest.raises(ServiceError, match="no subscription 'late' in snapshot version 1"):
+            service.matches("g", pattern_id="late", as_of=1)
+        with pytest.raises(ServiceError, match="version 1"):
+            service.top_k("g", 2, pattern_id="late", as_of=1)
+        await service.close()
+
+    run(scenario())
+
+
+def test_replayed_window_reproduces_subscription_fanout(tmp_path):
+    # Record/replay as the equivalence oracle for the multi-pattern
+    # fan-out: the journaled session replays — through a fresh service —
+    # into exactly the per-subscription matches the live run published,
+    # including the effect of the trailing unsubscribe control record.
+    from repro.replay import ReplayLog, replay
+
+    async def scenario():
+        service = StreamingUpdateService(
+            ServiceConfig(journal_dir=str(tmp_path), **QUIET)
+        )
+        await service.register("g", make_data())
+        await service.subscribe("g", "ab", make_pattern("A", "B"), k=2)
+        await service.subscribe("g", "bc", make_pattern("B", "C"))
+        for payload in (
+            {"inserts": [edge_spec("n0", "n4"), edge_spec("n1", "n5")]},
+            {"deletes": [edge_spec("n0", "n4")]},
+            {"inserts": [edge_spec("n2", "n6")]},
+        ):
+            receipt = await service.submit("g", payload)
+            assert receipt.rejected == 0
+            await service.drain()
+        await service.unsubscribe("g", "bc")
+        live = {
+            pid: service.matches("g", pattern_id=pid)
+            for pid in service.snapshot("g").pattern_ids
+        }
+        await service.close()
+
+        window = ReplayLog(tmp_path / "g.journal.jsonl").window(
+            base_graph=make_data()
+        )
+        result = await replay(window)
+        replayed = result.final.as_of[0]
+        assert sorted(replayed) == sorted(live) == ["ab"]
+        for pid, expected in live.items():
+            normalized = {
+                str(u): sorted(str(v) for v in vs) for u, vs in expected.items()
+            }
+            assert {u: list(vs) for u, vs in replayed[pid].items()} == normalized
+
+    run(scenario())

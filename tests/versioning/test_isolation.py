@@ -22,10 +22,33 @@ from repro.matching.gpnm import gpnm_query
 from repro.service import ServiceConfig, StreamingUpdateService
 from repro.spl.matrix import SLenMatrix
 from repro.versioning import VersionExpiredError
+from repro.workloads.update_gen import derive_seed
 
 from tests.conftest import make_random_graph, make_random_pattern
 
-SEEDS = tuple(range(32))
+#: Root seed of the whole stress suite.  Every per-case RNG seed below
+#: derives from this single logged value via :func:`derive_seed`
+#: (BLAKE2s over the label path — NOT the per-process salted ``hash()``),
+#: so a failing case index reproduces bit-identically in any process:
+#: rerun with ``-k "[<case>]"``.
+ROOT_SEED = 20260807
+CASES = tuple(range(32))
+
+
+def case_seed(case: int, role: str) -> int:
+    """The suite's seeding contract (pinned by the test below)."""
+    return derive_seed(ROOT_SEED, "isolation", case, role)
+
+
+def test_seed_derivation_contract_is_pinned():
+    # Cross-process stability is the whole point of derive_seed: if
+    # these pins ever break, logged failure case indices stop being
+    # reproducible.  Update ROOT_SEED deliberately, never by accident.
+    assert case_seed(0, "graph") == 17200825336101333204
+    assert case_seed(7, "pattern") == 5898602926773027712
+    roles = ("graph", "pattern", "payloads", "reader0", "reader1", "reader2")
+    seeds = {case_seed(case, role) for case in CASES for role in roles}
+    assert len(seeds) == len(CASES) * len(roles)  # cases are independent
 
 #: Settle after every payload (deadline 0 cuts the buffer on submit),
 #: keep all versions retained for the post-hoc sweep, and store SLen in
@@ -108,18 +131,22 @@ def oracle_check(handle, pattern, expected: DataGraph) -> None:
     assert handle.result.as_dict() == oracle_result.as_dict()
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_concurrent_readers_always_see_a_consistent_version(seed):
+@pytest.mark.parametrize("case", CASES)
+def test_concurrent_readers_always_see_a_consistent_version(case):
     async def scenario():
-        rng = random.Random(10_000 + seed)
+        rng = random.Random(case_seed(case, "payloads"))
         base = make_random_graph(
-            num_nodes=18 + seed % 5, num_edges=40 + seed % 7, seed=seed
+            num_nodes=18 + case % 5,
+            num_edges=40 + case % 7,
+            seed=case_seed(case, "graph"),
         )
         pattern = make_random_pattern(
-            num_nodes=3 + seed % 2, num_edges=3 + seed % 2, seed=500 + seed
+            num_nodes=3 + case % 2,
+            num_edges=3 + case % 2,
+            seed=case_seed(case, "pattern"),
         )
         payloads, states = random_payloads(
-            base, rng, count=6, node_churn=seed % 2 == 0
+            base, rng, count=6, node_churn=case % 2 == 0
         )
 
         service = StreamingUpdateService(stress_config())
@@ -147,7 +174,8 @@ def test_concurrent_readers_always_see_a_consistent_version(seed):
                     return
 
         threads = [
-            threading.Thread(target=reader, args=(seed * 100 + i,)) for i in range(3)
+            threading.Thread(target=reader, args=(case_seed(case, f"reader{i}"),))
+            for i in range(3)
         ]
         for thread in threads:
             thread.start()
